@@ -1,0 +1,5 @@
+"""The reproduction benchmark harness (one target per paper table/figure).
+
+This is a package so ``from benchmarks._report import ...`` resolves
+regardless of how pytest is invoked (``pytest`` vs ``python -m pytest``).
+"""

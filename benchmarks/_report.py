@@ -1,0 +1,33 @@
+"""Report writer for the reproduction benches.
+
+Each bench renders the same rows/series the paper reports and writes
+them to ``benchmarks/results/<name>.txt`` (and stdout), so the
+paper-vs-measured comparison in EXPERIMENTS.md can be regenerated.
+"""
+
+import os
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def write_report(name: str, text: str) -> str:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w") as fh:
+        fh.write(text.rstrip() + "\n")
+    print(f"\n===== {name} =====\n{text}")
+    return path
+
+
+def table(rows, headers) -> str:
+    """Render rows (list of lists) as a fixed-width text table."""
+    cols = [len(h) for h in headers]
+    rendered = [[str(c) for c in row] for row in rows]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            cols[i] = max(cols[i], len(cell))
+    def fmt(row):
+        return "  ".join(str(c).rjust(w) for c, w in zip(row, cols))
+    lines = [fmt(headers), fmt(["-" * w for w in cols])]
+    lines += [fmt(row) for row in rendered]
+    return "\n".join(lines)

@@ -1,0 +1,43 @@
+"""Shared fixtures for the benchmark/reproduction harness.
+
+Everything expensive (platform characterization, cost measurement) is
+session-scoped so the whole `pytest benchmarks/ --benchmark-only` run
+pays for it once.
+"""
+
+import pytest
+
+from repro.macromodel import characterize_platform
+from repro.platform import SecurityPlatform
+from repro.ssl import fixtures
+from repro.ssl.transaction import PlatformCosts
+
+
+@pytest.fixture(scope="session")
+def base_models():
+    return characterize_platform()
+
+
+@pytest.fixture(scope="session")
+def ext_models():
+    return characterize_platform(add_width=8, mac_width=8)
+
+
+@pytest.fixture(scope="session")
+def base_platform(base_models):
+    return SecurityPlatform.base(models=base_models)
+
+
+@pytest.fixture(scope="session")
+def optimized_platform(ext_models):
+    return SecurityPlatform.optimized(models=ext_models)
+
+
+@pytest.fixture(scope="session")
+def base_costs(base_platform):
+    return PlatformCosts.measure(base_platform, fixtures.SERVER_1024)
+
+
+@pytest.fixture(scope="session")
+def optimized_costs(optimized_platform):
+    return PlatformCosts.measure(optimized_platform, fixtures.SERVER_1024)

@@ -1,0 +1,70 @@
+"""Ablation: data-cache configuration vs cipher kernel performance.
+
+The Xtensa's configurability includes the cache/memory interface
+(paper Section 2.1).  The base-ISA cipher kernels are table-driven
+(DES: ~34 KB of SP/IP/FP tables; AES: 4 KB of T-tables + round keys),
+so their throughput is sensitive to the data-cache size -- and the
+custom-instruction variants, whose tables live in dedicated hardware
+LUTs, are immune.  This is a real secondary benefit of the paper's
+approach that the cycle numbers alone hide.
+"""
+
+from benchmarks._report import table, write_report
+from repro.isa.cache import CacheConfig
+from repro.isa.kernels.des_kernels import DesKernel
+from repro.isa.machine import Machine
+
+KEY = bytes.fromhex("133457799BBCDFF1")
+BLOCK = bytes.fromhex("0123456789ABCDEF")
+
+
+def _des_base_cycles(dcache=None, warm_blocks=6, measured_blocks=4):
+    """Steady-state cycles/block: warm the cache, then measure."""
+    kernel = DesKernel()
+    machine = Machine(kernel.runner.program, kernel.runner.extensions,
+                      kernel.runner.mem_size, dcache=dcache)
+    ks = kernel._stage_schedule(machine, KEY, False)
+    sp, ip, fp = kernel._stage_tables(machine)
+    in_a, out_a = machine.alloc(8), machine.alloc(8)
+
+    def encrypt(i):
+        machine.write_bytes(in_a, bytes((b + i) & 0xFF for b in BLOCK))
+        machine.run("des_encrypt", [in_a, out_a, ks, sp, ip, fp])
+
+    for i in range(warm_blocks):
+        encrypt(i)
+    start = machine.cycles
+    for i in range(measured_blocks):
+        encrypt(100 + i)
+    cycles = (machine.cycles - start) / measured_blocks
+    miss_rate = machine.dcache.stats.miss_rate if machine.dcache else 0.0
+    return cycles, miss_rate
+
+
+def test_ablation_cache(benchmark):
+    ideal_cycles, _ = benchmark.pedantic(_des_base_cycles, rounds=1,
+                                         iterations=1)
+    rows = [["ideal memory", "-", f"{ideal_cycles / 8:.1f}", "-"]]
+    cycles_by_size = {}
+    for size_kb in (2, 4, 8, 16, 32, 64):
+        config = CacheConfig(size_bytes=size_kb * 1024, line_bytes=16,
+                             miss_penalty=12)
+        cycles, miss_rate = _des_base_cycles(config)
+        cycles_by_size[size_kb] = cycles
+        rows.append([f"{size_kb} KB dcache", f"{miss_rate * 100:.1f}%",
+                     f"{cycles / 8:.1f}",
+                     f"{cycles / ideal_cycles:.2f}x"])
+    report = table(rows, ["memory system", "miss rate", "cycles/byte",
+                          "vs ideal"])
+    report += ("\n\nThe table-driven software DES needs a large dcache to "
+               "approach the\nideal-memory number; the desround custom "
+               "instruction keeps its S-boxes\nin dedicated LUTs and never "
+               "touches the dcache for them.")
+    write_report("ablation_cache", report)
+
+    # More cache -> monotonically fewer cycles, approaching ideal.
+    sizes = sorted(cycles_by_size)
+    series = [cycles_by_size[s] for s in sizes]
+    assert all(a >= b for a, b in zip(series, series[1:]))
+    assert series[0] > 1.2 * ideal_cycles     # 2 KB thrashes the tables
+    assert series[-1] < 1.12 * ideal_cycles   # 64 KB approaches ideal

@@ -1,0 +1,63 @@
+"""Ablation: custom-instruction granularity and resource sweeps.
+
+DESIGN.md calls out the choice between fine-grained (more S-box /
+MixColumns units) and cheap (time-multiplexed) round instructions.
+This bench sweeps the DES round instruction's S-box parallelism and the
+AES round variants and reports the full area-vs-cycles/byte tradeoff.
+"""
+
+from benchmarks._report import table, write_report
+from repro.isa.custom import (AES_VARIANTS, DES_SBOX_UNITS,
+                              aes_extension_set, des_extension_set)
+from repro.isa.kernels.aes_kernels import AesKernel
+from repro.isa.kernels.des_kernels import DesKernel
+
+
+def test_ablation_granularity(benchmark):
+    key = bytes.fromhex("133457799BBCDFF1")
+    block = bytes.fromhex("0123456789ABCDEF")
+    base_des = DesKernel()
+    _, base_cycles = base_des.crypt_block(block, key)
+
+    rows = [["DES base software", "0", f"{base_cycles / 8:.1f}", "1.0x"]]
+    prev_cpb = None
+    for units in DES_SBOX_UNITS:
+        kern = DesKernel(extended=True, sbox_units=units)
+        _, cycles = kern.crypt_block(block, key)
+        area = des_extension_set(units).area
+        cpb = cycles / 8
+        rows.append([f"DES desround_{units}", f"{area:.0f}", f"{cpb:.1f}",
+                     f"{base_cycles / cycles:.1f}x"])
+        if prev_cpb is not None:
+            assert cpb <= prev_cpb  # more S-box units never slower
+        prev_cpb = cpb
+
+    aes_key = bytes(range(16))
+    aes_block = bytes.fromhex("00112233445566778899aabbccddeeff")
+    base_aes = AesKernel()
+    _, aes_base_cycles = benchmark.pedantic(
+        lambda: base_aes.encrypt_block(aes_block, aes_key),
+        rounds=1, iterations=1)
+    rows.append(["AES base software", "0",
+                 f"{aes_base_cycles / 16:.1f}", "1.0x"])
+    for sbox_units, mixcol_units in AES_VARIANTS:
+        kern = AesKernel(extended=True, sbox_units=sbox_units,
+                         mixcol_units=mixcol_units)
+        _, cycles = kern.encrypt_block(aes_block, aes_key)
+        area = aes_extension_set(sbox_units, mixcol_units).area
+        rows.append([f"AES aesrnd_{sbox_units}_{mixcol_units}",
+                     f"{area:.0f}", f"{cycles / 16:.1f}",
+                     f"{aes_base_cycles / cycles:.1f}x"])
+
+    report = table(rows, ["configuration", "area (GE)", "cycles/byte",
+                          "speedup"])
+    report += ("\n\nEven the cheapest (1 S-box) DES round instruction "
+               "yields a large\nspeedup because it eliminates the "
+               "permutation software entirely;\nextra units then trade "
+               "area for the last factor of ~2.")
+    write_report("ablation_granularity", report)
+
+    # Cheapest DES variant already wins by >10x.
+    cheap = DesKernel(extended=True, sbox_units=1)
+    _, cheap_cycles = cheap.crypt_block(block, key)
+    assert base_cycles / cheap_cycles > 10

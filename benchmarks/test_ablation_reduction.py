@@ -1,0 +1,54 @@
+"""Ablation: Cartesian-product reduction on vs off (DESIGN.md item).
+
+The paper contains the combination blowup "using several techniques";
+this bench quantifies what sharing and dominance buy as the number of
+combined children grows.
+"""
+
+from benchmarks._report import table, write_report
+from repro.isa.extensions import CustomInstruction
+from repro.tie.adcurve import ADCurve, DesignPoint
+from repro.tie.selection import combine_curves
+
+
+def _family_curve(name, widths, unit_area, catalogue, base_cycles):
+    points = [DesignPoint(cycles=base_cycles, area=0.0)]
+    for w in widths:
+        iname = f"{name}_{w}"
+        catalogue[iname] = CustomInstruction(
+            name=iname, signature="r", semantics=lambda m, a: None,
+            resources={"adder32": w * unit_area})
+        points.append(DesignPoint(cycles=base_cycles / (1 + w),
+                                  area=catalogue[iname].area,
+                                  instructions=frozenset({iname})))
+    return ADCurve(name, points, catalogue)
+
+
+def test_ablation_reduction(benchmark):
+    catalogue = {}
+    widths = (2, 4, 8, 16)
+    # Four children that all share the same instruction family.
+    children = [( _family_curve("add", widths, 1, catalogue, 200 + 10 * i), i + 1)
+                for i in range(4)]
+
+    with_reduction = benchmark.pedantic(
+        lambda: combine_curves("root", children, pareto=False),
+        rounds=1, iterations=1)
+    without = combine_curves("root", children, reduce=False, pareto=False)
+
+    rows = [["children", len(children), len(children)],
+            ["raw Cartesian points", with_reduction.raw_combination_count,
+             without.raw_combination_count],
+            ["distinct design points", len(with_reduction), len(without)],
+            ["after Pareto", len(with_reduction.pareto()),
+             len(without.pareto())]]
+    report = table(rows, ["metric", "with dominance", "sharing only"])
+    report += ("\n\nWith a shared instruction family, dominance reduction "
+               "collapses the\nexponential product to one point per "
+               "family member (plus base).")
+    write_report("ablation_reduction", report)
+
+    assert with_reduction.raw_combination_count == 5 ** 4
+    # With dominance, the composite has exactly |family|+1 points.
+    assert len(with_reduction) == len(widths) + 1
+    assert len(without) > 3 * len(with_reduction)

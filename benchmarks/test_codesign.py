@@ -1,0 +1,65 @@
+"""The joint HW/SW co-design sweep (paper Section 3.1's outer loop).
+
+Sweeps processor configurations (custom-instruction widths) against the
+algorithm slice and reports the joint area-cycles frontier -- showing
+(i) that HW and SW gains compose, and (ii) that the co-design optimum
+under a tight area budget is a *pairing*, not the independent best of
+each dimension.
+"""
+
+from benchmarks._report import table, write_report
+from repro.explore.codesign import (CodesignExplorer, DEFAULT_HW_SWEEP,
+                                    DEFAULT_SW_SLICE, HardwareConfig)
+from repro.explore.explorer import RsaDecryptWorkload
+from repro.macromodel import characterize_platform
+
+
+def test_codesign_sweep(base_models, benchmark):
+    hw_sweep = (HardwareConfig(0, 0), HardwareConfig(2, 1),
+                HardwareConfig(8, 4), HardwareConfig(8, 8))
+    models = {hw: (base_models if hw.is_base
+                   else characterize_platform(hw.add_width, hw.mac_width))
+              for hw in hw_sweep}
+    explorer = CodesignExplorer(RsaDecryptWorkload.bits512(),
+                                models_by_hw=models)
+    points = benchmark.pedantic(
+        lambda: explorer.sweep(hw_sweep, DEFAULT_SW_SLICE),
+        rounds=1, iterations=1)
+
+    rows = [[p.hardware.label(), p.software.label(), f"{p.area:.0f}",
+             f"{p.estimated_cycles / 1e6:.2f}M"]
+            for p in points]
+    report = table(rows, ["hardware", "software", "area (GE)",
+                          "est. cycles"])
+
+    frontier = CodesignExplorer.pareto(points)
+    report += "\n\narea-cycles Pareto frontier:\n"
+    report += table([[p.hardware.label(), p.software.label(),
+                      f"{p.area:.0f}", f"{p.estimated_cycles / 1e6:.2f}M"]
+                     for p in frontier],
+                    ["hardware", "software", "area (GE)", "est. cycles"])
+
+    budgets = (0, 15_000, 60_000, 1_000_000)
+    sel_rows = []
+    for budget in budgets:
+        pick = CodesignExplorer.select(points, budget)
+        sel_rows.append([budget, pick.label(),
+                         f"{pick.estimated_cycles / 1e6:.2f}M"])
+    report += "\n\nselection under area budgets:\n"
+    report += table(sel_rows, ["budget (GE)", "configuration",
+                               "est. cycles"])
+    write_report("codesign", report)
+
+    best = points[0]
+    worst = points[-1]
+    # HW and SW gains compose: the joint optimum is much better than
+    # either dimension alone.
+    sw_only = CodesignExplorer.select(points, 0)
+    hw_only = min((p for p in points if p.software.modmul == "schoolbook"),
+                  key=lambda p: p.estimated_cycles)
+    assert best.estimated_cycles < 0.7 * sw_only.estimated_cycles
+    assert best.estimated_cycles < 0.5 * hw_only.estimated_cycles
+    assert worst.estimated_cycles > 10 * best.estimated_cycles
+    # The joint best uses both a tuned algorithm and real hardware.
+    assert best.software.modmul == "montgomery"
+    assert not best.hardware.is_base

@@ -1,0 +1,60 @@
+"""The paper's stated objective: secure 3G/WLAN data rates.
+
+Section 1.1: "enable secure communications at data rates provided by
+3G cellular (100 kbps - 2 Mbps) and wireless LAN (10 - 55 Mbps)".
+
+This bench evaluates both platforms' maximum sustainable secure data
+rate (bulk cipher + MAC + protocol per byte at the 188 MHz clock) and
+checks the feasibility table: the base platform cannot even saturate
+3G; the optimized platform covers the 3G band with headroom (and the
+lower WLAN band when given the full CPU with AES instead of 3DES).
+"""
+
+from benchmarks._report import table, write_report
+from repro.platform import SecurityPlatform
+from repro.ssl import fixtures
+from repro.ssl.transaction import PlatformCosts
+from repro.ssl.throughput import RATE_TARGETS, feasibility
+
+
+def test_datarates(base_platform, optimized_platform, base_costs,
+                   optimized_costs, benchmark):
+    # Also evaluate AES as the bulk cipher (the faster suite).
+    import dataclasses
+    variants = []
+    for costs, platform in ((base_costs, base_platform),
+                            (optimized_costs, optimized_platform)):
+        variants.append((f"{costs.name}/3DES", costs))
+        aes_costs = dataclasses.replace(
+            costs, cipher_cycles_per_byte=platform.cipher_cycles_per_byte(
+                "aes"))
+        variants.append((f"{costs.name}/AES", aes_costs))
+
+    reports = {}
+    rows = []
+    for name, costs in variants:
+        report = benchmark.pedantic(lambda c=costs: feasibility(c),
+                                    rounds=1, iterations=1) \
+            if not reports else feasibility(costs)
+        reports[name] = report
+        marks = ["yes" if report.feasible[t] else "no"
+                 for t in RATE_TARGETS]
+        rows.append([name, f"{report.cycles_per_byte:.0f}",
+                     f"{report.max_rate_bps / 1e6:.2f} Mbps"] + marks)
+    headers = (["platform/suite", "c/B", "max secure rate"]
+               + list(RATE_TARGETS))
+    report_text = table(rows, headers)
+    report_text += ("\n\nThe base platform cannot sustain even the 3G "
+                    "high band; the optimized\nplatform secures the full "
+                    "3G range and reaches into the WLAN band with\nAES -- "
+                    "the paper's objective, reproduced from measured "
+                    "kernel cycles.")
+    write_report("datarates", report_text)
+
+    assert not reports["base/3DES"].feasible["3G high (2 Mbps)"]
+    assert reports["optimized/3DES"].feasible["3G high (2 Mbps)"]
+    assert reports["optimized/AES"].feasible["3G high (2 Mbps)"]
+    assert reports["optimized/AES"].feasible["WLAN low (10 Mbps)"]
+    # 55 Mbps exceeds what MAC+protocol overhead allows at 188 MHz --
+    # honest accounting, matching the era's need for WLAN offload NICs.
+    assert not reports["optimized/AES"].feasible["WLAN high (55 Mbps)"]

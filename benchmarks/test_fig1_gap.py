@@ -1,0 +1,35 @@
+"""Figure 1: the security processing gap.
+
+Paper: projected security-processing MIPS requirements (2G -> 2.5G ->
+3G data rates, stronger suites) grow much faster than embedded
+processor MIPS (0.35u -> 0.10u nodes), so the gap widens.
+"""
+
+from benchmarks._report import table, write_report
+from repro.gap import GapModel
+
+
+def test_fig1_gap(benchmark):
+    model = GapModel()
+    rows = benchmark.pedantic(model.gap_series, rounds=1, iterations=1)
+
+    req = [[r["generation"], r["year"], f"{r['mips']:.0f}"]
+           for r in model.requirement_series()]
+    cap = [[r["node"], r["year"], f"{r['mips']:.0f}"]
+           for r in model.capability_series()]
+    gap = [[r["generation"], f"{r['required_mips']:.0f}",
+            f"{r['available_mips']:.0f}", f"{r['gap_ratio']:.2f}"]
+           for r in rows]
+    report = ("security processing requirement (MIPS):\n"
+              + table(req, ["generation", "year", "MIPS required"])
+              + "\n\nembedded processor capability (MIPS):\n"
+              + table(cap, ["node", "year", "MIPS delivered"])
+              + "\n\nthe gap (requirement / capability):\n"
+              + table(gap, ["generation", "need", "have", "ratio"]))
+    write_report("fig1_gap", report)
+
+    assert model.gap_widens()
+    ratios = [r["gap_ratio"] for r in rows]
+    assert ratios[-1] > 10 * ratios[0]
+    three_g = next(r for r in rows if r["generation"] == "3G")
+    assert three_g["gap_ratio"] > 1.0  # 3G security alone swamps the CPU

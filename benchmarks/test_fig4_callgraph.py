@@ -1,0 +1,53 @@
+"""Figure 4: the annotated call graph of an optimized modular
+exponentiation.
+
+The paper profiles its optimized modexp and renders the function call
+graph with per-edge call counts (decrypt calling mpz_mul x4, mod_hw x4,
+mpz_mod x2, ... down to the mpn leaf routines).  We run the full
+Montgomery modular exponentiation on the XT32 ISS under the profiler
+and extract the same artifact: modexp -> mont_mul -> mpn_addmul_1 /
+mpn_sub_n with call counts and local cycles.
+"""
+
+from benchmarks._report import write_report
+from repro.isa.kernels.modexp_kernel import ModExpKernel
+from repro.tie.callgraph import CallGraph
+
+
+def test_fig4_callgraph(benchmark):
+    kernel = ModExpKernel()
+    modulus = (1 << 256) + 0x169
+    base, exp = 0xFEEDFACECAFEBEEF1234567, 0xA5A5A
+
+    result, cycles, profile = benchmark.pedantic(
+        lambda: kernel.powm(base, exp, modulus), rounds=1, iterations=1)
+    assert result == pow(base, exp, modulus)
+
+    graph = CallGraph.from_profile(profile, "modexp")
+    graph.validate_acyclic()
+
+    lines = [f"ISS run: {cycles} cycles, "
+             f"{profile.instructions} instructions",
+             "",
+             "annotated call graph (edge = calls per invocation):",
+             graph.render(),
+             "",
+             "absolute call counts:"]
+    for func, count in sorted(profile.call_counts.items()):
+        local = profile.local_cycles.get(func, 0)
+        lines.append(f"  {func:16s} called {count:6d}x, "
+                     f"local cycles {local}")
+    write_report("fig4_callgraph", "\n".join(lines))
+
+    # Structure assertions: the paper's graph shape.
+    assert "mont_mul" in graph.nodes
+    assert ("modexp", "mont_mul") in profile.call_edges
+    assert ("mont_mul", "mpn_addmul_1") in profile.call_edges
+    # Each mont_mul performs 2k addmul rows (mul phase + REDC phase).
+    k = (modulus.bit_length() + 31) // 32
+    montmuls = profile.call_counts["mont_mul"]
+    addmuls = profile.call_counts["mpn_addmul_1"]
+    assert addmuls == 2 * k * montmuls
+    # The multiply-accumulate leaf dominates the cycle budget.
+    leaf_cycles = profile.local_cycles["mpn_addmul_1"]
+    assert leaf_cycles > 0.6 * profile.total_cycles

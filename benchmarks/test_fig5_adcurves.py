@@ -1,0 +1,56 @@
+"""Figure 5: A-D curves and their propagation through a call graph.
+
+(a) the ``mpn_add_n`` curve: base software point (zero area, ~200
+    cycles at n=16 in the paper) plus add_2/add_4/add_8/add_16 points
+    with diminishing returns;
+(b) the ``mpn_addmul_1`` curve (adder array shared with (a), plus a
+    multiplier);
+(c) combining both under a root node, with Pareto pruning removing an
+    inferior point (the paper's P1).
+"""
+
+from benchmarks._report import table, write_report
+from repro.tie.formulation import adcurve_mpn_add_n, adcurve_mpn_addmul_1
+from repro.tie.selection import combine_curves
+
+
+def _curve_rows(curve):
+    return [[p.label(), f"{p.area:.0f}", f"{p.cycles:.0f}"]
+            for p in sorted(curve, key=lambda p: p.area)]
+
+
+def test_fig5_adcurves(benchmark):
+    add_curve = benchmark.pedantic(lambda: adcurve_mpn_add_n(16),
+                                   rounds=1, iterations=1)
+    mac_curve = adcurve_mpn_addmul_1(16)
+
+    sections = ["(a) mpn_add_n, n=16 (paper base point: 202 cycles)"]
+    sections.append(table(_curve_rows(add_curve),
+                          ["instructions", "area (GE)", "cycles"]))
+    sections.append("\n(b) mpn_addmul_1, n=16")
+    sections.append(table(_curve_rows(mac_curve),
+                          ["instructions", "area (GE)", "cycles"]))
+
+    unpruned = combine_curves("root", [(add_curve, 4), (mac_curve, 4)],
+                              local_cycles=40, pareto=False)
+    pruned = unpruned.pareto()
+    sections.append(f"\n(c) combined root curve: {len(unpruned)} points, "
+                    f"{len(pruned)} after Pareto pruning")
+    sections.append(table(_curve_rows(pruned),
+                          ["instructions", "area (GE)", "cycles"]))
+    write_report("fig5_adcurves", "\n".join(sections))
+
+    # (a): monotone tradeoff with diminishing returns.
+    points = sorted(add_curve, key=lambda p: p.area)
+    assert points[0].area == 0
+    cycles = [p.cycles for p in points]
+    assert cycles == sorted(cycles, reverse=True)
+    gains = [cycles[i] - cycles[i + 1] for i in range(len(cycles) - 1)]
+    assert gains[0] > gains[-1]  # diminishing returns
+    # (b): every accelerated point shares the adder family + multiplier.
+    for p in mac_curve:
+        if p.instructions:
+            assert "macmul_1" in p.instructions
+    # (c): Pareto pruning removed at least one point.
+    assert len(pruned) < len(unpruned)
+    assert pruned.base_point.cycles == unpruned.base_point.cycles

@@ -1,0 +1,39 @@
+"""Figure 6: Cartesian-product reduction via sharing and dominance.
+
+Paper: combining the 5-point A-D curves of mpn_add_n and mpn_addmul_1
+yields 25 candidate design points, which reduce to 9 distinct points
+because entries share instructions or reduce to the same set (add_4
+dominates add_2, etc.).
+"""
+
+from benchmarks._report import table, write_report
+from repro.tie.formulation import adcurve_mpn_add_n, adcurve_mpn_addmul_1
+from repro.tie.selection import combine_curves, reduce_instruction_set
+
+
+def test_fig6_reduction(benchmark):
+    add_curve = adcurve_mpn_add_n(16)
+    mac_curve = adcurve_mpn_addmul_1(16)
+
+    combined = benchmark.pedantic(
+        lambda: combine_curves("root", [(add_curve, 1), (mac_curve, 1)],
+                               pareto=False),
+        rounds=1, iterations=1)
+
+    rows = [[p.label(), f"{p.area:.0f}", f"{p.cycles:.0f}"]
+            for p in sorted(combined, key=lambda p: p.area)]
+    report = (f"raw Cartesian product: {combined.raw_combination_count} "
+              f"points (paper: 25)\n"
+              f"after sharing + dominance: {len(combined)} points "
+              f"(paper: 9)\n\n" +
+              table(rows, ["instruction set", "area (GE)", "cycles"]))
+    write_report("fig6_reduction", report)
+
+    assert combined.raw_combination_count == 25
+    assert len(combined) == 9
+    # Spot-check the paper's worked example: {add_2, add_4, mul_1}
+    # reduces to {add_4, mul_1}.
+    reduced = reduce_instruction_set({"vaddc_2", "vaddc_4", "macmul_1"})
+    assert reduced == {"vaddc_4", "macmul_1"}
+    benchmark.extra_info["raw_points"] = combined.raw_combination_count
+    benchmark.extra_info["reduced_points"] = len(combined)

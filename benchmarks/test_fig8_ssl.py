@@ -1,0 +1,55 @@
+"""Figure 8: estimated SSL transaction speedups vs session size.
+
+Paper: transaction sizes 1KB-32KB; small transactions (public-key
+bound) speed up ~21.8x, large transactions saturate at ~3.05x because
+the miscellaneous component is not accelerated.  The figure also shows
+the workload breakdown (public-key / symmetric / misc) per size.
+
+Our base platform's RSA software is *relatively* slower than the
+paper's baseline (they started from an already CRT-optimized library),
+so the public-key-bound region extends further right: we report sizes
+up to 1 MB to show the same saturation behaviour, and assert the
+qualitative shape -- monotone decline from >15x toward the
+single-digit (sym+misc)-bound asymptote.
+"""
+
+from benchmarks._report import table, write_report
+from repro.ssl.transaction import SslWorkloadModel
+
+SIZES_KB = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
+
+
+def test_fig8_ssl_speedups(base_costs, optimized_costs, benchmark):
+    model = SslWorkloadModel(base_costs, optimized_costs)
+    benchmark.pedantic(lambda: model.series([s * 1024 for s in SIZES_KB]),
+                       rounds=1, iterations=1)
+    rows = []
+    speedups = []
+    for kb in SIZES_KB:
+        row = model.series([kb * 1024])[0]
+        speedups.append(row["speedup"])
+        bf = row["base_fractions"]
+        rows.append([f"{kb}KB", f"{row['speedup']:.1f}x",
+                     f"{bf['public_key']:.2f}", f"{bf['symmetric']:.2f}",
+                     f"{bf['misc']:.2f}"])
+    rows.append(["asymptote", f"{model.asymptotic_speedup():.2f}x",
+                 "-", "-", "-"])
+    report = table(rows, ["size", "speedup", "base pk", "base sym",
+                          "base misc"])
+    report += ("\n\npaper: ~21.8x at small sizes, ~3.05x at 32KB "
+               "(saturation set by the unaccelerated misc component)")
+    write_report("fig8_ssl_speedups", report)
+
+    # Shape assertions.
+    assert speedups[0] > 15                      # public-key bound region
+    assert speedups == sorted(speedups, reverse=True)  # monotone decline
+    asymptote = model.asymptotic_speedup()
+    assert 2 < asymptote < 12
+    assert speedups[-1] < 1.2 * asymptote        # saturation reached
+    # Breakdown crossover: pk dominates small, bulk dominates large.
+    small = model.breakdown(base_costs, 1024).fractions()
+    large = model.breakdown(base_costs, 1024 * 1024).fractions()
+    assert small["public_key"] > 0.8
+    assert large["public_key"] < 0.25
+    benchmark.extra_info["speedup_1KB"] = round(speedups[0], 1)
+    benchmark.extra_info["asymptote"] = round(asymptote, 2)

@@ -1,0 +1,49 @@
+"""Section 3.2: performance characterization and macro-modeling.
+
+The paper's running example: ``mpn_add_n``'s execution time is
+expressed as a function of its input bit-widths; arithmetic routines
+show regular (piecewise linear / quadratic) profiles, so regression
+fits them easily and accurately.  This bench characterizes the leaf
+routines on both platforms and reports the fitted model forms,
+coefficients and fit errors.
+"""
+
+from benchmarks._report import table, write_report
+from repro.isa.kernels.mpn_kernels import MpnKernels
+from repro.mp.prng import DeterministicPrng
+
+
+def test_sec32_characterization(base_models, ext_models, benchmark):
+    rows = []
+    for models in (base_models, ext_models):
+        for model in sorted(models, key=lambda m: m.routine):
+            coeffs = ", ".join(f"{c:.2f}" for c in model.fit.coeffs)
+            rows.append([models.platform, model.routine, model.fit.form,
+                         coeffs, f"{model.fit.mean_abs_pct_error:.2f}%"])
+    report = table(rows, ["platform", "routine", "model form",
+                          "coefficients", "fit error"])
+
+    # Demonstrate prediction vs fresh measurement on unseen sizes.
+    kernels = MpnKernels()
+    prng = DeterministicPrng(0xBEEF)
+    check_rows = []
+    max_err = 0.0
+    for n in (5, 10, 20, 28):  # none of these are characterization sizes
+        up, vp = prng.next_limbs(n), prng.next_limbs(n)
+        _, _, measured = benchmark.pedantic(
+            lambda u=up, v=vp: kernels.add_n(u, v),
+            rounds=1, iterations=1) if n == 5 else kernels.add_n(up, vp)
+        predicted = base_models.predict("mpn_add_n", n)
+        err = abs(predicted - measured) / measured * 100
+        max_err = max(max_err, err)
+        check_rows.append([n, measured, f"{predicted:.0f}", f"{err:.2f}%"])
+    report += ("\n\nmpn_add_n prediction vs measurement at unseen sizes:\n"
+               + table(check_rows, ["limbs", "measured", "predicted",
+                                    "error"]))
+    write_report("sec32_characterization", report)
+
+    # The profiles are regular: interpolation error is tiny.
+    assert max_err < 5.0
+    addn = base_models.get("mpn_add_n")
+    assert addn.fit.form == "affine"
+    assert addn.fit.mean_abs_pct_error < 2.0

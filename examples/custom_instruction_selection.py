@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Custom instruction formulation + global selection (paper §3.3/3.4).
+
+1. Formulate A-D curves for the hot leaf routines by sweeping hardware
+   resources on the simulator (Figure 5a/5b).
+2. Profile a real modular exponentiation on the ISS to get the
+   annotated call graph (Figure 4).
+3. Propagate the curves bottom-up through the graph with sharing +
+   dominance reduction (Figure 6) and pick the best configuration
+   under several area budgets.
+
+Run:  python examples/custom_instruction_selection.py
+"""
+
+from repro.isa.kernels.modexp_kernel import ModExpKernel
+from repro.tie.callgraph import CallGraph
+from repro.tie.formulation import adcurve_mpn_add_n, adcurve_mpn_addmul_1
+from repro.tie.selection import propagate, select_point
+
+
+def main() -> None:
+    print("formulating A-D curves on the simulator...")
+    add_curve = adcurve_mpn_add_n(16)
+    mac_curve = adcurve_mpn_addmul_1(16)
+    for curve in (add_curve, mac_curve):
+        print(f"\n  {curve.name}:")
+        for point in sorted(curve, key=lambda p: p.area):
+            print(f"    {point.label():24s} area={point.area:7.0f} GE  "
+                  f"cycles={point.cycles:5.0f}")
+
+    print("\nprofiling a 256-bit modular exponentiation on the ISS...")
+    kernel = ModExpKernel()
+    _, cycles, profile = kernel.powm(0xFEEDFACE, 0xA5A5, (1 << 256) + 0x169)
+    graph = CallGraph.from_profile(profile, "modexp")
+    print(f"  {cycles} cycles; annotated call graph:")
+    for line in graph.render().splitlines():
+        print("   " + line)
+
+    leaf_curves = {"mpn_addmul_1": mac_curve, "mpn_add_n": add_curve}
+    root = propagate(graph, leaf_curves)
+    print(f"\ncomposite root A-D curve ({len(root)} Pareto points):")
+    for point in sorted(root, key=lambda p: p.area):
+        print(f"    {point.label():40s} area={point.area:7.0f}  "
+              f"cycles={point.cycles / 1e3:7.1f}k")
+
+    software = root.base_point.cycles
+    print("\nselection under area budgets:")
+    for budget in (0, 5_000, 10_000, 50_000):
+        point, _ = select_point(graph, leaf_curves, budget)
+        print(f"  budget {budget:6d} GE -> {point.label():40s} "
+              f"{software / point.cycles:4.1f}x speedup")
+
+
+if __name__ == "__main__":
+    main()

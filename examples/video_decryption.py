@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Real-time video decryption demo (the paper's board prototype scenario).
+
+The paper demonstrated its XT-2000 prototype decrypting video to an LCD
+panel in real time.  We recreate the scenario synthetically: a stream
+of encrypted QCIF frames is decrypted with AES-CBC through the
+platform API, and the ISS-measured cycles/byte determine the frame
+rate each platform configuration could sustain at the paper's 188 MHz
+clock.
+
+Run:  python examples/video_decryption.py
+"""
+
+from repro.mp import DeterministicPrng
+from repro.platform import SecurityPlatform
+
+CLOCK_HZ = 188e6           # the paper's Xtensa core clock
+FRAME_W, FRAME_H = 352, 288  # CIF (the prototype's LCD-panel stream)
+BYTES_PER_FRAME = FRAME_W * FRAME_H * 3 // 2  # YUV 4:2:0
+TARGET_FPS = 30
+
+
+def synth_frame(index: int) -> bytes:
+    """A deterministic synthetic YUV frame (moving gradient)."""
+    return bytes(((x + index * 3) ^ (x >> 8)) & 0xFF
+                 for x in range(BYTES_PER_FRAME))
+
+
+def main() -> None:
+    prng = DeterministicPrng(99)
+    platform = SecurityPlatform.optimized()
+    api = platform.api(prng)
+    key = api.generate_symmetric_key("aes")
+    iv = prng.next_bytes(16)
+
+    # Encrypt then decrypt a short stream, verifying frame integrity.
+    frames = 2
+    total_bytes = 0
+    for i in range(frames):
+        frame = synth_frame(i)
+        ciphertext = api.encrypt("aes", key, frame, iv=iv)
+        recovered = api.decrypt("aes", key, ciphertext, iv=iv)
+        assert recovered == frame
+        total_bytes += len(frame)
+    print(f"decrypted {frames} CIF frames "
+          f"({total_bytes / 1024:.0f} KB) through the platform API")
+
+    # Sustained-rate analysis from ISS-measured cipher costs.
+    print(f"\nsustained AES-CBC decryption at {CLOCK_HZ / 1e6:.0f} MHz:")
+    for plat in (SecurityPlatform.base(), platform):
+        cpb = plat.cipher_cycles_per_byte("aes")
+        fps = CLOCK_HZ / (cpb * BYTES_PER_FRAME)
+        verdict = "real-time OK" if fps >= TARGET_FPS else \
+            f"below the {TARGET_FPS} fps target"
+        print(f"  {plat.name:10s} {cpb:6.1f} cycles/byte -> "
+              f"{fps:7.1f} fps  ({verdict})")
+    print(f"\nThe base processor cannot sustain {TARGET_FPS} fps CIF video "
+          "decryption; the\noptimized platform does it with most of the CPU "
+          "to spare --\nthe prototype demonstration in the paper's "
+          "Section 4.2.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,169 @@
+"""Command-line interface to the co-design flows.
+
+    python -m repro characterize [--ext] [-o models.json]
+    python -m repro explore [--models models.json] [--bits 512] [--top 10]
+                            [--stride 9]
+    python -m repro speedups
+    python -m repro ssl [--sizes 1,4,16,32]
+    python -m repro callgraph [--bits 256]
+
+Each subcommand runs one phase of the paper's methodology and prints
+the corresponding report.
+"""
+
+import argparse
+import sys
+import time
+
+
+def _cmd_characterize(args) -> int:
+    from repro.macromodel import characterize_platform
+    from repro.macromodel.persist import save_modelset
+
+    widths = (args.add_width, args.mac_width) if args.ext else (0, 0)
+    print(f"characterizing {'extended' if args.ext else 'base'} platform "
+          f"on the ISS...")
+    start = time.perf_counter()
+    models = characterize_platform(*widths)
+    print(f"fitted {len(models)} macro-models in "
+          f"{time.perf_counter() - start:.1f}s:")
+    for model in sorted(models, key=lambda m: m.routine):
+        coeffs = ", ".join(f"{c:.2f}" for c in model.fit.coeffs)
+        print(f"  {model.routine:18s} {model.fit.form:12s} [{coeffs}]  "
+              f"fit err {model.fit.mean_abs_pct_error:.2f}%")
+    if args.output:
+        save_modelset(models, args.output)
+        print(f"saved to {args.output}")
+    return 0
+
+
+def _cmd_explore(args) -> int:
+    from repro.crypto.modexp import iter_configs
+    from repro.explore import AlgorithmExplorer, RsaDecryptWorkload
+    from repro.macromodel import characterize_platform
+    from repro.macromodel.persist import load_modelset
+
+    models = (load_modelset(args.models) if args.models
+              else characterize_platform())
+    workload = (RsaDecryptWorkload.bits1024() if args.bits == 1024
+                else RsaDecryptWorkload.bits512())
+    configs = list(iter_configs())[:: args.stride]
+    print(f"exploring {len(configs)} candidates "
+          f"({args.bits}-bit RSA decrypt)...")
+    explorer = AlgorithmExplorer(models, workload)
+    start = time.perf_counter()
+    results = explorer.explore(configs)
+    print(f"done in {time.perf_counter() - start:.0f}s\n")
+    for result in results[: args.top]:
+        print(f"  {result.estimated_cycles / 1e6:8.2f}M  {result.label}")
+    return 0
+
+
+def _cmd_speedups(args) -> int:
+    from repro.platform import SecurityPlatform
+    from repro.ssl import fixtures
+    from repro.ssl.transaction import PlatformCosts
+
+    print("measuring both platforms (ISS kernels + macro-models)...")
+    base = PlatformCosts.measure(SecurityPlatform.base(),
+                                 fixtures.SERVER_1024)
+    opt = PlatformCosts.measure(SecurityPlatform.optimized(),
+                                fixtures.SERVER_1024)
+    base_p = SecurityPlatform.base()
+    opt_p = SecurityPlatform.optimized()
+    print(f"\n{'algorithm':10s} {'base':>12s} {'optimized':>12s} "
+          f"{'speedup':>8s}")
+    for algo in ("des", "3des", "aes"):
+        b = base_p.cipher_cycles_per_byte(algo)
+        o = opt_p.cipher_cycles_per_byte(algo)
+        print(f"{algo.upper():10s} {b:10.1f}c/B {o:10.1f}c/B {b / o:7.1f}x")
+    print(f"{'RSA enc':10s} {base.rsa_public_cycles:11.0f}c "
+          f"{opt.rsa_public_cycles:11.0f}c "
+          f"{base.rsa_public_cycles / opt.rsa_public_cycles:7.1f}x")
+    print(f"{'RSA dec':10s} {base.rsa_private_cycles:11.0f}c "
+          f"{opt.rsa_private_cycles:11.0f}c "
+          f"{base.rsa_private_cycles / opt.rsa_private_cycles:7.1f}x")
+    return 0
+
+
+def _cmd_ssl(args) -> int:
+    from repro.platform import SecurityPlatform
+    from repro.ssl import fixtures
+    from repro.ssl.transaction import PlatformCosts, SslWorkloadModel
+
+    sizes = [int(s) for s in args.sizes.split(",")]
+    base = PlatformCosts.measure(SecurityPlatform.base(),
+                                 fixtures.SERVER_1024)
+    opt = PlatformCosts.measure(SecurityPlatform.optimized(),
+                                fixtures.SERVER_1024)
+    model = SslWorkloadModel(base, opt)
+    print(f"{'size':>8s} {'speedup':>8s}   base pk/sym/misc")
+    for kb in sizes:
+        row = model.series([kb * 1024])[0]
+        bf = row["base_fractions"]
+        print(f"{kb:6d}KB {row['speedup']:7.1f}x   "
+              f"{bf['public_key']:.2f}/{bf['symmetric']:.2f}/"
+              f"{bf['misc']:.2f}")
+    print(f"asymptote: {model.asymptotic_speedup():.2f}x")
+    return 0
+
+
+def _cmd_callgraph(args) -> int:
+    from repro.isa.kernels.modexp_kernel import ModExpKernel
+    from repro.tie.callgraph import CallGraph
+
+    modulus = (1 << args.bits) + 0x169
+    kernel = ModExpKernel()
+    print(f"profiling a {args.bits}-bit modular exponentiation on the "
+          f"ISS...")
+    _, cycles, profile = kernel.powm(0xFEEDFACE, 0xA5A5, modulus)
+    graph = CallGraph.from_profile(profile, "modexp")
+    print(f"{cycles} cycles\n")
+    print(graph.render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Wireless security processing platform co-design flows")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("characterize", help="fit leaf-routine macro-models")
+    p.add_argument("--ext", action="store_true",
+                   help="characterize the extended platform")
+    p.add_argument("--add-width", type=int, default=8)
+    p.add_argument("--mac-width", type=int, default=8)
+    p.add_argument("-o", "--output", help="save models as JSON")
+    p.set_defaults(func=_cmd_characterize)
+
+    p = sub.add_parser("explore", help="explore the modexp design space")
+    p.add_argument("--models", help="JSON macro-models (else characterize)")
+    p.add_argument("--bits", type=int, default=512, choices=(512, 1024))
+    p.add_argument("--stride", type=int, default=9,
+                   help="evaluate every Nth of the 450 candidates (1=all)")
+    p.add_argument("--top", type=int, default=10)
+    p.set_defaults(func=_cmd_explore)
+
+    p = sub.add_parser("speedups", help="Table 1: per-algorithm speedups")
+    p.set_defaults(func=_cmd_speedups)
+
+    p = sub.add_parser("ssl", help="Figure 8: SSL transaction speedups")
+    p.add_argument("--sizes", default="1,2,4,8,16,32",
+                   help="comma-separated transaction sizes in KB")
+    p.set_defaults(func=_cmd_ssl)
+
+    p = sub.add_parser("callgraph", help="Figure 4: profile a modexp")
+    p.add_argument("--bits", type=int, default=256)
+    p.set_defaults(func=_cmd_callgraph)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

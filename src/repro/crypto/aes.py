@@ -1,0 +1,169 @@
+"""AES-128/192/256 (FIPS 197), built on the Layer-1 bit operations.
+
+The S-box is *derived* from the GF(2^8) field definition (multiplicative
+inverse followed by the affine transform) rather than transcribed, so a
+single algebraic error would break the published test vectors loudly.
+
+State is kept column-major as in FIPS 197: ``state[r][c]``.
+"""
+
+from typing import List
+
+from repro.crypto import bitops
+
+BLOCK_SIZE = 16  # bytes
+_ROUNDS = {16: 10, 24: 12, 32: 14}
+
+
+def _build_sbox() -> List[int]:
+    """Construct the AES S-box from the field inverse + affine transform."""
+    # Multiplicative inverses via exponentiation by generator 3.
+    exp = [0] * 256
+    log = [0] * 256
+    x = 1
+    for i in range(255):
+        exp[i] = x
+        log[x] = i
+        x = bitops.gf256_mul(x, 3)
+    sbox = [0] * 256
+    for value in range(256):
+        inv = 0 if value == 0 else exp[(255 - log[value]) % 255]
+        # Affine transform: b'_i = b_i ^ b_{i+4} ^ b_{i+5} ^ b_{i+6} ^ b_{i+7} ^ c_i
+        result = 0
+        for i in range(8):
+            bit = ((inv >> i) ^ (inv >> ((i + 4) % 8)) ^ (inv >> ((i + 5) % 8))
+                   ^ (inv >> ((i + 6) % 8)) ^ (inv >> ((i + 7) % 8))
+                   ^ (0x63 >> i)) & 1
+            result |= bit << i
+        sbox[value] = result
+    return sbox
+
+
+SBOX = _build_sbox()
+INV_SBOX = [0] * 256
+for _i, _v in enumerate(SBOX):
+    INV_SBOX[_v] = _i
+
+RCON = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36, 0x6C, 0xD8, 0xAB, 0x4D]
+
+
+class Aes:
+    """AES block cipher with 128/192/256-bit keys."""
+
+    block_size = BLOCK_SIZE
+    name = "AES"
+
+    def __init__(self, key: bytes):
+        if len(key) not in _ROUNDS:
+            raise ValueError("AES key must be 16, 24 or 32 bytes")
+        self.rounds = _ROUNDS[len(key)]
+        self.round_keys = self._expand_key(key)
+
+    # -- key schedule --------------------------------------------------------
+
+    def _expand_key(self, key: bytes) -> List[List[int]]:
+        """FIPS 197 key expansion -> (rounds+1) round keys of 16 bytes."""
+        nk = len(key) // 4
+        words = [list(key[4 * i: 4 * i + 4]) for i in range(nk)]
+        total = 4 * (self.rounds + 1)
+        for i in range(nk, total):
+            temp = list(words[i - 1])
+            if i % nk == 0:
+                temp = temp[1:] + temp[:1]  # RotWord
+                temp = [bitops.sbox_lookup(SBOX, b) for b in temp]  # SubWord
+                temp[0] ^= RCON[i // nk - 1]
+            elif nk > 6 and i % nk == 4:
+                temp = [bitops.sbox_lookup(SBOX, b) for b in temp]
+            words.append([w ^ t for w, t in zip(words[i - nk], temp)])
+        return [sum(words[4 * r: 4 * r + 4], []) for r in range(self.rounds + 1)]
+
+    # -- round transformations (column-major state[r][c]) ---------------------
+
+    @staticmethod
+    def _to_state(block: bytes) -> List[List[int]]:
+        return [[block[r + 4 * c] for c in range(4)] for r in range(4)]
+
+    @staticmethod
+    def _from_state(state: List[List[int]]) -> bytes:
+        return bytes(state[r][c] for c in range(4) for r in range(4))
+
+    @staticmethod
+    def _add_round_key(state, round_key):
+        for r in range(4):
+            for c in range(4):
+                state[r][c] = bitops.xor_words(state[r][c], round_key[r + 4 * c], 8)
+
+    @staticmethod
+    def _sub_bytes(state, box):
+        chunks = [state[r][c] for r in range(4) for c in range(4)]
+        flat = bitops.sbox_layer([box] * 16, chunks)
+        for i in range(16):
+            state[i // 4][i % 4] = flat[i]
+
+    @staticmethod
+    def _shift_rows(state):
+        for r in range(1, 4):
+            state[r] = state[r][r:] + state[r][:r]
+
+    @staticmethod
+    def _inv_shift_rows(state):
+        for r in range(1, 4):
+            state[r] = state[r][-r:] + state[r][:-r]
+
+    @staticmethod
+    def _mix_columns(state):
+        for c in range(4):
+            col = [state[r][c] for r in range(4)]
+            state[0][c] = (bitops.gf256_mul(col[0], 2) ^ bitops.gf256_mul(col[1], 3)
+                           ^ col[2] ^ col[3])
+            state[1][c] = (col[0] ^ bitops.gf256_mul(col[1], 2)
+                           ^ bitops.gf256_mul(col[2], 3) ^ col[3])
+            state[2][c] = (col[0] ^ col[1] ^ bitops.gf256_mul(col[2], 2)
+                           ^ bitops.gf256_mul(col[3], 3))
+            state[3][c] = (bitops.gf256_mul(col[0], 3) ^ col[1] ^ col[2]
+                           ^ bitops.gf256_mul(col[3], 2))
+
+    @staticmethod
+    def _inv_mix_columns(state):
+        for c in range(4):
+            col = [state[r][c] for r in range(4)]
+            state[0][c] = (bitops.gf256_mul(col[0], 14) ^ bitops.gf256_mul(col[1], 11)
+                           ^ bitops.gf256_mul(col[2], 13) ^ bitops.gf256_mul(col[3], 9))
+            state[1][c] = (bitops.gf256_mul(col[0], 9) ^ bitops.gf256_mul(col[1], 14)
+                           ^ bitops.gf256_mul(col[2], 11) ^ bitops.gf256_mul(col[3], 13))
+            state[2][c] = (bitops.gf256_mul(col[0], 13) ^ bitops.gf256_mul(col[1], 9)
+                           ^ bitops.gf256_mul(col[2], 14) ^ bitops.gf256_mul(col[3], 11))
+            state[3][c] = (bitops.gf256_mul(col[0], 11) ^ bitops.gf256_mul(col[1], 13)
+                           ^ bitops.gf256_mul(col[2], 9) ^ bitops.gf256_mul(col[3], 14))
+
+    # -- block operations ------------------------------------------------------
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        if len(block) != 16:
+            raise ValueError("AES block must be 16 bytes")
+        state = self._to_state(block)
+        self._add_round_key(state, self.round_keys[0])
+        for rnd in range(1, self.rounds):
+            self._sub_bytes(state, SBOX)
+            self._shift_rows(state)
+            self._mix_columns(state)
+            self._add_round_key(state, self.round_keys[rnd])
+        self._sub_bytes(state, SBOX)
+        self._shift_rows(state)
+        self._add_round_key(state, self.round_keys[self.rounds])
+        return self._from_state(state)
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        if len(block) != 16:
+            raise ValueError("AES block must be 16 bytes")
+        state = self._to_state(block)
+        self._add_round_key(state, self.round_keys[self.rounds])
+        for rnd in range(self.rounds - 1, 0, -1):
+            self._inv_shift_rows(state)
+            self._sub_bytes(state, INV_SBOX)
+            self._add_round_key(state, self.round_keys[rnd])
+            self._inv_mix_columns(state)
+        self._inv_shift_rows(state)
+        self._sub_bytes(state, INV_SBOX)
+        self._add_round_key(state, self.round_keys[0])
+        return self._from_state(state)

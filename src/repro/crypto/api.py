@@ -1,0 +1,167 @@
+"""Layer 3: the generic security-primitive API.
+
+Paper Section 2.2: "At the top level, the SW architecture provides a
+generic interface (API) using which security protocols and applications
+can be ported to our platform.  This API consists of security
+primitives such as key generation, encryption, or decryption of a block
+of data using a specific public- or private-key cryptographic
+algorithm."
+
+:class:`SecurityApi` is that interface.  The SSL model
+(:mod:`repro.ssl`), the examples and the benchmark harness all go
+through it, so the underlying algorithm configuration (the exploration
+result) can be swapped without touching any caller.
+"""
+
+from typing import Optional, Tuple, Union
+
+from repro.mp import DeterministicPrng
+from repro.crypto import modes
+from repro.crypto.aes import Aes
+from repro.crypto.des import Des, TripleDes
+from repro.crypto.elgamal import (ElGamal, ElGamalKeyPair,
+                                  ElGamalPrivateKey, ElGamalPublicKey,
+                                  generate_elgamal_keypair)
+from repro.crypto.hmac import hmac as _hmac
+from repro.crypto.md5 import md5
+from repro.crypto.modexp import ModExpConfig
+from repro.crypto.rc4 import Rc4
+from repro.crypto.rsa import (Rsa, RsaKeyPair, RsaPrivateKey, RsaPublicKey,
+                              generate_rsa_keypair)
+from repro.crypto.sha1 import sha1
+
+_BLOCK_CIPHERS = {"des": Des, "3des": TripleDes, "aes": Aes}
+_KEY_SIZES = {"des": 8, "3des": 24, "aes": 16, "aes-192": 24, "aes-256": 32,
+              "rc4": 16}
+_HASHES = {"sha1": sha1, "md5": md5}
+
+
+class SecurityApi:
+    """The platform's top-level security-primitive interface."""
+
+    def __init__(self, modexp_config: ModExpConfig = ModExpConfig(),
+                 prng: Optional[DeterministicPrng] = None):
+        self.modexp_config = modexp_config
+        self.prng = prng if prng is not None else DeterministicPrng()
+        self._rsa = Rsa(modexp_config)
+        self._elgamal = ElGamal(modexp_config)
+
+    # -- key generation ---------------------------------------------------
+
+    def generate_symmetric_key(self, algorithm: str) -> bytes:
+        """Random key of the right size for the named symmetric algorithm."""
+        try:
+            size = _KEY_SIZES[algorithm.lower()]
+        except KeyError:
+            raise ValueError(f"unknown symmetric algorithm {algorithm!r}")
+        return self.prng.next_bytes(size)
+
+    def generate_keypair(self, algorithm: str,
+                         bits: int) -> Union[RsaKeyPair, ElGamalKeyPair]:
+        """Generate a public-key pair ('rsa' or 'elgamal')."""
+        algorithm = algorithm.lower()
+        if algorithm == "rsa":
+            return generate_rsa_keypair(bits, self.prng)
+        if algorithm == "elgamal":
+            return generate_elgamal_keypair(bits, self.prng,
+                                            self.modexp_config)
+        raise ValueError(f"unknown public-key algorithm {algorithm!r}")
+
+    # -- symmetric encryption ------------------------------------------------
+
+    def new_block_cipher(self, algorithm: str, key: bytes):
+        """Instantiate a block cipher by name ('des', '3des', 'aes')."""
+        try:
+            cls = _BLOCK_CIPHERS[algorithm.lower()]
+        except KeyError:
+            raise ValueError(f"unknown block cipher {algorithm!r}")
+        return cls(key)
+
+    def encrypt(self, algorithm: str, key: bytes, data: bytes,
+                iv: Optional[bytes] = None, mode: str = "cbc") -> bytes:
+        """Pad and encrypt ``data`` with a block cipher, or RC4-stream it."""
+        if algorithm.lower() == "rc4":
+            return Rc4(key).process(data)
+        cipher = self.new_block_cipher(algorithm, key)
+        padded = modes.pkcs7_pad(data, cipher.block_size)
+        if mode == "ecb":
+            return modes.ecb_encrypt(cipher, padded)
+        if mode == "cbc":
+            if iv is None:
+                raise ValueError("CBC mode requires an IV")
+            return modes.cbc_encrypt(cipher, iv, padded)
+        raise ValueError(f"unknown mode {mode!r}")
+
+    def decrypt(self, algorithm: str, key: bytes, data: bytes,
+                iv: Optional[bytes] = None, mode: str = "cbc") -> bytes:
+        if algorithm.lower() == "rc4":
+            return Rc4(key).process(data)
+        cipher = self.new_block_cipher(algorithm, key)
+        if mode == "ecb":
+            padded = modes.ecb_decrypt(cipher, data)
+        elif mode == "cbc":
+            if iv is None:
+                raise ValueError("CBC mode requires an IV")
+            padded = modes.cbc_decrypt(cipher, iv, data)
+        else:
+            raise ValueError(f"unknown mode {mode!r}")
+        return modes.pkcs7_unpad(padded, cipher.block_size)
+
+    # -- hashing / MAC -----------------------------------------------------
+
+    def hash(self, algorithm: str, data: bytes) -> bytes:
+        try:
+            fn = _HASHES[algorithm.lower()]
+        except KeyError:
+            raise ValueError(f"unknown hash {algorithm!r}")
+        return fn(data)
+
+    def hmac(self, algorithm: str, key: bytes, data: bytes) -> bytes:
+        return _hmac(key, data, algorithm.lower())
+
+    # -- public key -------------------------------------------------------
+
+    def rsa_encrypt(self, message: bytes, key: RsaPublicKey) -> bytes:
+        return self._rsa.encrypt(message, key, self.prng)
+
+    def rsa_decrypt(self, ciphertext: bytes, key: RsaPrivateKey) -> bytes:
+        return self._rsa.decrypt(ciphertext, key)
+
+    def rsa_sign(self, message: bytes, key: RsaPrivateKey) -> bytes:
+        return self._rsa.sign(message, key)
+
+    def rsa_verify(self, message: bytes, signature: bytes,
+                   key: RsaPublicKey) -> bool:
+        return self._rsa.verify(message, signature, key)
+
+    def elgamal_encrypt(self, m: int, key: ElGamalPublicKey) -> Tuple[int, int]:
+        return self._elgamal.encrypt_int(m, key, self.prng)
+
+    def elgamal_decrypt(self, ciphertext: Tuple[int, int],
+                        key: ElGamalPrivateKey) -> int:
+        return self._elgamal.decrypt_int(ciphertext, key)
+
+    # -- elliptic curves -----------------------------------------------------
+
+    def generate_ec_keypair(self, curve_name: str = "secp160r1"):
+        from repro.crypto import ec
+        try:
+            curve = ec.CURVES[curve_name]
+        except KeyError:
+            raise ValueError(f"unknown curve {curve_name!r}; "
+                             f"choose from {sorted(ec.CURVES)}")
+        return ec.generate_ec_keypair(curve, self.prng)
+
+    def ecdh(self, private: int, peer_public) -> int:
+        from repro.crypto import ec
+        return ec.ecdh_shared_secret(private, peer_public)
+
+    def ecdsa_sign(self, message: bytes, keypair) -> Tuple[int, int]:
+        from repro.crypto import ec
+        return ec.ecdsa_sign(message, keypair, self.prng)
+
+    def ecdsa_verify(self, message: bytes, signature: Tuple[int, int],
+                     keypair) -> bool:
+        from repro.crypto import ec
+        return ec.ecdsa_verify(message, signature, keypair.curve,
+                               keypair.public)

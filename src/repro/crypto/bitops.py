@@ -1,0 +1,100 @@
+"""Bit-level basic operations (Layer 1 for the private-key algorithms).
+
+The paper's layered software architecture decomposes private-key
+ciphers into "bit-level operations" -- permutations, S-box lookups,
+word XORs, rotates.  On the base processor these are expensive
+sequences of shifts/masks; they are the prime candidates for custom
+instructions (cf. the bit-permutation instruction literature the paper
+cites [38, 39]).
+
+Each routine reports its invocation through the tracing hook so the
+macro-modeling layer can charge estimated cycles during native runs.
+"""
+
+from typing import List, Sequence
+
+from repro.mp.hooks import trace
+
+
+def bit_permute(value: int, table: Sequence[int], in_width: int) -> int:
+    """General bit permutation/selection.
+
+    ``table`` lists, for each *output* bit (MSB first), the 1-indexed
+    position of the *input* bit to take (MSB of the input is position
+    1) -- the convention used by the FIPS 46-3 tables.  The output has
+    ``len(table)`` bits.
+    """
+    trace("bit_permute", n=len(table))
+    out = 0
+    for pos in table:
+        out = (out << 1) | ((value >> (in_width - pos)) & 1)
+    return out
+
+
+def sbox_lookup(sbox: Sequence[int], index: int) -> int:
+    """Single S-box table lookup."""
+    trace("sbox_lookup", n=1)
+    return sbox[index]
+
+
+def sbox_layer(sboxes: Sequence[Sequence[int]], chunks: Sequence[int]) -> List[int]:
+    """Apply one S-box per input chunk (the full substitution layer)."""
+    trace("sbox_layer", n=len(sboxes))
+    return [sbox[idx] for sbox, idx in zip(sboxes, chunks)]
+
+
+def xor_words(a: int, b: int, width: int) -> int:
+    """XOR of two ``width``-bit words."""
+    trace("xor_words", n=(width + 31) // 32)
+    return (a ^ b) & ((1 << width) - 1)
+
+
+def xor_bytes(a: bytes, b: bytes) -> bytes:
+    """XOR of two equal-length byte strings (CBC chaining, HMAC pads)."""
+    if len(a) != len(b):
+        raise ValueError("xor_bytes requires equal lengths")
+    trace("xor_bytes", n=len(a))
+    return bytes(x ^ y for x, y in zip(a, b))
+
+
+def rotl(value: int, count: int, width: int) -> int:
+    """Rotate a ``width``-bit word left by ``count``."""
+    trace("rotl", n=1)
+    count %= width
+    mask = (1 << width) - 1
+    return ((value << count) | (value >> (width - count))) & mask
+
+
+def rotr(value: int, count: int, width: int) -> int:
+    """Rotate a ``width``-bit word right by ``count``."""
+    trace("rotr", n=1)
+    count %= width
+    mask = (1 << width) - 1
+    return ((value >> count) | (value << (width - count))) & mask
+
+
+def gf256_mul(a: int, b: int, poly: int = 0x11B) -> int:
+    """Multiplication in GF(2^8) modulo ``poly`` (AES MixColumns)."""
+    trace("gf256_mul", n=1)
+    result = 0
+    for _ in range(8):
+        if b & 1:
+            result ^= a
+        b >>= 1
+        a <<= 1
+        if a & 0x100:
+            a ^= poly
+    return result & 0xFF
+
+
+def bytes_to_words(data: bytes, word_bytes: int = 4) -> List[int]:
+    """Big-endian byte string -> list of words."""
+    if len(data) % word_bytes:
+        raise ValueError("data length must be a multiple of the word size")
+    return [int.from_bytes(data[i: i + word_bytes], "big")
+            for i in range(0, len(data), word_bytes)]
+
+
+def words_to_bytes(words: Sequence[int], word_bytes: int = 4) -> bytes:
+    """List of words -> big-endian byte string."""
+    return b"".join(w.to_bytes(word_bytes, "big") for w in words)

@@ -1,0 +1,30 @@
+"""CRC-32 (IEEE 802.3), used as the WEP integrity check value.
+
+Table-driven implementation built from the reflected polynomial at
+import time; validated against ``binascii.crc32`` in the tests.
+"""
+
+from typing import List
+
+_POLY = 0xEDB88320
+
+
+def _build_table() -> List[int]:
+    table = []
+    for byte in range(256):
+        crc = byte
+        for _ in range(8):
+            crc = (crc >> 1) ^ _POLY if crc & 1 else crc >> 1
+        table.append(crc)
+    return table
+
+
+_TABLE = _build_table()
+
+
+def crc32(data: bytes, value: int = 0) -> int:
+    """CRC-32 of ``data``, continuing from ``value`` (0 to start)."""
+    crc = value ^ 0xFFFFFFFF
+    for byte in data:
+        crc = (crc >> 8) ^ _TABLE[(crc ^ byte) & 0xFF]
+    return crc ^ 0xFFFFFFFF

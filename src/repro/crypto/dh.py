@@ -1,0 +1,87 @@
+"""Diffie-Hellman key agreement (Layer 3, over the modexp engine).
+
+Rounds out the public-key primitive set: the platform's target
+protocols (IPSec/IKE, TLS DHE suites) negotiate keys with DH, whose
+workload is two modular exponentiations with a *fixed base* -- the
+case the exploration space's ``caching="full"`` (window-table reuse)
+option exists for.
+"""
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.mp import DeterministicPrng, Mpz
+from repro.crypto.modexp import ModExpConfig, ModExpEngine
+from repro.crypto.primes import generate_safe_prime, is_probable_prime
+
+
+@dataclass(frozen=True)
+class DhGroup:
+    """A Diffie-Hellman group (safe prime p, generator g)."""
+
+    p: Mpz
+    g: Mpz
+
+    @property
+    def bits(self) -> int:
+        return self.p.bit_length()
+
+
+#: RFC 2409 Oakley Group 1 (768-bit MODP group), generator 2.
+OAKLEY_GROUP1 = DhGroup(
+    p=Mpz(int(
+        "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74"
+        "020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437"
+        "4FE1356D6D51C245E485B576625E7EC6F44C42E9A63A3620FFFFFFFFFFFFFFFF",
+        16)),
+    g=Mpz(2))
+
+
+def generate_group(bits: int,
+                   prng: Optional[DeterministicPrng] = None) -> DhGroup:
+    """Generate a fresh safe-prime DH group (slow for large bits)."""
+    prng = prng or DeterministicPrng(0xD1F)
+    p = generate_safe_prime(bits, prng)
+    return DhGroup(p=p, g=Mpz(2))
+
+
+class DiffieHellman:
+    """One party's DH state under a chosen modexp configuration."""
+
+    def __init__(self, group: DhGroup,
+                 config: ModExpConfig = ModExpConfig(caching="full"),
+                 prng: Optional[DeterministicPrng] = None):
+        if group.p.is_even() or group.p < 5:
+            raise ValueError("DH modulus must be an odd prime")
+        self.group = group
+        self.engine = ModExpEngine(config)
+        self._prng = prng or DeterministicPrng(0xD4E)
+        self.private = Mpz(self._prng.next_range(2, int(group.p) - 2))
+        self.public = self.engine.powm(group.g, self.private, group.p)
+
+    def shared_secret(self, peer_public: Mpz) -> Mpz:
+        """Compute the shared secret from the peer's public value."""
+        peer = Mpz(int(peer_public))
+        if not 1 < int(peer) < int(self.group.p) - 1:
+            raise ValueError("peer public value out of range")
+        return self.engine.powm(peer, self.private, self.group.p)
+
+
+def validate_group(group: DhGroup, rounds: int = 8) -> bool:
+    """Check that p is a safe prime and g has order q or 2q.
+
+    For a safe prime p = 2q+1, every element other than {1, p-1} has
+    order q or 2q; g = 2 typically generates the prime-order-q subgroup
+    (g^q == 1), which is exactly what DH wants.
+    """
+    p = group.p
+    if not is_probable_prime(p, rounds=rounds):
+        return False
+    q = (p - 1) >> 1
+    if not is_probable_prime(q, rounds=rounds):
+        return False
+    g = group.g
+    if int(g.pow_mod(2, p)) == 1:   # order 1 or 2: insecure
+        return False
+    gq = int(g.pow_mod(q, p))
+    return gq == 1 or gq == int(p) - 1

@@ -1,0 +1,98 @@
+"""ElGamal encryption over a safe-prime group (Layer 3).
+
+The paper lists ElGamal among the public-key operations the platform
+supports.  A fixed generator with a cached window table is the workload
+where the ``caching="full"`` option of the exploration space pays off.
+"""
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.mp import DeterministicPrng, Mpz
+from repro.crypto.modexp import ModExpConfig, ModExpEngine
+from repro.crypto.primes import generate_safe_prime
+
+
+@dataclass
+class ElGamalPublicKey:
+    p: Mpz  # safe prime
+    g: Mpz  # generator
+    y: Mpz  # g^x mod p
+
+    @property
+    def bits(self) -> int:
+        return self.p.bit_length()
+
+
+@dataclass
+class ElGamalPrivateKey:
+    p: Mpz
+    g: Mpz
+    x: Mpz
+
+    def public(self, engine: Optional[ModExpEngine] = None) -> ElGamalPublicKey:
+        engine = engine or ModExpEngine()
+        return ElGamalPublicKey(self.p, self.g, engine.powm(self.g, self.x, self.p))
+
+
+@dataclass
+class ElGamalKeyPair:
+    public: ElGamalPublicKey
+    private: ElGamalPrivateKey
+
+
+def _find_generator(p: Mpz, prng: DeterministicPrng) -> Mpz:
+    """Find a generator of the full group mod a safe prime p = 2q+1.
+
+    g generates iff g^2 != 1 and g^q != 1 (mod p).
+    """
+    q = (p - 1) >> 1
+    p_int = int(p)
+    while True:
+        g = Mpz(prng.next_range(2, p_int - 2))
+        if g.pow_mod(2, p) != 1 and g.pow_mod(q, p) != 1:
+            return g
+
+
+def generate_elgamal_keypair(bits: int,
+                             prng: Optional[DeterministicPrng] = None,
+                             config: ModExpConfig = ModExpConfig()
+                             ) -> ElGamalKeyPair:
+    """Generate an ElGamal key pair over a fresh safe-prime group."""
+    if prng is None:
+        prng = DeterministicPrng()
+    engine = ModExpEngine(config)
+    p = generate_safe_prime(bits, prng)
+    g = _find_generator(p, prng)
+    x = Mpz(prng.next_range(2, int(p) - 2))
+    private = ElGamalPrivateKey(p=p, g=g, x=x)
+    return ElGamalKeyPair(public=private.public(engine), private=private)
+
+
+class ElGamal:
+    """ElGamal operations under a chosen exponentiation configuration."""
+
+    name = "ElGamal"
+
+    def __init__(self, config: ModExpConfig = ModExpConfig()):
+        self.engine = ModExpEngine(config)
+
+    def encrypt_int(self, m: int, key: ElGamalPublicKey,
+                    prng: Optional[DeterministicPrng] = None
+                    ) -> Tuple[int, int]:
+        if not 0 < m < int(key.p):
+            raise ValueError("message representative out of range")
+        if prng is None:
+            prng = DeterministicPrng()
+        k = prng.next_range(2, int(key.p) - 2)
+        c1 = self.engine.powm(key.g, k, key.p)
+        shared = self.engine.powm(key.y, k, key.p)
+        c2 = (Mpz(m) * shared) % key.p
+        return int(c1), int(c2)
+
+    def decrypt_int(self, ciphertext: Tuple[int, int],
+                    key: ElGamalPrivateKey) -> int:
+        c1, c2 = ciphertext
+        shared = self.engine.powm(c1, key.x, key.p)
+        inv = shared.invert(key.p)
+        return int((Mpz(c2) * inv) % key.p)

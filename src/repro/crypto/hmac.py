@@ -1,0 +1,23 @@
+"""HMAC (RFC 2104) over the library's own hash implementations."""
+
+from repro.crypto.bitops import xor_bytes
+from repro.crypto.md5 import Md5
+from repro.crypto.sha1 import Sha1
+
+_HASHES = {"sha1": Sha1, "md5": Md5}
+
+
+def hmac(key: bytes, message: bytes, hash_name: str = "sha1") -> bytes:
+    """Compute HMAC-<hash>(key, message)."""
+    try:
+        hash_cls = _HASHES[hash_name]
+    except KeyError:
+        raise ValueError(f"unknown hash {hash_name!r}; choose from {sorted(_HASHES)}")
+    block_size = hash_cls.block_size
+    if len(key) > block_size:
+        key = hash_cls(key).digest()
+    key = key.ljust(block_size, b"\x00")
+    ipad = xor_bytes(key, b"\x36" * block_size)
+    opad = xor_bytes(key, b"\x5c" * block_size)
+    inner = hash_cls(ipad).update(message).digest()
+    return hash_cls(opad).update(inner).digest()

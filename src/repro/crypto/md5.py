@@ -1,0 +1,85 @@
+"""MD5 (RFC 1321), used by the SSLv3 handshake model alongside SHA-1."""
+
+import math
+import struct
+
+from repro.crypto.bitops import rotl
+from repro.mp.hooks import trace
+
+_MASK32 = 0xFFFFFFFF
+_S = ([7, 12, 17, 22] * 4) + ([5, 9, 14, 20] * 4) + ([4, 11, 16, 23] * 4) + ([6, 10, 15, 21] * 4)
+# Derived constants: K[i] = floor(2^32 * |sin(i+1)|), per RFC 1321.
+_K = [int(abs(math.sin(i + 1)) * (1 << 32)) & _MASK32 for i in range(64)]
+_H0 = (0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476)
+
+
+def _pad(message_len: int) -> bytes:
+    pad = b"\x80" + b"\x00" * ((55 - message_len) % 64)
+    return pad + struct.pack("<Q", message_len * 8)
+
+
+def _compress(state, block):
+    trace("md5_compress", n=1)
+    m = struct.unpack("<16I", block)
+    a, b, c, d = state
+    for i in range(64):
+        if i < 16:
+            f = (b & c) | (~b & d)
+            g = i
+        elif i < 32:
+            f = (d & b) | (~d & c)
+            g = (5 * i + 1) % 16
+        elif i < 48:
+            f = b ^ c ^ d
+            g = (3 * i + 5) % 16
+        else:
+            f = c ^ (b | (~d & _MASK32))
+            g = (7 * i) % 16
+        f = (f + a + _K[i] + m[g]) & _MASK32
+        a, d, c = d, c, b
+        b = (b + rotl(f, _S[i], 32)) & _MASK32
+    return tuple((s + v) & _MASK32 for s, v in zip(state, (a, b, c, d)))
+
+
+class Md5:
+    """Incremental MD5 with the usual update/digest interface."""
+
+    digest_size = 16
+    block_size = 64
+    name = "md5"
+
+    def __init__(self, data: bytes = b""):
+        self._state = _H0
+        self._buffer = b""
+        self._length = 0
+        if data:
+            self.update(data)
+
+    def update(self, data: bytes) -> "Md5":
+        self._length += len(data)
+        self._buffer += data
+        while len(self._buffer) >= 64:
+            self._state = _compress(self._state, self._buffer[:64])
+            self._buffer = self._buffer[64:]
+        return self
+
+    def digest(self) -> bytes:
+        state, buffer = self._state, self._buffer + _pad(self._length)
+        for i in range(0, len(buffer), 64):
+            state = _compress(state, buffer[i: i + 64])
+        return struct.pack("<4I", *state)
+
+    def hexdigest(self) -> str:
+        return self.digest().hex()
+
+    def copy(self) -> "Md5":
+        clone = Md5()
+        clone._state = self._state
+        clone._buffer = self._buffer
+        clone._length = self._length
+        return clone
+
+
+def md5(data: bytes) -> bytes:
+    """One-shot MD5 digest."""
+    return Md5(data).digest()

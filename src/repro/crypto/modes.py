@@ -1,0 +1,87 @@
+"""Block cipher modes of operation (ECB, CBC) and PKCS#7 padding.
+
+The SSL record layer (:mod:`repro.ssl.record`) and the example
+applications drive the block ciphers through these modes, matching the
+bulk-data path the paper's prototype demonstrates (real-time video
+decryption, SSL record processing).
+"""
+
+from typing import Protocol
+
+from repro.crypto.bitops import xor_bytes
+
+
+class BlockCipher(Protocol):
+    """Structural interface every block cipher in the library satisfies."""
+
+    block_size: int
+
+    def encrypt_block(self, block: bytes) -> bytes: ...
+    def decrypt_block(self, block: bytes) -> bytes: ...
+
+
+def pkcs7_pad(data: bytes, block_size: int) -> bytes:
+    """Append PKCS#7 padding up to a whole number of blocks."""
+    if not 0 < block_size < 256:
+        raise ValueError("block size must be in (0, 256)")
+    pad_len = block_size - (len(data) % block_size)
+    return data + bytes([pad_len] * pad_len)
+
+
+def pkcs7_unpad(data: bytes, block_size: int) -> bytes:
+    """Strip and validate PKCS#7 padding."""
+    if not data or len(data) % block_size:
+        raise ValueError("padded data must be a positive multiple of block size")
+    pad_len = data[-1]
+    if not 0 < pad_len <= block_size or data[-pad_len:] != bytes([pad_len] * pad_len):
+        raise ValueError("invalid PKCS#7 padding")
+    return data[:-pad_len]
+
+
+def _check_aligned(data: bytes, block_size: int) -> None:
+    if len(data) % block_size:
+        raise ValueError("data length must be a multiple of the block size")
+
+
+def ecb_encrypt(cipher: BlockCipher, data: bytes) -> bytes:
+    """Electronic codebook encryption of block-aligned data."""
+    bs = cipher.block_size
+    _check_aligned(data, bs)
+    return b"".join(cipher.encrypt_block(data[i: i + bs])
+                    for i in range(0, len(data), bs))
+
+
+def ecb_decrypt(cipher: BlockCipher, data: bytes) -> bytes:
+    bs = cipher.block_size
+    _check_aligned(data, bs)
+    return b"".join(cipher.decrypt_block(data[i: i + bs])
+                    for i in range(0, len(data), bs))
+
+
+def cbc_encrypt(cipher: BlockCipher, iv: bytes, data: bytes) -> bytes:
+    """Cipher-block-chaining encryption of block-aligned data."""
+    bs = cipher.block_size
+    if len(iv) != bs:
+        raise ValueError("IV must be one block")
+    _check_aligned(data, bs)
+    out = []
+    prev = iv
+    for i in range(0, len(data), bs):
+        block = cipher.encrypt_block(xor_bytes(data[i: i + bs], prev))
+        out.append(block)
+        prev = block
+    return b"".join(out)
+
+
+def cbc_decrypt(cipher: BlockCipher, iv: bytes, data: bytes) -> bytes:
+    bs = cipher.block_size
+    if len(iv) != bs:
+        raise ValueError("IV must be one block")
+    _check_aligned(data, bs)
+    out = []
+    prev = iv
+    for i in range(0, len(data), bs):
+        block = data[i: i + bs]
+        out.append(xor_bytes(cipher.decrypt_block(block), prev))
+        prev = block
+    return b"".join(out)

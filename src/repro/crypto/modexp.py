@@ -1,0 +1,259 @@
+"""Modular exponentiation design space (Layer 2, public-key path).
+
+Section 4.3 of the paper explores "over 450 candidate algorithms" for
+modular exponentiation: five modular multiplication algorithms, five
+input block sizes, three Chinese Remainder Theorem implementations, two
+radix sizes and three software caching options (5*5*3*2*3 = 450).
+:class:`ModExpConfig` captures one point of that space and
+:class:`ModExpEngine` executes it.
+
+Dimensions:
+
+- ``modmul``   -- one of :data:`repro.crypto.modmul.MODMUL_ALGORITHMS`.
+- ``window``   -- exponent block size in bits (1..5) for left-to-right
+  m-ary exponentiation; window=1 is plain binary square-and-multiply.
+- ``crt``      -- ``none`` (single exponentiation mod n), ``classic``
+  (textbook CRT recombination) or ``garner`` (Garner's algorithm).
+- ``radix_bits`` -- 16 or 32-bit limbs for the mpn layer.
+- ``caching``  -- ``none`` (rebuild everything per call), ``constants``
+  (cache per-modulus precomputation: Montgomery m'/R^2, Barrett mu) or
+  ``full`` (also cache the per-base window table, which pays off when
+  the base repeats, e.g. fixed generators).
+"""
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple, Union
+
+from repro.mp import Mpz
+from repro.mp.limb import RADIX16, RADIX32
+from repro.crypto.modmul import ModMul, make_modmul, MODMUL_ALGORITHMS
+
+IntLike = Union[int, Mpz]
+
+WINDOW_SIZES = (1, 2, 3, 4, 5)
+CRT_VARIANTS = ("none", "classic", "garner")
+RADIX_CHOICES = (16, 32)
+CACHING_OPTIONS = ("none", "constants", "full")
+#: "fixed" m-ary windows are the paper's exploration dimension;
+#: "sliding" windows are the refinement-loop extension (Section 3.1's
+#: "additional candidate algorithms") -- same table size but windows
+#: align to set bits, skipping runs of zeros and halving the table to
+#: odd powers.
+STRATEGIES = ("fixed", "sliding")
+
+
+@dataclass(frozen=True)
+class ModExpConfig:
+    """One point in the 450-candidate modular exponentiation space."""
+
+    modmul: str = "montgomery"
+    window: int = 4
+    crt: str = "garner"
+    radix_bits: int = 32
+    caching: str = "constants"
+    strategy: str = "fixed"
+
+    def __post_init__(self):
+        if self.modmul not in MODMUL_ALGORITHMS:
+            raise ValueError(f"unknown modmul {self.modmul!r}")
+        if self.window not in WINDOW_SIZES:
+            raise ValueError(f"window must be one of {WINDOW_SIZES}")
+        if self.crt not in CRT_VARIANTS:
+            raise ValueError(f"crt must be one of {CRT_VARIANTS}")
+        if self.radix_bits not in RADIX_CHOICES:
+            raise ValueError(f"radix_bits must be one of {RADIX_CHOICES}")
+        if self.caching not in CACHING_OPTIONS:
+            raise ValueError(f"caching must be one of {CACHING_OPTIONS}")
+        if self.strategy not in STRATEGIES:
+            raise ValueError(f"strategy must be one of {STRATEGIES}")
+
+    @property
+    def radix(self):
+        return RADIX32 if self.radix_bits == 32 else RADIX16
+
+    def label(self) -> str:
+        return (f"{self.modmul}/w{self.window}/crt-{self.crt}"
+                f"/r{self.radix_bits}/cache-{self.caching}")
+
+
+def iter_configs() -> Iterator[ModExpConfig]:
+    """Enumerate the full 450-point configuration space."""
+    for modmul, window, crt, radix_bits, caching in itertools.product(
+            sorted(MODMUL_ALGORITHMS), WINDOW_SIZES, CRT_VARIANTS,
+            RADIX_CHOICES, CACHING_OPTIONS):
+        yield ModExpConfig(modmul=modmul, window=window, crt=crt,
+                           radix_bits=radix_bits, caching=caching)
+
+
+def config_space_size() -> int:
+    return (len(MODMUL_ALGORITHMS) * len(WINDOW_SIZES) * len(CRT_VARIANTS)
+            * len(RADIX_CHOICES) * len(CACHING_OPTIONS))
+
+
+class ModExpEngine:
+    """Executes modular exponentiation under a :class:`ModExpConfig`."""
+
+    def __init__(self, config: ModExpConfig = ModExpConfig()):
+        self.config = config
+        self._modmul_cache: Dict[int, ModMul] = {}
+        self._table_cache: Dict[Tuple[int, int], List[Mpz]] = {}
+
+    # -- caches ----------------------------------------------------------------
+
+    def _get_modmul(self, modulus: Mpz) -> ModMul:
+        if self.config.caching == "none":
+            return make_modmul(self.config.modmul, modulus)
+        key = int(modulus)
+        engine = self._modmul_cache.get(key)
+        if engine is None:
+            engine = make_modmul(self.config.modmul, modulus)
+            self._modmul_cache[key] = engine
+        return engine
+
+    def effective_window(self, ebits: int) -> int:
+        """Window size actually used for an ``ebits``-bit exponent.
+
+        The configured window is an upper bound; a tuned library never
+        pays for a 31-entry table to raise to a 17-bit exponent.  Picks
+        the w <= config.window minimizing table-build multiplies plus
+        expected window multiplies.
+        """
+        def cost(w: int) -> float:
+            table_mults = max(0, (1 << w) - 2)
+            window_mults = (ebits / w) * (1 - 2.0 ** -w)
+            return table_mults + window_mults
+
+        return min(range(1, self.config.window + 1), key=cost)
+
+    def _window_table(self, mm: ModMul, base_res: Mpz, base_int: int,
+                      modulus_int: int, window: int) -> List[Mpz]:
+        """Residues of base^0 .. base^(2^window - 1)."""
+        if self.config.caching == "full":
+            key = (base_int, modulus_int, window)
+            cached = self._table_cache.get(key)
+            if cached is not None:
+                return cached
+        size = 1 << window
+        table = [mm.one(), base_res]
+        for _ in range(2, size):
+            table.append(mm.mul(table[-1], base_res))
+        if self.config.caching == "full":
+            self._table_cache[(base_int, modulus_int, window)] = table
+        return table
+
+    # -- exponentiation ----------------------------------------------------------
+
+    def powm(self, base: IntLike, exponent: IntLike, modulus: IntLike) -> Mpz:
+        """base ** exponent mod modulus with the configured algorithms."""
+        radix = self.config.radix
+        modulus = Mpz(int(modulus), radix)
+        if modulus <= 0:
+            raise ValueError("modulus must be positive")
+        if modulus == 1:
+            return Mpz(0, radix)
+        base = Mpz(int(base) % int(modulus), radix)
+        exponent = Mpz(int(exponent), radix)
+        if exponent < 0:
+            base = base.invert(modulus)
+            exponent = -exponent
+        if exponent.is_zero():
+            return Mpz(1, radix)
+
+        mm = self._get_modmul(modulus)
+        base_res = mm.to_residue(base)
+        ebits = exponent.bit_length()
+        w = self.effective_window(ebits)
+        if self.config.strategy == "sliding":
+            result = self._powm_sliding(mm, base_res, exponent, ebits, w)
+        else:
+            result = self._powm_fixed(mm, base_res, int(base),
+                                      int(modulus), exponent, ebits, w)
+        return mm.from_residue(result)
+
+    def _powm_fixed(self, mm: ModMul, base_res: Mpz, base_int: int,
+                    modulus_int: int, exponent: Mpz, ebits: int,
+                    w: int) -> Mpz:
+        """Left-to-right fixed (m-ary) windows, MSB-aligned."""
+        table = self._window_table(mm, base_res, base_int, modulus_int, w)
+        nwindows = (ebits + w - 1) // w
+        result = None
+        for widx in range(nwindows - 1, -1, -1):
+            digit = 0
+            for b in range(w - 1, -1, -1):
+                digit = (digit << 1) | exponent.test_bit(widx * w + b)
+            if result is None:
+                result = table[digit] if digit else mm.one()
+                continue
+            for _ in range(w):
+                result = mm.sqr(result)
+            if digit:
+                result = mm.mul(result, table[digit])
+        return result
+
+    def _powm_sliding(self, mm: ModMul, base_res: Mpz, exponent: Mpz,
+                      ebits: int, w: int) -> Mpz:
+        """Left-to-right sliding windows over odd digits.
+
+        Only the odd powers base^1, base^3, ..., base^(2^w - 1) are
+        tabled (half the fixed-window table), and runs of zero bits
+        cost squarings only -- fewer multiplies at equal window size.
+        """
+        base_sq = mm.sqr(base_res)
+        odd_table = [base_res]  # odd_table[i] = base^(2i+1)
+        for _ in range(1, 1 << (w - 1)):
+            odd_table.append(mm.mul(odd_table[-1], base_sq))
+        result = mm.one()
+        i = ebits - 1
+        while i >= 0:
+            if not exponent.test_bit(i):
+                result = mm.sqr(result)
+                i -= 1
+                continue
+            # Longest window [j .. i] of <= w bits whose low bit is set.
+            j = max(0, i - w + 1)
+            while not exponent.test_bit(j):
+                j += 1
+            digit = 0
+            for b in range(i, j - 1, -1):
+                digit = (digit << 1) | exponent.test_bit(b)
+            for _ in range(i - j + 1):
+                result = mm.sqr(result)
+            result = mm.mul(result, odd_table[digit >> 1])
+            i = j - 1
+        return result
+
+    # -- CRT ---------------------------------------------------------------------
+
+    def powm_crt(self, base: IntLike, d: IntLike, p: IntLike, q: IntLike,
+                 dp: IntLike = None, dq: IntLike = None,
+                 qinv: IntLike = None) -> Mpz:
+        """base ** d mod (p*q) using the configured CRT variant.
+
+        ``dp = d mod p-1``, ``dq = d mod q-1`` and ``qinv = q^-1 mod p``
+        are derived if not supplied (a real key stores them).
+        """
+        radix = self.config.radix
+        p_i, q_i, d_i = int(p), int(q), int(d)
+        n = Mpz(p_i * q_i, radix)
+        if self.config.crt == "none":
+            return self.powm(base, d, n)
+
+        dp_i = int(dp) if dp is not None else d_i % (p_i - 1)
+        dq_i = int(dq) if dq is not None else d_i % (q_i - 1)
+        m1 = int(self.powm(base, dp_i, p_i))
+        m2 = int(self.powm(base, dq_i, q_i))
+
+        if self.config.crt == "classic":
+            # m = (m1 * q * (q^-1 mod p) + m2 * p * (p^-1 mod q)) mod n
+            qinv_p = int(Mpz(q_i, radix).invert(Mpz(p_i, radix)))
+            pinv_q = int(Mpz(p_i, radix).invert(Mpz(q_i, radix)))
+            term1 = Mpz(m1, radix) * Mpz(q_i, radix) * Mpz(qinv_p, radix)
+            term2 = Mpz(m2, radix) * Mpz(p_i, radix) * Mpz(pinv_q, radix)
+            return (term1 + term2) % n
+
+        # Garner: h = qinv * (m1 - m2) mod p; m = m2 + h*q
+        qinv_i = int(qinv) if qinv is not None else int(
+            Mpz(q_i, radix).invert(Mpz(p_i, radix)))
+        h = (Mpz(qinv_i, radix) * (Mpz(m1, radix) - Mpz(m2, radix))) % Mpz(p_i, radix)
+        return Mpz(m2, radix) + h * Mpz(q_i, radix)

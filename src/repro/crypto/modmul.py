@@ -1,0 +1,220 @@
+"""Five modular multiplication algorithms (Layer 2, public-key path).
+
+The paper's modular-exponentiation design space (Section 4.3) is built
+from "five modular multiplication algorithms" among other dimensions.
+We implement the five classical candidates:
+
+- :class:`SchoolbookModMul` -- multiply (basecase) then divide.
+- :class:`KaratsubaModMul`  -- Karatsuba multiply then divide.
+- :class:`BarrettModMul`    -- multiply then Barrett reduction with a
+  precomputed reciprocal approximation ``mu``.
+- :class:`MontgomeryModMul` -- limb-serial Montgomery REDC in the
+  Montgomery residue domain.
+- :class:`InterleavedModMul` -- limb-interleaved multiply-and-reduce
+  (the division never sees an operand longer than k+1 limbs).
+
+All five share a residue-domain interface so the exponentiation layer
+can swap them freely: ``to_residue`` / ``from_residue`` are identity
+maps everywhere except Montgomery.  Precomputation (``mu``, Montgomery
+constants) happens in the constructor; the *caching* dimension of the
+design space controls whether the exponentiation layer reuses one
+instance across calls or rebuilds it every time.
+"""
+
+from typing import List
+
+from repro.mp import Mpz, mpn
+from repro.mp.hooks import trace
+from repro.mp.limb import Radix
+
+
+class ModMul:
+    """Base class: modular multiplication in some residue domain."""
+
+    name = "abstract"
+
+    def __init__(self, modulus: Mpz):
+        if modulus <= 0:
+            raise ValueError("modulus must be positive")
+        self.modulus = modulus
+        self.radix: Radix = modulus.radix
+
+    def to_residue(self, x: Mpz) -> Mpz:
+        return x % self.modulus
+
+    def from_residue(self, r: Mpz) -> Mpz:
+        return r
+
+    def one(self) -> Mpz:
+        """Residue representation of 1."""
+        return self.to_residue(Mpz(1, self.radix))
+
+    def mul(self, a: Mpz, b: Mpz) -> Mpz:
+        raise NotImplementedError
+
+    def sqr(self, a: Mpz) -> Mpz:
+        return self.mul(a, a)
+
+
+class SchoolbookModMul(ModMul):
+    """Schoolbook product followed by Knuth division."""
+
+    name = "schoolbook"
+
+    def mul(self, a: Mpz, b: Mpz) -> Mpz:
+        prod = Mpz._raw(mpn.mul_basecase(a.limbs, b.limbs, self.radix), 1,
+                        self.radix)
+        return prod % self.modulus
+
+
+class KaratsubaModMul(ModMul):
+    """Karatsuba product followed by Knuth division."""
+
+    name = "karatsuba"
+
+    #: Recursion cutoff in limbs; small so 1024-bit/32 = 32 limbs recurses.
+    threshold = 8
+
+    def mul(self, a: Mpz, b: Mpz) -> Mpz:
+        prod = Mpz._raw(
+            mpn.mul_karatsuba(a.limbs, b.limbs, self.radix, self.threshold),
+            1, self.radix)
+        return prod % self.modulus
+
+
+class BarrettModMul(ModMul):
+    """Multiplication with Barrett reduction.
+
+    Precomputes ``mu = floor(base^(2k) / m)`` once; each reduction then
+    costs two multiplications and a few subtractions instead of a
+    division.
+    """
+
+    name = "barrett"
+
+    def __init__(self, modulus: Mpz):
+        super().__init__(modulus)
+        self.k = len(mpn.normalize(modulus.limbs))
+        big = Mpz(1, self.radix) << (2 * self.k * self.radix.bits)
+        self.mu = big // modulus
+
+    def reduce(self, x: Mpz) -> Mpz:
+        """Barrett reduction of x (< m * base^k) modulo m."""
+        trace("barrett_reduce", n=self.k)
+        bits = self.radix.bits
+        q1 = x >> ((self.k - 1) * bits)
+        q2 = q1 * self.mu
+        q3 = q2 >> ((self.k + 1) * bits)
+        r = x - q3 * self.modulus
+        while r >= self.modulus:
+            r = r - self.modulus
+        return r
+
+    def mul(self, a: Mpz, b: Mpz) -> Mpz:
+        prod = Mpz._raw(mpn.mul_basecase(a.limbs, b.limbs, self.radix), 1,
+                        self.radix)
+        return self.reduce(prod)
+
+
+class MontgomeryModMul(ModMul):
+    """Limb-serial Montgomery multiplication (REDC).
+
+    Residues live in the Montgomery domain: ``to_residue(x) = x*R mod m``
+    with ``R = base^k``.  The constructor precomputes ``m' = -m^-1 mod
+    base`` and ``R^2 mod m`` -- the "Montgomery constants" that one of
+    the paper's software-caching options retains across calls.
+    """
+
+    name = "montgomery"
+
+    def __init__(self, modulus: Mpz):
+        super().__init__(modulus)
+        if modulus.is_even():
+            raise ValueError("Montgomery multiplication requires an odd modulus")
+        self.k = len(mpn.normalize(modulus.limbs))
+        base = self.radix.base
+        m0 = modulus.limbs[0]
+        self.m_prime = (-pow(m0, -1, base)) % base
+        r = Mpz(1, self.radix) << (self.k * self.radix.bits)
+        self.r2 = (r * r) % modulus
+
+    def _redc(self, t_limbs: List[int]) -> Mpz:
+        """Montgomery reduction of a (<= 2k limb) product."""
+        trace("mont_redc", n=self.k)
+        radix = self.radix
+        t = list(t_limbs) + [0] * (2 * self.k + 1 - len(t_limbs))
+        m_limbs = self.modulus.limbs + [0] * (self.k - len(self.modulus.limbs))
+        for i in range(self.k):
+            u = (t[i] * self.m_prime) & radix.mask
+            window = t[i: i + self.k]
+            window, carry = mpn.addmul_1(window, m_limbs, u, radix)
+            t[i: i + self.k] = window
+            # Propagate the carry above the window.
+            j = i + self.k
+            while carry:
+                s = t[j] + carry
+                t[j] = s & radix.mask
+                carry = s >> radix.bits
+                j += 1
+        result = Mpz._raw(t[self.k:], 1, radix)
+        if result >= self.modulus:
+            result = result - self.modulus
+        return result
+
+    def to_residue(self, x: Mpz) -> Mpz:
+        x = x % self.modulus
+        prod = mpn.mul_basecase(x.limbs, self.r2.limbs, self.radix)
+        return self._redc(prod)
+
+    def from_residue(self, r: Mpz) -> Mpz:
+        return self._redc(list(r.limbs))
+
+    def one(self) -> Mpz:
+        return self.to_residue(Mpz(1, self.radix))
+
+    def mul(self, a: Mpz, b: Mpz) -> Mpz:
+        prod = mpn.mul_basecase(a.limbs, b.limbs, self.radix)
+        return self._redc(prod)
+
+
+class InterleavedModMul(ModMul):
+    """Limb-interleaved multiply-and-reduce.
+
+    Scans the multiplier from its most significant limb; the running
+    sum is shifted one limb, a partial product is accumulated, and the
+    sum is reduced immediately, so intermediate values never exceed
+    k+1 limbs.
+    """
+
+    name = "interleaved"
+
+    def __init__(self, modulus: Mpz):
+        super().__init__(modulus)
+        self.k = len(mpn.normalize(modulus.limbs))
+
+    def mul(self, a: Mpz, b: Mpz) -> Mpz:
+        trace("interleaved_step", n=self.k)
+        radix = self.radix
+        acc = Mpz(0, radix)
+        for limb in reversed(mpn.normalize(a.limbs)):
+            acc = (acc << radix.bits) + b * Mpz(limb, radix)
+            acc = acc % self.modulus
+        return acc
+
+
+#: Registry used by the design-space enumeration.
+MODMUL_ALGORITHMS = {
+    cls.name: cls
+    for cls in (SchoolbookModMul, KaratsubaModMul, BarrettModMul,
+                MontgomeryModMul, InterleavedModMul)
+}
+
+
+def make_modmul(name: str, modulus: Mpz) -> ModMul:
+    """Instantiate a modular-multiplication algorithm by name."""
+    try:
+        cls = MODMUL_ALGORITHMS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown modmul algorithm {name!r}; choose from {sorted(MODMUL_ALGORITHMS)}")
+    return cls(modulus)

@@ -1,0 +1,87 @@
+"""Primality testing and prime generation (Layer 2 complex operations).
+
+The paper's complex-operations layer includes "prime number generation,
+Miller-Rabin primality testing" as the building blocks under RSA key
+generation.  Everything here runs on :class:`repro.mp.Mpz`, so the
+limb-level leaf routines see the real workload during characterization.
+"""
+
+from typing import Optional
+
+from repro.mp import DeterministicPrng, Mpz
+
+#: Trial-division screen applied before Miller-Rabin.
+SMALL_PRIMES = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61,
+    67, 71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137,
+    139, 149, 151, 157, 163, 167, 173, 179, 181, 191, 193, 197, 199,
+]
+
+
+def is_probable_prime(n: Mpz, prng: Optional[DeterministicPrng] = None,
+                      rounds: int = 16) -> bool:
+    """Miller-Rabin probabilistic primality test.
+
+    Witnesses are drawn from ``prng`` (a fresh deterministic stream if
+    not supplied), after a small-prime trial-division screen.
+    """
+    n = Mpz(n) if not isinstance(n, Mpz) else n
+    if n < 2:
+        return False
+    n_int = int(n)
+    for p in SMALL_PRIMES:
+        if n_int == p:
+            return True
+        if n_int % p == 0:
+            return False
+    if prng is None:
+        prng = DeterministicPrng(n_int & ((1 << 64) - 1) | 1)
+
+    # Write n-1 = 2^s * d with d odd.
+    d = n - 1
+    s = 0
+    while d.is_even():
+        d = d >> 1
+        s += 1
+
+    n_minus_1 = n - 1
+    for _ in range(rounds):
+        a = Mpz(prng.next_range(2, n_int - 2), n.radix)
+        x = a.pow_mod(d, n)
+        if x == 1 or x == n_minus_1:
+            continue
+        for _ in range(s - 1):
+            x = x.pow_mod(2, n)
+            if x == n_minus_1:
+                break
+        else:
+            return False
+    return True
+
+
+def generate_prime(bits: int, prng: DeterministicPrng,
+                   rounds: int = 16) -> Mpz:
+    """Generate a random probable prime with exactly ``bits`` bits."""
+    if bits < 4:
+        raise ValueError("need at least 4 bits")
+    while True:
+        candidate = Mpz(prng.next_odd_bits(bits))
+        if is_probable_prime(candidate, prng, rounds):
+            return candidate
+
+
+def generate_safe_prime(bits: int, prng: DeterministicPrng,
+                        rounds: int = 12) -> Mpz:
+    """Generate a safe prime p = 2q + 1 (q also prime).
+
+    Used by ElGamal key generation so that the multiplicative group has
+    a large prime-order subgroup.  Safe-prime search is slow; keep
+    ``bits`` modest in tests.
+    """
+    if bits < 5:
+        raise ValueError("need at least 5 bits")
+    while True:
+        q = generate_prime(bits - 1, prng, rounds)
+        p = q * 2 + 1
+        if p.bit_length() == bits and is_probable_prime(p, prng, rounds):
+            return p

@@ -1,0 +1,40 @@
+"""RC4 stream cipher (the WEP/SSL RC4 cipher suite option).
+
+Included because the paper's platform targets WEP alongside IPSec/SSL;
+the SSL model can select it as the bulk cipher for stream suites.
+"""
+
+
+class Rc4:
+    """RC4 keystream generator; encryption and decryption are identical."""
+
+    name = "RC4"
+
+    def __init__(self, key: bytes):
+        if not 1 <= len(key) <= 256:
+            raise ValueError("RC4 key must be 1..256 bytes")
+        state = list(range(256))
+        j = 0
+        for i in range(256):
+            j = (j + state[i] + key[i % len(key)]) & 0xFF
+            state[i], state[j] = state[j], state[i]
+        self._state = state
+        self._i = 0
+        self._j = 0
+
+    def keystream(self, n: int) -> bytes:
+        """Generate the next ``n`` keystream bytes."""
+        state, i, j = self._state, self._i, self._j
+        out = bytearray()
+        for _ in range(n):
+            i = (i + 1) & 0xFF
+            j = (j + state[i]) & 0xFF
+            state[i], state[j] = state[j], state[i]
+            out.append(state[(state[i] + state[j]) & 0xFF])
+        self._i, self._j = i, j
+        return bytes(out)
+
+    def process(self, data: bytes) -> bytes:
+        """XOR ``data`` with the keystream (works for both directions)."""
+        ks = self.keystream(len(data))
+        return bytes(d ^ k for d, k in zip(data, ks))

@@ -1,0 +1,85 @@
+"""SHA-1 (FIPS 180-1), used by the SSL handshake/record MAC model.
+
+Hashing is part of the "miscellaneous" SSL workload component in the
+paper's Figure 8 breakdown -- it is *not* accelerated by the selected
+custom instructions, which is why large-transaction SSL speedup
+saturates well below the raw cipher speedups (Amdahl's law).
+"""
+
+import struct
+
+from repro.crypto.bitops import rotl
+from repro.mp.hooks import trace
+
+_H0 = (0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0)
+_MASK32 = 0xFFFFFFFF
+
+
+def _pad(message_len: int) -> bytes:
+    """Merkle-Damgard strengthening: 0x80, zeros, 64-bit bit length."""
+    pad = b"\x80" + b"\x00" * ((55 - message_len) % 64)
+    return pad + struct.pack(">Q", message_len * 8)
+
+
+def _compress(state, block):
+    trace("sha1_compress", n=1)
+    w = list(struct.unpack(">16I", block))
+    for t in range(16, 80):
+        w.append(rotl(w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16], 1, 32))
+    a, b, c, d, e = state
+    for t in range(80):
+        if t < 20:
+            f, k = (b & c) | (~b & d), 0x5A827999
+        elif t < 40:
+            f, k = b ^ c ^ d, 0x6ED9EBA1
+        elif t < 60:
+            f, k = (b & c) | (b & d) | (c & d), 0x8F1BBCDC
+        else:
+            f, k = b ^ c ^ d, 0xCA62C1D6
+        temp = (rotl(a, 5, 32) + (f & _MASK32) + e + k + w[t]) & _MASK32
+        a, b, c, d, e = temp, a, rotl(b, 30, 32), c, d
+    return tuple((s + v) & _MASK32 for s, v in zip(state, (a, b, c, d, e)))
+
+
+class Sha1:
+    """Incremental SHA-1 with the usual update/digest interface."""
+
+    digest_size = 20
+    block_size = 64
+    name = "sha1"
+
+    def __init__(self, data: bytes = b""):
+        self._state = _H0
+        self._buffer = b""
+        self._length = 0
+        if data:
+            self.update(data)
+
+    def update(self, data: bytes) -> "Sha1":
+        self._length += len(data)
+        self._buffer += data
+        while len(self._buffer) >= 64:
+            self._state = _compress(self._state, self._buffer[:64])
+            self._buffer = self._buffer[64:]
+        return self
+
+    def digest(self) -> bytes:
+        state, buffer = self._state, self._buffer + _pad(self._length)
+        for i in range(0, len(buffer), 64):
+            state = _compress(state, buffer[i: i + 64])
+        return struct.pack(">5I", *state)
+
+    def hexdigest(self) -> str:
+        return self.digest().hex()
+
+    def copy(self) -> "Sha1":
+        clone = Sha1()
+        clone._state = self._state
+        clone._buffer = self._buffer
+        clone._length = self._length
+        return clone
+
+
+def sha1(data: bytes) -> bytes:
+    """One-shot SHA-1 digest."""
+    return Sha1(data).digest()

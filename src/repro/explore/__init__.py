@@ -1,0 +1,12 @@
+"""Algorithm design-space exploration (paper Sections 3.2 and 4.3).
+
+Exhaustively evaluates the 450-candidate modular exponentiation space
+(:mod:`repro.crypto.modexp`) using macro-model-based native estimation,
+which the paper shows is orders of magnitude cheaper than evaluating
+candidates on the instruction-set simulator.
+"""
+
+from repro.explore.explorer import (AlgorithmExplorer, ExplorationResult,
+                                    RsaDecryptWorkload)
+
+__all__ = ["AlgorithmExplorer", "ExplorationResult", "RsaDecryptWorkload"]

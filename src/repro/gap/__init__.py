@@ -1,0 +1,8 @@
+"""The security processing gap model (paper Figure 1)."""
+
+from repro.gap.trends import (GapModel, ProcessorNode, WirelessGeneration,
+                              security_processing_mips,
+                              embedded_processor_mips)
+
+__all__ = ["GapModel", "ProcessorNode", "WirelessGeneration",
+           "security_processing_mips", "embedded_processor_mips"]

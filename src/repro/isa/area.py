@@ -1,0 +1,52 @@
+"""Gate-equivalent area model (stand-in for Synopsys DC + NEC CB-11).
+
+The paper derived A-D curve area numbers by synthesizing TIE RTL with
+Design Compiler against the NEC CB-11 0.18 micron library.  We replace
+that flow with a small technology table: each hardware resource class a
+custom instruction can instantiate has a cost in gate equivalents (GE,
+2-input NAND units).  The values are representative textbook figures --
+what matters for the methodology is that the *relative* costs are sane
+(a 32-bit multiplier is ~20x a ripple adder, LUT bits are cheap per
+bit, register bits cost a flop each).
+"""
+
+from typing import Dict
+
+#: Gate-equivalent cost per instance (or per bit where noted).
+TECHNOLOGY_LIBRARY: Dict[str, float] = {
+    "adder32": 320.0,       # 32-bit carry-select adder
+    "adder16": 170.0,
+    "mul32": 6400.0,        # 32x32 -> 64 array multiplier
+    "mul16": 1700.0,        # 16x16 -> 32
+    "xor32": 96.0,          # 32 2-input XORs (3 GE each)
+    "mux32": 64.0,          # 32-bit 2:1 mux
+    "perm64": 1400.0,       # 64-bit static permutation network (wiring + bufs)
+    "perm32": 700.0,
+    "lut_bit": 0.30,        # ROM bit
+    "reg_bit": 6.0,         # flop + mux
+    "gf_mult8": 90.0,       # GF(2^8) constant multiplier slice
+    "control": 150.0,       # decode + sequencing overhead per instruction
+}
+
+
+class AreaModelError(KeyError):
+    """Raised when a custom instruction names an unknown resource."""
+
+
+def area_of(resources: Dict[str, float]) -> float:
+    """Total gate-equivalent area of a resource bag.
+
+    ``resources`` maps resource class -> instance count (or bit count
+    for ``lut_bit`` / ``reg_bit``).
+    """
+    total = 0.0
+    for name, count in resources.items():
+        try:
+            unit = TECHNOLOGY_LIBRARY[name]
+        except KeyError:
+            raise AreaModelError(
+                f"unknown resource {name!r}; known: {sorted(TECHNOLOGY_LIBRARY)}")
+        if count < 0:
+            raise ValueError(f"negative count for resource {name!r}")
+        total += unit * count
+    return total

@@ -1,0 +1,72 @@
+"""Configurable data-cache model for the XT32.
+
+The Xtensa's configurability includes "cache and memory interface
+configuration" (paper Section 2.1).  This is a direct-mapped,
+write-through data cache: hits cost the base load latency, misses add a
+configurable penalty.  It is *off by default* -- the calibrated Table 1
+numbers assume the paper's single-cycle local-memory interface -- and
+is exercised by the cache-sensitivity ablation bench, where the
+table-driven cipher kernels (16 KB of DES SP/IP/FP tables, 4 KB of AES
+T-tables) visibly thrash small caches.
+"""
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+@dataclass
+class CacheConfig:
+    """Geometry + timing of the data cache."""
+
+    size_bytes: int = 8192
+    line_bytes: int = 16
+    miss_penalty: int = 10   # cycles to fill a line from main memory
+
+    def __post_init__(self):
+        for value, name in ((self.size_bytes, "size"),
+                            (self.line_bytes, "line size")):
+            if value <= 0 or value & (value - 1):
+                raise ValueError(f"cache {name} must be a power of two")
+        if self.line_bytes > self.size_bytes:
+            raise ValueError("line size exceeds cache size")
+
+    @property
+    def num_lines(self) -> int:
+        return self.size_bytes // self.line_bytes
+
+
+@dataclass
+class CacheStats:
+    accesses: int = 0
+    misses: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.accesses - self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class DataCache:
+    """Direct-mapped, write-through, write-allocate data cache."""
+
+    def __init__(self, config: CacheConfig):
+        self.config = config
+        self._tags: List[Optional[int]] = [None] * config.num_lines
+        self.stats = CacheStats()
+
+    def access(self, addr: int) -> int:
+        """Record an access; returns the extra cycles (0 on hit)."""
+        line = addr // self.config.line_bytes
+        index = line % self.config.num_lines
+        self.stats.accesses += 1
+        if self._tags[index] == line:
+            return 0
+        self._tags[index] = line
+        self.stats.misses += 1
+        return self.config.miss_penalty
+
+    def flush(self) -> None:
+        self._tags = [None] * self.config.num_lines

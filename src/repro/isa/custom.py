@@ -1,0 +1,518 @@
+"""The candidate custom instruction library (formulation phase output).
+
+Paper Section 3.3: for each performance-critical library routine the
+designer formulates one or more candidate custom instructions, varying
+the hardware resources (adders, multipliers, lookup tables) to create a
+local area-delay tradeoff.  This module is that catalogue:
+
+- ``vaddc_m`` / ``vsubb_m`` -- m-limb memory-to-memory add/sub with a
+  carry/borrow user register (the paper's ``add_2``/``add_4``/``add_8``
+  /``add_16`` family for ``mpn_add_n``).
+- ``vmac_m`` / ``vmsub_m`` / ``vmul1_m`` -- m-limb multiply-accumulate
+  (the ``mul_1`` family for ``mpn_addmul_1`` etc.).
+- ``desld`` / ``desround_s`` / ``desst`` -- DES initial permutation +
+  load, full Feistel round with ``s`` S-box units, final permutation +
+  store.
+- ``aesld`` / ``aesrnd_v`` / ``aesrndl`` / ``aesst`` -- AES state load,
+  full round (``v`` selects S-box/MixColumns parallelism), last round,
+  store.
+
+Semantics execute on the simulator's memory and wide user registers
+and are bit-exact with the reference software implementations (the
+test suite cross-checks them), mirroring how TIE semantics must match
+the C reference.
+
+Latency models assume a dual-word memory port (2 words transferred per
+cycle) and fully pipelined functional units; fewer units time-multiplex
+and cost proportionally more cycles.  This produces the diminishing-
+returns knee the paper's A-D curves show.
+"""
+
+import math
+from typing import List
+
+from repro.isa.extensions import CustomInstruction, ExtensionSet
+
+WORD_MASK = 0xFFFFFFFF
+
+#: Resource sweep points for the multi-limb adder family (paper Fig. 5a).
+ADD_WIDTHS = (2, 4, 8, 16)
+#: Resource sweep points for the multiply-accumulate family (Fig. 5b).
+MAC_WIDTHS = (1, 2, 4, 8)
+#: S-box parallelism sweep for the DES round instruction.
+DES_SBOX_UNITS = (1, 2, 4, 8)
+#: (sbox units, mixcol units) sweep for the AES round instruction.
+AES_VARIANTS = ((4, 1), (8, 2), (16, 4))
+
+
+def _mem_beats(words: int) -> int:
+    """Cycles to move ``words`` over the dual-word memory port."""
+    return max(1, math.ceil(words / 2))
+
+
+# ---------------------------------------------------------------------------
+# Multi-precision vector instructions
+# ---------------------------------------------------------------------------
+
+def make_vaddc(m: int) -> CustomInstruction:
+    """mem[rd..+m] = mem[ra..+m] + mem[rb..+m] + carry; updates carry UR."""
+
+    def semantics(machine, args):
+        rd, ra, rb = args
+        dst = machine.regs[rd]
+        src_a = machine.regs[ra]
+        src_b = machine.regs[rb]
+        carry = machine.user_regs.get("carry", 0)
+        for i in range(m):
+            s = (machine.read_word(src_a + 4 * i)
+                 + machine.read_word(src_b + 4 * i) + carry)
+            machine.write_word(dst + 4 * i, s & WORD_MASK)
+            carry = s >> 32
+        machine.user_regs["carry"] = carry
+
+    # 2 loads + 1 store of m words each, plus 1 cycle in the adder array
+    # and 1 cycle of issue overhead.
+    latency = 2 + 3 * _mem_beats(m)
+    return CustomInstruction(
+        name=f"vaddc_{m}", signature="rrr", semantics=semantics,
+        latency=latency,
+        resources={"adder32": m, "reg_bit": 1 + 32 * m, "control": 1},
+        description=f"{m}-limb add with carry chaining (paper add_{m})")
+
+
+def make_vsubb(m: int) -> CustomInstruction:
+    """mem[rd..+m] = mem[ra..+m] - mem[rb..+m] - borrow; updates borrow UR."""
+
+    def semantics(machine, args):
+        rd, ra, rb = args
+        dst = machine.regs[rd]
+        src_a = machine.regs[ra]
+        src_b = machine.regs[rb]
+        borrow = machine.user_regs.get("borrow", 0)
+        for i in range(m):
+            d = (machine.read_word(src_a + 4 * i)
+                 - machine.read_word(src_b + 4 * i) - borrow)
+            borrow = 1 if d < 0 else 0
+            machine.write_word(dst + 4 * i, d & WORD_MASK)
+        machine.user_regs["borrow"] = borrow
+
+    latency = 2 + 3 * _mem_beats(m)
+    return CustomInstruction(
+        name=f"vsubb_{m}", signature="rrr", semantics=semantics,
+        latency=latency,
+        resources={"adder32": m, "reg_bit": 1 + 32 * m, "control": 1},
+        description=f"{m}-limb subtract with borrow chaining")
+
+
+def make_vmac(m: int) -> CustomInstruction:
+    """mem[rd..+m] += mem[ra..+m] * rb + carry; updates carry UR.
+
+    The inner step of ``mpn_addmul_1``: the hottest operation in
+    public-key processing.
+    """
+
+    def semantics(machine, args):
+        rd, ra, rb = args
+        dst = machine.regs[rd]
+        src = machine.regs[ra]
+        v = machine.regs[rb]
+        carry = machine.user_regs.get("carry", 0)
+        for i in range(m):
+            t = (machine.read_word(dst + 4 * i)
+                 + machine.read_word(src + 4 * i) * v + carry)
+            machine.write_word(dst + 4 * i, t & WORD_MASK)
+            carry = t >> 32
+        machine.user_regs["carry"] = carry
+
+    # read-modify-write of m words (3 transfers) + pipelined multiply array.
+    latency = 3 + 3 * _mem_beats(m)
+    return CustomInstruction(
+        name=f"vmac_{m}", signature="rrr", semantics=semantics,
+        latency=latency,
+        resources={"mul32": m, "adder32": m, "reg_bit": 32 + 32 * m,
+                   "control": 1},
+        description=f"{m}-limb multiply-accumulate (mpn_addmul_1 step)")
+
+
+def make_vmsub(m: int) -> CustomInstruction:
+    """mem[rd..+m] -= mem[ra..+m] * rb - borrow; updates borrow UR."""
+
+    def semantics(machine, args):
+        rd, ra, rb = args
+        dst = machine.regs[rd]
+        src = machine.regs[ra]
+        v = machine.regs[rb]
+        borrow = machine.user_regs.get("borrow", 0)
+        for i in range(m):
+            prod = machine.read_word(src + 4 * i) * v + borrow
+            t = machine.read_word(dst + 4 * i) - (prod & WORD_MASK)
+            borrow = prod >> 32
+            if t < 0:
+                t += 1 << 32
+                borrow += 1
+            machine.write_word(dst + 4 * i, t)
+        machine.user_regs["borrow"] = borrow
+
+    latency = 3 + 3 * _mem_beats(m)
+    return CustomInstruction(
+        name=f"vmsub_{m}", signature="rrr", semantics=semantics,
+        latency=latency,
+        resources={"mul32": m, "adder32": m, "reg_bit": 32 + 32 * m,
+                   "control": 1},
+        description=f"{m}-limb multiply-subtract (mpn_submul_1 step)")
+
+
+def make_vmul1(m: int) -> CustomInstruction:
+    """mem[rd..+m] = mem[ra..+m] * rb + carry; updates carry UR."""
+
+    def semantics(machine, args):
+        rd, ra, rb = args
+        dst = machine.regs[rd]
+        src = machine.regs[ra]
+        v = machine.regs[rb]
+        carry = machine.user_regs.get("carry", 0)
+        for i in range(m):
+            t = machine.read_word(src + 4 * i) * v + carry
+            machine.write_word(dst + 4 * i, t & WORD_MASK)
+            carry = t >> 32
+        machine.user_regs["carry"] = carry
+
+    latency = 3 + 2 * _mem_beats(m)
+    return CustomInstruction(
+        name=f"vmul1_{m}", signature="rrr", semantics=semantics,
+        latency=latency,
+        resources={"mul32": m, "adder32": m, "reg_bit": 32 + 32 * m,
+                   "control": 1},
+        description=f"{m}-limb multiply by a limb (mpn_mul_1 step)")
+
+
+def make_montcfg() -> CustomInstruction:
+    """Configure the Montgomery datapath: m' from ra, limb count from rb."""
+
+    def semantics(machine, args):
+        ra, rb = args
+        machine.user_regs["mprime"] = machine.regs[ra]
+        machine.user_regs["klen"] = machine.regs[rb]
+
+    return CustomInstruction(
+        name="montcfg", signature="rr", semantics=semantics, latency=1,
+        resources={"reg_bit": 64, "control": 1},
+        description="set Montgomery constants (m', k) user registers")
+
+
+def _row_latency(width: int):
+    """Latency of a full k-limb row on a width-limb MAC array."""
+
+    def latency(machine, args):
+        k = machine.user_regs.get("klen", 1)
+        return 4 + math.ceil(k / width) * 3 * _mem_beats(width) + 2
+
+    return latency
+
+
+def make_macrow(width: int) -> CustomInstruction:
+    """One schoolbook row: mem[rd..+k] += mem[ra..+k] * rb, carry into
+    mem[rd+k..] (k from the montcfg user register).
+
+    The fused row instruction removes the per-chunk subroutine overhead
+    of ``vmac``; it is the aggressive TIE candidate that makes the
+    large RSA speedups possible.
+    """
+
+    def semantics(machine, args):
+        rd, ra, rb = args
+        k = machine.user_regs.get("klen", 1)
+        dst = machine.regs[rd]
+        src = machine.regs[ra]
+        v = machine.regs[rb]
+        carry = 0
+        for i in range(k):
+            t = (machine.read_word(dst + 4 * i)
+                 + machine.read_word(src + 4 * i) * v + carry)
+            machine.write_word(dst + 4 * i, t & WORD_MASK)
+            carry = t >> 32
+        j = k
+        while carry:
+            t = machine.read_word(dst + 4 * j) + carry
+            machine.write_word(dst + 4 * j, t & WORD_MASK)
+            carry = t >> 32
+            j += 1
+
+    return CustomInstruction(
+        name=f"macrow_{width}", signature="rrr", semantics=semantics,
+        latency=_row_latency(width),
+        resources={"mul32": width, "adder32": width,
+                   "reg_bit": 96 + 32 * width, "control": 2},
+        description=f"fused k-limb MAC row on a {width}-wide array")
+
+
+def make_montrow(width: int) -> CustomInstruction:
+    """One Montgomery REDC row: u = mem[rd]*m' mod 2^32;
+    mem[rd..+k] += mem[ra..+k] * u with carry propagation above."""
+
+    def semantics(machine, args):
+        rd, ra = args
+        k = machine.user_regs.get("klen", 1)
+        mprime = machine.user_regs.get("mprime", 0)
+        dst = machine.regs[rd]
+        src = machine.regs[ra]
+        u = (machine.read_word(dst) * mprime) & WORD_MASK
+        carry = 0
+        for i in range(k):
+            t = (machine.read_word(dst + 4 * i)
+                 + machine.read_word(src + 4 * i) * u + carry)
+            machine.write_word(dst + 4 * i, t & WORD_MASK)
+            carry = t >> 32
+        j = k
+        while carry:
+            t = machine.read_word(dst + 4 * j) + carry
+            machine.write_word(dst + 4 * j, t & WORD_MASK)
+            carry = t >> 32
+            j += 1
+
+    return CustomInstruction(
+        name=f"montrow_{width}", signature="rr", semantics=semantics,
+        latency=_row_latency(width),
+        resources={"mul32": width, "adder32": width,
+                   "reg_bit": 96 + 32 * width, "control": 2},
+        description=f"fused Montgomery REDC row on a {width}-wide array")
+
+
+def make_vzero() -> CustomInstruction:
+    """Zero 2k+2 words at [rd] (the REDC scratch buffer)."""
+
+    def semantics(machine, args):
+        (rd,) = args
+        k = machine.user_regs.get("klen", 1)
+        dst = machine.regs[rd]
+        for i in range(2 * k + 2):
+            machine.write_word(dst + 4 * i, 0)
+
+    def latency(machine, args):
+        k = machine.user_regs.get("klen", 1)
+        return 1 + _mem_beats(2 * k + 2)
+
+    return CustomInstruction(
+        name="vzero", signature="r", semantics=semantics, latency=latency,
+        resources={"control": 1},
+        description="zero the 2k+2-word Montgomery scratch buffer")
+
+
+def mp_extension_set(add_width: int = 8, mac_width: int = 4) -> ExtensionSet:
+    """A multi-precision extension configuration at the given widths."""
+    return ExtensionSet([
+        make_vaddc(add_width), make_vsubb(add_width),
+        make_vmac(mac_width), make_vmsub(mac_width), make_vmul1(mac_width),
+    ])
+
+
+# ---------------------------------------------------------------------------
+# DES instructions
+# ---------------------------------------------------------------------------
+
+def _des_refs():
+    """Late import to avoid a package cycle at module load."""
+    from repro.crypto import des as _des
+    from repro.crypto import bitops as _bitops
+    return _des, _bitops
+
+
+def make_desld() -> CustomInstruction:
+    """Load an 8-byte block from [ra] and apply IP into the L/R user regs."""
+
+    def semantics(machine, args):
+        (ra,) = args
+        _des, _bitops = _des_refs()
+        block = int.from_bytes(machine.read_bytes(machine.regs[ra], 8), "big")
+        state = _bitops.bit_permute(block, _des._IP, 64)
+        machine.user_regs["des_l"] = (state >> 32) & WORD_MASK
+        machine.user_regs["des_r"] = state & WORD_MASK
+
+    return CustomInstruction(
+        name="desld", signature="r", semantics=semantics, latency=3,
+        resources={"perm64": 1, "reg_bit": 64, "control": 1},
+        description="DES block load + initial permutation")
+
+
+def make_desst() -> CustomInstruction:
+    """Apply the final permutation (with L/R swap) and store at [ra]."""
+
+    def semantics(machine, args):
+        (ra,) = args
+        _des, _bitops = _des_refs()
+        left = machine.user_regs.get("des_l", 0)
+        right = machine.user_regs.get("des_r", 0)
+        preoutput = (right << 32) | left
+        out = _bitops.bit_permute(preoutput, _des._FP, 64)
+        machine.write_bytes(machine.regs[ra], out.to_bytes(8, "big"))
+
+    return CustomInstruction(
+        name="desst", signature="r", semantics=semantics, latency=3,
+        resources={"perm64": 1, "control": 1},
+        description="DES final permutation + block store")
+
+
+def make_desround(sbox_units: int) -> CustomInstruction:
+    """One full Feistel round; subkey (48 bits, two words) read from [ra].
+
+    With ``s`` S-box units the eight S-boxes take ``ceil(8/s)`` cycles;
+    the E and P permutations are wiring.
+    """
+
+    def semantics(machine, args):
+        ra, offset = args
+        _des, _ = _des_refs()
+        addr = machine.regs[ra] + offset
+        subkey = (machine.read_word(addr) << 32) | machine.read_word(addr + 4)
+        left = machine.user_regs.get("des_l", 0)
+        right = machine.user_regs.get("des_r", 0)
+        f_out = _des._feistel(right, subkey & ((1 << 48) - 1))
+        machine.user_regs["des_l"] = right
+        machine.user_regs["des_r"] = left ^ f_out
+
+    latency = 2 + math.ceil(8 / sbox_units)
+    return CustomInstruction(
+        name=f"desround_{sbox_units}", signature="ri", semantics=semantics,
+        latency=latency,
+        resources={"perm64": 1, "perm32": 1, "xor32": 3,
+                   "lut_bit": sbox_units * 64 * 4, "reg_bit": 64,
+                   "control": 1},
+        description=f"DES Feistel round with {sbox_units} S-box unit(s)")
+
+
+def des_extension_set(sbox_units: int = 8) -> ExtensionSet:
+    return ExtensionSet([make_desld(), make_desround(sbox_units), make_desst()])
+
+
+# ---------------------------------------------------------------------------
+# AES instructions
+# ---------------------------------------------------------------------------
+
+def _aes_refs():
+    from repro.crypto import aes as _aes
+    return _aes
+
+
+def make_aesld() -> CustomInstruction:
+    """Load a 16-byte state from [ra] into the AES state user register."""
+
+    def semantics(machine, args):
+        (ra,) = args
+        machine.user_regs["aes_state"] = machine.read_bytes(machine.regs[ra], 16)
+
+    return CustomInstruction(
+        name="aesld", signature="r", semantics=semantics, latency=3,
+        resources={"reg_bit": 128, "control": 1},
+        description="AES state load")
+
+
+def make_aesst() -> CustomInstruction:
+    """Store the AES state user register to [ra]."""
+
+    def semantics(machine, args):
+        (ra,) = args
+        machine.write_bytes(machine.regs[ra], machine.user_regs["aes_state"])
+
+    return CustomInstruction(
+        name="aesst", signature="r", semantics=semantics, latency=3,
+        resources={"control": 1},
+        description="AES state store")
+
+
+def make_aesark() -> CustomInstruction:
+    """state ^= round key at [ra] (the cipher's initial AddRoundKey)."""
+
+    def semantics(machine, args):
+        (ra,) = args
+        key = machine.read_bytes(machine.regs[ra], 16)
+        state = machine.user_regs["aes_state"]
+        machine.user_regs["aes_state"] = bytes(s ^ k for s, k in zip(state, key))
+
+    return CustomInstruction(
+        name="aesark", signature="r", semantics=semantics, latency=3,
+        resources={"xor32": 4, "control": 1},
+        description="AES AddRoundKey on the state user register")
+
+
+def _aes_round_semantics(machine, args, last: bool):
+    (ra,) = args
+    _aes = _aes_refs()
+    round_key = list(machine.read_bytes(machine.regs[ra], 16))
+    state = _aes.Aes._to_state(machine.user_regs["aes_state"])
+    _aes.Aes._sub_bytes(state, _aes.SBOX)
+    _aes.Aes._shift_rows(state)
+    if not last:
+        _aes.Aes._mix_columns(state)
+    _aes.Aes._add_round_key(state, round_key)
+    machine.user_regs["aes_state"] = _aes.Aes._from_state(state)
+
+
+def make_aesrnd(sbox_units: int, mixcol_units: int) -> CustomInstruction:
+    """One full AES round; round key (16 bytes) read from [ra]."""
+
+    def semantics(machine, args):
+        _aes_round_semantics(machine, args, last=False)
+
+    latency = (1 + math.ceil(16 / sbox_units) + math.ceil(4 / mixcol_units)
+               + 1)  # issue + SubBytes + MixColumns + key xor (2 words/cycle
+                     # key fetch overlaps the S-box phase)
+    return CustomInstruction(
+        name=f"aesrnd_{sbox_units}_{mixcol_units}", signature="r",
+        semantics=semantics, latency=latency,
+        resources={"lut_bit": sbox_units * 256 * 8,
+                   "gf_mult8": mixcol_units * 8,
+                   "xor32": 4, "reg_bit": 128, "control": 1},
+        description=(f"AES round with {sbox_units} S-box and "
+                     f"{mixcol_units} MixColumns unit(s)"))
+
+
+def make_aesrndl(sbox_units: int) -> CustomInstruction:
+    """The final AES round (no MixColumns); round key at [ra]."""
+
+    def semantics(machine, args):
+        _aes_round_semantics(machine, args, last=True)
+
+    latency = 1 + math.ceil(16 / sbox_units) + 1
+    return CustomInstruction(
+        name="aesrndl", signature="r", semantics=semantics, latency=latency,
+        resources={"lut_bit": sbox_units * 256 * 8, "xor32": 4,
+                   "control": 1},
+        description=f"AES last round with {sbox_units} S-box unit(s)")
+
+
+def aes_extension_set(sbox_units: int = 8, mixcol_units: int = 2) -> ExtensionSet:
+    return ExtensionSet([
+        make_aesld(), make_aesark(), make_aesrnd(sbox_units, mixcol_units),
+        make_aesrndl(sbox_units), make_aesst(),
+    ])
+
+
+# ---------------------------------------------------------------------------
+# Full platform configurations
+# ---------------------------------------------------------------------------
+
+def full_extension_set(add_width: int = 8, mac_width: int = 4,
+                       des_sbox_units: int = 8, aes_sbox_units: int = 16,
+                       aes_mixcol_units: int = 4) -> ExtensionSet:
+    """The complete optimized security-platform configuration."""
+    full = mp_extension_set(add_width, mac_width)
+    for ci in des_extension_set(des_sbox_units):
+        full.add(ci)
+    for ci in aes_extension_set(aes_sbox_units, aes_mixcol_units):
+        full.add(ci)
+    return full
+
+
+def candidate_catalogue() -> List[CustomInstruction]:
+    """Every candidate instruction the formulation phase produced."""
+    catalogue: List[CustomInstruction] = []
+    catalogue += [make_vaddc(m) for m in ADD_WIDTHS]
+    catalogue += [make_vsubb(m) for m in ADD_WIDTHS]
+    catalogue += [make_vmac(m) for m in MAC_WIDTHS]
+    catalogue += [make_vmsub(m) for m in MAC_WIDTHS]
+    catalogue += [make_vmul1(m) for m in MAC_WIDTHS]
+    catalogue += [make_desround(s) for s in DES_SBOX_UNITS]
+    catalogue += [make_desld(), make_desst()]
+    catalogue += [make_aesrnd(s, m) for s, m in AES_VARIANTS]
+    catalogue += [make_aesrndl(16), make_aesld(), make_aesst()]
+    return catalogue

@@ -1,0 +1,105 @@
+"""TIE-like custom instruction extensions.
+
+The Xtensa lets a designer add instructions described in TIE: each has
+designer-specified semantics executing on dedicated hardware tightly
+coupled to the pipeline.  :class:`CustomInstruction` models one such
+instruction: an opcode with an operand signature, a Python callable for
+its architectural semantics (it may touch registers, wide user
+registers, and memory), a latency in cycles, and the hardware resources
+it instantiates (from which its area is derived).
+
+:class:`ExtensionSet` is the "processor configuration": the set of
+custom instructions compiled into a particular build of the core.  Its
+total area is the hardware overhead that the global selection phase
+trades against cycle count.
+"""
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Iterator, Optional, Union
+
+from repro.isa.area import area_of
+
+#: Latency may depend on the executed operands (e.g. a variable-length op).
+Latency = Union[int, Callable[["object", tuple], int]]
+
+
+@dataclass(frozen=True)
+class CustomInstruction:
+    """One TIE instruction: semantics + latency + hardware resources."""
+
+    name: str
+    signature: str                       # operand signature, e.g. "rrr"
+    semantics: Callable                  # fn(machine, args) -> None
+    latency: Latency = 1
+    resources: Dict[str, float] = field(default_factory=dict)
+    description: str = ""
+
+    def __post_init__(self):
+        if not self.name or not self.name.isidentifier():
+            raise ValueError(f"bad custom instruction name {self.name!r}")
+        if any(c not in "rim" for c in self.signature):
+            raise ValueError(
+                f"{self.name}: signature may only contain r/i/m, got "
+                f"{self.signature!r}")
+
+    @property
+    def area(self) -> float:
+        """Gate-equivalent area of this instruction's dedicated hardware."""
+        return area_of(self.resources)
+
+    def cycle_cost(self, machine, args) -> int:
+        if callable(self.latency):
+            return self.latency(machine, args)
+        return self.latency
+
+    def __hash__(self):
+        return hash(self.name)
+
+
+class ExtensionSet:
+    """A set of custom instructions configured into the processor."""
+
+    def __init__(self, instructions: Iterable[CustomInstruction] = ()):
+        self._instructions: Dict[str, CustomInstruction] = {}
+        for instr in instructions:
+            self.add(instr)
+
+    def add(self, instruction: CustomInstruction) -> None:
+        if instruction.name in self._instructions:
+            raise ValueError(f"duplicate custom instruction {instruction.name!r}")
+        self._instructions[instruction.name] = instruction
+
+    def get(self, name: str) -> Optional[CustomInstruction]:
+        return self._instructions.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instructions
+
+    def __iter__(self) -> Iterator[CustomInstruction]:
+        return iter(self._instructions.values())
+
+    def __len__(self) -> int:
+        return len(self._instructions)
+
+    def signatures(self) -> Dict[str, str]:
+        """opcode -> operand signature map, for the assembler."""
+        return {name: ci.signature for name, ci in self._instructions.items()}
+
+    @property
+    def area(self) -> float:
+        """Total hardware overhead of the configuration.
+
+        Resources are *not* shared across instructions here; sharing is
+        modeled at selection time by dominance reduction (an ``add_4``
+        subsumes an ``add_2``), mirroring the paper's treatment.
+        """
+        return sum(ci.area for ci in self._instructions.values())
+
+    def union(self, other: "ExtensionSet") -> "ExtensionSet":
+        merged = ExtensionSet()
+        for ci in self:
+            merged.add(ci)
+        for ci in other:
+            if ci.name not in merged:
+                merged.add(ci)
+        return merged

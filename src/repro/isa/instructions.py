@@ -1,0 +1,85 @@
+"""The XT32 base instruction set and its cycle cost model.
+
+A small RISC ISA in the spirit of the Xtensa's 32-bit core: sixteen
+registers (``r0`` hardwired to zero, ``r13`` stack pointer by
+convention, ``r14`` link register), three-operand ALU instructions,
+32x32 multiply with separate low/high results, byte and word memory
+access, and compare-and-branch.
+
+Cycle costs model a simple in-order pipeline: single-cycle ALU,
+two-cycle multiply and loads, taken branches flush (3 cycles).  The
+numbers are representative of late-1990s embedded cores; what matters
+for the reproduction is that they are *consistent*, so base-vs-extended
+ratios are meaningful.
+"""
+
+NUM_REGS = 16
+ZERO_REG = 0
+SP_REG = 13
+LINK_REG = 14
+WORD_MASK = 0xFFFFFFFF
+
+#: opcode -> (operand signature, base cycle cost)
+#: signatures: r = register, i = immediate, m = offset(reg) memory operand,
+#:             l = label (branch/jump target)
+BASE_ISA = {
+    # moves / immediates
+    "li":    ("ri", 1),
+    "mov":   ("rr", 1),
+    # ALU register-register
+    "add":   ("rrr", 1),
+    "sub":   ("rrr", 1),
+    "and":   ("rrr", 1),
+    "or":    ("rrr", 1),
+    "xor":   ("rrr", 1),
+    "sll":   ("rrr", 1),
+    "srl":   ("rrr", 1),
+    "sra":   ("rrr", 1),
+    "sltu":  ("rrr", 1),
+    "slt":   ("rrr", 1),
+    # ALU register-immediate
+    "addi":  ("rri", 1),
+    "subi":  ("rri", 1),
+    "andi":  ("rri", 1),
+    "ori":   ("rri", 1),
+    "xori":  ("rri", 1),
+    "slli":  ("rri", 1),
+    "srli":  ("rri", 1),
+    "srai":  ("rri", 1),
+    "sltui": ("rri", 1),
+    # multiply (2-cycle, as on cores with a hardware multiplier option)
+    "mul":   ("rrr", 2),
+    "mulhu": ("rrr", 2),
+    # memory
+    "lw":    ("rm", 2),
+    "lb":    ("rm", 2),
+    "sw":    ("rm", 1),
+    "sb":    ("rm", 1),
+    # control flow
+    "beq":   ("rrl", 1),   # +BRANCH_TAKEN_PENALTY when taken
+    "bne":   ("rrl", 1),
+    "blt":   ("rrl", 1),
+    "bge":   ("rrl", 1),
+    "bltu":  ("rrl", 1),
+    "bgeu":  ("rrl", 1),
+    "j":     ("l", 3),
+    "jal":   ("l", 3),
+    "jr":    ("r", 3),
+    "halt":  ("", 1),
+}
+
+#: Extra cycles charged when a conditional branch is taken.
+BRANCH_TAKEN_PENALTY = 2
+
+BRANCH_OPS = frozenset({"beq", "bne", "blt", "bge", "bltu", "bgeu"})
+
+
+def to_signed(value: int) -> int:
+    """Interpret a 32-bit pattern as a signed integer."""
+    value &= WORD_MASK
+    return value - (1 << 32) if value & 0x80000000 else value
+
+
+def to_unsigned(value: int) -> int:
+    """Truncate to a 32-bit unsigned pattern."""
+    return value & WORD_MASK

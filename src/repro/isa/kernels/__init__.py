@@ -1,0 +1,25 @@
+"""XT32 assembly kernels for the library leaf routines.
+
+Each kernel exists in a base-ISA variant and (where the formulation
+phase produced custom instructions) an extended-ISA variant.  Host-side
+runner helpers marshal Python values into simulator memory, execute the
+kernel, and return results plus cycle counts; the test suite checks the
+kernels bit-exact against the reference Python implementations, and the
+characterization phase fits macro-models to their cycle counts.
+"""
+
+from repro.isa.assembler import assemble
+from repro.isa.machine import Machine
+
+
+class KernelRunner:
+    """Assembles a kernel source once and spawns fresh machines per run."""
+
+    def __init__(self, source: str, extensions=None, mem_size: int = 1 << 20):
+        self.source = source
+        self.extensions = extensions
+        self.mem_size = mem_size
+        self.program = assemble(source, extensions)
+
+    def machine(self) -> Machine:
+        return Machine(self.program, self.extensions, self.mem_size)

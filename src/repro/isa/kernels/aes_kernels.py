@@ -1,0 +1,231 @@
+"""XT32 AES block kernels: T-table base-ISA software and extended ISA.
+
+The base variant is the classic 32-bit software AES: four 1 KB
+"T-tables" combine SubBytes, ShiftRows and MixColumns into four word
+lookups plus XORs per output column (this is how well-optimized
+software AES of the paper's era worked -- AES was *designed* to allow
+it, which is also why the paper's AES speedup, 17.4x, is the smallest
+of the block ciphers).  The last round uses plain S-box lookups.
+
+The extended variant uses the ``aesld`` / ``aesark`` / ``aesrnd_s_m`` /
+``aesrndl`` / ``aesst`` custom instructions.
+"""
+
+from typing import List, Tuple
+
+from repro.crypto import bitops
+from repro.crypto.aes import Aes, SBOX
+from repro.isa.custom import aes_extension_set
+from repro.isa.kernels import KernelRunner
+
+_ROUNDS = {16: 10, 24: 12, 32: 14}
+
+
+# ---------------------------------------------------------------------------
+# Host-side table construction
+# ---------------------------------------------------------------------------
+
+def build_t_tables() -> List[List[int]]:
+    """The four combined SubBytes+MixColumns tables T0..T3."""
+    t0, t1, t2, t3 = [], [], [], []
+    for x in range(256):
+        s = SBOX[x]
+        s2 = bitops.gf256_mul(s, 2)
+        s3 = bitops.gf256_mul(s, 3)
+        t0.append((s2 << 24) | (s << 16) | (s << 8) | s3)
+        t1.append((s3 << 24) | (s2 << 16) | (s << 8) | s)
+        t2.append((s << 24) | (s3 << 16) | (s2 << 8) | s)
+        t3.append((s << 24) | (s << 16) | (s3 << 8) | s2)
+    return [t0, t1, t2, t3]
+
+
+def key_schedule_words(key: bytes) -> List[List[int]]:
+    """Round keys as 4 column words each (byte r at bit 24-8r of col c)."""
+    schedule = []
+    for rk in Aes(key).round_keys:
+        schedule.append([
+            (rk[4 * c] << 24) | (rk[4 * c + 1] << 16)
+            | (rk[4 * c + 2] << 8) | rk[4 * c + 3]
+            for c in range(4)])
+    return schedule
+
+
+def reference_round_cols(cols: List[int], rk_cols: List[int]) -> List[int]:
+    """T-table round on column words; used to assert the identity."""
+    tables = build_t_tables()
+    out = []
+    for c in range(4):
+        word = rk_cols[c]
+        word ^= tables[0][(cols[c] >> 24) & 255]
+        word ^= tables[1][(cols[(c + 1) % 4] >> 16) & 255]
+        word ^= tables[2][(cols[(c + 2) % 4] >> 8) & 255]
+        word ^= tables[3][cols[(c + 3) % 4] & 255]
+        out.append(word)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Base-ISA kernel
+# ---------------------------------------------------------------------------
+
+_STATE_REGS = ["r7", "r8", "r9", "r10"]
+
+
+def _ttable_col(c: int) -> str:
+    """Assembly producing output column c into r15, stored to scratch."""
+    lines = [f"    lw   r15, {4 * c}(r3)\n"]
+    for t in range(4):
+        src = _STATE_REGS[(c + t) % 4]
+        shift = 24 - 8 * t
+        if shift:
+            lines.append(f"    srli r11, {src}, {shift}\n")
+            if t:
+                lines.append("    andi r11, r11, 255\n")
+        else:
+            lines.append(f"    andi r11, {src}, 255\n")
+        lines.append("    slli r11, r11, 2\n")
+        lines.append("    add  r11, r11, r4\n")
+        lines.append(f"    lw   r12, {1024 * t}(r11)\n")
+        lines.append("    xor  r15, r15, r12\n")
+    lines.append(f"    sw   r15, {4 * c}(r2)\n")
+    return "".join(lines)
+
+
+def _last_round_col(c: int) -> str:
+    """Assembly for one final-round column (S-box only), result in r15."""
+    lines = [f"    lw   r15, {4 * c}(r3)\n"]
+    for t in range(4):
+        src = _STATE_REGS[(c + t) % 4]
+        shift = 24 - 8 * t
+        if shift:
+            lines.append(f"    srli r11, {src}, {shift}\n")
+            if t:
+                lines.append("    andi r11, r11, 255\n")
+        else:
+            lines.append(f"    andi r11, {src}, 255\n")
+        lines.append("    add  r11, r11, r5\n")
+        lines.append("    lb   r12, 0(r11)\n")
+        if shift:
+            lines.append(f"    slli r12, r12, {shift}\n")
+        lines.append("    xor  r15, r15, r12\n")
+    # store the 4 bytes of the column big-endian
+    lines.append("    srli r12, r15, 24\n")
+    lines.append(f"    sb   r12, {4 * c}(r2)\n")
+    lines.append("    srli r12, r15, 16\n")
+    lines.append(f"    sb   r12, {4 * c + 1}(r2)\n")
+    lines.append("    srli r12, r15, 8\n")
+    lines.append(f"    sb   r12, {4 * c + 2}(r2)\n")
+    lines.append(f"    sb   r15, {4 * c + 3}(r2)\n")
+    return "".join(lines)
+
+
+def base_source() -> str:
+    """aes_encrypt: r1=in r2=out/scratch r3=roundkeys r4=Ttabs r5=sbox r6=Nr."""
+    load_state = "".join(
+        f"    lb   r12, {4 * c}(r1)\n"
+        f"    slli {_STATE_REGS[c]}, r12, 24\n"
+        f"    lb   r12, {4 * c + 1}(r1)\n"
+        "    slli r12, r12, 16\n"
+        f"    or   {_STATE_REGS[c]}, {_STATE_REGS[c]}, r12\n"
+        f"    lb   r12, {4 * c + 2}(r1)\n"
+        "    slli r12, r12, 8\n"
+        f"    or   {_STATE_REGS[c]}, {_STATE_REGS[c]}, r12\n"
+        f"    lb   r12, {4 * c + 3}(r1)\n"
+        f"    or   {_STATE_REGS[c]}, {_STATE_REGS[c]}, r12\n"
+        f"    lw   r12, {4 * c}(r3)\n"
+        f"    xor  {_STATE_REGS[c]}, {_STATE_REGS[c]}, r12\n"
+        for c in range(4))
+    main_round = "".join(_ttable_col(c) for c in range(4))
+    reload_state = "".join(
+        f"    lw   {_STATE_REGS[c]}, {4 * c}(r2)\n" for c in range(4))
+    last_round = "".join(_last_round_col(c) for c in range(4))
+    return f"""
+aes_encrypt:
+    # ---- load state into column words, initial AddRoundKey ----
+{load_state}
+    addi r3, r3, 16
+    subi r1, r6, 1        # r1 now the main-round counter
+aes_round_loop:
+    # ---- one T-table round; new columns staged through [r2] ----
+{main_round}
+{reload_state}
+    addi r3, r3, 16
+    subi r1, r1, 1
+    bne  r1, r0, aes_round_loop
+    # ---- final round: S-box lookups, bytes stored to [r2] ----
+{last_round}
+    jr   r14
+"""
+
+
+def ext_source(rounds: int, sbox_units: int = 8, mixcol_units: int = 2) -> str:
+    """aes_encrypt: r1=in r2=out r3=roundkeys (byte layout), unrolled."""
+    body = "".join(
+        f"    aesrnd_{sbox_units}_{mixcol_units} r3\n    addi r3, r3, 16\n"
+        for _ in range(rounds - 1))
+    return f"""
+aes_encrypt:
+    aesld r1
+    aesark r3
+    addi r3, r3, 16
+{body}
+    aesrndl r3
+    aesst r2
+    jr   r14
+"""
+
+
+# ---------------------------------------------------------------------------
+# Host runners
+# ---------------------------------------------------------------------------
+
+class AesKernel:
+    """AES block encryption on the simulator (base or extended ISA)."""
+
+    def __init__(self, extended: bool = False, key_bytes: int = 16,
+                 sbox_units: int = 8, mixcol_units: int = 2):
+        self.extended = extended
+        self.rounds = _ROUNDS[key_bytes]
+        if extended:
+            self.runner = KernelRunner(
+                ext_source(self.rounds, sbox_units, mixcol_units),
+                aes_extension_set(sbox_units, mixcol_units))
+        else:
+            self.runner = KernelRunner(base_source())
+            self._t_flat = [w for tab in build_t_tables() for w in tab]
+
+    def encrypt_block(self, block: bytes, key: bytes) -> Tuple[bytes, int]:
+        """Encrypt one 16-byte block; returns (ciphertext, cycles)."""
+        if _ROUNDS[len(key)] != self.rounds:
+            raise ValueError("key length does not match the kernel's rounds")
+        machine = self.runner.machine()
+        in_addr = machine.alloc(16)
+        machine.write_bytes(in_addr, block)
+        out_addr = machine.alloc(16)
+        if self.extended:
+            rk_addr = machine.alloc(16 * (self.rounds + 1))
+            flat = b"".join(bytes(rk) for rk in Aes(key).round_keys)
+            machine.write_bytes(rk_addr, flat)
+            machine.run("aes_encrypt", [in_addr, out_addr, rk_addr])
+        else:
+            rk_addr = machine.alloc(16 * (self.rounds + 1))
+            words = [w for rk in key_schedule_words(key) for w in rk]
+            machine.write_words(rk_addr, words)
+            t_addr = machine.alloc(4 * len(self._t_flat))
+            machine.write_words(t_addr, self._t_flat)
+            sbox_addr = machine.alloc(256)
+            machine.write_bytes(sbox_addr, bytes(SBOX))
+            machine.run("aes_encrypt", [in_addr, out_addr, rk_addr,
+                                        t_addr, sbox_addr, self.rounds])
+        return machine.read_bytes(out_addr, 16), machine.cycles
+
+    def cycles_per_byte(self, blocks: int = 4) -> float:
+        """Steady-state cycles/byte over a few blocks."""
+        key = bytes(range(16 if self.rounds == 10 else
+                          24 if self.rounds == 12 else 32))
+        total = 0
+        for i in range(blocks):
+            block = bytes((b * 17 + i) & 0xFF for b in range(16))
+            _, cycles = self.encrypt_block(block, key)
+            total += cycles
+        return total / (16 * blocks)

@@ -1,0 +1,139 @@
+"""XT32 SHA-1 compression kernel (base ISA only).
+
+Hashing belongs to the *miscellaneous* SSL workload component: the
+platform's selected custom instructions do not accelerate it, which is
+what caps the large-transaction SSL speedup in the paper's Figure 8.
+Only a base-ISA kernel exists, and both platform configurations charge
+the same cycles for it.
+"""
+
+from typing import List, Tuple
+
+from repro.isa.kernels import KernelRunner
+
+_ROUND_BLOCKS = [
+    # (k constant, f-function assembly computing f(b,c,d) into r12)
+    (0x5A827999,
+     "    and  r12, r6, r7\n"
+     "    xori r15, r6, -1\n"
+     "    and  r15, r15, r8\n"
+     "    or   r12, r12, r15\n"),
+    (0x6ED9EBA1,
+     "    xor  r12, r6, r7\n"
+     "    xor  r12, r12, r8\n"),
+    (0x8F1BBCDC,
+     "    and  r12, r6, r7\n"
+     "    and  r15, r6, r8\n"
+     "    or   r12, r12, r15\n"
+     "    and  r15, r7, r8\n"
+     "    or   r12, r12, r15\n"),
+    (0xCA62C1D6,
+     "    xor  r12, r6, r7\n"
+     "    xor  r12, r12, r8\n"),
+]
+
+
+def _round_loop(idx: int, k: int, f_code: str) -> str:
+    return f"""
+    li   r4, {k:#x}
+    li   r10, 20
+sha1_rounds_{idx}:
+    slli r11, r5, 5
+    srli r12, r5, 27
+    or   r11, r11, r12
+    add  r11, r11, r9
+    add  r11, r11, r4
+    lw   r12, 0(r2)
+    add  r11, r11, r12
+{f_code}    add  r11, r11, r12
+    mov  r9, r8
+    mov  r8, r7
+    slli r7, r6, 30
+    srli r12, r6, 2
+    or   r7, r7, r12
+    mov  r6, r5
+    mov  r5, r11
+    addi r2, r2, 4
+    subi r10, r10, 1
+    bne  r10, r0, sha1_rounds_{idx}
+"""
+
+
+def source() -> str:
+    """sha1_compress: r1=state ptr (5 words), r2=W ptr (80 words, first
+    16 filled with the big-endian message words)."""
+    rounds = "".join(_round_loop(i, k, f)
+                     for i, (k, f) in enumerate(_ROUND_BLOCKS))
+    return f"""
+sha1_compress:
+    # ---- message schedule expansion: W[16..79] ----
+    addi r2, r2, 64       # point at W[16]
+    li   r10, 64
+sha1_sched:
+    lw   r11, -12(r2)     # W[t-3]
+    lw   r12, -32(r2)     # W[t-8]
+    xor  r11, r11, r12
+    lw   r12, -56(r2)     # W[t-14]
+    xor  r11, r11, r12
+    lw   r12, -64(r2)     # W[t-16]
+    xor  r11, r11, r12
+    slli r12, r11, 1
+    srli r11, r11, 31
+    or   r11, r11, r12
+    sw   r11, 0(r2)
+    addi r2, r2, 4
+    subi r10, r10, 1
+    bne  r10, r0, sha1_sched
+    subi r2, r2, 320      # rewind to W[0]
+    # ---- load working variables a..e = r5..r9 ----
+    lw   r5, 0(r1)
+    lw   r6, 4(r1)
+    lw   r7, 8(r1)
+    lw   r8, 12(r1)
+    lw   r9, 16(r1)
+{rounds}
+    # ---- add back into the state ----
+    lw   r11, 0(r1)
+    add  r11, r11, r5
+    sw   r11, 0(r1)
+    lw   r11, 4(r1)
+    add  r11, r11, r6
+    sw   r11, 4(r1)
+    lw   r11, 8(r1)
+    add  r11, r11, r7
+    sw   r11, 8(r1)
+    lw   r11, 12(r1)
+    add  r11, r11, r8
+    sw   r11, 12(r1)
+    lw   r11, 16(r1)
+    add  r11, r11, r9
+    sw   r11, 16(r1)
+    jr   r14
+"""
+
+
+class Sha1Kernel:
+    """Host runner for the SHA-1 compression kernel."""
+
+    def __init__(self):
+        self.runner = KernelRunner(source())
+
+    def compress(self, state: List[int], block: bytes) -> Tuple[List[int], int]:
+        """One compression round: returns (new 5-word state, cycles)."""
+        if len(block) != 64:
+            raise ValueError("SHA-1 block must be 64 bytes")
+        machine = self.runner.machine()
+        state_addr = machine.alloc(20)
+        machine.write_words(state_addr, state)
+        w_addr = machine.alloc(4 * 80)
+        words = [int.from_bytes(block[4 * i: 4 * i + 4], "big")
+                 for i in range(16)]
+        machine.write_words(w_addr, words)
+        machine.run("sha1_compress", [state_addr, w_addr])
+        return machine.read_words(state_addr, 5), machine.cycles
+
+    def cycles_per_byte(self) -> float:
+        """Steady-state hashing cost (one block / 64 bytes)."""
+        _, cycles = self.compress([0x67452301, 0xEFCDAB89, 0x98BADCFE,
+                                   0x10325476, 0xC3D2E1F0], bytes(64))
+        return cycles / 64.0

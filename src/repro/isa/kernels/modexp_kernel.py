@@ -1,0 +1,392 @@
+"""A complete Montgomery modular exponentiation on the XT32 simulator.
+
+This is the reproduction's end-to-end public-key ISS workload: a
+left-to-right binary square-and-multiply in the Montgomery domain,
+composed from the mpn kernels (``mpn_mul_1`` / ``mpn_addmul_1`` /
+``mpn_sub_n``) via subroutine calls.  It serves three purposes:
+
+1. **Figure 4** -- running it under the profiler yields the annotated
+   call graph (modexp -> mont_mul -> mul_basecase -> mpn_addmul_1 ...)
+   with call counts and local cycles.
+2. **Section 4.3** -- its ISS cycle count is the ground truth that the
+   macro-model estimate (native run of the same algorithm with fitted
+   per-routine models) is validated against, and its ISS wall-clock
+   time is the cost that macro-modeling is shown to avoid.
+3. **Table 1 (RSA rows)** -- base-vs-extended ISS runs give the
+   hardware component of the RSA speedup.
+
+The driver works for any limb count k; the host supplies a context
+block and pre-computed Montgomery constants (m', R^2 mod m).
+
+Context block layout (word offsets):
+    0: k (limbs)        4: m'              8: &m        12: &exp
+   16: exponent bits   20: &x (accum)     24: &base    28: &t (2k+2)
+   32: &r2             36: &scratch (k+1)
+"""
+
+from typing import Tuple
+
+from repro.isa.kernels import KernelRunner
+from repro.isa.kernels import mpn_kernels
+from repro.mp import Mpz, mpn
+from repro.mp.limb import RADIX32
+
+MONT_MUL_BASE = """
+# ===== mont_mul: r1=&dst r2=&a r3=&b (k limbs each); ctx in memory =====
+# Computes dst = REDC(a*b).  Uses the t scratch buffer from the context.
+# Context pointer lives at a fixed stack slot set up by modexp.
+mont_mul:
+    subi r13, r13, 32
+    sw   r14, 0(r13)
+    sw   r1, 4(r13)          # &dst
+    sw   r2, 8(r13)          # &a
+    sw   r3, 12(r13)         # &b
+    sw   r4, 24(r13)         # &ctx (callees clobber r4)
+    # ---- zero t[0 .. 2k+1] ----
+    lw   r5, 28(r4)          # &t
+    lw   r6, 0(r4)           # k
+    slli r7, r6, 1
+    addi r7, r7, 2           # 2k+2 words
+zero_loop:
+    sw   r0, 0(r5)
+    addi r5, r5, 4
+    subi r7, r7, 1
+    bne  r7, r0, zero_loop
+    # ---- t = a * b (schoolbook: k calls to mpn_addmul_1) ----
+    li   r8, 0               # j
+mul_col_loop:
+    lw   r6, 0(r4)           # k
+    bgeu r8, r6, mul_done
+    sw   r8, 16(r13)         # save j
+    lw   r1, 28(r4)          # t
+    slli r9, r8, 2
+    add  r1, r1, r9          # rp = t + 4j
+    lw   r2, 8(r13)          # up = a
+    lw   r3, 12(r13)         # &b
+    add  r3, r3, r9
+    lw   r3, 0(r3)           # v = b[j]
+    mov  r4, r6              # n = k  (r4 repurposed as arg!)
+    jal  mpn_addmul_1
+    # store carry at t[j+k]
+    lw   r4, 24(r13)         # restore &ctx (see modexp prologue)
+    lw   r8, 16(r13)         # j
+    lw   r6, 0(r4)           # k
+    add  r9, r8, r6
+    slli r9, r9, 2
+    lw   r10, 28(r4)         # t
+    add  r9, r9, r10
+    lw   r10, 0(r9)
+    add  r10, r10, r1        # += carry (cannot overflow: t[j+k] was 0..)
+    sw   r10, 0(r9)
+    addi r8, r8, 1
+    j    mul_col_loop
+mul_done:
+    # ---- REDC: for i in 0..k-1: u = t[i]*m'; t += u*m << i ----
+    li   r8, 0               # i
+redc_loop:
+    lw   r6, 0(r4)           # k
+    bgeu r8, r6, redc_final
+    sw   r8, 16(r13)
+    lw   r10, 28(r4)         # t
+    slli r9, r8, 2
+    add  r10, r10, r9
+    lw   r11, 0(r10)         # t[i]
+    lw   r12, 4(r4)          # m'
+    mul  r3, r11, r12        # u
+    mov  r1, r10             # rp = t + 4i
+    lw   r2, 8(r4)           # up = m
+    mov  r4, r6              # n = k
+    jal  mpn_addmul_1
+    lw   r4, 24(r13)         # &ctx
+    lw   r8, 16(r13)         # i
+    # propagate carry (r1) into t[i+k], t[i+k+1], ...
+    lw   r6, 0(r4)
+    add  r9, r8, r6
+    slli r9, r9, 2
+    lw   r10, 28(r4)
+    add  r9, r9, r10         # &t[i+k]
+carry_loop:
+    beq  r1, r0, carry_done
+    lw   r10, 0(r9)
+    add  r10, r10, r1
+    sltu r1, r10, r1         # carry out
+    sw   r10, 0(r9)
+    addi r9, r9, 4
+    j    carry_loop
+carry_done:
+    addi r8, r8, 1
+    j    redc_loop
+redc_final:
+    # ---- result = t[k .. 2k); subtract m if (t[2k] or result >= m) ----
+    lw   r6, 0(r4)           # k
+    lw   r7, 28(r4)          # t
+    slli r9, r6, 2
+    add  r7, r7, r9          # &t[k]
+    slli r9, r6, 3
+    lw   r10, 28(r4)
+    add  r10, r10, r9        # &t[2k]
+    lw   r10, 0(r10)
+    bne  r10, r0, do_subtract
+    # compare t[k..2k) with m from the top limb down
+    lw   r11, 8(r4)          # &m
+    mov  r12, r6             # idx = k
+cmp_loop:
+    beq  r12, r0, do_subtract    # equal -> subtract
+    subi r12, r12, 1
+    slli r9, r12, 2
+    add  r10, r7, r9
+    lw   r10, 0(r10)         # t[k+idx]
+    add  r15, r11, r9
+    lw   r15, 0(r15)         # m[idx]
+    bltu r10, r15, no_subtract
+    bltu r15, r10, do_subtract
+    j    cmp_loop
+do_subtract:
+    lw   r1, 4(r13)          # dst
+    mov  r2, r7              # t[k..]
+    lw   r3, 8(r4)           # m
+    mov  r4, r6              # n = k
+    jal  mpn_sub_n
+    lw   r4, 24(r13)
+    j    mont_done
+no_subtract:
+    # copy t[k..2k) to dst
+    lw   r1, 4(r13)
+    mov  r12, r6
+copy_loop:
+    beq  r12, r0, mont_done
+    lw   r10, 0(r7)
+    sw   r10, 0(r1)
+    addi r7, r7, 4
+    addi r1, r1, 4
+    subi r12, r12, 1
+    j    copy_loop
+mont_done:
+    lw   r14, 0(r13)
+    addi r13, r13, 32
+    jr   r14
+"""
+
+MODEXP_SECTION = """
+# ===== modexp: r1 = &ctx ==============================================
+# x (accumulator, pre-seeded by the host with R mod m via REDC(R^2))
+# is raised in the Montgomery domain; the final REDC back to the
+# normal domain is performed by mont_mul against the host-provided
+# one vector (scratch holds 1, 0, 0, ...).
+modexp:
+    subi r13, r13, 32
+    sw   r14, 0(r13)
+    mov  r4, r1              # &ctx in r4
+    sw   r4, 28(r13)         # own slot (24 is mont_mul's convention)
+    # convert base to the Montgomery domain: base = REDC(base * R^2)
+    lw   r1, 24(r4)          # &base
+    lw   r2, 24(r4)
+    lw   r3, 32(r4)          # &r2
+    jal  mont_mul
+    lw   r4, 28(r13)
+    # main left-to-right binary loop over exponent bits
+    lw   r8, 16(r4)          # bit index = ebits
+exp_loop:
+    beq  r8, r0, exp_done
+    subi r8, r8, 1
+    sw   r8, 8(r13)
+    # x = mont_mul(x, x)
+    lw   r1, 20(r4)
+    lw   r2, 20(r4)
+    lw   r3, 20(r4)
+    jal  mont_mul
+    lw   r4, 28(r13)
+    lw   r8, 8(r13)
+    # test exponent bit r8
+    srli r9, r8, 5           # word index
+    slli r9, r9, 2
+    lw   r10, 12(r4)         # &exp
+    add  r10, r10, r9
+    lw   r10, 0(r10)
+    andi r11, r8, 31
+    srl  r10, r10, r11
+    andi r10, r10, 1
+    beq  r10, r0, exp_loop
+    # x = mont_mul(x, base)
+    lw   r1, 20(r4)
+    lw   r2, 20(r4)
+    lw   r3, 24(r4)
+    jal  mont_mul
+    lw   r4, 28(r13)
+    lw   r8, 8(r13)
+    j    exp_loop
+exp_done:
+    # convert out of the Montgomery domain: x = REDC(x * 1)
+    lw   r1, 20(r4)
+    lw   r2, 20(r4)
+    lw   r3, 36(r4)          # &one
+    jal  mont_mul
+    lw   r14, 0(r13)
+    addi r13, r13, 32
+    jr   r14
+"""
+
+
+def mont_mul_ext(mac_width: int) -> str:
+    """Extended-ISA mont_mul using the fused row instructions.
+
+    Each schoolbook row is one ``macrow`` instruction and each REDC
+    iteration one ``montrow``; only the final conditional subtract
+    still calls the (extended) ``mpn_sub_n`` kernel.
+    """
+    return f"""
+mont_mul:
+    subi r13, r13, 32
+    sw   r14, 0(r13)
+    sw   r1, 4(r13)          # &dst
+    sw   r2, 8(r13)          # &a
+    sw   r3, 12(r13)         # &b
+    sw   r4, 24(r13)         # &ctx
+    # configure the Montgomery datapath user registers
+    lw   r5, 4(r4)           # m'
+    lw   r6, 0(r4)           # k
+    montcfg r5, r6
+    lw   r5, 28(r4)          # &t
+    vzero r5
+    # ---- t = a * b: one macrow per multiplier limb ----
+    li   r8, 0
+emul_loop:
+    bgeu r8, r6, emul_done
+    slli r9, r8, 2
+    lw   r10, 28(r4)
+    add  r10, r10, r9        # &t[j]
+    lw   r11, 12(r13)        # &b
+    add  r11, r11, r9
+    lw   r11, 0(r11)         # b[j]
+    lw   r12, 8(r13)         # &a
+    macrow_{mac_width} r10, r12, r11
+    addi r8, r8, 1
+    j    emul_loop
+emul_done:
+    # ---- REDC: one montrow per iteration ----
+    li   r8, 0
+eredc_loop:
+    bgeu r8, r6, eredc_done
+    slli r9, r8, 2
+    lw   r10, 28(r4)
+    add  r10, r10, r9        # &t[i]
+    lw   r12, 8(r4)          # &m
+    montrow_{mac_width} r10, r12
+    addi r8, r8, 1
+    j    eredc_loop
+eredc_done:
+    # ---- result = t[k .. 2k); subtract m if needed (as base) ----
+    lw   r6, 0(r4)           # k
+    lw   r7, 28(r4)          # t
+    slli r9, r6, 2
+    add  r7, r7, r9          # &t[k]
+    slli r9, r6, 3
+    lw   r10, 28(r4)
+    add  r10, r10, r9
+    lw   r10, 0(r10)         # t[2k]
+    bne  r10, r0, edo_subtract
+    lw   r11, 8(r4)          # &m
+    mov  r12, r6
+ecmp_loop:
+    beq  r12, r0, edo_subtract
+    subi r12, r12, 1
+    slli r9, r12, 2
+    add  r10, r7, r9
+    lw   r10, 0(r10)
+    add  r15, r11, r9
+    lw   r15, 0(r15)
+    bltu r10, r15, eno_subtract
+    bltu r15, r10, edo_subtract
+    j    ecmp_loop
+edo_subtract:
+    lw   r1, 4(r13)
+    mov  r2, r7
+    lw   r3, 8(r4)
+    mov  r4, r6
+    jal  mpn_sub_n
+    lw   r4, 24(r13)
+    j    emont_done
+eno_subtract:
+    lw   r1, 4(r13)
+    mov  r12, r6
+ecopy_loop:
+    beq  r12, r0, emont_done
+    lw   r10, 0(r7)
+    sw   r10, 0(r1)
+    addi r7, r7, 4
+    addi r1, r1, 4
+    subi r12, r12, 1
+    j    ecopy_loop
+emont_done:
+    lw   r14, 0(r13)
+    addi r13, r13, 32
+    jr   r14
+"""
+
+
+class ModExpKernel:
+    """Host runner for the full ISS modular exponentiation."""
+
+    def __init__(self, add_width: int = 0, mac_width: int = 0):
+        """Widths of 0 run on the base ISA; otherwise the extended ISA."""
+        self.extended = bool(add_width and mac_width)
+        if self.extended:
+            from repro.isa.custom import (make_macrow, make_montcfg,
+                                          make_montrow, make_vzero)
+            extensions = mpn_kernels.mp_kernel_extensions(add_width, mac_width)
+            for instr in (make_montcfg(), make_macrow(mac_width),
+                          make_montrow(mac_width), make_vzero()):
+                extensions.add(instr)
+            source = (mont_mul_ext(mac_width) + MODEXP_SECTION
+                      + mpn_kernels.ext_source(add_width, mac_width))
+        else:
+            extensions = None
+            source = (MONT_MUL_BASE + MODEXP_SECTION
+                      + mpn_kernels.BASE_SOURCE)
+        self.runner = KernelRunner(source, extensions, mem_size=1 << 20)
+
+    def powm(self, base: int, exponent: int, modulus: int
+             ) -> Tuple[int, int, object]:
+        """Compute base^exponent mod modulus on the simulator.
+
+        Returns (result, cycles, profile).  The modulus must be odd
+        (Montgomery) and the exponent positive.
+        """
+        if modulus <= 0 or modulus % 2 == 0:
+            raise ValueError("modulus must be positive and odd")
+        if exponent <= 0:
+            raise ValueError("exponent must be positive")
+        m = Mpz(modulus, RADIX32)
+        k = len(mpn.normalize(m.limbs))
+        base_limbs = mpn.from_int(base % modulus, RADIX32)
+        base_limbs += [0] * (k - len(base_limbs))
+        r = 1 << (32 * k)
+        r2 = (r * r) % modulus
+        r2_limbs = mpn.from_int(r2, RADIX32) + [0] * k
+        mprime = (-pow(modulus & 0xFFFFFFFF, -1, 1 << 32)) % (1 << 32)
+        exp_limbs = mpn.from_int(exponent, RADIX32)
+        ebits = exponent.bit_length()
+
+        machine = self.runner.machine()
+        m_addr = machine.alloc(4 * k)
+        machine.write_words(m_addr, m.limbs + [0] * (k - len(m.limbs)))
+        exp_addr = machine.alloc(4 * len(exp_limbs))
+        machine.write_words(exp_addr, exp_limbs)
+        x_addr = machine.alloc(4 * k)
+        machine.write_words(x_addr, mpn.from_int(r % modulus, RADIX32)
+                            + [0] * (k - len(mpn.from_int(r % modulus, RADIX32))))
+        base_addr = machine.alloc(4 * k)
+        machine.write_words(base_addr, base_limbs)
+        t_addr = machine.alloc(4 * (2 * k + 2))
+        r2_addr = machine.alloc(4 * k)
+        machine.write_words(r2_addr, r2_limbs[:k])
+        one_addr = machine.alloc(4 * k)
+        machine.write_words(one_addr, [1] + [0] * (k - 1))
+
+        ctx = machine.alloc(40)
+        machine.write_words(ctx, [k, mprime, m_addr, exp_addr, ebits,
+                                  x_addr, base_addr, t_addr, r2_addr,
+                                  one_addr])
+        machine.run("modexp", [ctx])
+        result_limbs = machine.read_words(x_addr, k)
+        return mpn.to_int(result_limbs), machine.cycles, machine.profile

@@ -1,0 +1,356 @@
+"""The XT32 instruction-set simulator with cycle accounting and profiling.
+
+The machine executes a decoded :class:`~repro.isa.assembler.Program`
+and charges cycles per the base-ISA cost table (plus custom-instruction
+latencies).  A lightweight profiler attributes cycles to functions
+(``jal`` targets), producing the annotated call graphs of the paper's
+Figure 4 and the per-routine cycle counts that characterization fits
+macro-models to.
+
+Calling convention (used by all kernels in :mod:`repro.isa.kernels`):
+
+- arguments in ``r1``..``r6``, results in ``r1`` (and ``r2``),
+- ``r13`` stack pointer (grows down), ``r14`` link register,
+- ``jal`` is a call, ``jr r14`` (after restoring r14) a return,
+- callee may clobber ``r1``..``r12``.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.isa.assembler import Program
+from repro.isa.extensions import ExtensionSet
+from repro.isa.instructions import (BRANCH_TAKEN_PENALTY, LINK_REG,
+                                    SP_REG, WORD_MASK, ZERO_REG, to_signed)
+
+
+class MachineError(RuntimeError):
+    """Raised on simulator faults (bad memory access, runaway programs)."""
+
+
+@dataclass
+class Profile:
+    """Cycle-accurate execution profile."""
+
+    total_cycles: int = 0
+    instructions: int = 0
+    #: cycles spent in computations local to each function (no callees)
+    local_cycles: Dict[str, int] = field(default_factory=dict)
+    #: cycles including callees, summed over all invocations
+    inclusive_cycles: Dict[str, int] = field(default_factory=dict)
+    #: (caller, callee) -> number of calls
+    call_edges: Dict[Tuple[str, str], int] = field(default_factory=dict)
+    #: function -> number of invocations
+    call_counts: Dict[str, int] = field(default_factory=dict)
+
+    def callees(self, func: str) -> Dict[str, int]:
+        """callee -> call count for one caller."""
+        return {callee: n for (caller, callee), n in self.call_edges.items()
+                if caller == func}
+
+
+class Machine:
+    """An XT32 core: base ISA plus an optional extension set."""
+
+    ENTRY_FUNC = "<entry>"
+
+    def __init__(self, program: Program,
+                 extensions: Optional[ExtensionSet] = None,
+                 mem_size: int = 1 << 20,
+                 dcache=None):
+        """``dcache``: an optional :class:`repro.isa.cache.CacheConfig`;
+        when set, scalar loads/stores pay miss penalties.  Custom
+        instructions model dedicated wide memory ports and bypass it."""
+        self.program = program
+        self.extensions = extensions or ExtensionSet()
+        self.mem = bytearray(mem_size)
+        if dcache is not None:
+            from repro.isa.cache import DataCache
+            self.dcache = DataCache(dcache)
+        else:
+            self.dcache = None
+        #: opcode -> executed count (for the energy model / statistics)
+        self.opcode_counts: Dict[str, int] = {}
+        self.regs: List[int] = [0] * 16
+        self.user_regs: Dict[str, int] = {}   # wide TIE state registers
+        self.pc = 0
+        self.cycles = 0
+        self.instret = 0
+        self._alloc_ptr = 0x1000              # bump allocator for harness data
+        # Profiling state.
+        self._func_at: Dict[int, str] = {}
+        for label, index in program.labels.items():
+            self._func_at.setdefault(index, label)
+        self.profile = Profile()
+        self._frames: List[Tuple[str, int]] = []  # (func, cycles at entry)
+
+    # -- memory helpers ---------------------------------------------------
+
+    def alloc(self, nbytes: int, align: int = 4) -> int:
+        """Bump-allocate scratch memory for harness inputs/outputs."""
+        self._alloc_ptr = (self._alloc_ptr + align - 1) & ~(align - 1)
+        addr = self._alloc_ptr
+        self._alloc_ptr += nbytes
+        if self._alloc_ptr > len(self.mem):
+            raise MachineError("machine memory exhausted")
+        return addr
+
+    def _check(self, addr: int, size: int) -> None:
+        if addr < 0 or addr + size > len(self.mem):
+            raise MachineError(f"memory access out of range: {addr:#x}+{size}")
+
+    def read_word(self, addr: int) -> int:
+        self._check(addr, 4)
+        return int.from_bytes(self.mem[addr: addr + 4], "little")
+
+    def write_word(self, addr: int, value: int) -> None:
+        self._check(addr, 4)
+        self.mem[addr: addr + 4] = (value & WORD_MASK).to_bytes(4, "little")
+
+    def read_byte(self, addr: int) -> int:
+        self._check(addr, 1)
+        return self.mem[addr]
+
+    def write_byte(self, addr: int, value: int) -> None:
+        self._check(addr, 1)
+        self.mem[addr] = value & 0xFF
+
+    def write_words(self, addr: int, words: Sequence[int]) -> None:
+        for i, w in enumerate(words):
+            self.write_word(addr + 4 * i, w)
+
+    def read_words(self, addr: int, count: int) -> List[int]:
+        return [self.read_word(addr + 4 * i) for i in range(count)]
+
+    def write_bytes(self, addr: int, data: bytes) -> None:
+        self._check(addr, len(data))
+        self.mem[addr: addr + len(data)] = data
+
+    def read_bytes(self, addr: int, count: int) -> bytes:
+        self._check(addr, count)
+        return bytes(self.mem[addr: addr + count])
+
+    # -- profiling helpers ---------------------------------------------------
+
+    def _charge(self, cost: int) -> None:
+        self.cycles += cost
+        if self._frames:
+            func, _ = self._frames[-1]
+            prof = self.profile
+            prof.local_cycles[func] = prof.local_cycles.get(func, 0) + cost
+
+    def _enter(self, target_pc: int) -> None:
+        callee = self._func_at.get(target_pc, f"func@{target_pc}")
+        caller = self._frames[-1][0] if self._frames else self.ENTRY_FUNC
+        prof = self.profile
+        prof.call_edges[(caller, callee)] = \
+            prof.call_edges.get((caller, callee), 0) + 1
+        prof.call_counts[callee] = prof.call_counts.get(callee, 0) + 1
+        self._frames.append((callee, self.cycles))
+
+    def _leave(self) -> None:
+        if len(self._frames) <= 1:
+            return  # never pop the entry frame
+        func, entry_cycles = self._frames.pop()
+        prof = self.profile
+        prof.inclusive_cycles[func] = \
+            prof.inclusive_cycles.get(func, 0) + (self.cycles - entry_cycles)
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self, entry: str, args: Sequence[int] = (),
+            max_instructions: int = 200_000_000) -> int:
+        """Call ``entry`` with ``args`` in r1..; returns r1 at exit.
+
+        Execution stops at ``halt`` or when the entry function returns
+        (jr to the sentinel return address).
+        """
+        program = self.program
+        code = program.instructions
+        sentinel = len(code)  # "return to exit"
+        self.pc = program.entry(entry)
+        if len(args) > 6:
+            raise MachineError("at most 6 register arguments supported")
+        for i, value in enumerate(args):
+            self.regs[1 + i] = value & WORD_MASK
+        if self.regs[SP_REG] == 0:
+            self.regs[SP_REG] = len(self.mem) - 16
+        self.regs[LINK_REG] = sentinel
+        self._frames = [(self.ENTRY_FUNC, self.cycles)]
+        self._enter(self.pc)
+
+        regs = self.regs
+        ext = self.extensions
+        penalty = BRANCH_TAKEN_PENALTY
+        executed = 0
+        opcounts = self.opcode_counts
+
+        while self.pc != sentinel:
+            if self.pc < 0 or self.pc > sentinel:
+                raise MachineError(f"pc out of range: {self.pc}")
+            instr = code[self.pc]
+            op = instr.op
+            a = instr.args
+            opcounts[op] = opcounts.get(op, 0) + 1
+            executed += 1
+            if executed > max_instructions:
+                raise MachineError("instruction budget exceeded (runaway program?)")
+            next_pc = self.pc + 1
+
+            if op == "add":
+                regs[a[0]] = (regs[a[1]] + regs[a[2]]) & WORD_MASK
+                cost = 1
+            elif op == "addi":
+                regs[a[0]] = (regs[a[1]] + a[2]) & WORD_MASK
+                cost = 1
+            elif op == "sub":
+                regs[a[0]] = (regs[a[1]] - regs[a[2]]) & WORD_MASK
+                cost = 1
+            elif op == "subi":
+                regs[a[0]] = (regs[a[1]] - a[2]) & WORD_MASK
+                cost = 1
+            elif op == "li":
+                regs[a[0]] = a[1] & WORD_MASK
+                cost = 1
+            elif op == "mov":
+                regs[a[0]] = regs[a[1]]
+                cost = 1
+            elif op == "and":
+                regs[a[0]] = regs[a[1]] & regs[a[2]]
+                cost = 1
+            elif op == "andi":
+                regs[a[0]] = regs[a[1]] & (a[2] & WORD_MASK)
+                cost = 1
+            elif op == "or":
+                regs[a[0]] = regs[a[1]] | regs[a[2]]
+                cost = 1
+            elif op == "ori":
+                regs[a[0]] = regs[a[1]] | (a[2] & WORD_MASK)
+                cost = 1
+            elif op == "xor":
+                regs[a[0]] = regs[a[1]] ^ regs[a[2]]
+                cost = 1
+            elif op == "xori":
+                regs[a[0]] = regs[a[1]] ^ (a[2] & WORD_MASK)
+                cost = 1
+            elif op == "sll":
+                regs[a[0]] = (regs[a[1]] << (regs[a[2]] & 31)) & WORD_MASK
+                cost = 1
+            elif op == "slli":
+                regs[a[0]] = (regs[a[1]] << (a[2] & 31)) & WORD_MASK
+                cost = 1
+            elif op == "srl":
+                regs[a[0]] = regs[a[1]] >> (regs[a[2]] & 31)
+                cost = 1
+            elif op == "srli":
+                regs[a[0]] = regs[a[1]] >> (a[2] & 31)
+                cost = 1
+            elif op == "sra":
+                regs[a[0]] = (to_signed(regs[a[1]]) >> (regs[a[2]] & 31)) & WORD_MASK
+                cost = 1
+            elif op == "srai":
+                regs[a[0]] = (to_signed(regs[a[1]]) >> (a[2] & 31)) & WORD_MASK
+                cost = 1
+            elif op == "sltu":
+                regs[a[0]] = 1 if regs[a[1]] < regs[a[2]] else 0
+                cost = 1
+            elif op == "sltui":
+                regs[a[0]] = 1 if regs[a[1]] < (a[2] & WORD_MASK) else 0
+                cost = 1
+            elif op == "slt":
+                regs[a[0]] = 1 if to_signed(regs[a[1]]) < to_signed(regs[a[2]]) else 0
+                cost = 1
+            elif op == "mul":
+                regs[a[0]] = (regs[a[1]] * regs[a[2]]) & WORD_MASK
+                cost = 2
+            elif op == "mulhu":
+                regs[a[0]] = (regs[a[1]] * regs[a[2]]) >> 32
+                cost = 2
+            elif op == "lw":
+                off, base = a[1]
+                addr = regs[base] + off
+                regs[a[0]] = self.read_word(addr)
+                cost = 2
+                if self.dcache is not None:
+                    cost += self.dcache.access(addr)
+            elif op == "lb":
+                off, base = a[1]
+                addr = regs[base] + off
+                regs[a[0]] = self.read_byte(addr)
+                cost = 2
+                if self.dcache is not None:
+                    cost += self.dcache.access(addr)
+            elif op == "sw":
+                off, base = a[1]
+                addr = regs[base] + off
+                self.write_word(addr, regs[a[0]])
+                cost = 1
+                if self.dcache is not None:
+                    cost += self.dcache.access(addr)
+            elif op == "sb":
+                off, base = a[1]
+                addr = regs[base] + off
+                self.write_byte(addr, regs[a[0]])
+                cost = 1
+                if self.dcache is not None:
+                    cost += self.dcache.access(addr)
+            elif op in ("beq", "bne", "blt", "bge", "bltu", "bgeu"):
+                lhs, rhs = regs[a[0]], regs[a[1]]
+                if op == "beq":
+                    taken = lhs == rhs
+                elif op == "bne":
+                    taken = lhs != rhs
+                elif op == "bltu":
+                    taken = lhs < rhs
+                elif op == "bgeu":
+                    taken = lhs >= rhs
+                elif op == "blt":
+                    taken = to_signed(lhs) < to_signed(rhs)
+                else:  # bge
+                    taken = to_signed(lhs) >= to_signed(rhs)
+                cost = 1 + (penalty if taken else 0)
+                if taken:
+                    next_pc = a[2]
+            elif op == "j":
+                next_pc = a[0]
+                cost = 3
+            elif op == "jal":
+                regs[LINK_REG] = self.pc + 1
+                next_pc = a[0]
+                cost = 3
+                self._charge(cost)
+                self._enter(next_pc)
+                regs[ZERO_REG] = 0
+                self.pc = next_pc
+                self.instret = executed
+                continue
+            elif op == "jr":
+                next_pc = regs[a[0]]
+                cost = 3
+                self._charge(cost)
+                self._leave()
+                regs[ZERO_REG] = 0
+                self.pc = next_pc
+                self.instret = executed
+                continue
+            elif op == "halt":
+                self._charge(1)
+                break
+            else:
+                custom = ext.get(op)
+                if custom is None:
+                    raise MachineError(f"unknown opcode {op!r} at pc={self.pc}")
+                custom.semantics(self, a)
+                cost = custom.cycle_cost(self, a)
+
+            regs[ZERO_REG] = 0  # r0 stays hardwired to zero
+            self._charge(cost)
+            self.pc = next_pc
+            self.instret = executed
+
+        # Unwind remaining frames so inclusive cycles are complete.
+        while len(self._frames) > 1:
+            self._leave()
+        self.profile.total_cycles = self.cycles
+        self.profile.instructions = executed
+        return regs[1]

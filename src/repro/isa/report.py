@@ -1,0 +1,54 @@
+"""Human-readable run reports for the XT32 simulator.
+
+Collects everything a machine knows after a run -- cycles, instruction
+mix, CPI, call profile, cache statistics, energy estimate -- into one
+text report, the kind of artifact an ISS ships alongside its traces.
+"""
+
+from typing import List
+
+from repro.isa.energy import estimate_energy
+from repro.isa.machine import Machine
+
+
+def machine_report(machine: Machine, top_functions: int = 8,
+                   top_opcodes: int = 10) -> str:
+    """Summarize a machine's execution so far."""
+    lines: List[str] = []
+    prof = machine.profile
+    instructions = sum(machine.opcode_counts.values())
+    lines.append(f"cycles:        {machine.cycles}")
+    lines.append(f"instructions:  {instructions}")
+    if instructions:
+        lines.append(f"CPI:           {machine.cycles / instructions:.2f}")
+
+    if machine.opcode_counts:
+        lines.append("\nopcode mix:")
+        ranked = sorted(machine.opcode_counts.items(),
+                        key=lambda kv: -kv[1])[:top_opcodes]
+        for op, count in ranked:
+            share = count / instructions * 100
+            lines.append(f"  {op:12s} {count:10d}  ({share:5.1f}%)")
+
+    if prof.local_cycles:
+        lines.append("\nhot functions (local cycles):")
+        ranked = sorted(prof.local_cycles.items(),
+                        key=lambda kv: -kv[1])[:top_functions]
+        for func, cycles in ranked:
+            share = cycles / max(1, machine.cycles) * 100
+            calls = prof.call_counts.get(func, 0)
+            lines.append(f"  {func:20s} {cycles:10d}  ({share:5.1f}%) "
+                         f"over {calls} call(s)")
+
+    if machine.dcache is not None:
+        stats = machine.dcache.stats
+        lines.append(f"\ndcache: {stats.accesses} accesses, "
+                     f"{stats.misses} misses "
+                     f"({stats.miss_rate * 100:.1f}% miss rate)")
+
+    energy = estimate_energy(machine)
+    lines.append(f"\nestimated energy: {energy.total_nj:.2f} nJ")
+    ranked = sorted(energy.by_class.items(), key=lambda kv: -kv[1])[:5]
+    for cls, pj in ranked:
+        lines.append(f"  {cls:20s} {pj / 1000:.2f} nJ")
+    return "\n".join(lines)

@@ -1,0 +1,25 @@
+"""Performance characterization and macro-modeling (paper Section 3.2).
+
+The methodology's key enabler: instead of simulating whole algorithms
+on the cycle-accurate ISS (hours per candidate), each library *leaf
+routine* is characterized once -- exercised on the ISS over pseudo-
+random stimuli, with a statistical regression fitting its cycle count
+as a function of its input-size parameters.  Algorithm candidates are
+then executed natively with the macro-models charging estimated cycles
+per leaf call, orders of magnitude faster than ISS runs.
+
+- :mod:`repro.macromodel.regression`   -- least-squares model forms and
+  selection (the S-Plus substitute).
+- :mod:`repro.macromodel.model`        -- fitted :class:`MacroModel`
+  objects and per-platform :class:`MacroModelSet` collections.
+- :mod:`repro.macromodel.characterize` -- the ISS stimulus harness.
+- :mod:`repro.macromodel.estimator`    -- the native-execution cycle
+  estimator (a tracer charging macro-model estimates per leaf call).
+"""
+
+from repro.macromodel.model import MacroModel, MacroModelSet
+from repro.macromodel.estimator import CycleEstimate, estimate_cycles
+from repro.macromodel.characterize import characterize_platform
+
+__all__ = ["MacroModel", "MacroModelSet", "CycleEstimate", "estimate_cycles",
+           "characterize_platform"]

@@ -1,0 +1,155 @@
+"""ISS-based performance characterization of the library leaf routines.
+
+"The routine under consideration is invoked in a test program that
+exercises it with a wide range of pseudo-randomly generated input
+stimuli.  This test program is simulated using the cycle-accurate ISS
+for the target HW to generate performance data ... A statistical
+regression is performed to fit the above data."  (paper, Section 3.2)
+
+Characterization is a one-time cost per platform configuration; the
+input domain is bounded to what the application uses (e.g. 1024-bit
+RSA needs at most 32-limb operands), exactly as the paper bounds the
+GMP characterization domain.
+"""
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.isa.kernels.hash_kernels import Sha1Kernel
+from repro.isa.kernels.mpn_kernels import MpnKernels
+from repro.macromodel.model import MacroModel, MacroModelSet
+from repro.macromodel.regression import select_model
+from repro.mp.prng import DeterministicPrng
+
+#: Limb counts used as the characterization domain (bounded superset of
+#: what 1024-bit public-key traffic touches, per the paper).
+DEFAULT_SIZES = (1, 2, 3, 4, 6, 8, 12, 16, 24, 32)
+
+
+def _fit(routine: str, samples: List[Tuple[float, float]],
+         step_width: int = 0) -> MacroModel:
+    fit = select_model(samples, step_width=step_width)
+    return MacroModel(routine=routine, fit=fit, samples=samples)
+
+
+def characterize_platform(add_width: int = 0, mac_width: int = 0,
+                          sizes: Sequence[int] = DEFAULT_SIZES,
+                          reps: int = 2,
+                          prng: Optional[DeterministicPrng] = None,
+                          modmul_overhead: bool = True
+                          ) -> MacroModelSet:
+    """Characterize all mpn leaf routines on one platform configuration.
+
+    ``add_width``/``mac_width`` of 0 characterize the base ISA;
+    otherwise the extended ISA with those custom-instruction widths.
+    Returns a :class:`MacroModelSet` ready for native estimation.
+
+    ``modmul_overhead`` additionally characterizes the Montgomery
+    modular-multiplication *driver* overhead (loop control, operand
+    staging, final conditional subtract) from full ISS runs -- the
+    coarser-granularity model the paper's leaf-choice heuristics call
+    for when per-leaf models alone under-account a routine.
+    """
+    if prng is None:
+        prng = DeterministicPrng(0xC0FFEE)
+    extended = bool(add_width and mac_width)
+    platform = (f"ext(add{add_width},mac{mac_width})" if extended else "base")
+    kernels = MpnKernels(add_width, mac_width) if extended else MpnKernels()
+    models = MacroModelSet(platform)
+
+    def samples_for(run, *extra_args_fn) -> List[Tuple[float, float]]:
+        samples = []
+        for n in sizes:
+            for _ in range(reps):
+                cycles = run(n)
+                samples.append((float(n), float(cycles)))
+        return samples
+
+    # -- vector add/sub (step width = adder array width) ---------------------
+    def run_add(n):
+        return kernels.add_n(prng.next_limbs(n), prng.next_limbs(n))[2]
+
+    def run_sub(n):
+        return kernels.sub_n(prng.next_limbs(n), prng.next_limbs(n))[2]
+
+    add_step = add_width if extended else 0
+    models.add(_fit("mpn_add_n", samples_for(run_add), add_step))
+    models.add(_fit("mpn_sub_n", samples_for(run_sub), add_step))
+
+    # -- multiply family (step width = multiplier array width) ----------------
+    def run_mul1(n):
+        return kernels.mul_1(prng.next_limbs(n), prng.next_bits(32))[2]
+
+    def run_addmul(n):
+        return kernels.addmul_1(prng.next_limbs(n), prng.next_limbs(n),
+                                prng.next_bits(32))[2]
+
+    def run_submul(n):
+        return kernels.submul_1(prng.next_limbs(n), prng.next_limbs(n),
+                                prng.next_bits(32))[2]
+
+    mac_step = mac_width if extended else 0
+    models.add(_fit("mpn_mul_1", samples_for(run_mul1), mac_step))
+    models.add(_fit("mpn_addmul_1", samples_for(run_addmul), mac_step))
+    models.add(_fit("mpn_submul_1", samples_for(run_submul), mac_step))
+
+    # -- shifts and division estimate (base-ISA only; the platform's
+    #    selected instructions do not accelerate them) ----------------------
+    base_kernels = MpnKernels()
+
+    def run_lshift(n):
+        return base_kernels.lshift(prng.next_limbs(n),
+                                   1 + prng.next_int(31))[2]
+
+    models.add(_fit("mpn_lshift", samples_for(run_lshift)))
+    models.alias("mpn_rshift", "mpn_lshift")
+
+    qest_samples = []
+    for _ in range(max(4, reps * 2)):
+        vtop = prng.next_bits(32) | 0x80000000
+        u2 = prng.next_int(vtop)
+        _, cycles = base_kernels.divrem_qest(u2, prng.next_bits(32), vtop)
+        qest_samples.append((1.0, float(cycles)))
+    models.add(_fit("mpn_divrem_qest", qest_samples))
+
+    # -- hashing (base-ISA only, same on every platform) ---------------------
+    sha1 = Sha1Kernel()
+    state = [0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0]
+    hash_samples = []
+    for _ in range(max(2, reps)):
+        _, cycles = sha1.compress(state, prng.next_bytes(64))
+        hash_samples.append((1.0, float(cycles)))
+    models.add(_fit("sha1_compress", hash_samples))
+
+    from repro.isa.kernels.md5_kernel import Md5Kernel
+    md5 = Md5Kernel()
+    md5_state = [0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476]
+    md5_samples = []
+    for _ in range(max(2, reps)):
+        _, cycles = md5.compress(md5_state, prng.next_bytes(64))
+        md5_samples.append((1.0, float(cycles)))
+    models.add(_fit("md5_compress", md5_samples))
+
+    # -- Montgomery modular-multiplication driver overhead --------------------
+    # Charged on the native library's "mont_redc" trace marker: the ISS
+    # cost of one modular multiplication beyond its 2k mpn_addmul_1
+    # leaf calls.
+    if modmul_overhead:
+        from repro.isa.kernels.modexp_kernel import ModExpKernel
+        iss = ModExpKernel(add_width, mac_width) if extended else ModExpKernel()
+        addmul = models.get("mpn_addmul_1")
+        overhead_samples = []
+        for bits in (64, 128, 256, 512):
+            k = bits // 32
+            modulus = (prng.next_odd_bits(bits))
+            base = prng.next_int(modulus)
+            _, _, profile = iss.powm(base, 0x1B5, modulus)
+            calls = profile.call_counts.get("mont_mul", 0)
+            if not calls:
+                continue
+            per_modmul = profile.inclusive_cycles.get("mont_mul", 0) / calls
+            overhead = per_modmul - 2 * k * addmul.predict(k)
+            overhead_samples.append((float(k), overhead))
+        if len(overhead_samples) >= 3:
+            models.add(_fit("mont_redc", overhead_samples))
+
+    return models

@@ -1,0 +1,54 @@
+"""Macro-model persistence.
+
+Characterization is a one-time per-platform cost (the paper stresses
+this); persisting the fitted models lets downstream tools (exploration
+sweeps, CI) skip re-running the ISS stimulus programs.
+"""
+
+import json
+from repro.macromodel.model import MacroModel, MacroModelSet
+from repro.macromodel.regression import FitResult
+
+_SCHEMA_VERSION = 1
+
+
+def modelset_to_dict(models: MacroModelSet) -> dict:
+    return {
+        "schema": _SCHEMA_VERSION,
+        "platform": models.platform,
+        "models": {
+            m.routine: {
+                "form": m.fit.form,
+                "coeffs": list(m.fit.coeffs),
+                "width": m.fit.width,
+                "mean_abs_pct_error": m.fit.mean_abs_pct_error,
+                "max_abs_pct_error": m.fit.max_abs_pct_error,
+            }
+            for m in models
+        },
+    }
+
+
+def modelset_from_dict(data: dict) -> MacroModelSet:
+    if data.get("schema") != _SCHEMA_VERSION:
+        raise ValueError(f"unsupported macro-model schema {data.get('schema')!r}")
+    models = MacroModelSet(data["platform"])
+    for routine, spec in data["models"].items():
+        fit = FitResult(form=spec["form"], coeffs=tuple(spec["coeffs"]),
+                        width=spec["width"],
+                        mean_abs_pct_error=spec["mean_abs_pct_error"],
+                        max_abs_pct_error=spec["max_abs_pct_error"])
+        models.add(MacroModel(routine=routine, fit=fit))
+    return models
+
+
+def save_modelset(models: MacroModelSet, path: str) -> None:
+    """Write a model set as JSON."""
+    with open(path, "w") as fh:
+        json.dump(modelset_to_dict(models), fh, indent=2, sort_keys=True)
+
+
+def load_modelset(path: str) -> MacroModelSet:
+    """Read a model set saved by :func:`save_modelset`."""
+    with open(path) as fh:
+        return modelset_from_dict(json.load(fh))

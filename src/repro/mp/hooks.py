@@ -1,0 +1,48 @@
+"""Leaf-routine tracing hook.
+
+The performance macro-modeling methodology (paper Section 3.2) works by
+"instantiating the performance macro-models for library routines in the
+source code" so that a native run of an algorithm accumulates an
+estimated cycle count instead of requiring instruction-set simulation.
+
+This module provides the instrumentation point: every mpn leaf routine
+calls :func:`trace` with its name and size parameters.  When no tracer
+is installed the call is a cheap no-op; the macro-model estimator
+(:mod:`repro.macromodel.estimator`) installs a tracer that looks up the
+routine's fitted macro-model and charges the estimated cycles.
+"""
+
+from contextlib import contextmanager
+from typing import Callable, Iterator, Optional
+
+#: Tracer signature: (routine_name, params_dict) -> None
+Tracer = Callable[[str, dict], None]
+
+_tracer: Optional[Tracer] = None
+
+
+def set_tracer(tracer: Optional[Tracer]) -> None:
+    """Install (or clear, with ``None``) the global leaf-routine tracer."""
+    global _tracer
+    _tracer = tracer
+
+
+def get_tracer() -> Optional[Tracer]:
+    return _tracer
+
+
+def trace(name: str, **params) -> None:
+    """Report one invocation of leaf routine ``name`` to the tracer."""
+    if _tracer is not None:
+        _tracer(name, params)
+
+
+@contextmanager
+def traced(tracer: Tracer) -> Iterator[None]:
+    """Context manager installing ``tracer`` for the duration of a block."""
+    previous = _tracer
+    set_tracer(tracer)
+    try:
+        yield
+    finally:
+        set_tracer(previous)

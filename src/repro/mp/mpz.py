@@ -1,0 +1,308 @@
+"""Sign-magnitude arbitrary-precision integers (the ``mpz`` layer).
+
+:class:`Mpz` wraps the :mod:`repro.mp.mpn` limb-vector primitives with
+Python's numeric protocol so the higher software layers (complex
+operations, security primitives) read naturally while every underlying
+limb operation still flows through the characterized leaf routines.
+
+Division follows Python's floor-division convention so Mpz arithmetic
+can be validated directly against Python ints.
+"""
+
+from typing import Tuple, Union
+
+from repro.mp import mpn
+from repro.mp.limb import DEFAULT_RADIX, Radix
+
+IntLike = Union[int, "Mpz"]
+
+
+class Mpz:
+    """An arbitrary-precision signed integer over limb vectors."""
+
+    __slots__ = ("limbs", "sign", "radix")
+
+    def __init__(self, value: IntLike = 0, radix: Radix = DEFAULT_RADIX):
+        if isinstance(value, Mpz):
+            self.limbs = list(value.limbs)
+            self.sign = value.sign
+            self.radix = radix
+            if radix is not value.radix:
+                self.limbs = mpn.from_int(abs(int(value)), radix)
+            return
+        self.radix = radix
+        self.sign = (value > 0) - (value < 0)
+        self.limbs = mpn.from_int(abs(value), radix)
+
+    # -- construction helpers ------------------------------------------------
+
+    @classmethod
+    def _raw(cls, limbs, sign, radix) -> "Mpz":
+        obj = cls.__new__(cls)
+        obj.limbs = mpn.normalize(limbs)
+        obj.sign = 0 if obj.limbs == [0] else sign
+        obj.radix = radix
+        return obj
+
+    @classmethod
+    def from_bytes(cls, data: bytes, radix: Radix = DEFAULT_RADIX) -> "Mpz":
+        """Big-endian unsigned bytes -> Mpz."""
+        return cls(int.from_bytes(data, "big"), radix)
+
+    def to_bytes(self, length: int) -> bytes:
+        """Mpz -> big-endian unsigned bytes of the given length."""
+        if self.sign < 0:
+            raise ValueError("cannot serialize a negative Mpz")
+        return int(self).to_bytes(length, "big")
+
+    # -- conversions ---------------------------------------------------------
+
+    def __int__(self) -> int:
+        return self.sign * mpn.to_int(self.limbs, self.radix)
+
+    def __index__(self) -> int:
+        return int(self)
+
+    def bit_length(self) -> int:
+        return mpn.numbits(self.limbs, self.radix)
+
+    def test_bit(self, i: int) -> int:
+        """Value (0/1) of magnitude bit ``i``."""
+        limb, off = divmod(i, self.radix.bits)
+        if limb >= len(self.limbs):
+            return 0
+        return (self.limbs[limb] >> off) & 1
+
+    def is_zero(self) -> bool:
+        return self.sign == 0
+
+    def is_odd(self) -> bool:
+        return bool(self.limbs[0] & 1)
+
+    def is_even(self) -> bool:
+        return not self.is_odd()
+
+    # -- comparisons ---------------------------------------------------------
+
+    def _coerce(self, other: IntLike) -> "Mpz":
+        if isinstance(other, Mpz):
+            if other.radix is not self.radix:
+                return Mpz(int(other), self.radix)
+            return other
+        if isinstance(other, int):
+            return Mpz(other, self.radix)
+        return NotImplemented  # type: ignore[return-value]
+
+    def _cmp(self, other: "Mpz") -> int:
+        if self.sign != other.sign:
+            return -1 if self.sign < other.sign else 1
+        mag = mpn.cmp(self.limbs, other.limbs, self.radix)
+        return mag if self.sign >= 0 else -mag
+
+    def __eq__(self, other) -> bool:
+        other = self._coerce(other)
+        if other is NotImplemented:
+            return NotImplemented
+        return self._cmp(other) == 0
+
+    def __lt__(self, other) -> bool:
+        return self._cmp(self._coerce(other)) < 0
+
+    def __le__(self, other) -> bool:
+        return self._cmp(self._coerce(other)) <= 0
+
+    def __gt__(self, other) -> bool:
+        return self._cmp(self._coerce(other)) > 0
+
+    def __ge__(self, other) -> bool:
+        return self._cmp(self._coerce(other)) >= 0
+
+    def __hash__(self) -> int:
+        return hash(int(self))
+
+    def __bool__(self) -> bool:
+        return self.sign != 0
+
+    # -- arithmetic ----------------------------------------------------------
+
+    def __neg__(self) -> "Mpz":
+        return Mpz._raw(list(self.limbs), -self.sign, self.radix)
+
+    def __abs__(self) -> "Mpz":
+        return Mpz._raw(list(self.limbs), abs(self.sign), self.radix)
+
+    def __add__(self, other: IntLike) -> "Mpz":
+        other = self._coerce(other)
+        if other is NotImplemented:
+            return NotImplemented
+        if self.sign == 0:
+            return Mpz._raw(list(other.limbs), other.sign, self.radix)
+        if other.sign == 0:
+            return Mpz._raw(list(self.limbs), self.sign, self.radix)
+        if self.sign == other.sign:
+            return Mpz._raw(mpn.add(self.limbs, other.limbs, self.radix),
+                            self.sign, self.radix)
+        # Opposite signs: subtract the smaller magnitude from the larger.
+        c = mpn.cmp(self.limbs, other.limbs, self.radix)
+        if c == 0:
+            return Mpz(0, self.radix)
+        if c > 0:
+            return Mpz._raw(mpn.sub(self.limbs, other.limbs, self.radix),
+                            self.sign, self.radix)
+        return Mpz._raw(mpn.sub(other.limbs, self.limbs, self.radix),
+                        other.sign, self.radix)
+
+    __radd__ = __add__
+
+    def __sub__(self, other: IntLike) -> "Mpz":
+        other = self._coerce(other)
+        if other is NotImplemented:
+            return NotImplemented
+        return self + (-other)
+
+    def __rsub__(self, other: IntLike) -> "Mpz":
+        return self._coerce(other) - self
+
+    def __mul__(self, other: IntLike) -> "Mpz":
+        other = self._coerce(other)
+        if other is NotImplemented:
+            return NotImplemented
+        if self.sign == 0 or other.sign == 0:
+            return Mpz(0, self.radix)
+        return Mpz._raw(mpn.mul(self.limbs, other.limbs, self.radix),
+                        self.sign * other.sign, self.radix)
+
+    __rmul__ = __mul__
+
+    def __divmod__(self, other: IntLike) -> Tuple["Mpz", "Mpz"]:
+        other = self._coerce(other)
+        if other is NotImplemented:
+            return NotImplemented
+        if other.sign == 0:
+            raise ZeroDivisionError("Mpz division by zero")
+        q_mag, r_mag = mpn.divrem(self.limbs, other.limbs, self.radix)
+        q = Mpz._raw(q_mag, self.sign * other.sign, self.radix)
+        r = Mpz._raw(r_mag, self.sign, self.radix)
+        # Adjust truncation toward floor division (Python semantics).
+        if r.sign != 0 and (r.sign != other.sign):
+            q = q - Mpz(1, self.radix)
+            r = r + other
+        return q, r
+
+    def __rdivmod__(self, other: IntLike):
+        return divmod(self._coerce(other), self)
+
+    def __floordiv__(self, other: IntLike) -> "Mpz":
+        return divmod(self, other)[0]
+
+    def __rfloordiv__(self, other: IntLike) -> "Mpz":
+        return self._coerce(other) // self
+
+    def __mod__(self, other: IntLike) -> "Mpz":
+        return divmod(self, other)[1]
+
+    def __rmod__(self, other: IntLike) -> "Mpz":
+        return self._coerce(other) % self
+
+    def __lshift__(self, count: int) -> "Mpz":
+        if count < 0:
+            raise ValueError("negative shift count")
+        if count == 0 or self.sign == 0:
+            return Mpz._raw(list(self.limbs), self.sign, self.radix)
+        whole, frac = divmod(count, self.radix.bits)
+        limbs = [0] * whole + list(self.limbs)
+        if frac:
+            limbs, carry = mpn.lshift(limbs, frac, self.radix)
+            if carry:
+                limbs.append(carry)
+        return Mpz._raw(limbs, self.sign, self.radix)
+
+    def __rshift__(self, count: int) -> "Mpz":
+        if count < 0:
+            raise ValueError("negative shift count")
+        if self.sign < 0:
+            # Arithmetic shift for negatives via Python semantics.
+            return Mpz(int(self) >> count, self.radix)
+        if count == 0 or self.sign == 0:
+            return Mpz._raw(list(self.limbs), self.sign, self.radix)
+        whole, frac = divmod(count, self.radix.bits)
+        limbs = list(self.limbs[whole:]) or [0]
+        if frac and limbs != [0]:
+            limbs, _ = mpn.rshift(limbs, frac, self.radix)
+        return Mpz._raw(limbs, self.sign, self.radix)
+
+    def __pow__(self, exponent, modulus=None) -> "Mpz":
+        if modulus is not None:
+            return self.pow_mod(exponent, modulus)
+        exponent = int(exponent)
+        if exponent < 0:
+            raise ValueError("negative exponent without modulus")
+        result = Mpz(1, self.radix)
+        base = self
+        while exponent:
+            if exponent & 1:
+                result = result * base
+            exponent >>= 1
+            if exponent:
+                base = base * base
+        return result
+
+    def pow_mod(self, exponent: IntLike, modulus: IntLike) -> "Mpz":
+        """Left-to-right binary modular exponentiation.
+
+        The *tuned* exponentiation algorithms live in
+        :mod:`repro.crypto.modexp`; this is the plain reference used by
+        the complex-operations layer (e.g. Miller-Rabin).
+        """
+        exponent = self._coerce(exponent)
+        modulus = self._coerce(modulus)
+        if modulus.sign <= 0:
+            raise ValueError("modulus must be positive")
+        if exponent.sign < 0:
+            inv = self.invert(modulus)
+            return inv.pow_mod(-exponent, modulus)
+        result = Mpz(1, self.radix)
+        base = self % modulus
+        for i in range(exponent.bit_length() - 1, -1, -1):
+            result = (result * result) % modulus
+            if exponent.test_bit(i):
+                result = (result * base) % modulus
+        return result % modulus
+
+    # -- number theory -------------------------------------------------------
+
+    def gcdext(self, other: IntLike) -> Tuple["Mpz", "Mpz", "Mpz"]:
+        """Extended Euclid: returns (g, s, t) with s*self + t*other = g >= 0."""
+        other = self._coerce(other)
+        zero, one = Mpz(0, self.radix), Mpz(1, self.radix)
+        old_r, r = self, other
+        old_s, s = one, zero
+        old_t, t = zero, one
+        while r.sign != 0:
+            q, rem = divmod(old_r, r)
+            old_r, r = r, rem
+            old_s, s = s, old_s - q * s
+            old_t, t = t, old_t - q * t
+        if old_r.sign < 0:
+            old_r, old_s, old_t = -old_r, -old_s, -old_t
+        return old_r, old_s, old_t
+
+    def gcd(self, other: IntLike) -> "Mpz":
+        g, _, _ = self.gcdext(other)
+        return g
+
+    def invert(self, modulus: IntLike) -> "Mpz":
+        """Modular inverse of self mod modulus; raises if it does not exist."""
+        modulus = self._coerce(modulus)
+        g, s, _ = self.gcdext(modulus)
+        if g != 1:
+            raise ValueError("inverse does not exist (operands not coprime)")
+        return s % modulus
+
+    # -- display -------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        return f"Mpz({int(self)})"
+
+    def __str__(self) -> str:
+        return str(int(self))

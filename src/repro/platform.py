@@ -1,0 +1,138 @@
+"""The security processing platform facade.
+
+Ties the co-design outputs together: a processor configuration (base
+XT32, or XT32 plus the selected custom instruction extensions), the
+tuned software configuration from algorithm exploration, and the
+per-platform performance macro-models.  The SSL workload model, the
+examples, and the Table 1 benchmark all consume platforms through this
+class.
+
+Two stock configurations mirror the paper's comparison:
+
+- :meth:`SecurityPlatform.base` -- the reference software library
+  (schoolbook modular multiplication, binary exponentiation, no CRT)
+  running on the unextended core.
+- :meth:`SecurityPlatform.optimized` -- the exploration winner
+  (Montgomery + 5-bit windows + Garner CRT + cached constants) running
+  on the extended core with the selected custom instructions.
+"""
+
+import functools
+from typing import Optional
+
+from repro.crypto.api import SecurityApi
+from repro.crypto.modexp import ModExpConfig, ModExpEngine
+from repro.crypto.rsa import Rsa, RsaKeyPair
+from repro.isa.kernels.aes_kernels import AesKernel
+from repro.isa.kernels.des_kernels import DesKernel
+from repro.isa.kernels.hash_kernels import Sha1Kernel
+from repro.macromodel import MacroModelSet, characterize_platform, estimate_cycles
+from repro.mp import DeterministicPrng
+
+#: Reference software configuration (the "well-optimized C library"
+#: baseline of Table 1: correct and careful, but algorithmically plain).
+REFERENCE_CONFIG = ModExpConfig(modmul="schoolbook", window=1, crt="none",
+                                radix_bits=32, caching="none")
+
+#: Exploration winner (Section 4.3): Montgomery multiplication, 5-bit
+#: exponent windows, Garner CRT recombination, cached per-key constants.
+TUNED_CONFIG = ModExpConfig(modmul="montgomery", window=5, crt="garner",
+                            radix_bits=32, caching="constants")
+
+
+class SecurityPlatform:
+    """One point of the co-design space: processor config + SW config."""
+
+    def __init__(self, name: str, modexp_config: ModExpConfig,
+                 add_width: int = 0, mac_width: int = 0,
+                 des_sbox_units: int = 8, aes_sbox_units: int = 8,
+                 aes_mixcol_units: int = 2,
+                 models: Optional[MacroModelSet] = None):
+        self.name = name
+        self.modexp_config = modexp_config
+        self.add_width = add_width
+        self.mac_width = mac_width
+        self.des_sbox_units = des_sbox_units
+        self.aes_sbox_units = aes_sbox_units
+        self.aes_mixcol_units = aes_mixcol_units
+        self.extended = bool(add_width and mac_width)
+        self._models = models
+
+    # -- stock configurations ------------------------------------------------
+
+    @classmethod
+    def base(cls, models: Optional[MacroModelSet] = None) -> "SecurityPlatform":
+        return cls("base", REFERENCE_CONFIG, models=models)
+
+    @classmethod
+    def optimized(cls, add_width: int = 8, mac_width: int = 8,
+                  models: Optional[MacroModelSet] = None) -> "SecurityPlatform":
+        return cls("optimized", TUNED_CONFIG, add_width=add_width,
+                   mac_width=mac_width, models=models)
+
+    # -- lazily built components ------------------------------------------------
+
+    @property
+    def models(self) -> MacroModelSet:
+        """The platform's characterized macro-models (built on demand)."""
+        if self._models is None:
+            self._models = characterize_platform(self.add_width,
+                                                 self.mac_width)
+        return self._models
+
+    @functools.cached_property
+    def des_kernel(self) -> DesKernel:
+        return DesKernel(extended=self.extended,
+                         sbox_units=self.des_sbox_units)
+
+    @functools.cached_property
+    def aes_kernel(self) -> AesKernel:
+        return AesKernel(extended=self.extended,
+                         sbox_units=self.aes_sbox_units,
+                         mixcol_units=self.aes_mixcol_units)
+
+    @functools.cached_property
+    def sha1_kernel(self) -> Sha1Kernel:
+        return Sha1Kernel()
+
+    def api(self, prng: Optional[DeterministicPrng] = None) -> SecurityApi:
+        """A Layer-3 security API bound to this platform's SW config."""
+        return SecurityApi(self.modexp_config, prng)
+
+    def rsa(self) -> Rsa:
+        return Rsa(self.modexp_config)
+
+    # -- measured/estimated costs ------------------------------------------------
+
+    def cipher_cycles_per_byte(self, algorithm: str) -> float:
+        """ISS-measured bulk cipher cost on this platform."""
+        algorithm = algorithm.lower()
+        if algorithm == "des":
+            return self.des_kernel.cycles_per_byte(blocks=2)
+        if algorithm == "3des":
+            return self.des_kernel.cycles_per_byte(blocks=2, triple=True)
+        if algorithm == "aes":
+            return self.aes_kernel.cycles_per_byte(blocks=2)
+        raise ValueError(f"unknown bulk cipher {algorithm!r}")
+
+    def hash_cycles_per_byte(self) -> float:
+        """SHA-1 cost; identical on both platforms (not accelerated)."""
+        return self.sha1_kernel.cycles_per_byte()
+
+    def rsa_public_cycles(self, keypair: RsaKeyPair,
+                          message: int = 0x1234567) -> float:
+        """Macro-model estimate of one RSA public operation."""
+        engine = ModExpEngine(self.modexp_config)
+        est = estimate_cycles(self.models, engine.powm, message,
+                              keypair.public.e, keypair.public.n)
+        return est.cycles
+
+    def rsa_private_cycles(self, keypair: RsaKeyPair,
+                           message: int = 0x1234567) -> float:
+        """Macro-model estimate of one RSA private operation."""
+        priv = keypair.private
+        engine = ModExpEngine(self.modexp_config)
+        est = estimate_cycles(
+            self.models, engine.powm_crt, message, priv.d, priv.p, priv.q,
+            priv.dp, priv.dq, priv.qinv)
+        return est.cycles

@@ -1,0 +1,17 @@
+"""Additional security protocol layers the platform targets.
+
+The paper motivates the platform with *multiple* protocol standards at
+different stack layers: "WEP, IPSec, and SSL" (Section 1).  SSL lives
+in :mod:`repro.ssl`; this package adds the other two:
+
+- :mod:`repro.protocols.wep` -- 802.11 WEP frame protection (RC4 +
+  CRC-32 ICV), including the keystream-reuse weakness as an executable
+  property.
+- :mod:`repro.protocols.esp` -- IPSec ESP tunnel processing (CBC
+  encryption + HMAC-SHA1-96 authentication + anti-replay window).
+"""
+
+from repro.protocols.wep import WepError, WepPeer
+from repro.protocols.esp import EspError, EspSecurityAssociation
+
+__all__ = ["WepPeer", "WepError", "EspSecurityAssociation", "EspError"]

@@ -1,0 +1,97 @@
+"""IPSec ESP processing (the network-layer protocol of Section 1).
+
+A security association protects packets as:
+
+    SPI (4) || sequence (4) || IV || CBC-Enc(payload || pad || padlen ||
+    next-header) || HMAC-SHA1-96 over everything before it
+
+with a receive-side anti-replay window, per RFC 2406's structure.
+"""
+
+import struct
+from typing import Optional
+
+from repro.crypto import modes
+from repro.crypto.hmac import hmac
+from repro.mp import DeterministicPrng
+
+_ICV_LEN = 12  # HMAC-SHA1-96
+_REPLAY_WINDOW = 64
+
+
+class EspError(ValueError):
+    """Malformed packet, ICV failure, or replay."""
+
+
+class EspSecurityAssociation:
+    """One direction of an ESP tunnel (cipher + auth keys + replay state)."""
+
+    def __init__(self, spi: int, cipher, auth_key: bytes,
+                 prng: Optional[DeterministicPrng] = None):
+        if not 0 < spi < (1 << 32):
+            raise EspError("SPI must be a 32-bit nonzero value")
+        self.spi = spi
+        self.cipher = cipher
+        self.auth_key = auth_key
+        self._prng = prng or DeterministicPrng(spi)
+        self.send_seq = 0
+        self._highest_seen = 0
+        self._window = 0  # bitmap of recently seen sequence numbers
+
+    # -- send side ---------------------------------------------------------
+
+    def seal(self, payload: bytes, next_header: int = 4) -> bytes:
+        """Protect one packet (next_header=4: IP-in-IP tunnel mode)."""
+        self.send_seq += 1
+        if self.send_seq >= (1 << 32):
+            raise EspError("sequence number exhausted; rekey required")
+        bs = self.cipher.block_size
+        iv = self._prng.next_bytes(bs)
+        # RFC 2406 trailer: pad || pad length || next header.
+        pad_len = (-(len(payload) + 2)) % bs
+        trailer = bytes(range(1, pad_len + 1)) + bytes([pad_len, next_header])
+        ct = modes.cbc_encrypt(self.cipher, iv, payload + trailer)
+        header = struct.pack(">II", self.spi, self.send_seq)
+        body = header + iv + ct
+        icv = hmac(self.auth_key, body, "sha1")[:_ICV_LEN]
+        return body + icv
+
+    # -- receive side ---------------------------------------------------------
+
+    def _check_replay(self, seq: int) -> None:
+        if seq == 0:
+            raise EspError("zero sequence number")
+        if seq > self._highest_seen:
+            shift = seq - self._highest_seen
+            self._window = ((self._window << shift) | 1) & \
+                ((1 << _REPLAY_WINDOW) - 1)
+            self._highest_seen = seq
+            return
+        offset = self._highest_seen - seq
+        if offset >= _REPLAY_WINDOW:
+            raise EspError("sequence number too old")
+        if self._window & (1 << offset):
+            raise EspError("replayed packet")
+        self._window |= (1 << offset)
+
+    def open(self, packet: bytes) -> bytes:
+        """Verify, replay-check and decrypt one packet."""
+        bs = self.cipher.block_size
+        min_len = 8 + bs + bs + _ICV_LEN
+        if len(packet) < min_len:
+            raise EspError("packet too short")
+        body, icv = packet[:-_ICV_LEN], packet[-_ICV_LEN:]
+        if hmac(self.auth_key, body, "sha1")[:_ICV_LEN] != icv:
+            raise EspError("ICV verification failed")
+        spi, seq = struct.unpack(">II", body[:8])
+        if spi != self.spi:
+            raise EspError(f"unknown SPI {spi:#x}")
+        self._check_replay(seq)
+        iv = body[8: 8 + bs]
+        plaintext = modes.cbc_decrypt(self.cipher, iv, body[8 + bs:])
+        if len(plaintext) < 2:
+            raise EspError("decrypted payload too short")
+        pad_len = plaintext[-2]
+        if pad_len + 2 > len(plaintext):
+            raise EspError("bad pad length")
+        return plaintext[: len(plaintext) - pad_len - 2]

@@ -1,0 +1,58 @@
+"""802.11 WEP frame protection (the link-layer protocol of Section 1).
+
+Frame format (classic 40/104-bit WEP):
+
+    IV (3 bytes) || key id (1 byte) || RC4_{IV||key}(payload || CRC32)
+
+Faithful to the original, including its famous weaknesses -- the tests
+demonstrate keystream reuse under IV repetition, which is part of why
+the paper's *programmable* platform matters: WEP's successors required
+new algorithms, not new silicon.
+"""
+
+import struct
+from typing import Optional
+
+from repro.crypto.crc import crc32
+from repro.crypto.rc4 import Rc4
+from repro.mp import DeterministicPrng
+
+
+class WepError(ValueError):
+    """Malformed frame or ICV failure."""
+
+
+class WepPeer:
+    """One WEP endpoint (shared-key, single key slot)."""
+
+    def __init__(self, key: bytes, prng: Optional[DeterministicPrng] = None):
+        if len(key) not in (5, 13):
+            raise WepError("WEP key must be 5 (WEP-40) or 13 (WEP-104) bytes")
+        self.key = key
+        self._prng = prng or DeterministicPrng(0x802011)
+        self._iv_counter = self._prng.next_bits(24)
+
+    def _next_iv(self) -> bytes:
+        self._iv_counter = (self._iv_counter + 1) & 0xFFFFFF
+        return self._iv_counter.to_bytes(3, "big")
+
+    def seal(self, payload: bytes, iv: Optional[bytes] = None) -> bytes:
+        """Protect one frame; a fresh IV is drawn unless provided."""
+        iv = iv if iv is not None else self._next_iv()
+        if len(iv) != 3:
+            raise WepError("WEP IV must be 3 bytes")
+        icv = struct.pack("<I", crc32(payload))
+        keystream_cipher = Rc4(iv + self.key)
+        body = keystream_cipher.process(payload + icv)
+        return iv + b"\x00" + body
+
+    def open(self, frame: bytes) -> bytes:
+        """Verify and decrypt one frame."""
+        if len(frame) < 8:
+            raise WepError("frame too short")
+        iv, body = frame[:3], frame[4:]
+        plaintext = Rc4(iv + self.key).process(body)
+        payload, icv = plaintext[:-4], plaintext[-4:]
+        if struct.pack("<I", crc32(payload)) != icv:
+            raise WepError("ICV check failed")
+        return payload

@@ -1,0 +1,163 @@
+"""WTLS-style transport security for WAP handsets.
+
+The paper's platform targets "IPSec, SSL, WTLS" (Sections 1 and 4).
+WTLS is the WAP forum's TLS variant for wireless links; notably it
+standardized *elliptic-curve* key exchange early, because ECC's small
+keys suited handsets -- which makes it the natural consumer of
+:mod:`repro.crypto.ec` here.
+
+The model: an ECDH handshake (ephemeral client key against the
+gateway's static curve key), HMAC-SHA1-based key-block expansion, and
+a compact record layer (sequence-numbered HMAC + CBC) mirroring
+:mod:`repro.ssl.record` with WTLS's smaller 5-byte MAC option.
+"""
+
+import struct
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.crypto import modes
+from repro.crypto.aes import Aes
+from repro.crypto.des import Des
+from repro.crypto.ec import (Curve, Point, SECP160R1,
+                             ecdh_shared_secret, generate_ec_keypair)
+from repro.crypto.hmac import hmac
+from repro.mp import DeterministicPrng
+
+_CIPHERS = {"des": (Des, 8), "aes": (Aes, 16)}
+_MAC_LEN = 5  # WTLS's truncated SHA-1 MAC option
+
+
+class WtlsError(ValueError):
+    """Handshake or record failure."""
+
+
+def prf(secret: bytes, label: bytes, seed: bytes, length: int) -> bytes:
+    """HMAC-SHA1 expansion (P_SHA1 of the TLS/WTLS PRF)."""
+    out = b""
+    a = label + seed
+    while len(out) < length:
+        a = hmac(secret, a, "sha1")
+        out += hmac(secret, a + label + seed, "sha1")
+    return out[:length]
+
+
+@dataclass
+class WtlsSession:
+    cipher_name: str
+    client_write_key: bytes
+    server_write_key: bytes
+    client_mac_key: bytes
+    server_mac_key: bytes
+    client_iv: bytes
+    server_iv: bytes
+
+
+class WtlsGateway:
+    """The WAP gateway: a static ECDH key on a named curve."""
+
+    def __init__(self, curve: Curve = SECP160R1,
+                 prng: Optional[DeterministicPrng] = None):
+        self.curve = curve
+        self.keypair = generate_ec_keypair(
+            curve, prng or DeterministicPrng(0x3A7E))
+
+    @property
+    def public(self) -> Point:
+        return self.keypair.public
+
+
+class WtlsClient:
+    """The handset: ephemeral ECDH against the gateway's static key."""
+
+    def __init__(self, prng: Optional[DeterministicPrng] = None):
+        self._prng = prng or DeterministicPrng(0xC11E)
+
+    def handshake(self, gateway: WtlsGateway,
+                  cipher_name: str = "des") -> WtlsSession:
+        if cipher_name not in _CIPHERS:
+            raise WtlsError(f"unknown cipher {cipher_name!r}")
+        ephemeral = generate_ec_keypair(gateway.curve, self._prng)
+        shared = ecdh_shared_secret(ephemeral.private, gateway.public)
+        # The gateway computes the same secret from the ephemeral public.
+        check = ecdh_shared_secret(gateway.keypair.private,
+                                   ephemeral.public)
+        if shared != check:
+            raise WtlsError("ECDH agreement failure")
+        secret = shared.to_bytes((gateway.curve.bits + 7) // 8, "big")
+        return derive_session(secret, self._prng.next_bytes(16),
+                              cipher_name)
+
+
+def derive_session(premaster: bytes, seed: bytes,
+                   cipher_name: str) -> WtlsSession:
+    _, key_len = _CIPHERS[cipher_name]
+    block = _CIPHERS[cipher_name][0](bytes(key_len)).block_size
+    need = 2 * key_len + 2 * 20 + 2 * block
+    material = prf(premaster, b"wtls key expansion", seed, need)
+    off = 0
+
+    def take(n: int) -> bytes:
+        nonlocal off
+        piece = material[off: off + n]
+        off += n
+        return piece
+
+    return WtlsSession(cipher_name=cipher_name,
+                       client_write_key=take(key_len),
+                       server_write_key=take(key_len),
+                       client_mac_key=take(20), server_mac_key=take(20),
+                       client_iv=take(block), server_iv=take(block))
+
+
+class WtlsRecordLayer:
+    """One direction of WTLS record protection (5-byte MAC)."""
+
+    def __init__(self, session: WtlsSession, client_side: bool):
+        cipher_cls, _ = _CIPHERS[session.cipher_name]
+        key = (session.client_write_key if client_side
+               else session.server_write_key)
+        self.cipher = cipher_cls(key)
+        self.mac_key = (session.client_mac_key if client_side
+                        else session.server_mac_key)
+        self._iv = (session.client_iv if client_side
+                    else session.server_iv)
+        self.seq = 0
+
+    def seal(self, payload: bytes) -> bytes:
+        mac = hmac(self.mac_key,
+                   struct.pack(">Q", self.seq) + payload)[:_MAC_LEN]
+        self.seq += 1
+        body = modes.pkcs7_pad(payload + mac, self.cipher.block_size)
+        ct = modes.cbc_encrypt(self.cipher, self._iv, body)
+        self._iv = ct[-self.cipher.block_size:]
+        return struct.pack(">H", len(ct)) + ct
+
+    def open(self, record: bytes) -> bytes:
+        if len(record) < 2:
+            raise WtlsError("record too short")
+        (length,) = struct.unpack(">H", record[:2])
+        ct = record[2:]
+        if len(ct) != length or length % self.cipher.block_size:
+            raise WtlsError("bad record length")
+        body = modes.cbc_decrypt(self.cipher, self._iv, ct)
+        self._iv = ct[-self.cipher.block_size:]
+        try:
+            body = modes.pkcs7_unpad(body, self.cipher.block_size)
+        except ValueError as exc:
+            raise WtlsError(str(exc))
+        if len(body) < _MAC_LEN:
+            raise WtlsError("record smaller than its MAC")
+        payload, mac = body[:-_MAC_LEN], body[-_MAC_LEN:]
+        want = hmac(self.mac_key,
+                    struct.pack(">Q", self.seq) + payload)[:_MAC_LEN]
+        if mac != want:
+            raise WtlsError("MAC verification failed")
+        self.seq += 1
+        return payload
+
+
+def make_channels(session: WtlsSession):
+    """(client sender, gateway receiver) for the client->gateway flow."""
+    return (WtlsRecordLayer(session, client_side=True),
+            WtlsRecordLayer(session, client_side=True))

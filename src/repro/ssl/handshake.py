@@ -1,0 +1,204 @@
+"""A simplified-but-executed SSL handshake with client authentication.
+
+The flow (RSA key exchange, SSLv3-flavoured key derivation):
+
+1. ClientHello: client random.
+2. ServerHello: server random + server RSA public key ("certificate").
+3. ClientKeyExchange: client RSA-encrypts the premaster secret to the
+   server key (public-key operation on the handset).
+4. CertificateVerify: client signs the handshake transcript with its
+   own RSA key (private-key operation on the handset -- the paper's
+   platform accelerates exactly this mix, which is why small-
+   transaction SSL speedups exceed the RSA-encrypt-only speedup).
+5. Both sides derive the master secret and record keys with the
+   SSLv3-style MD5(SHA1(...)) expansion and verify Finished MACs over
+   the transcript.
+
+Everything actually executes on the library's own crypto, so a
+handshake test failing means a real interoperability bug somewhere in
+the stack.
+"""
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.crypto.aes import Aes
+from repro.crypto.des import Des, TripleDes
+from repro.crypto.md5 import md5
+from repro.crypto.rsa import Rsa, RsaKeyPair
+from repro.crypto.sha1 import sha1
+from repro.mp import DeterministicPrng
+
+_CIPHERS = {"des": (Des, 8), "3des": (TripleDes, 24), "aes": (Aes, 16)}
+
+
+def ssl3_expand(secret: bytes, seed: bytes, length: int) -> bytes:
+    """SSLv3-style key block expansion: MD5(secret || SHA1(label_i ||
+    secret || seed)) with labels 'A', 'BB', 'CCC', ..."""
+    out = b""
+    i = 0
+    while len(out) < length:
+        label = bytes([ord("A") + i]) * (i + 1)
+        out += md5(secret + sha1(label + secret + seed))
+        i += 1
+    return out[:length]
+
+
+@dataclass
+class SessionKeys:
+    client_mac: bytes
+    server_mac: bytes
+    client_key: bytes
+    server_key: bytes
+    client_iv: bytes
+    server_iv: bytes
+
+
+def derive_keys(master: bytes, client_random: bytes, server_random: bytes,
+                cipher_name: str) -> SessionKeys:
+    _, key_len = _CIPHERS[cipher_name]
+    block = _CIPHERS[cipher_name][0](bytes(key_len)).block_size
+    need = 2 * 20 + 2 * key_len + 2 * block
+    material = ssl3_expand(master, server_random + client_random, need)
+    off = 0
+
+    def take(n: int) -> bytes:
+        nonlocal off
+        chunk = material[off: off + n]
+        off += n
+        return chunk
+
+    return SessionKeys(client_mac=take(20), server_mac=take(20),
+                       client_key=take(key_len), server_key=take(key_len),
+                       client_iv=take(block), server_iv=take(block))
+
+
+class SslServer:
+    """The transaction peer (an e-commerce server in the paper's story)."""
+
+    def __init__(self, keypair: RsaKeyPair, rsa: Optional[Rsa] = None):
+        self.keypair = keypair
+        self.rsa = rsa or Rsa()
+        self.random = b""
+        self.transcript = b""
+
+    def hello(self, client_hello: bytes,
+              prng: DeterministicPrng) -> Tuple[bytes, object]:
+        self.random = prng.next_bytes(32)
+        self.transcript = client_hello + self.random
+        return self.random, self.keypair.public
+
+    def receive_key_exchange(self, encrypted_premaster: bytes,
+                             signature: bytes, client_public) -> bytes:
+        premaster = self.rsa.decrypt(encrypted_premaster,
+                                     self.keypair.private)
+        self.transcript += encrypted_premaster
+        if not self.rsa.verify(self.transcript, signature, client_public):
+            raise ValueError("client CertificateVerify failed")
+        self.transcript += signature
+        return premaster
+
+    def finished_mac(self, master: bytes) -> bytes:
+        return sha1(master + self.transcript)
+
+
+class SslClient:
+    """The wireless handset: the platform whose cycles the paper counts."""
+
+    def __init__(self, keypair: RsaKeyPair, rsa: Optional[Rsa] = None,
+                 prng: Optional[DeterministicPrng] = None):
+        self.keypair = keypair
+        self.rsa = rsa or Rsa()
+        self.prng = prng or DeterministicPrng(0x55AA)
+        self.random = b""
+        self.transcript = b""
+
+    def hello(self) -> bytes:
+        self.random = self.prng.next_bytes(32)
+        return self.random
+
+    def key_exchange(self, server_random: bytes,
+                     server_public) -> Tuple[bytes, bytes, bytes]:
+        """Returns (premaster, encrypted premaster, transcript signature)."""
+        self.transcript = self.random + server_random
+        premaster = self.prng.next_bytes(48)
+        encrypted = self.rsa.encrypt(premaster, server_public, self.prng)
+        self.transcript += encrypted
+        signature = self.rsa.sign(self.transcript, self.keypair.private)
+        self.transcript += signature
+        return premaster, encrypted, signature
+
+
+@dataclass
+class HandshakeResult:
+    keys: SessionKeys
+    master: bytes
+    client_random: bytes
+    server_random: bytes
+    cipher_name: str
+
+
+def run_handshake(client: SslClient, server: SslServer,
+                  cipher_name: str = "3des",
+                  prng: Optional[DeterministicPrng] = None
+                  ) -> HandshakeResult:
+    """Execute the full handshake; raises if the two sides disagree."""
+    if cipher_name not in _CIPHERS:
+        raise ValueError(f"unknown cipher suite {cipher_name!r}")
+    prng = prng or DeterministicPrng(0x5E44)
+    client_hello = client.hello()
+    server_random, server_public = server.hello(client_hello, prng)
+    premaster, encrypted, signature = client.key_exchange(
+        server_random, server_public)
+    server_premaster = server.receive_key_exchange(
+        encrypted, signature, client.keypair.public)
+    if server_premaster != premaster:
+        raise ValueError("premaster secrets diverged")
+    master = ssl3_expand(premaster, client_hello + server_random, 48)
+    keys = derive_keys(master, client_hello, server_random, cipher_name)
+    # Finished verification: both sides MAC the same transcript.
+    if server.finished_mac(master) != sha1(master + client.transcript):
+        raise ValueError("Finished MAC mismatch")
+    return HandshakeResult(keys=keys, master=master,
+                           client_random=client_hello,
+                           server_random=server_random,
+                           cipher_name=cipher_name)
+
+
+def run_resumed_handshake(prior: HandshakeResult,
+                          prng: Optional[DeterministicPrng] = None
+                          ) -> HandshakeResult:
+    """Abbreviated handshake from a cached session (paper ref. [27]:
+    "Secure Server Performance Dramatically Improved by Caching SSL
+    Session Keys").
+
+    Both sides already hold the master secret; fresh randoms re-derive
+    the record keys and no public-key operation runs at all -- which is
+    why resumption changes the Figure 8 picture so strongly for small
+    transactions.
+    """
+    prng = prng or DeterministicPrng(0x4E5)
+    client_random = prng.next_bytes(32)
+    server_random = prng.next_bytes(32)
+    keys = derive_keys(prior.master, client_random, server_random,
+                       prior.cipher_name)
+    return HandshakeResult(keys=keys, master=prior.master,
+                           client_random=client_random,
+                           server_random=server_random,
+                           cipher_name=prior.cipher_name)
+
+
+def make_record_channels(result: HandshakeResult):
+    """Record layers for the client->server direction.
+
+    Returns (sender, receiver): the client's sealing endpoint and the
+    server's opening endpoint, initialized from the same session keys
+    (each side instantiates its own cipher, as real peers do).
+    """
+    from repro.ssl.record import RecordLayer
+    cipher_cls, _ = _CIPHERS[result.cipher_name]
+    sender = RecordLayer(cipher_cls(result.keys.client_key),
+                         result.keys.client_mac, result.keys.client_iv)
+    receiver = RecordLayer(cipher_cls(result.keys.client_key),
+                           result.keys.client_mac, result.keys.client_iv)
+    return sender, receiver

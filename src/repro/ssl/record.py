@@ -1,0 +1,76 @@
+"""The SSL record layer: fragmentation, MAC-then-encrypt, sequencing.
+
+Functionally executed on the library's own HMAC-SHA1 and block ciphers
+(CBC).  Record format (simplified SSLv3/TLS):
+
+    ciphertext = CBC-Enc(key, iv, plaintext || HMAC || PKCS7-padding)
+
+with the MAC computed over (sequence number || record type || length ||
+plaintext).  Each endpoint keeps independent send/receive sequence
+numbers; replayed or reordered records fail MAC verification.
+"""
+
+import struct
+from typing import List
+
+from repro.crypto import modes
+from repro.crypto.hmac import hmac
+
+MAX_FRAGMENT = 16384  # SSL's 2^14 fragment bound
+RECORD_TYPE_DATA = 23
+
+
+class RecordError(ValueError):
+    """MAC failure, bad padding, or malformed record."""
+
+
+class RecordLayer:
+    """One direction of an SSL connection's record protection."""
+
+    def __init__(self, cipher, mac_key: bytes, iv: bytes):
+        self.cipher = cipher
+        self.mac_key = mac_key
+        self._chain_iv = iv
+        self.send_seq = 0
+        self.recv_seq = 0
+
+    def _mac(self, seq: int, payload: bytes) -> bytes:
+        header = struct.pack(">QBH", seq, RECORD_TYPE_DATA, len(payload))
+        return hmac(self.mac_key, header + payload, "sha1")
+
+    def seal(self, plaintext: bytes) -> List[bytes]:
+        """Protect application data; returns the wire records."""
+        records = []
+        for off in range(0, max(len(plaintext), 1), MAX_FRAGMENT):
+            fragment = plaintext[off: off + MAX_FRAGMENT]
+            mac = self._mac(self.send_seq, fragment)
+            self.send_seq += 1
+            body = modes.pkcs7_pad(fragment + mac, self.cipher.block_size)
+            ct = modes.cbc_encrypt(self.cipher, self._chain_iv, body)
+            self._chain_iv = ct[-self.cipher.block_size:]
+            records.append(struct.pack(">BH", RECORD_TYPE_DATA, len(ct)) + ct)
+        return records
+
+    def open(self, record: bytes) -> bytes:
+        """Verify and decrypt one wire record."""
+        if len(record) < 3:
+            raise RecordError("record too short")
+        rtype, length = struct.unpack(">BH", record[:3])
+        if rtype != RECORD_TYPE_DATA:
+            raise RecordError(f"unexpected record type {rtype}")
+        ct = record[3:]
+        if len(ct) != length or length % self.cipher.block_size:
+            raise RecordError("bad record length")
+        body = modes.cbc_decrypt(self.cipher, self._chain_iv, ct)
+        self._chain_iv = ct[-self.cipher.block_size:]
+        try:
+            body = modes.pkcs7_unpad(body, self.cipher.block_size)
+        except ValueError as exc:
+            raise RecordError(str(exc))
+        if len(body) < 20:
+            raise RecordError("record smaller than its MAC")
+        fragment, mac = body[:-20], body[-20:]
+        if self._mac(self.recv_seq, fragment) != mac:
+            raise RecordError("MAC verification failed")
+        self.recv_seq += 1
+        return fragment

@@ -1,0 +1,63 @@
+"""Server-side SSL session cache (paper reference [27]).
+
+Goldberg et al. showed that caching SSL session keys dramatically
+improves secure-server performance; the handset-side effect is modeled
+in :mod:`repro.ssl.transaction` (resumed transactions).  This module
+supplies the cache itself: a bounded LRU of session master secrets
+keyed by session id, as a server (or WAP gateway) would keep.
+"""
+
+from collections import OrderedDict
+from typing import Optional
+
+from repro.crypto.sha1 import sha1
+from repro.ssl.handshake import HandshakeResult
+
+
+class SessionCache:
+    """Bounded LRU cache of resumable sessions."""
+
+    def __init__(self, capacity: int = 128):
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._entries: "OrderedDict[bytes, HandshakeResult]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def session_id(result: HandshakeResult) -> bytes:
+        """Derive a public session identifier (never the master secret)."""
+        return sha1(b"session-id" + result.client_random
+                    + result.server_random)[:16]
+
+    def store(self, result: HandshakeResult) -> bytes:
+        """Cache a completed handshake; returns its session id."""
+        sid = self.session_id(result)
+        self._entries[sid] = result
+        self._entries.move_to_end(sid)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+        return sid
+
+    def lookup(self, session_id: bytes) -> Optional[HandshakeResult]:
+        """Fetch a resumable session (refreshing its LRU position)."""
+        entry = self._entries.get(session_id)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(session_id)
+        self.hits += 1
+        return entry
+
+    def invalidate(self, session_id: bytes) -> bool:
+        """Drop a session (e.g. on a fatal alert)."""
+        return self._entries.pop(session_id, None) is not None
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,73 @@
+"""Secure data-rate feasibility (the paper's stated objective).
+
+Paper Section 1.1: "The objective is to enable secure communications at
+data rates provided by 3G cellular (100 kbps - 2 Mbps) and wireless LAN
+(10 - 55 Mbps) technologies."
+
+This module computes the maximum *secure* data rate a platform
+sustains: bulk protection costs (cipher + MAC + per-byte protocol work)
+against the core's clock, with an optional CPU-budget fraction (a
+handset does more than crypto).
+"""
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.ssl.transaction import PlatformCosts
+
+#: The paper's 188 MHz Xtensa clock.
+DEFAULT_CLOCK_HZ = 188e6
+
+#: Named rate targets from the paper's objective.
+RATE_TARGETS: Dict[str, float] = {
+    "2.5G (144 kbps)": 144e3,
+    "3G low (384 kbps)": 384e3,
+    "3G high (2 Mbps)": 2e6,
+    "WLAN low (10 Mbps)": 10e6,
+    "WLAN high (55 Mbps)": 55e6,
+}
+
+
+@dataclass
+class ThroughputReport:
+    platform: str
+    cycles_per_byte: float
+    max_rate_bps: float
+    feasible: Dict[str, bool]
+
+
+def bulk_cycles_per_byte(costs: PlatformCosts) -> float:
+    """Steady-state protected-byte cost (cipher + MAC + protocol)."""
+    return (costs.cipher_cycles_per_byte + costs.hash_cycles_per_byte
+            + costs.protocol_cycles_per_byte)
+
+
+def max_secure_rate(costs: PlatformCosts,
+                    clock_hz: float = DEFAULT_CLOCK_HZ,
+                    cpu_fraction: float = 1.0) -> float:
+    """Maximum sustainable secure data rate in bits/second."""
+    if not 0 < cpu_fraction <= 1:
+        raise ValueError("cpu_fraction must be in (0, 1]")
+    bytes_per_second = clock_hz * cpu_fraction / bulk_cycles_per_byte(costs)
+    return bytes_per_second * 8
+
+
+def feasibility(costs: PlatformCosts,
+                clock_hz: float = DEFAULT_CLOCK_HZ,
+                cpu_fraction: float = 1.0,
+                targets: Dict[str, float] = RATE_TARGETS
+                ) -> ThroughputReport:
+    """Which of the paper's rate targets the platform can sustain."""
+    rate = max_secure_rate(costs, clock_hz, cpu_fraction)
+    return ThroughputReport(
+        platform=costs.name,
+        cycles_per_byte=bulk_cycles_per_byte(costs),
+        max_rate_bps=rate,
+        feasible={name: rate >= target for name, target in targets.items()})
+
+
+def feasibility_table(all_costs: Sequence[PlatformCosts],
+                      clock_hz: float = DEFAULT_CLOCK_HZ,
+                      cpu_fraction: float = 1.0) -> List[ThroughputReport]:
+    return [feasibility(costs, clock_hz, cpu_fraction)
+            for costs in all_costs]

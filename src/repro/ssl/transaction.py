@@ -1,0 +1,150 @@
+"""The SSL transaction workload/cycle model (paper Figure 8).
+
+A transaction = one handshake (public-key bound) + ``size`` bytes of
+protected application data (symmetric/misc bound).  Following the
+paper's breakdown, cycles split into three components:
+
+- **public-key**: the handset's RSA work in the handshake -- verify the
+  server certificate, encrypt the premaster secret, and sign the
+  CertificateVerify message (client authentication).
+- **symmetric**: the bulk cipher over the session data.
+- **misc**: everything the custom instructions do *not* accelerate --
+  record MAC and transcript hashing (SHA-1) and per-byte protocol
+  processing (framing, copies), charged identically on both platforms.
+
+As transaction size grows the unaccelerated misc component dominates
+both platforms and the speedup saturates near
+(sym+misc)_base / (sym+misc)_opt -- the paper's ~3x plateau.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.crypto.rsa import RsaKeyPair
+from repro.platform import SecurityPlatform
+from repro.ssl import fixtures
+
+#: Handshake bytes hashed into the transcript (hellos, certificate,
+#: key exchange, Finished) -- a representative fixed workload.
+HANDSHAKE_TRANSCRIPT_BYTES = 4096
+#: Per-byte protocol processing (framing, buffer copies) -- identical
+#: on both platforms; calibrated to a few instructions per byte.
+PROTOCOL_CYCLES_PER_BYTE = 24.0
+#: Fixed per-transaction protocol processing outside the crypto.
+PROTOCOL_FIXED_CYCLES = 50_000.0
+
+
+@dataclass
+class PlatformCosts:
+    """Measured/estimated unit costs for one platform configuration."""
+
+    name: str
+    rsa_public_cycles: float        # one public-key op (verify or encrypt)
+    rsa_private_cycles: float       # one private-key op (sign)
+    cipher_cycles_per_byte: float
+    hash_cycles_per_byte: float
+    protocol_cycles_per_byte: float = PROTOCOL_CYCLES_PER_BYTE
+    protocol_fixed_cycles: float = PROTOCOL_FIXED_CYCLES
+
+    @classmethod
+    def measure(cls, platform: SecurityPlatform,
+                keypair: Optional[RsaKeyPair] = None,
+                cipher: str = "3des") -> "PlatformCosts":
+        """Measure unit costs on a platform (macro-models + ISS kernels)."""
+        keypair = keypair or fixtures.SERVER_1024
+        return cls(
+            name=platform.name,
+            rsa_public_cycles=platform.rsa_public_cycles(keypair),
+            rsa_private_cycles=platform.rsa_private_cycles(keypair),
+            cipher_cycles_per_byte=platform.cipher_cycles_per_byte(cipher),
+            hash_cycles_per_byte=platform.hash_cycles_per_byte(),
+        )
+
+
+@dataclass
+class TransactionBreakdown:
+    """Cycle breakdown of one SSL transaction (Figure 8's stacked bars)."""
+
+    public_key: float
+    symmetric: float
+    misc: float
+
+    @property
+    def total(self) -> float:
+        return self.public_key + self.symmetric + self.misc
+
+    def fractions(self) -> Dict[str, float]:
+        total = self.total
+        return {"public_key": self.public_key / total,
+                "symmetric": self.symmetric / total,
+                "misc": self.misc / total}
+
+
+class SslWorkloadModel:
+    """Computes Figure 8: SSL transaction speedup vs session size."""
+
+    def __init__(self, base_costs: PlatformCosts,
+                 optimized_costs: PlatformCosts):
+        self.base_costs = base_costs
+        self.optimized_costs = optimized_costs
+
+    @staticmethod
+    def breakdown(costs: PlatformCosts, size_bytes: int,
+                  resumed: bool = False) -> TransactionBreakdown:
+        if resumed:
+            # Abbreviated handshake (cached session keys, paper ref.
+            # [27]): no public-key operations; only the short
+            # hello/Finished exchange is hashed.
+            public_key = 0.0
+            hashed_bytes = HANDSHAKE_TRANSCRIPT_BYTES // 8 + size_bytes
+        else:
+            # Full handshake: verify server certificate + encrypt
+            # premaster (public ops) + sign CertificateVerify (private).
+            public_key = (2 * costs.rsa_public_cycles
+                          + costs.rsa_private_cycles)
+            hashed_bytes = HANDSHAKE_TRANSCRIPT_BYTES + size_bytes
+        symmetric = size_bytes * costs.cipher_cycles_per_byte
+        misc = (hashed_bytes * costs.hash_cycles_per_byte
+                + size_bytes * costs.protocol_cycles_per_byte
+                + costs.protocol_fixed_cycles)
+        return TransactionBreakdown(public_key=public_key,
+                                    symmetric=symmetric, misc=misc)
+
+    def speedup(self, size_bytes: int, resumed: bool = False) -> float:
+        base = self.breakdown(self.base_costs, size_bytes, resumed).total
+        opt = self.breakdown(self.optimized_costs, size_bytes,
+                             resumed).total
+        return base / opt
+
+    def resumption_gain(self, costs: PlatformCosts,
+                        size_bytes: int) -> float:
+        """How much cheaper a resumed transaction is than a full one
+        on the same platform (the session-caching payoff of [27])."""
+        full = self.breakdown(costs, size_bytes).total
+        resumed = self.breakdown(costs, size_bytes, resumed=True).total
+        return full / resumed
+
+    def asymptotic_speedup(self) -> float:
+        """Large-transaction limit: the (sym+misc)-bound plateau."""
+        b, o = self.base_costs, self.optimized_costs
+        per_byte_base = (b.cipher_cycles_per_byte + b.hash_cycles_per_byte
+                         + b.protocol_cycles_per_byte)
+        per_byte_opt = (o.cipher_cycles_per_byte + o.hash_cycles_per_byte
+                        + o.protocol_cycles_per_byte)
+        return per_byte_base / per_byte_opt
+
+    def series(self, sizes: Sequence[int]) -> List[dict]:
+        """Rows for the Figure 8 table: size, speedup, base breakdown."""
+        rows = []
+        for size in sizes:
+            base = self.breakdown(self.base_costs, size)
+            opt = self.breakdown(self.optimized_costs, size)
+            rows.append({
+                "size_bytes": size,
+                "speedup": base.total / opt.total,
+                "base_fractions": base.fractions(),
+                "opt_fractions": opt.fractions(),
+                "base_cycles": base.total,
+                "opt_cycles": opt.total,
+            })
+        return rows

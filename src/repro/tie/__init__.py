@@ -1,0 +1,24 @@
+"""Custom-instruction formulation and global selection (paper §3.3-3.4).
+
+- :mod:`repro.tie.adcurve`     -- area-delay (A-D) curves: sets of
+  (area, cycles, instruction-set) design points with Pareto operations.
+- :mod:`repro.tie.callgraph`   -- annotated function call graphs
+  (nodes weighted with local cycles, edges with call counts), built by
+  hand or from an ISS profile (paper Figure 4).
+- :mod:`repro.tie.formulation` -- produces A-D curves for the library
+  leaf routines by sweeping custom-instruction hardware resources on
+  the simulator (paper Figure 5a/5b).
+- :mod:`repro.tie.selection`   -- bottom-up combination of A-D curves
+  through the call graph with instruction sharing and dominance
+  reduction of the Cartesian product (paper Figures 5c and 6), and
+  final selection under an area constraint.
+"""
+
+from repro.tie.adcurve import ADCurve, DesignPoint
+from repro.tie.callgraph import CallGraph, CallGraphNode
+from repro.tie.selection import (combine_curves, propagate, select_point,
+                                 reduce_instruction_set)
+
+__all__ = ["ADCurve", "DesignPoint", "CallGraph", "CallGraphNode",
+           "combine_curves", "propagate", "select_point",
+           "reduce_instruction_set"]

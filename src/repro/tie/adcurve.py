@@ -1,0 +1,94 @@
+"""Area-delay (A-D) curves.
+
+An A-D curve (paper Figure 5) captures the local tradeoff a custom
+instruction offers one library routine: each :class:`DesignPoint` is a
+set of custom instructions, the hardware area they add, and the cycle
+count the routine achieves with them.  The original software routine is
+the zero-area point.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional
+
+from repro.isa.extensions import CustomInstruction
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One point on an A-D curve."""
+
+    cycles: float
+    area: float
+    instructions: FrozenSet[str] = frozenset()
+
+    def dominates(self, other: "DesignPoint") -> bool:
+        """Pareto dominance: no worse on both axes, better on one."""
+        return (self.cycles <= other.cycles and self.area <= other.area
+                and (self.cycles < other.cycles or self.area < other.area))
+
+    def label(self) -> str:
+        if not self.instructions:
+            return "base"
+        return "+".join(sorted(self.instructions))
+
+
+class ADCurve:
+    """An A-D curve for one routine (or a combined subgraph)."""
+
+    def __init__(self, name: str, points: Iterable[DesignPoint] = (),
+                 catalogue: Optional[Dict[str, CustomInstruction]] = None):
+        self.name = name
+        self.points: List[DesignPoint] = list(points)
+        #: instruction name -> object, for area recomputation on merges
+        self.catalogue: Dict[str, CustomInstruction] = dict(catalogue or {})
+
+    def add(self, point: DesignPoint) -> None:
+        self.points.append(point)
+
+    def __iter__(self) -> Iterator[DesignPoint]:
+        return iter(self.points)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    @property
+    def base_point(self) -> DesignPoint:
+        """The zero-area (pure software) point."""
+        for point in self.points:
+            if not point.instructions:
+                return point
+        raise ValueError(f"curve {self.name!r} has no base point")
+
+    def pareto(self) -> "ADCurve":
+        """Prune Pareto-dominated points; result sorted by area."""
+        kept: List[DesignPoint] = []
+        for candidate in sorted(self.points, key=lambda p: (p.area, p.cycles)):
+            if any(other.dominates(candidate) for other in self.points
+                   if other is not candidate):
+                continue
+            # Drop exact duplicates.
+            if any(k.cycles == candidate.cycles and k.area == candidate.area
+                   and k.instructions == candidate.instructions for k in kept):
+                continue
+            kept.append(candidate)
+        return ADCurve(self.name, kept, self.catalogue)
+
+    def best_under_area(self, area_budget: float) -> DesignPoint:
+        """Fastest point within the area budget."""
+        feasible = [p for p in self.points if p.area <= area_budget]
+        if not feasible:
+            raise ValueError(
+                f"no design point of {self.name!r} fits area {area_budget}")
+        return min(feasible, key=lambda p: (p.cycles, p.area))
+
+    def scaled(self, calls: int, local_cycles: float = 0.0) -> "ADCurve":
+        """Curve for `calls` invocations plus fixed local cycles (Eq. 1)."""
+        return ADCurve(
+            self.name,
+            [DesignPoint(cycles=local_cycles + calls * p.cycles,
+                         area=p.area, instructions=p.instructions)
+             for p in self.points],
+            self.catalogue)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ADCurve({self.name!r}, {len(self.points)} points)"

@@ -1,0 +1,115 @@
+"""Annotated function call graphs (paper Figure 4).
+
+Nodes are functions with their *local* cycles (computation not spent in
+callees); edges carry call counts.  Graphs come from two sources: built
+programmatically for synthetic studies, or extracted from an ISS
+:class:`~repro.isa.machine.Profile` of a real run (the paper's Figure 4
+is the profile of an optimized modular exponentiation).
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+@dataclass
+class CallGraphNode:
+    """One function in the annotated call graph."""
+
+    name: str
+    local_cycles: float = 0.0
+    #: (callee name, number of calls) pairs
+    children: List[Tuple[str, int]] = field(default_factory=list)
+
+    def add_child(self, callee: str, calls: int) -> None:
+        self.children.append((callee, calls))
+
+
+class CallGraph:
+    """A rooted, annotated call graph."""
+
+    def __init__(self, root: str):
+        self.root = root
+        self.nodes: Dict[str, CallGraphNode] = {}
+
+    def node(self, name: str) -> CallGraphNode:
+        if name not in self.nodes:
+            self.nodes[name] = CallGraphNode(name)
+        return self.nodes[name]
+
+    def add_edge(self, caller: str, callee: str, calls: int) -> None:
+        self.node(caller).add_child(callee, calls)
+        self.node(callee)
+
+    def set_local_cycles(self, name: str, cycles: float) -> None:
+        self.node(name).local_cycles = cycles
+
+    def leaves(self) -> List[str]:
+        return sorted(name for name, node in self.nodes.items()
+                      if not node.children)
+
+    def validate_acyclic(self) -> None:
+        """Raise if the graph has a cycle (propagation needs a DAG)."""
+        WHITE, GRAY, BLACK = 0, 1, 2
+        color = {name: WHITE for name in self.nodes}
+
+        def visit(name: str) -> None:
+            color[name] = GRAY
+            for callee, _ in self.nodes[name].children:
+                if color[callee] == GRAY:
+                    raise ValueError(f"call graph cycle through {callee!r}")
+                if color[callee] == WHITE:
+                    visit(callee)
+            color[name] = BLACK
+
+        visit(self.root)
+
+    def total_cycles(self, name: Optional[str] = None) -> float:
+        """Pure-software cycle count of the subgraph rooted at ``name``."""
+        name = name or self.root
+        node = self.nodes[name]
+        total = node.local_cycles
+        for callee, calls in node.children:
+            total += calls * self.total_cycles(callee)
+        return total
+
+    @classmethod
+    def from_profile(cls, profile, root: str,
+                     truncate_at: Iterable[str] = ()) -> "CallGraph":
+        """Build from an ISS profile, optionally truncating below the
+        given functions (the paper truncates Figure 4 at the leaf
+        routines that receive custom instructions)."""
+        truncate = set(truncate_at)
+        graph = cls(root)
+        # Average call counts per single invocation of the caller.
+        invocations = dict(profile.call_counts)
+        invocations.setdefault(root, 1)
+        for (caller, callee), calls in sorted(profile.call_edges.items()):
+            if caller == "<entry>" or caller in truncate:
+                continue
+            per_invocation = max(1, round(calls / max(1, invocations.get(caller, 1))))
+            graph.add_edge(caller, callee, per_invocation)
+        for name in graph.nodes:
+            count = max(1, invocations.get(name, 1))
+            graph.set_local_cycles(
+                name, profile.local_cycles.get(name, 0) / count)
+        return graph
+
+    def render(self) -> str:
+        """Human-readable indented rendering (for the Figure 4 bench)."""
+        lines: List[str] = []
+        seen = set()
+
+        def walk(name: str, depth: int, calls: int) -> None:
+            node = self.nodes[name]
+            prefix = "  " * depth
+            call_note = f" x{calls}" if depth else ""
+            lines.append(f"{prefix}{name}{call_note}  "
+                         f"(local {node.local_cycles:.0f} cyc)")
+            if name in seen:
+                return
+            seen.add(name)
+            for callee, count in node.children:
+                walk(callee, depth + 1, count)
+
+        walk(self.root, 0, 1)
+        return "\n".join(lines)

@@ -1,0 +1,136 @@
+"""Global custom instruction selection (paper Section 3.4).
+
+Combines the leaf routines' A-D curves bottom-up through the annotated
+call graph into a composite curve for the root, applying:
+
+- **Equation 1**: cycles(f) = local_cycles(f) + sum over children of
+  calls * cycles(child), per combination of child design points;
+- **instruction sharing**: the union of the children's instruction
+  sets, so shared hardware is counted once;
+- **dominance reduction**: within an instruction family, a wider unit
+  subsumes a narrower one (``add_4`` dominates ``add_2``), collapsing
+  equivalent Cartesian-product entries (paper Figure 6's 25 -> 9);
+- **Pareto pruning** at every node (paper Figure 5c's point P1).
+
+The final step picks the fastest root design point within an area
+budget.
+"""
+
+import re
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.isa.extensions import CustomInstruction
+from repro.tie.adcurve import ADCurve, DesignPoint
+from repro.tie.callgraph import CallGraph
+
+_FAMILY_RE = re.compile(r"^([A-Za-z]+(?:_[A-Za-z]+)*?)((?:_\d+)+)$")
+
+
+def instruction_family(name: str) -> Tuple[str, Tuple[int, ...]]:
+    """Split an instruction name into (family, width parameters).
+
+    ``vaddc_8`` -> ("vaddc", (8,)); ``aesrnd_8_2`` -> ("aesrnd", (8, 2));
+    names without numeric suffixes are their own family with no params.
+    """
+    match = _FAMILY_RE.match(name)
+    if not match:
+        return name, ()
+    params = tuple(int(p) for p in match.group(2).split("_")[1:])
+    return match.group(1), params
+
+
+def _subsumes(a: str, b: str) -> bool:
+    """True if instruction ``a`` can perform ``b``'s job at least as fast
+    (same family, every width parameter >=)."""
+    fam_a, par_a = instruction_family(a)
+    fam_b, par_b = instruction_family(b)
+    return (fam_a == fam_b and len(par_a) == len(par_b) and par_a != ()
+            and all(x >= y for x, y in zip(par_a, par_b)))
+
+
+def reduce_instruction_set(names: Iterable[str]) -> FrozenSet[str]:
+    """Drop instructions subsumed by a wider family member (sharing +
+    dominance, paper Figure 6)."""
+    names = set(names)
+    reduced = {n for n in names
+               if not any(other != n and _subsumes(other, n)
+                          for other in names)}
+    return frozenset(reduced)
+
+
+def _set_area(names: FrozenSet[str],
+              catalogue: Dict[str, CustomInstruction]) -> float:
+    total = 0.0
+    for name in names:
+        instr = catalogue.get(name)
+        if instr is None:
+            raise KeyError(f"instruction {name!r} missing from the catalogue")
+        total += instr.area
+    return total
+
+
+def combine_curves(name: str, children: List[Tuple[ADCurve, int]],
+                   local_cycles: float = 0.0,
+                   reduce: bool = True,
+                   pareto: bool = True) -> ADCurve:
+    """Combine child A-D curves under one parent (Eq. 1 + Fig. 6).
+
+    ``children`` is a list of (curve, call count).  ``reduce=False``
+    disables dominance reduction (for the ablation bench, to expose the
+    Cartesian blowup the paper's technique avoids).
+    """
+    catalogue: Dict[str, CustomInstruction] = {}
+    for curve, _ in children:
+        catalogue.update(curve.catalogue)
+
+    combos: Dict[FrozenSet[str], float] = {frozenset(): local_cycles}
+    raw_count = 1
+    for curve, calls in children:
+        next_combos: Dict[FrozenSet[str], float] = {}
+        raw_count *= max(1, len(curve.points))
+        for inst_set, cycles in combos.items():
+            for point in curve.points:
+                union = inst_set | point.instructions
+                key = reduce_instruction_set(union) if reduce \
+                    else frozenset(union)
+                total = cycles + calls * point.cycles
+                # Equivalent entries collapse; keep the best delay.
+                if key not in next_combos or total < next_combos[key]:
+                    next_combos[key] = total
+        combos = next_combos
+
+    result = ADCurve(name, catalogue=catalogue)
+    for inst_set, cycles in combos.items():
+        result.add(DesignPoint(cycles=cycles,
+                               area=_set_area(inst_set, catalogue),
+                               instructions=inst_set))
+    result.raw_combination_count = raw_count  # type: ignore[attr-defined]
+    return result.pareto() if pareto else result
+
+
+def propagate(graph: CallGraph, leaf_curves: Dict[str, ADCurve],
+              node: Optional[str] = None, reduce: bool = True,
+              pareto: bool = True) -> ADCurve:
+    """Bottom-up propagation of A-D curves to (sub)graph roots.
+
+    Leaves with a curve contribute it; leaves without one contribute a
+    single zero-area point at their measured local cycles.
+    """
+    name = node or graph.root
+    if name in leaf_curves:
+        return leaf_curves[name]
+    cg_node = graph.nodes[name]
+    if not cg_node.children:
+        return ADCurve(name, [DesignPoint(cycles=cg_node.local_cycles,
+                                          area=0.0)])
+    children = [(propagate(graph, leaf_curves, callee, reduce, pareto), calls)
+                for callee, calls in cg_node.children]
+    return combine_curves(name, children, cg_node.local_cycles,
+                          reduce=reduce, pareto=pareto)
+
+
+def select_point(graph: CallGraph, leaf_curves: Dict[str, ADCurve],
+                 area_budget: float) -> Tuple[DesignPoint, ADCurve]:
+    """Propagate to the root and pick the fastest point within budget."""
+    root_curve = propagate(graph, leaf_curves)
+    return root_curve.best_under_area(area_budget), root_curve

@@ -1,0 +1,16 @@
+"""Shared test configuration.
+
+Hypothesis's default per-example deadline misfires on the slower
+property tests (anything that spins up the instruction-set simulator),
+so the suite runs under a no-deadline profile; example counts are set
+per-test where the default is too heavy.
+"""
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")

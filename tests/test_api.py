@@ -1,0 +1,100 @@
+"""Tests for the Layer-3 SecurityApi facade."""
+
+import hashlib
+
+import pytest
+
+from repro.mp import DeterministicPrng
+from repro.crypto.api import SecurityApi
+from repro.crypto.modexp import ModExpConfig
+
+
+@pytest.fixture
+def api():
+    return SecurityApi(prng=DeterministicPrng(1234))
+
+
+class TestSymmetric:
+    @pytest.mark.parametrize("algorithm,keylen,bs", [
+        ("des", 8, 8), ("3des", 24, 8), ("aes", 16, 16)])
+    def test_cbc_roundtrip(self, api, algorithm, keylen, bs):
+        key = api.generate_symmetric_key(algorithm)
+        assert len(key) == keylen
+        iv = bytes(bs)
+        data = b"the quick brown fox jumps over the lazy dog"
+        ct = api.encrypt(algorithm, key, data, iv=iv)
+        assert api.decrypt(algorithm, key, ct, iv=iv) == data
+
+    def test_ecb_roundtrip(self, api):
+        key = api.generate_symmetric_key("aes")
+        ct = api.encrypt("aes", key, b"block mode test", mode="ecb")
+        assert api.decrypt("aes", key, ct, mode="ecb") == b"block mode test"
+
+    def test_rc4(self, api):
+        key = api.generate_symmetric_key("rc4")
+        ct = api.encrypt("rc4", key, b"stream data")
+        assert api.decrypt("rc4", key, ct) == b"stream data"
+
+    def test_unknown_cipher(self, api):
+        with pytest.raises(ValueError):
+            api.encrypt("idea", bytes(16), b"x", iv=bytes(8))
+
+    def test_unknown_mode(self, api):
+        with pytest.raises(ValueError):
+            api.encrypt("aes", bytes(16), b"x", iv=bytes(16), mode="ctr")
+
+    def test_cbc_without_iv(self, api):
+        with pytest.raises(ValueError):
+            api.encrypt("aes", bytes(16), b"x")
+
+    def test_empty_plaintext(self, api):
+        key = api.generate_symmetric_key("aes")
+        iv = bytes(16)
+        assert api.decrypt("aes", key, api.encrypt("aes", key, b"", iv=iv),
+                           iv=iv) == b""
+
+
+class TestHashing:
+    def test_sha1_matches_hashlib(self, api):
+        assert api.hash("sha1", b"data") == hashlib.sha1(b"data").digest()
+
+    def test_md5_matches_hashlib(self, api):
+        assert api.hash("md5", b"data") == hashlib.md5(b"data").digest()
+
+    def test_unknown_hash(self, api):
+        with pytest.raises(ValueError):
+            api.hash("sha256", b"data")
+
+    def test_hmac(self, api):
+        import hmac as py_hmac
+        assert api.hmac("sha1", b"key", b"msg") == \
+            py_hmac.new(b"key", b"msg", hashlib.sha1).digest()
+
+
+class TestPublicKey:
+    def test_rsa_through_api(self, api):
+        kp = api.generate_keypair("rsa", 256)
+        ct = api.rsa_encrypt(b"api message", kp.public)
+        assert api.rsa_decrypt(ct, kp.private) == b"api message"
+        sig = api.rsa_sign(b"doc", kp.private)
+        assert api.rsa_verify(b"doc", sig, kp.public)
+
+    def test_elgamal_through_api(self, api):
+        kp = api.generate_keypair("elgamal", 40)
+        ct = api.elgamal_encrypt(1234, kp.public)
+        assert api.elgamal_decrypt(ct, kp.private) == 1234
+
+    def test_unknown_keypair_algorithm(self, api):
+        with pytest.raises(ValueError):
+            api.generate_keypair("dsa", 512)
+
+    def test_custom_modexp_config(self):
+        api = SecurityApi(ModExpConfig(modmul="barrett", window=3, crt="classic"),
+                          prng=DeterministicPrng(5))
+        kp = api.generate_keypair("rsa", 192)
+        ct = api.rsa_encrypt(b"cfg", kp.public)
+        assert api.rsa_decrypt(ct, kp.private) == b"cfg"
+
+    def test_unknown_symmetric_key_algorithm(self, api):
+        with pytest.raises(ValueError):
+            api.generate_symmetric_key("blowfish")

@@ -1,0 +1,110 @@
+"""Tests for the XT32 assembler."""
+
+import pytest
+
+from repro.isa.assembler import AssemblyError, Program, assemble
+from repro.isa.extensions import CustomInstruction, ExtensionSet
+
+
+class TestBasicAssembly:
+    def test_simple_program(self):
+        prog = assemble("""
+        main:
+            li r1, 42
+            halt
+        """)
+        assert len(prog) == 2
+        assert prog.entry("main") == 0
+        assert prog.instructions[0].op == "li"
+        assert prog.instructions[0].args == (1, 42)
+
+    def test_comments_and_blank_lines(self):
+        prog = assemble("""
+        # full-line comment
+        main:
+            li r1, 1   # trailing comment
+            halt       ; alt comment style
+        """)
+        assert len(prog) == 2
+
+    def test_hex_and_negative_immediates(self):
+        prog = assemble("main: li r1, 0xFF\n li r2, -5\n halt")
+        assert prog.instructions[0].args == (1, 0xFF)
+        assert prog.instructions[1].args == (2, -5)
+
+    def test_memory_operands(self):
+        prog = assemble("main: lw r1, 8(r2)\n sw r1, -4(r3)\n halt")
+        assert prog.instructions[0].args == (1, (8, 2))
+        assert prog.instructions[1].args == (1, (-4, 3))
+
+    def test_label_resolution(self):
+        prog = assemble("""
+        start:
+            j end
+            li r1, 1
+        end:
+            halt
+        """)
+        assert prog.instructions[0].args == (2,)
+
+    def test_label_on_same_line(self):
+        prog = assemble("main: halt")
+        assert prog.entry("main") == 0
+
+    def test_multiple_labels_same_instruction(self):
+        prog = assemble("a: b:\n halt")
+        assert prog.entry("a") == prog.entry("b") == 0
+
+
+class TestErrors:
+    def test_unknown_opcode(self):
+        with pytest.raises(AssemblyError, match="unknown opcode"):
+            assemble("main: frobnicate r1")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblyError, match="expects"):
+            assemble("main: add r1, r2")
+
+    def test_bad_register(self):
+        with pytest.raises(AssemblyError, match="register"):
+            assemble("main: li r16, 0")
+
+    def test_bad_register_name(self):
+        with pytest.raises(AssemblyError, match="expected register"):
+            assemble("main: li x1, 0")
+
+    def test_undefined_label(self):
+        with pytest.raises(AssemblyError, match="undefined label"):
+            assemble("main: j nowhere")
+
+    def test_duplicate_label(self):
+        with pytest.raises(AssemblyError, match="duplicate"):
+            assemble("a: halt\na: halt")
+
+    def test_bad_memory_operand(self):
+        with pytest.raises(AssemblyError, match="offset"):
+            assemble("main: lw r1, r2")
+
+    def test_unknown_entry(self):
+        prog = assemble("main: halt")
+        with pytest.raises(AssemblyError, match="unknown label"):
+            prog.entry("other")
+
+
+class TestExtensions:
+    def _ext(self, name="myop", signature="rr"):
+        return ExtensionSet([CustomInstruction(
+            name=name, signature=signature, semantics=lambda m, a: None)])
+
+    def test_custom_opcode_assembles(self):
+        prog = assemble("main: myop r1, r2\n halt", self._ext())
+        assert prog.instructions[0].op == "myop"
+        assert prog.instructions[0].args == (1, 2)
+
+    def test_custom_opcode_unknown_without_extension(self):
+        with pytest.raises(AssemblyError):
+            assemble("main: myop r1, r2\n halt")
+
+    def test_shadowing_base_opcode_rejected(self):
+        with pytest.raises(AssemblyError, match="shadows"):
+            assemble("main: halt", self._ext(name="add", signature="rrr"))

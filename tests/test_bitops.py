@@ -1,0 +1,106 @@
+"""Tests for the Layer-1 bit-level basic operations."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto import bitops
+from repro.mp.hooks import traced
+
+
+class TestBitPermute:
+    def test_identity(self):
+        table = list(range(1, 9))
+        assert bitops.bit_permute(0b10110010, table, 8) == 0b10110010
+
+    def test_reverse(self):
+        table = list(range(8, 0, -1))
+        assert bitops.bit_permute(0b10000000, table, 8) == 0b00000001
+
+    def test_expansion(self):
+        # Duplicate the MSB into two output bits.
+        assert bitops.bit_permute(0b10, [1, 1, 2], 2) == 0b110
+
+    @given(st.integers(min_value=0, max_value=(1 << 16) - 1))
+    def test_permutation_preserves_popcount(self, x):
+        table = [13, 2, 15, 8, 1, 6, 11, 4, 16, 9, 3, 14, 5, 12, 7, 10]
+        assert bin(bitops.bit_permute(x, table, 16)).count("1") == bin(x).count("1")
+
+    def test_traced(self):
+        calls = []
+        with traced(lambda n, p: calls.append((n, p))):
+            bitops.bit_permute(5, [1, 2, 3], 3)
+        assert calls == [("bit_permute", {"n": 3})]
+
+
+class TestXor:
+    @given(st.integers(min_value=0, max_value=(1 << 48) - 1),
+           st.integers(min_value=0, max_value=(1 << 48) - 1))
+    def test_xor_words(self, a, b):
+        assert bitops.xor_words(a, b, 48) == a ^ b
+
+    def test_xor_bytes(self):
+        assert bitops.xor_bytes(b"\x0f\xf0", b"\xff\xff") == b"\xf0\x0f"
+
+    def test_xor_bytes_length_mismatch(self):
+        with pytest.raises(ValueError):
+            bitops.xor_bytes(b"\x00", b"\x00\x00")
+
+    @given(st.binary(min_size=0, max_size=64))
+    def test_xor_bytes_involution(self, data):
+        key = bytes((i * 37) & 0xFF for i in range(len(data)))
+        assert bitops.xor_bytes(bitops.xor_bytes(data, key), key) == data
+
+
+class TestRotate:
+    @given(st.integers(min_value=0, max_value=(1 << 32) - 1),
+           st.integers(min_value=0, max_value=64))
+    def test_rotl_rotr_inverse(self, x, c):
+        assert bitops.rotr(bitops.rotl(x, c, 32), c, 32) == x
+
+    def test_rotl_known(self):
+        assert bitops.rotl(0x80000000, 1, 32) == 1
+        assert bitops.rotr(1, 1, 32) == 0x80000000
+
+    @given(st.integers(min_value=0, max_value=(1 << 28) - 1))
+    def test_rotl_28bit(self, x):
+        # DES key halves are 28-bit; full rotation is identity.
+        assert bitops.rotl(x, 28, 28) == x
+
+
+class TestGf256:
+    def test_known_products(self):
+        # FIPS 197 examples: {57} x {83} = {c1} and {57} x {13} = {fe}
+        assert bitops.gf256_mul(0x57, 0x83) == 0xC1
+        assert bitops.gf256_mul(0x57, 0x13) == 0xFE
+
+    @given(st.integers(min_value=0, max_value=255),
+           st.integers(min_value=0, max_value=255))
+    def test_commutative(self, a, b):
+        assert bitops.gf256_mul(a, b) == bitops.gf256_mul(b, a)
+
+    @given(st.integers(min_value=0, max_value=255))
+    def test_identity_and_zero(self, a):
+        assert bitops.gf256_mul(a, 1) == a
+        assert bitops.gf256_mul(a, 0) == 0
+
+    @given(st.integers(min_value=0, max_value=255),
+           st.integers(min_value=0, max_value=255),
+           st.integers(min_value=0, max_value=255))
+    def test_distributive(self, a, b, c):
+        left = bitops.gf256_mul(a, b ^ c)
+        right = bitops.gf256_mul(a, b) ^ bitops.gf256_mul(a, c)
+        assert left == right
+
+
+class TestWordConversion:
+    @given(st.binary(min_size=0, max_size=64).filter(lambda b: len(b) % 4 == 0))
+    def test_roundtrip(self, data):
+        assert bitops.words_to_bytes(bitops.bytes_to_words(data)) == data
+
+    def test_unaligned_rejected(self):
+        with pytest.raises(ValueError):
+            bitops.bytes_to_words(b"\x00\x01\x02")
+
+    def test_big_endian(self):
+        assert bitops.bytes_to_words(b"\x01\x02\x03\x04") == [0x01020304]

@@ -1,0 +1,150 @@
+"""Tests for the data-cache model and the energy model."""
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.isa.cache import CacheConfig, DataCache
+from repro.isa.custom import make_desround
+from repro.isa.energy import (custom_instruction_energy, estimate_energy,
+                              FETCH_DECODE_PJ)
+from repro.isa.machine import Machine
+
+
+class TestCacheModel:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=1000)  # not a power of two
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=64, line_bytes=128)
+
+    def test_cold_miss_then_hit(self):
+        cache = DataCache(CacheConfig(size_bytes=256, line_bytes=16,
+                                      miss_penalty=7))
+        assert cache.access(0x100) == 7
+        assert cache.access(0x104) == 0  # same line
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+
+    def test_conflict_eviction(self):
+        cache = DataCache(CacheConfig(size_bytes=64, line_bytes=16,
+                                      miss_penalty=5))
+        assert cache.access(0x000) == 5
+        assert cache.access(0x040) == 5  # maps to the same index
+        assert cache.access(0x000) == 5  # evicted -> miss again
+
+    def test_flush(self):
+        cache = DataCache(CacheConfig(size_bytes=64, line_bytes=16))
+        cache.access(0)
+        cache.flush()
+        assert cache.access(0) == cache.config.miss_penalty
+
+    def test_miss_rate(self):
+        cache = DataCache(CacheConfig(size_bytes=64, line_bytes=16))
+        for _ in range(4):
+            cache.access(0)
+        assert cache.stats.miss_rate == 0.25
+
+
+class TestMachineWithCache:
+    SOURCE = """
+    main:
+        lw r2, 0(r1)
+        lw r2, 0(r1)
+        halt
+    """
+
+    def test_cache_penalty_charged(self):
+        program = assemble(self.SOURCE)
+        cold = Machine(program, dcache=CacheConfig(miss_penalty=10))
+        cold.run("main", [0x2000])
+        warm = Machine(program)
+        warm.run("main", [0x2000])
+        # One cold miss (second access hits) adds exactly the penalty.
+        assert cold.cycles == warm.cycles + 10
+        assert cold.dcache.stats.accesses == 2
+        assert cold.dcache.stats.misses == 1
+
+    def test_no_cache_by_default(self):
+        machine = Machine(assemble(self.SOURCE))
+        assert machine.dcache is None
+
+    def test_thrashing_costs_more(self):
+        source = """
+        main:
+            li r3, 64
+        loop:
+            lw r4, 0(r1)
+            lw r4, 0(r2)
+            subi r3, r3, 1
+            bne r3, r0, loop
+            halt
+        """
+        program = assemble(source)
+        tiny = Machine(program, dcache=CacheConfig(size_bytes=32,
+                                                   line_bytes=16,
+                                                   miss_penalty=10))
+        # Two addresses 32 apart conflict in a 2-line cache of 16B lines.
+        tiny.run("main", [0x2000, 0x2020])
+        big = Machine(program, dcache=CacheConfig(size_bytes=1024,
+                                                  line_bytes=16,
+                                                  miss_penalty=10))
+        big.run("main", [0x2000, 0x2020])
+        assert tiny.cycles > big.cycles
+        assert big.dcache.stats.misses == 2  # compulsory only
+
+
+class TestEnergyModel:
+    def test_opcode_histogram(self):
+        machine = Machine(assemble("main: addi r1, r1, 1\n addi r1, r1, 1\n halt"))
+        machine.run("main")
+        assert machine.opcode_counts["addi"] == 2
+        assert machine.opcode_counts["halt"] == 1
+
+    def test_energy_positive_and_classified(self):
+        machine = Machine(assemble(
+            "main: lw r2, 0(r1)\n mul r3, r2, r2\n sw r3, 4(r1)\n halt"))
+        machine.run("main", [0x2000])
+        estimate = estimate_energy(machine)
+        assert estimate.total_pj > 0
+        assert set(estimate.by_class) == {"load", "mul", "store", "halt"}
+        assert estimate.by_class["mul"] > estimate.by_class["store"]
+
+    def test_custom_instruction_energy_exceeds_fetch(self):
+        instr = make_desround(8)
+        assert custom_instruction_energy(instr) > FETCH_DECODE_PJ
+
+    def test_energy_accumulates_across_runs(self):
+        machine = Machine(assemble("main: addi r1, r1, 1\n halt"))
+        machine.run("main")
+        first = estimate_energy(machine).total_pj
+        machine.run("main")
+        assert estimate_energy(machine).total_pj == pytest.approx(2 * first)
+
+
+class TestEnergyOnKernels:
+    def test_custom_instructions_save_energy(self):
+        """The paper's energy-efficiency claim: the extended platform
+        spends less total energy per DES block despite busier
+        datapaths, because fetch/decode collapses."""
+        from repro.isa.kernels.des_kernels import DesKernel
+        key = bytes.fromhex("133457799BBCDFF1")
+        block = b"ABCDEFGH"
+
+        base = DesKernel()
+        machine_b = base.runner.machine()
+        ks = base._stage_schedule(machine_b, key, False)
+        sp, ip, fp = base._stage_tables(machine_b)
+        in_a, out_a = machine_b.alloc(8), machine_b.alloc(8)
+        machine_b.write_bytes(in_a, block)
+        machine_b.run("des_encrypt", [in_a, out_a, ks, sp, ip, fp])
+        base_energy = estimate_energy(machine_b).total_pj
+
+        ext = DesKernel(extended=True)
+        machine_e = ext.runner.machine()
+        ks_e = ext._stage_schedule(machine_e, key, False)
+        in_e, out_e = machine_e.alloc(8), machine_e.alloc(8)
+        machine_e.write_bytes(in_e, block)
+        machine_e.run("des_encrypt", [in_e, out_e, ks_e])
+        ext_energy = estimate_energy(machine_e).total_pj
+
+        assert ext_energy < base_energy / 3

@@ -1,0 +1,153 @@
+"""Known-vector and property tests for DES, 3DES, AES and RC4."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.aes import Aes, SBOX, INV_SBOX
+from repro.crypto.des import Des, TripleDes
+from repro.crypto.rc4 import Rc4
+
+DES_VECTORS = [
+    # (key, plaintext, ciphertext) -- classic FIPS 46 validation triples.
+    ("133457799BBCDFF1", "0123456789ABCDEF", "85E813540F0AB405"),
+    ("0000000000000000", "0000000000000000", "8CA64DE9C1B123A7"),
+    ("FFFFFFFFFFFFFFFF", "FFFFFFFFFFFFFFFF", "7359B2163E4EDC58"),
+    ("0123456789ABCDEF", "4E6F772069732074", "3FA40E8A984D4815"),
+]
+
+AES_VECTORS = [
+    # FIPS 197 Appendix C vectors.
+    (16, "69c4e0d86a7b0430d8cdb78070b4c55a"),
+    (24, "dda97ca4864cdfe06eaf70a0ec0d7191"),
+    (32, "8ea2b7ca516745bfeafc49904b496089"),
+]
+AES_PLAINTEXT = bytes.fromhex("00112233445566778899aabbccddeeff")
+
+
+class TestDesVectors:
+    @pytest.mark.parametrize("key,pt,ct", DES_VECTORS)
+    def test_encrypt(self, key, pt, ct):
+        assert Des(bytes.fromhex(key)).encrypt_block(
+            bytes.fromhex(pt)).hex().upper() == ct
+
+    @pytest.mark.parametrize("key,pt,ct", DES_VECTORS)
+    def test_decrypt(self, key, pt, ct):
+        assert Des(bytes.fromhex(key)).decrypt_block(
+            bytes.fromhex(ct)).hex().upper() == pt
+
+
+class TestDesProperties:
+    @given(st.binary(min_size=8, max_size=8), st.binary(min_size=8, max_size=8))
+    def test_roundtrip(self, key, block):
+        des = Des(key)
+        assert des.decrypt_block(des.encrypt_block(block)) == block
+
+    @given(st.binary(min_size=8, max_size=8))
+    def test_complementation_property(self, block):
+        """DES(~K, ~P) == ~DES(K, P) -- a well-known structural identity."""
+        key = bytes.fromhex("0123456789ABCDEF")
+        inv_key = bytes(b ^ 0xFF for b in key)
+        inv_block = bytes(b ^ 0xFF for b in block)
+        ct = Des(key).encrypt_block(block)
+        inv_ct = Des(inv_key).encrypt_block(inv_block)
+        assert inv_ct == bytes(b ^ 0xFF for b in ct)
+
+    def test_bad_key_length(self):
+        with pytest.raises(ValueError):
+            Des(b"short")
+
+    def test_bad_block_length(self):
+        with pytest.raises(ValueError):
+            Des(bytes(8)).encrypt_block(b"tiny")
+
+
+class TestTripleDes:
+    def test_ede_with_equal_keys_degenerates_to_des(self):
+        key = bytes.fromhex("133457799BBCDFF1")
+        single = Des(key)
+        triple = TripleDes(key * 3)
+        block = bytes.fromhex("0123456789ABCDEF")
+        assert triple.encrypt_block(block) == single.encrypt_block(block)
+
+    def test_two_key_variant(self):
+        k1, k2 = bytes(range(8)), bytes(range(8, 16))
+        assert TripleDes(k1 + k2).encrypt_block(bytes(8)) == \
+            TripleDes(k1 + k2 + k1).encrypt_block(bytes(8))
+
+    @given(st.binary(min_size=24, max_size=24), st.binary(min_size=8, max_size=8))
+    def test_roundtrip(self, key, block):
+        tdes = TripleDes(key)
+        assert tdes.decrypt_block(tdes.encrypt_block(block)) == block
+
+    def test_bad_key_length(self):
+        with pytest.raises(ValueError):
+            TripleDes(bytes(10))
+
+
+class TestAesVectors:
+    @pytest.mark.parametrize("keylen,ct", AES_VECTORS)
+    def test_fips197_encrypt(self, keylen, ct):
+        assert Aes(bytes(range(keylen))).encrypt_block(
+            AES_PLAINTEXT).hex() == ct
+
+    @pytest.mark.parametrize("keylen,ct", AES_VECTORS)
+    def test_fips197_decrypt(self, keylen, ct):
+        assert Aes(bytes(range(keylen))).decrypt_block(
+            bytes.fromhex(ct)) == AES_PLAINTEXT
+
+    def test_sbox_is_bijection(self):
+        assert sorted(SBOX) == list(range(256))
+        assert all(INV_SBOX[SBOX[i]] == i for i in range(256))
+
+    def test_sbox_known_entries(self):
+        assert SBOX[0x00] == 0x63
+        assert SBOX[0x53] == 0xED
+        assert SBOX[0xFF] == 0x16
+
+
+class TestAesProperties:
+    @settings(max_examples=25)
+    @given(st.sampled_from([16, 24, 32]), st.binary(min_size=16, max_size=16),
+           st.binary(min_size=16, max_size=16))
+    def test_roundtrip(self, keylen, keyseed, block):
+        key = (keyseed * 2)[:keylen]
+        aes = Aes(key)
+        assert aes.decrypt_block(aes.encrypt_block(block)) == block
+
+    def test_bad_key_length(self):
+        with pytest.raises(ValueError):
+            Aes(bytes(17))
+
+    def test_bad_block_length(self):
+        with pytest.raises(ValueError):
+            Aes(bytes(16)).encrypt_block(bytes(15))
+
+    def test_round_key_count(self):
+        assert len(Aes(bytes(16)).round_keys) == 11
+        assert len(Aes(bytes(24)).round_keys) == 13
+        assert len(Aes(bytes(32)).round_keys) == 15
+
+
+class TestRc4:
+    def test_known_vector(self):
+        assert Rc4(b"Key").process(b"Plaintext").hex().upper() == \
+            "BBF316E8D940AF0AD3"
+
+    def test_known_vector_wiki(self):
+        assert Rc4(b"Wiki").process(b"pedia").hex().upper() == "1021BF0420"
+
+    @given(st.binary(min_size=1, max_size=32), st.binary(max_size=256))
+    def test_symmetric(self, key, data):
+        assert Rc4(key).process(Rc4(key).process(data)) == data
+
+    def test_streaming_matches_oneshot(self):
+        key = b"secret"
+        oneshot = Rc4(key).process(b"A" * 100)
+        streamed = Rc4(key)
+        parts = b"".join(streamed.process(b"A" * 20) for _ in range(5))
+        assert parts == oneshot
+
+    def test_bad_key_length(self):
+        with pytest.raises(ValueError):
+            Rc4(b"")

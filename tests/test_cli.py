@@ -1,0 +1,54 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    @pytest.mark.parametrize("argv", [
+        ["characterize"],
+        ["characterize", "--ext", "-o", "out.json"],
+        ["explore", "--stride", "45", "--top", "3"],
+        ["speedups"],
+        ["ssl", "--sizes", "1,32"],
+        ["callgraph", "--bits", "128"],
+    ])
+    def test_valid_invocations_parse(self, argv):
+        args = build_parser().parse_args(argv)
+        assert callable(args.func)
+
+    def test_explore_bits_restricted(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["explore", "--bits", "2048"])
+
+
+class TestExecution:
+    def test_characterize_saves_models(self, tmp_path, capsys):
+        out = tmp_path / "models.json"
+        assert main(["characterize", "-o", str(out)]) == 0
+        assert out.exists()
+        captured = capsys.readouterr().out
+        assert "mpn_add_n" in captured
+
+    def test_callgraph_runs(self, capsys):
+        assert main(["callgraph", "--bits", "128"]) == 0
+        captured = capsys.readouterr().out
+        assert "mont_mul" in captured
+
+    def test_explore_with_saved_models(self, tmp_path, capsys):
+        out = tmp_path / "models.json"
+        main(["characterize", "-o", str(out)])
+        capsys.readouterr()
+        assert main(["explore", "--models", str(out), "--stride", "150",
+                     "--top", "2"]) == 0
+        captured = capsys.readouterr().out
+        assert "M  " in captured  # cycle column present

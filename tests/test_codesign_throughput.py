@@ -1,0 +1,140 @@
+"""Tests for joint HW/SW exploration and the data-rate feasibility model."""
+
+import pytest
+
+from repro.crypto.modexp import ModExpConfig
+from repro.explore.codesign import (CodesignExplorer, CodesignPoint,
+                                    DEFAULT_HW_SWEEP, HardwareConfig)
+from repro.explore.explorer import RsaDecryptWorkload
+from repro.macromodel import characterize_platform
+from repro.ssl.throughput import (bulk_cycles_per_byte, feasibility,
+                                  feasibility_table, max_secure_rate,
+                                  RATE_TARGETS)
+from repro.ssl.transaction import PlatformCosts
+
+
+class TestHardwareConfig:
+    def test_base_has_zero_area(self):
+        assert HardwareConfig(0, 0).area == 0.0
+        assert HardwareConfig(0, 0).is_base
+
+    def test_area_grows_with_width(self):
+        areas = [HardwareConfig(w, w).area for w in (2, 4, 8)]
+        assert areas == sorted(areas)
+        assert areas[0] > 0
+
+    def test_labels(self):
+        assert HardwareConfig(0, 0).label() == "base"
+        assert HardwareConfig(8, 4).label() == "add8/mac4"
+
+
+@pytest.fixture(scope="module")
+def explorer():
+    hw_subset = (HardwareConfig(0, 0), HardwareConfig(8, 4))
+    models = {hw: characterize_platform(hw.add_width, hw.mac_width,
+                                        reps=1, sizes=(1, 2, 4, 8, 16))
+              for hw in hw_subset}
+    return CodesignExplorer(RsaDecryptWorkload.bits512(),
+                            models_by_hw=models), hw_subset
+
+
+class TestCodesignSweep:
+    SW = (ModExpConfig(modmul="schoolbook", window=1, crt="none"),
+          ModExpConfig(modmul="montgomery", window=4, crt="garner"))
+
+    def test_sweep_covers_product(self, explorer):
+        ex, hw_subset = explorer
+        points = ex.sweep(hw_subset, self.SW)
+        assert len(points) == len(hw_subset) * len(self.SW)
+        cycles = [p.estimated_cycles for p in points]
+        assert cycles == sorted(cycles)
+
+    def test_joint_optimum_beats_marginals(self, explorer):
+        """The co-design point (good HW + good SW) beats fixing either
+        dimension at its worst."""
+        ex, hw_subset = explorer
+        points = ex.sweep(hw_subset, self.SW)
+        best = points[0]
+        assert best.software.modmul == "montgomery"
+        assert not best.hardware.is_base
+        worst = points[-1]
+        assert worst.estimated_cycles > 5 * best.estimated_cycles
+
+    def test_selection_respects_area_budget(self, explorer):
+        ex, hw_subset = explorer
+        points = ex.sweep(hw_subset, self.SW)
+        zero_budget = CodesignExplorer.select(points, 0)
+        assert zero_budget.hardware.is_base
+        # With zero hardware budget the winner is the SW-only tuned config.
+        assert zero_budget.software.modmul == "montgomery"
+        rich = CodesignExplorer.select(points, 1e9)
+        assert rich.estimated_cycles <= zero_budget.estimated_cycles
+
+    def test_select_infeasible(self):
+        point = CodesignPoint(HardwareConfig(8, 4),
+                              ModExpConfig(), 1e6, area=5000)
+        with pytest.raises(ValueError):
+            CodesignExplorer.select([point], area_budget=10)
+
+    def test_pareto_frontier(self, explorer):
+        ex, hw_subset = explorer
+        points = ex.sweep(hw_subset, self.SW)
+        frontier = CodesignExplorer.pareto(points)
+        assert 1 <= len(frontier) <= len(points)
+        # No frontier point dominates another.
+        for a in frontier:
+            for b in frontier:
+                if a is not b:
+                    assert not (a.area <= b.area
+                                and a.estimated_cycles <= b.estimated_cycles)
+
+    def test_default_sweep_definition(self):
+        assert DEFAULT_HW_SWEEP[0].is_base
+        areas = [hw.area for hw in DEFAULT_HW_SWEEP]
+        assert areas == sorted(areas)
+
+
+class TestThroughput:
+    def _costs(self, cpb, name="x"):
+        return PlatformCosts(name=name, rsa_public_cycles=1e5,
+                             rsa_private_cycles=1e6,
+                             cipher_cycles_per_byte=cpb,
+                             hash_cycles_per_byte=50)
+
+    def test_bulk_cycles_composition(self):
+        costs = self._costs(100)
+        assert bulk_cycles_per_byte(costs) == \
+            100 + 50 + costs.protocol_cycles_per_byte
+
+    def test_max_rate_scales_with_clock(self):
+        costs = self._costs(100)
+        assert max_secure_rate(costs, clock_hz=2e8) == \
+            pytest.approx(2 * max_secure_rate(costs, clock_hz=1e8))
+
+    def test_cpu_fraction(self):
+        costs = self._costs(100)
+        full = max_secure_rate(costs, cpu_fraction=1.0)
+        half = max_secure_rate(costs, cpu_fraction=0.5)
+        assert half == pytest.approx(full / 2)
+        with pytest.raises(ValueError):
+            max_secure_rate(costs, cpu_fraction=0)
+
+    def test_feasibility_thresholds(self):
+        # Even a free cipher leaves MAC+protocol cycles, so 55 Mbps
+        # needs a faster clock -- check against a 2 GHz bound.
+        fast = feasibility(self._costs(10), clock_hz=2e9)
+        slow = feasibility(self._costs(100_000))  # ~15 kbps-class
+        assert all(fast.feasible.values())
+        assert not any(slow.feasible.values())
+        mid = feasibility(self._costs(10))  # 188 MHz, ~17 Mbps
+        assert mid.feasible["3G high (2 Mbps)"]
+        assert not mid.feasible["WLAN high (55 Mbps)"]
+
+    def test_table(self):
+        reports = feasibility_table([self._costs(10, "a"),
+                                     self._costs(1000, "b")])
+        assert [r.platform for r in reports] == ["a", "b"]
+
+    def test_targets_cover_papers_bands(self):
+        assert RATE_TARGETS["3G high (2 Mbps)"] == 2e6
+        assert RATE_TARGETS["WLAN high (55 Mbps)"] == 55e6

@@ -1,0 +1,148 @@
+"""Tests for elliptic-curve cryptography (point math, ECDH, ECDSA)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.ec import (CURVES, Curve, EcError, Point, SECP160R1,
+                             SECP192R1, TINY_CURVE, ecdh_shared_secret,
+                             ecdsa_sign, ecdsa_verify, generate_ec_keypair)
+from repro.mp import DeterministicPrng, Mpz
+
+
+class TestCurveParameters:
+    @pytest.mark.parametrize("curve", [SECP160R1, SECP192R1, TINY_CURVE])
+    def test_generator_on_curve(self, curve):
+        assert curve.contains(curve.gx, curve.gy)
+
+    @pytest.mark.parametrize("curve", [SECP160R1, SECP192R1])
+    def test_generator_order(self, curve):
+        assert curve.generator().scalar_mul(curve.n).is_infinity()
+
+    def test_tiny_curve_order(self):
+        g = TINY_CURVE.generator()
+        assert g.scalar_mul(TINY_CURVE.n).is_infinity()
+        assert not g.scalar_mul(TINY_CURVE.n - 1).is_infinity()
+
+    def test_off_curve_point_rejected(self):
+        with pytest.raises(EcError):
+            Point(TINY_CURVE, Mpz(1), Mpz(1))
+
+
+class TestGroupLaw:
+    def _points(self):
+        g = TINY_CURVE.generator()
+        return [TINY_CURVE.infinity()] + \
+            [g.scalar_mul(k) for k in range(1, TINY_CURVE.n)]
+
+    def test_identity(self):
+        o = TINY_CURVE.infinity()
+        for point in self._points():
+            assert point + o == point
+            assert o + point == point
+
+    def test_inverse(self):
+        for point in self._points():
+            assert (point + (-point)).is_infinity()
+
+    def test_commutativity(self):
+        pts = self._points()
+        for a in pts:
+            for b in pts:
+                assert a + b == b + a
+
+    def test_associativity(self):
+        pts = self._points()
+        for a in pts[:4]:
+            for b in pts[:4]:
+                for c in pts[:4]:
+                    assert (a + b) + c == a + (b + c)
+
+    def test_subgroup_closure(self):
+        pts = set(self._points())
+        for a in pts:
+            for b in pts:
+                assert a + b in pts
+
+    @given(k=st.integers(min_value=0, max_value=10 ** 9))
+    @settings(max_examples=25)
+    def test_scalar_mul_matches_double_and_add(self, k):
+        g = TINY_CURVE.generator()
+        # reference: repeated addition over the tiny group
+        reference = TINY_CURVE.infinity()
+        for _ in range(k % TINY_CURVE.n):
+            reference = reference + g
+        assert g.scalar_mul(k) == reference
+
+    @pytest.mark.parametrize("window", [1, 2, 4, 6])
+    def test_windows_agree(self, window):
+        g = SECP160R1.generator()
+        k = 0xDEADBEEF12345
+        assert g.scalar_mul(k, window=window) == g.scalar_mul(k, window=4)
+
+    def test_bad_window(self):
+        with pytest.raises(EcError):
+            TINY_CURVE.generator().scalar_mul(2, window=0)
+
+    def test_distributivity_on_real_curve(self):
+        g = SECP160R1.generator()
+        a, b = 0x1234567, 0x89ABCD
+        assert g.scalar_mul(a) + g.scalar_mul(b) == g.scalar_mul(a + b)
+
+
+class TestEcdh:
+    def test_agreement(self):
+        alice = generate_ec_keypair(SECP160R1, DeterministicPrng(1))
+        bob = generate_ec_keypair(SECP160R1, DeterministicPrng(2))
+        assert ecdh_shared_secret(alice.private, bob.public) == \
+            ecdh_shared_secret(bob.private, alice.public)
+
+    def test_infinity_rejected(self):
+        alice = generate_ec_keypair(TINY_CURVE, DeterministicPrng(1))
+        with pytest.raises(EcError):
+            ecdh_shared_secret(alice.private, TINY_CURVE.infinity())
+
+    def test_keypair_consistency(self):
+        kp = generate_ec_keypair(SECP192R1, DeterministicPrng(3))
+        assert kp.public == SECP192R1.generator().scalar_mul(kp.private)
+
+
+class TestEcdsa:
+    @pytest.fixture(scope="class")
+    def keypair(self):
+        return generate_ec_keypair(SECP160R1, DeterministicPrng(7))
+
+    def test_sign_verify(self, keypair):
+        sig = ecdsa_sign(b"handset order", keypair, DeterministicPrng(9))
+        assert ecdsa_verify(b"handset order", sig, SECP160R1,
+                            keypair.public)
+
+    def test_tampered_message_rejected(self, keypair):
+        sig = ecdsa_sign(b"message", keypair, DeterministicPrng(9))
+        assert not ecdsa_verify(b"messagE", sig, SECP160R1, keypair.public)
+
+    def test_wrong_key_rejected(self, keypair):
+        other = generate_ec_keypair(SECP160R1, DeterministicPrng(8))
+        sig = ecdsa_sign(b"message", keypair, DeterministicPrng(9))
+        assert not ecdsa_verify(b"message", sig, SECP160R1, other.public)
+
+    def test_out_of_range_signature_rejected(self, keypair):
+        assert not ecdsa_verify(b"m", (0, 1), SECP160R1, keypair.public)
+        assert not ecdsa_verify(b"m", (1, SECP160R1.n), SECP160R1,
+                                keypair.public)
+
+    def test_nonce_variation_changes_signature(self, keypair):
+        s1 = ecdsa_sign(b"m", keypair, DeterministicPrng(1))
+        s2 = ecdsa_sign(b"m", keypair, DeterministicPrng(2))
+        assert s1 != s2
+        assert ecdsa_verify(b"m", s1, SECP160R1, keypair.public)
+        assert ecdsa_verify(b"m", s2, SECP160R1, keypair.public)
+
+
+class TestRegistry:
+    def test_curves_registered(self):
+        assert set(CURVES) == {"secp160r1", "secp192r1", "tiny97"}
+
+    def test_bits(self):
+        assert SECP160R1.bits == 160
+        assert SECP192R1.bits == 192

@@ -1,0 +1,89 @@
+"""Tests for algorithm design-space exploration."""
+
+import pytest
+
+from repro.crypto.modexp import ModExpConfig, iter_configs
+from repro.explore import AlgorithmExplorer, RsaDecryptWorkload
+from repro.macromodel import characterize_platform
+
+
+@pytest.fixture(scope="module")
+def explorer():
+    models = characterize_platform(reps=1, sizes=(1, 2, 4, 8, 16))
+    return AlgorithmExplorer(models, RsaDecryptWorkload.bits512())
+
+
+class TestWorkload:
+    def test_decrypt_recovers_expected(self, explorer):
+        from repro.crypto.modexp import ModExpEngine
+        result = explorer.workload.run(ModExpEngine(ModExpConfig()))
+        assert result == explorer._expected
+
+
+class TestEvaluation:
+    def test_evaluate_single_config(self, explorer):
+        result = explorer.evaluate(ModExpConfig())
+        assert result.correct
+        assert result.estimated_cycles > 0
+        assert result.label == ModExpConfig().label()
+
+    def test_montgomery_beats_schoolbook(self, explorer):
+        school = explorer.evaluate(ModExpConfig(
+            modmul="schoolbook", window=1, crt="none"))
+        mont = explorer.evaluate(ModExpConfig(
+            modmul="montgomery", window=1, crt="none"))
+        assert mont.estimated_cycles < school.estimated_cycles
+
+    def test_crt_beats_no_crt(self, explorer):
+        plain = explorer.evaluate(ModExpConfig(crt="none"))
+        garner = explorer.evaluate(ModExpConfig(crt="garner"))
+        assert garner.estimated_cycles < plain.estimated_cycles
+
+    def test_window_helps_long_exponents(self, explorer):
+        w1 = explorer.evaluate(ModExpConfig(window=1, crt="none"))
+        w5 = explorer.evaluate(ModExpConfig(window=5, crt="none"))
+        assert w5.estimated_cycles < w1.estimated_cycles
+
+    def test_radix32_beats_radix16(self, explorer):
+        r32 = explorer.evaluate(ModExpConfig(radix_bits=32))
+        r16 = explorer.evaluate(ModExpConfig(radix_bits=16))
+        assert r32.estimated_cycles < r16.estimated_cycles
+
+
+class TestExploration:
+    def test_subset_exploration_sorted_and_correct(self, explorer):
+        subset = list(iter_configs())[::45]  # 10 spread-out candidates
+        results = explorer.explore(subset)
+        assert len(results) == len(subset)
+        cycles = [r.estimated_cycles for r in results]
+        assert cycles == sorted(cycles)
+        assert all(r.correct for r in results)
+
+    def test_best_prefers_tuned_shape(self, explorer):
+        """The winner among a representative slice uses CRT and a
+        reduction-based modmul -- the paper's exploration conclusion."""
+        candidates = [
+            ModExpConfig(modmul="schoolbook", window=1, crt="none"),
+            ModExpConfig(modmul="barrett", window=4, crt="garner"),
+            ModExpConfig(modmul="montgomery", window=5, crt="garner",
+                         caching="constants"),
+            ModExpConfig(modmul="interleaved", window=2, crt="classic"),
+        ]
+        results = explorer.explore(candidates)
+        best = AlgorithmExplorer.best(results)
+        assert best.config.crt in ("garner", "classic")
+        assert best.config.modmul in ("montgomery", "barrett")
+
+    def test_progress_callback(self, explorer):
+        seen = []
+        explorer.explore([ModExpConfig()],
+                         progress=lambda i, r: seen.append(i))
+        assert seen == [0]
+
+    def test_best_requires_correct_results(self):
+        from repro.explore.explorer import ExplorationResult
+        broken = ExplorationResult(config=ModExpConfig(),
+                                   estimated_cycles=1.0, wall_seconds=0.0,
+                                   correct=False)
+        with pytest.raises(ValueError):
+            AlgorithmExplorer.best([broken])

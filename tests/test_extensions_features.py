@@ -1,0 +1,132 @@
+"""Tests for the extension features: sliding windows, SSL resumption,
+and the ECC-enabled SecurityApi."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.modexp import ModExpConfig, ModExpEngine
+from repro.mp import DeterministicPrng
+from repro.ssl import fixtures
+from repro.ssl.handshake import (SslClient, SslServer, make_record_channels,
+                                 run_handshake, run_resumed_handshake)
+from repro.ssl.transaction import PlatformCosts, SslWorkloadModel
+
+MOD = (1 << 192) + 0x4BD
+
+
+class TestSlidingWindow:
+    @settings(max_examples=25)
+    @given(base=st.integers(min_value=0, max_value=(1 << 128) - 1),
+           exp=st.integers(min_value=1, max_value=(1 << 96) - 1))
+    def test_matches_pow(self, base, exp):
+        eng = ModExpEngine(ModExpConfig(strategy="sliding", window=4,
+                                        crt="none"))
+        assert int(eng.powm(base, exp, MOD)) == pow(base, exp, MOD)
+
+    @pytest.mark.parametrize("window", [1, 2, 3, 5])
+    def test_all_windows(self, window):
+        eng = ModExpEngine(ModExpConfig(strategy="sliding", window=window,
+                                        crt="none"))
+        assert int(eng.powm(0xABCDEF, 0xFEDCBA987, MOD)) == \
+            pow(0xABCDEF, 0xFEDCBA987, MOD)
+
+    def test_exponent_all_ones(self):
+        eng = ModExpEngine(ModExpConfig(strategy="sliding", window=5,
+                                        crt="none"))
+        e = (1 << 64) - 1
+        assert int(eng.powm(3, e, MOD)) == pow(3, e, MOD)
+
+    def test_exponent_power_of_two(self):
+        eng = ModExpEngine(ModExpConfig(strategy="sliding", window=5,
+                                        crt="none"))
+        assert int(eng.powm(3, 1 << 63, MOD)) == pow(3, 1 << 63, MOD)
+
+    def test_sliding_uses_fewer_multiplies(self):
+        """Same window size, fewer mm.mul calls than fixed windows."""
+        from repro.crypto.modmul import MontgomeryModMul
+        counts = {}
+        for strategy in ("fixed", "sliding"):
+            eng = ModExpEngine(ModExpConfig(strategy=strategy, window=4,
+                                            crt="none"))
+            calls = {"mul": 0}
+            orig_mul = MontgomeryModMul.mul
+
+            def counting_mul(self, a, b, _calls=calls, _orig=orig_mul):
+                _calls["mul"] += 1
+                return _orig(self, a, b)
+
+            MontgomeryModMul.mul = counting_mul
+            try:
+                eng.powm(3, (1 << 256) - 0x6789, MOD)
+            finally:
+                MontgomeryModMul.mul = orig_mul
+            counts[strategy] = calls["mul"]
+        assert counts["sliding"] < counts["fixed"]
+
+    def test_invalid_strategy(self):
+        with pytest.raises(ValueError):
+            ModExpConfig(strategy="interleZved")
+
+
+class TestResumption:
+    def _session(self):
+        client = SslClient(fixtures.CLIENT_512, prng=DeterministicPrng(1))
+        server = SslServer(fixtures.SERVER_512)
+        return run_handshake(client, server, "aes")
+
+    def test_resumed_keys_differ_but_work(self):
+        full = self._session()
+        resumed = run_resumed_handshake(full, DeterministicPrng(5))
+        assert resumed.master == full.master
+        assert resumed.keys.client_key != full.keys.client_key
+        sender, receiver = make_record_channels(resumed)
+        wire = sender.seal(b"resumed data")
+        assert receiver.open(wire[0]) == b"resumed data"
+
+    def test_distinct_resumptions_get_distinct_keys(self):
+        full = self._session()
+        r1 = run_resumed_handshake(full, DeterministicPrng(5))
+        r2 = run_resumed_handshake(full, DeterministicPrng(6))
+        assert r1.keys.client_key != r2.keys.client_key
+
+    def test_resumed_transaction_has_no_public_key_cycles(self):
+        costs = PlatformCosts(name="x", rsa_public_cycles=1e6,
+                              rsa_private_cycles=1e7,
+                              cipher_cycles_per_byte=100,
+                              hash_cycles_per_byte=50)
+        bd = SslWorkloadModel.breakdown(costs, 1024, resumed=True)
+        assert bd.public_key == 0
+        full = SslWorkloadModel.breakdown(costs, 1024)
+        assert bd.total < full.total / 5
+
+    def test_resumption_gain_larger_for_small_transactions(self):
+        costs = PlatformCosts(name="x", rsa_public_cycles=1e6,
+                              rsa_private_cycles=1e7,
+                              cipher_cycles_per_byte=100,
+                              hash_cycles_per_byte=50)
+        model = SslWorkloadModel(costs, costs)
+        assert model.resumption_gain(costs, 1024) > \
+            model.resumption_gain(costs, 1 << 20)
+
+
+class TestApiEcc:
+    @pytest.fixture
+    def api(self):
+        from repro.crypto.api import SecurityApi
+        return SecurityApi(prng=DeterministicPrng(11))
+
+    def test_ecdh_through_api(self, api):
+        a = api.generate_ec_keypair("secp160r1")
+        b = api.generate_ec_keypair("secp160r1")
+        assert api.ecdh(a.private, b.public) == api.ecdh(b.private, a.public)
+
+    def test_ecdsa_through_api(self, api):
+        kp = api.generate_ec_keypair("secp160r1")
+        sig = api.ecdsa_sign(b"doc", kp)
+        assert api.ecdsa_verify(b"doc", sig, kp)
+        assert not api.ecdsa_verify(b"doX", sig, kp)
+
+    def test_unknown_curve(self, api):
+        with pytest.raises(ValueError):
+            api.generate_ec_keypair("secp999z9")

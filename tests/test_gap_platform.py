@@ -1,0 +1,97 @@
+"""Tests for the Figure 1 gap model and the SecurityPlatform facade."""
+
+import pytest
+
+from repro.gap import GapModel, embedded_processor_mips, security_processing_mips
+from repro.gap.trends import GENERATIONS, NODES
+from repro.platform import (REFERENCE_CONFIG, TUNED_CONFIG,
+                            SecurityPlatform)
+from repro.ssl import fixtures
+
+
+class TestGapModel:
+    def test_requirements_grow_with_generation(self):
+        mips = [security_processing_mips(g) for g in GENERATIONS]
+        assert mips == sorted(mips)
+        assert mips[-1] > 100 * mips[0]
+
+    def test_capability_grows_with_node(self):
+        mips = [embedded_processor_mips(n) for n in NODES]
+        assert mips == sorted(mips)
+
+    def test_gap_widens(self):
+        """The paper's core motivation claim."""
+        assert GapModel().gap_widens()
+
+    def test_3g_gap_exceeds_capability(self):
+        """At 3G rates, security processing alone exceeds the CPU."""
+        rows = GapModel().gap_series()
+        three_g = next(r for r in rows if r["generation"] == "3G")
+        assert three_g["gap_ratio"] > 1.0
+
+    def test_series_shapes(self):
+        model = GapModel()
+        assert len(model.requirement_series()) == len(GENERATIONS)
+        assert len(model.capability_series()) == len(NODES)
+        for row in model.gap_series():
+            assert row["required_mips"] > 0
+            assert row["available_mips"] > 0
+
+
+class TestSecurityPlatform:
+    @pytest.fixture(scope="class")
+    def base(self):
+        return SecurityPlatform.base()
+
+    @pytest.fixture(scope="class")
+    def optimized(self):
+        return SecurityPlatform.optimized()
+
+    def test_stock_configs(self, base, optimized):
+        assert base.modexp_config == REFERENCE_CONFIG
+        assert optimized.modexp_config == TUNED_CONFIG
+        assert not base.extended
+        assert optimized.extended
+
+    def test_cipher_costs_ordered(self, base, optimized):
+        for algo in ("des", "aes"):
+            assert base.cipher_cycles_per_byte(algo) > \
+                5 * optimized.cipher_cycles_per_byte(algo)
+
+    def test_3des_costs_triple_des(self, base):
+        des = base.cipher_cycles_per_byte("des")
+        tdes = base.cipher_cycles_per_byte("3des")
+        assert 2.5 * des < tdes < 3.5 * des
+
+    def test_unknown_cipher(self, base):
+        with pytest.raises(ValueError):
+            base.cipher_cycles_per_byte("rc6")
+
+    def test_hash_cost_platform_independent(self, base, optimized):
+        assert base.hash_cycles_per_byte() == \
+            optimized.hash_cycles_per_byte()
+
+    def test_rsa_costs(self, base, optimized):
+        kp = fixtures.SERVER_512
+        base_priv = base.rsa_private_cycles(kp)
+        opt_priv = optimized.rsa_private_cycles(kp)
+        assert base_priv > 5 * opt_priv
+        base_pub = base.rsa_public_cycles(kp)
+        opt_pub = optimized.rsa_public_cycles(kp)
+        assert base_pub > opt_pub
+        # Private ops gain far more than public ops (Table 1 ordering).
+        assert base_priv / opt_priv > base_pub / opt_pub
+
+    def test_api_roundtrip_through_platform(self, optimized):
+        api = optimized.api()
+        key = api.generate_symmetric_key("aes")
+        ct = api.encrypt("aes", key, b"platform api", iv=bytes(16))
+        assert api.decrypt("aes", key, ct, iv=bytes(16)) == b"platform api"
+
+    def test_rsa_through_both_platforms_interoperate(self, base, optimized):
+        """A message encrypted under one platform's SW config decrypts
+        under the other's -- algorithm exploration must not change the
+        mathematical function."""
+        kp = fixtures.SERVER_512
+        ct = base.rsa().encrypt(b"interop", kp.public)
+        assert optimized.rsa().decrypt(ct, kp.private) == b"interop"

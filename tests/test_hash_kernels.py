@@ -1,0 +1,46 @@
+"""Tests for the MD5 compression kernel (SHA-1's is in test_kernels)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import md5 as md5_mod
+from repro.isa.kernels.md5_kernel import Md5Kernel
+
+
+@pytest.fixture(scope="module")
+def kernel():
+    return Md5Kernel()
+
+
+class TestMd5Kernel:
+    @settings(max_examples=10, deadline=None)
+    @given(block=st.binary(min_size=64, max_size=64))
+    def test_matches_reference_compress(self, kernel, block):
+        state = list(md5_mod._H0)
+        got, _ = kernel.compress(state, block)
+        assert got == list(md5_mod._compress(tuple(state), block))
+
+    def test_chained_blocks(self, kernel):
+        state = list(md5_mod._H0)
+        ref_state = tuple(md5_mod._H0)
+        for i in range(3):
+            block = bytes((i * 7 + j) & 0xFF for j in range(64))
+            state, _ = kernel.compress(state, block)
+            ref_state = md5_mod._compress(ref_state, block)
+        assert state == list(ref_state)
+
+    def test_bad_block_size(self, kernel):
+        with pytest.raises(ValueError):
+            kernel.compress(list(md5_mod._H0), bytes(63))
+
+    def test_cheaper_than_sha1(self, kernel):
+        from repro.isa.kernels.hash_kernels import Sha1Kernel
+        assert kernel.cycles_per_byte() < Sha1Kernel().cycles_per_byte()
+
+    def test_md5_model_is_measured_not_aliased(self):
+        from repro.macromodel import characterize_platform
+        models = characterize_platform(reps=1, sizes=(1, 2, 4),
+                                       modmul_overhead=False)
+        assert models.predict("md5_compress") != \
+            models.predict("sha1_compress")

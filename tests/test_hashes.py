@@ -1,0 +1,102 @@
+"""Tests for SHA-1, MD5 and HMAC against hashlib and published vectors."""
+
+import hashlib
+import hmac as py_hmac
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.hmac import hmac
+from repro.crypto.md5 import Md5, md5
+from repro.crypto.sha1 import Sha1, sha1
+
+
+class TestSha1:
+    @pytest.mark.parametrize("message,digest", [
+        (b"", "da39a3ee5e6b4b0d3255bfef95601890afd80709"),
+        (b"abc", "a9993e364706816aba3e25717850c26c9cd0d89d"),
+        (b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+         "84983e441c3bd26ebaae4aa1f95129e5e54670f1"),
+    ])
+    def test_published_vectors(self, message, digest):
+        assert sha1(message).hex() == digest
+
+    @given(st.binary(max_size=300))
+    def test_matches_hashlib(self, data):
+        assert sha1(data) == hashlib.sha1(data).digest()
+
+    @settings(max_examples=25)
+    @given(st.lists(st.binary(max_size=100), max_size=8))
+    def test_incremental_update(self, chunks):
+        h = Sha1()
+        for chunk in chunks:
+            h.update(chunk)
+        assert h.digest() == hashlib.sha1(b"".join(chunks)).digest()
+
+    def test_digest_is_idempotent(self):
+        h = Sha1(b"data")
+        assert h.digest() == h.digest()
+        h.update(b"more")
+        assert h.digest() == hashlib.sha1(b"datamore").digest()
+
+    def test_copy_forks_state(self):
+        h = Sha1(b"pre")
+        clone = h.copy()
+        clone.update(b"fixA")
+        h.update(b"fixB")
+        assert clone.digest() == hashlib.sha1(b"prefixA").digest()
+        assert h.digest() == hashlib.sha1(b"prefixB").digest()
+
+    def test_block_boundary_lengths(self):
+        for n in (55, 56, 57, 63, 64, 65, 119, 120, 128):
+            data = b"\xab" * n
+            assert sha1(data) == hashlib.sha1(data).digest()
+
+
+class TestMd5:
+    @pytest.mark.parametrize("message,digest", [
+        (b"", "d41d8cd98f00b204e9800998ecf8427e"),
+        (b"abc", "900150983cd24fb0d6963f7d28e17f72"),
+        (b"message digest", "f96b697d7cb7938d525a2f31aaf161d0"),
+    ])
+    def test_rfc1321_vectors(self, message, digest):
+        assert md5(message).hex() == digest
+
+    @given(st.binary(max_size=300))
+    def test_matches_hashlib(self, data):
+        assert md5(data) == hashlib.md5(data).digest()
+
+    @settings(max_examples=25)
+    @given(st.lists(st.binary(max_size=100), max_size=8))
+    def test_incremental_update(self, chunks):
+        h = Md5()
+        for chunk in chunks:
+            h.update(chunk)
+        assert h.digest() == hashlib.md5(b"".join(chunks)).digest()
+
+    def test_block_boundary_lengths(self):
+        for n in (55, 56, 57, 63, 64, 65, 119, 120, 128):
+            data = b"\xcd" * n
+            assert md5(data) == hashlib.md5(data).digest()
+
+
+class TestHmac:
+    @given(st.binary(max_size=100), st.binary(max_size=200))
+    def test_matches_stdlib_sha1(self, key, message):
+        assert hmac(key, message, "sha1") == \
+            py_hmac.new(key, message, hashlib.sha1).digest()
+
+    @given(st.binary(max_size=100), st.binary(max_size=200))
+    def test_matches_stdlib_md5(self, key, message):
+        assert hmac(key, message, "md5") == \
+            py_hmac.new(key, message, hashlib.md5).digest()
+
+    def test_long_key_is_hashed(self):
+        key = b"k" * 200  # longer than the 64-byte block
+        assert hmac(key, b"m", "sha1") == \
+            py_hmac.new(key, b"m", hashlib.sha1).digest()
+
+    def test_unknown_hash(self):
+        with pytest.raises(ValueError):
+            hmac(b"k", b"m", "sha256")

@@ -1,0 +1,126 @@
+"""Cross-subsystem integration tests: the full co-design pipeline.
+
+Each test exercises several packages together the way the paper's flow
+does: characterize -> model -> explore -> select -> deploy -> evaluate.
+"""
+
+import pytest
+
+from repro.crypto.modexp import ModExpConfig, ModExpEngine
+from repro.explore import AlgorithmExplorer, RsaDecryptWorkload
+from repro.isa.kernels.modexp_kernel import ModExpKernel
+from repro.macromodel import characterize_platform, estimate_cycles
+from repro.macromodel.persist import modelset_from_dict, modelset_to_dict
+from repro.mp import DeterministicPrng
+from repro.platform import SecurityPlatform
+from repro.ssl import fixtures
+from repro.ssl.handshake import (SslClient, SslServer, make_record_channels,
+                                 run_handshake, run_resumed_handshake)
+from repro.ssl.transaction import PlatformCosts, SslWorkloadModel
+from repro.tie.callgraph import CallGraph
+from repro.tie.formulation import adcurve_mpn_add_n, adcurve_mpn_addmul_1
+from repro.tie.selection import select_point
+
+
+@pytest.fixture(scope="module")
+def base_models():
+    return characterize_platform(reps=1, sizes=(1, 2, 4, 8, 16))
+
+
+class TestCodesignPipeline:
+    def test_characterize_explore_deploy(self, base_models):
+        """The methodology loop: models -> exploration winner ->
+        platform config -> verified functional deployment."""
+        # Serialize and restore the models (as a real flow would).
+        models = modelset_from_dict(modelset_to_dict(base_models))
+        explorer = AlgorithmExplorer(models, RsaDecryptWorkload.bits512())
+        candidates = [
+            ModExpConfig(modmul="schoolbook", window=1, crt="none"),
+            ModExpConfig(modmul="montgomery", window=4, crt="garner"),
+        ]
+        results = explorer.explore(candidates)
+        winner = results[0].config
+        assert winner.modmul == "montgomery"
+        # Deploy the winner: real RSA traffic must still round-trip.
+        from repro.crypto.rsa import Rsa
+        rsa = Rsa(winner)
+        kp = fixtures.SERVER_512
+        ct = rsa.encrypt(b"pipeline", kp.public, DeterministicPrng(3))
+        assert rsa.decrypt(ct, kp.private) == b"pipeline"
+
+    def test_profile_to_selection(self):
+        """ISS profile -> call graph -> A-D propagation -> selection."""
+        kernel = ModExpKernel()
+        _, _, profile = kernel.powm(0xABCD, 0x1F5, (1 << 128) + 51)
+        graph = CallGraph.from_profile(profile, "modexp")
+        graph.validate_acyclic()
+        curves = {"mpn_addmul_1": adcurve_mpn_addmul_1(4, widths=(2, 8)),
+                  "mpn_add_n": adcurve_mpn_add_n(4, widths=(2, 8))}
+        sw_point, root = select_point(graph, curves, area_budget=0)
+        hw_point, _ = select_point(graph, curves, area_budget=1e6)
+        assert hw_point.cycles < sw_point.cycles
+        assert hw_point.instructions
+
+    def test_estimator_consistency_across_backends(self, base_models):
+        """Native estimate and ISS measurement agree on the same
+        Montgomery workload within the validated band."""
+        modulus = (1 << 192) + 0x4BD
+        engine = ModExpEngine(ModExpConfig(modmul="montgomery", window=1,
+                                           crt="none"))
+        est = estimate_cycles(base_models, engine.powm, 0xFACE, 0x3E5,
+                              modulus)
+        _, iss_cycles, _ = ModExpKernel().powm(0xFACE, 0x3E5, modulus)
+        assert abs(est.cycles - iss_cycles) / iss_cycles < 0.25
+
+
+class TestFullSslSession:
+    def test_handshake_transfer_resume_transfer(self):
+        """An entire client session: full handshake, bulk transfer,
+        session resumption, second transfer -- all on real crypto."""
+        client = SslClient(fixtures.CLIENT_512, prng=DeterministicPrng(21))
+        server = SslServer(fixtures.SERVER_512)
+        first = run_handshake(client, server, "aes")
+        sender, receiver = make_record_channels(first)
+        page = bytes(i & 0xFF for i in range(3000))
+        assert b"".join(receiver.open(r)
+                        for r in sender.seal(page)) == page
+
+        resumed = run_resumed_handshake(first, DeterministicPrng(22))
+        sender2, receiver2 = make_record_channels(resumed)
+        assert b"".join(receiver2.open(r)
+                        for r in sender2.seal(page)) == page
+        # Independent sessions: records are not interchangeable.
+        from repro.ssl.record import RecordError
+        stray = sender.seal(b"cross-session")[0]
+        with pytest.raises(RecordError):
+            receiver2.open(stray)
+
+    def test_workload_model_against_protocol_run(self):
+        """The Figure 8 model's structure matches the executed protocol:
+        a resumed transaction really has no public-key work."""
+        costs = PlatformCosts(name="t", rsa_public_cycles=5e5,
+                              rsa_private_cycles=5e6,
+                              cipher_cycles_per_byte=100,
+                              hash_cycles_per_byte=50)
+        model = SslWorkloadModel(costs, costs)
+        full = model.breakdown(costs, 2048)
+        resumed = model.breakdown(costs, 2048, resumed=True)
+        assert full.public_key > 0
+        assert resumed.public_key == 0
+        assert resumed.symmetric == full.symmetric
+
+
+class TestPlatformEndToEnd:
+    def test_two_handsets_interoperate_across_platforms(self):
+        """A base-platform handset and an optimized-platform handset
+        run the same protocol bytes: co-design must never change the
+        wire format."""
+        base_api = SecurityPlatform.base().api(DeterministicPrng(1))
+        opt_api = SecurityPlatform.optimized().api(DeterministicPrng(2))
+        key = bytes(range(16))
+        iv = bytes(16)
+        ct = base_api.encrypt("aes", key, b"wire bytes", iv=iv)
+        assert opt_api.decrypt("aes", key, ct, iv=iv) == b"wire bytes"
+        kp = fixtures.SERVER_512
+        sealed = opt_api.rsa_encrypt(b"x", kp.public)
+        assert base_api.rsa_decrypt(sealed, kp.private) == b"x"

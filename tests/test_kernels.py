@@ -1,0 +1,293 @@
+"""Tests for the XT32 assembly kernels against the reference library.
+
+These are the reproduction's keystone tests: every kernel (base and
+extended ISA) must be bit-exact with the pure-Python reference
+implementation, and the extended variants must be strictly faster.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.aes import Aes
+from repro.crypto.des import Des, TripleDes
+from repro.crypto import sha1 as sha1_mod
+from repro.isa.area import area_of, AreaModelError
+from repro.isa.custom import (ADD_WIDTHS, MAC_WIDTHS, candidate_catalogue,
+                              make_vaddc, make_vmac)
+from repro.isa.kernels.aes_kernels import AesKernel, reference_round_cols
+from repro.isa.kernels.des_kernels import DesKernel
+from repro.isa.kernels.hash_kernels import Sha1Kernel
+from repro.isa.kernels.mpn_kernels import MpnKernels
+from repro.mp import mpn
+from repro.mp.prng import DeterministicPrng
+
+limb = st.integers(min_value=0, max_value=0xFFFFFFFF)
+limb_vec = st.lists(limb, min_size=1, max_size=12)
+
+
+@pytest.fixture(scope="module")
+def base_mpn():
+    return MpnKernels()
+
+
+@pytest.fixture(scope="module")
+def ext_mpn():
+    return MpnKernels(add_width=8, mac_width=4)
+
+
+class TestMpnKernelCorrectness:
+    @settings(max_examples=20, deadline=None)
+    @given(up=limb_vec)
+    def test_add_n(self, base_mpn, ext_mpn, up):
+        vp = [(x * 2654435761) & 0xFFFFFFFF for x in up]
+        want = mpn.add_n(up, vp)
+        for kern in (base_mpn, ext_mpn):
+            rp, carry, _ = kern.add_n(up, vp)
+            assert (rp, carry) == want
+
+    @settings(max_examples=20, deadline=None)
+    @given(up=limb_vec)
+    def test_sub_n(self, base_mpn, ext_mpn, up):
+        vp = [(x ^ 0x5A5A5A5A) for x in up]
+        want = mpn.sub_n(up, vp)
+        for kern in (base_mpn, ext_mpn):
+            rp, borrow, _ = kern.sub_n(up, vp)
+            assert (rp, borrow) == want
+
+    @settings(max_examples=20, deadline=None)
+    @given(up=limb_vec, v=limb)
+    def test_mul_1(self, base_mpn, ext_mpn, up, v):
+        want = mpn.mul_1(up, v)
+        for kern in (base_mpn, ext_mpn):
+            rp, carry, _ = kern.mul_1(up, v)
+            assert (rp, carry) == want
+
+    @settings(max_examples=20, deadline=None)
+    @given(up=limb_vec, v=limb)
+    def test_addmul_1(self, base_mpn, ext_mpn, up, v):
+        rp_init = [(x + 0x01010101) & 0xFFFFFFFF for x in up]
+        want = mpn.addmul_1(rp_init, up, v)
+        for kern in (base_mpn, ext_mpn):
+            rp, carry, _ = kern.addmul_1(rp_init, up, v)
+            assert (rp, carry) == want
+
+    @settings(max_examples=20, deadline=None)
+    @given(up=limb_vec, v=limb)
+    def test_submul_1(self, base_mpn, ext_mpn, up, v):
+        rp_init = [(x + 0x01010101) & 0xFFFFFFFF for x in up]
+        want = mpn.submul_1(rp_init, up, v)
+        for kern in (base_mpn, ext_mpn):
+            rp, borrow, _ = kern.submul_1(rp_init, up, v)
+            assert (rp, borrow) == want
+
+    @settings(max_examples=20, deadline=None)
+    @given(up=limb_vec, count=st.integers(min_value=1, max_value=31))
+    def test_lshift(self, base_mpn, up, count):
+        rp, out, _ = base_mpn.lshift(up, count)
+        assert (rp, out) == mpn.lshift(up, count)
+
+    @settings(max_examples=30, deadline=None)
+    @given(u2=limb, u1=limb,
+           vtop=st.integers(min_value=0x80000000, max_value=0xFFFFFFFF))
+    def test_divrem_qest(self, base_mpn, u2, u1, vtop):
+        u2 = u2 % vtop  # precondition: quotient fits one limb
+        qhat, _ = base_mpn.divrem_qest(u2, u1, vtop)
+        assert qhat == ((u2 << 32) | u1) // vtop
+
+
+class TestMpnKernelPerformance:
+    def test_extended_faster_on_bulk(self, base_mpn, ext_mpn):
+        up = DeterministicPrng(5).next_limbs(32)
+        vp = DeterministicPrng(6).next_limbs(32)
+        _, _, base_cycles = base_mpn.add_n(up, vp)
+        _, _, ext_cycles = ext_mpn.add_n(up, vp)
+        assert ext_cycles < base_cycles / 3
+
+    def test_cycles_linear_in_n(self, base_mpn):
+        prng = DeterministicPrng(7)
+        cycles = []
+        for n in (8, 16, 32):
+            up, vp = prng.next_limbs(n), prng.next_limbs(n)
+            _, _, c = base_mpn.add_n(up, vp)
+            cycles.append(c)
+        # Doubling n should roughly double cycles (within overhead).
+        assert 1.7 < cycles[1] / cycles[0] < 2.3
+        assert 1.7 < cycles[2] / cycles[1] < 2.3
+
+    def test_ad_curve_monotone_widths(self):
+        """More adders -> fewer cycles and more area (Fig 5a shape)."""
+        up = DeterministicPrng(8).next_limbs(16)
+        vp = DeterministicPrng(9).next_limbs(16)
+        prev_cycles = float("inf")
+        prev_area = 0.0
+        for width in ADD_WIDTHS:
+            kern = MpnKernels(add_width=width, mac_width=1)
+            _, _, cycles = kern.add_n(up, vp)
+            area = make_vaddc(width).area
+            assert cycles < prev_cycles
+            assert area > prev_area
+            prev_cycles, prev_area = cycles, area
+
+
+class TestDesKernels:
+    KEY = bytes.fromhex("133457799BBCDFF1")
+    KEY3 = bytes.fromhex("0123456789ABCDEF23456789ABCDEF01456789ABCDEF0123")
+
+    @pytest.fixture(scope="class")
+    def base(self):
+        return DesKernel(extended=False)
+
+    @pytest.fixture(scope="class")
+    def ext(self):
+        return DesKernel(extended=True)
+
+    @settings(max_examples=10, deadline=None)
+    @given(block=st.binary(min_size=8, max_size=8))
+    def test_base_matches_reference(self, base, block):
+        out, _ = base.crypt_block(block, self.KEY)
+        assert out == Des(self.KEY).encrypt_block(block)
+
+    @settings(max_examples=10, deadline=None)
+    @given(block=st.binary(min_size=8, max_size=8))
+    def test_ext_matches_reference(self, ext, block):
+        out, _ = ext.crypt_block(block, self.KEY)
+        assert out == Des(self.KEY).encrypt_block(block)
+
+    def test_decrypt(self, base, ext):
+        ct = Des(self.KEY).encrypt_block(b"ABCDEFGH")
+        for kern in (base, ext):
+            out, _ = kern.crypt_block(ct, self.KEY, decrypt=True)
+            assert out == b"ABCDEFGH"
+
+    def test_3des(self, base, ext):
+        want = TripleDes(self.KEY3).encrypt_block(b"12345678")
+        for kern in (base, ext):
+            out, _ = kern.crypt_3des_block(b"12345678", self.KEY3)
+            assert out == want
+            back, _ = kern.crypt_3des_block(want, self.KEY3, decrypt=True)
+            assert back == b"12345678"
+
+    def test_3des_two_key(self, base):
+        key16 = self.KEY3[:16]
+        out, _ = base.crypt_3des_block(b"12345678", key16)
+        assert out == TripleDes(key16).encrypt_block(b"12345678")
+
+    def test_speedup_band(self, base, ext):
+        """The DES speedup should be large -- same order as the paper's 31x."""
+        _, base_cycles = base.crypt_block(b"ABCDEFGH", self.KEY)
+        _, ext_cycles = ext.crypt_block(b"ABCDEFGH", self.KEY)
+        speedup = base_cycles / ext_cycles
+        assert 15 < speedup < 60
+
+
+class TestAesKernels:
+    KEY = bytes(range(16))
+    PT = bytes.fromhex("00112233445566778899aabbccddeeff")
+
+    @pytest.fixture(scope="class")
+    def base(self):
+        return AesKernel(extended=False)
+
+    @pytest.fixture(scope="class")
+    def ext(self):
+        return AesKernel(extended=True)
+
+    def test_t_table_identity(self):
+        """T-table round == SubBytes/ShiftRows/MixColumns/AddRoundKey."""
+        state_bytes = bytes((i * 29 + 3) & 0xFF for i in range(16))
+        rk = list(bytes(range(100, 116)))
+        st_ref = Aes._to_state(state_bytes)
+        from repro.crypto.aes import SBOX
+        Aes._sub_bytes(st_ref, SBOX)
+        Aes._shift_rows(st_ref)
+        Aes._mix_columns(st_ref)
+        Aes._add_round_key(st_ref, rk)
+        want = Aes._from_state(st_ref)
+        cols = [int.from_bytes(state_bytes[4 * c: 4 * c + 4], "big")
+                for c in range(4)]
+        rkc = [int.from_bytes(bytes(rk[4 * c: 4 * c + 4]), "big")
+               for c in range(4)]
+        got = b"".join(w.to_bytes(4, "big")
+                       for w in reference_round_cols(cols, rkc))
+        assert got == want
+
+    @settings(max_examples=8, deadline=None)
+    @given(block=st.binary(min_size=16, max_size=16))
+    def test_base_matches_reference(self, base, block):
+        out, _ = base.encrypt_block(block, self.KEY)
+        assert out == Aes(self.KEY).encrypt_block(block)
+
+    @settings(max_examples=8, deadline=None)
+    @given(block=st.binary(min_size=16, max_size=16))
+    def test_ext_matches_reference(self, ext, block):
+        out, _ = ext.encrypt_block(block, self.KEY)
+        assert out == Aes(self.KEY).encrypt_block(block)
+
+    @pytest.mark.parametrize("key_bytes", [24, 32])
+    def test_longer_keys(self, key_bytes):
+        key = bytes(range(key_bytes))
+        want = Aes(key).encrypt_block(self.PT)
+        for extended in (False, True):
+            kern = AesKernel(extended=extended, key_bytes=key_bytes)
+            out, _ = kern.encrypt_block(self.PT, key)
+            assert out == want
+
+    def test_key_length_mismatch(self, base):
+        with pytest.raises(ValueError):
+            base.encrypt_block(self.PT, bytes(32))
+
+    def test_speedup_band(self, base, ext):
+        _, base_cycles = base.encrypt_block(self.PT, self.KEY)
+        _, ext_cycles = ext.encrypt_block(self.PT, self.KEY)
+        speedup = base_cycles / ext_cycles
+        assert 8 < speedup < 35
+
+    def test_aes_gains_less_than_des(self, base, ext):
+        """Table 1 ordering: AES speedup < DES speedup (17.4x vs 31x)."""
+        des_base, des_ext = DesKernel(), DesKernel(extended=True)
+        _, db = des_base.crypt_block(b"ABCDEFGH", bytes(8))
+        _, de = des_ext.crypt_block(b"ABCDEFGH", bytes(8))
+        _, ab = base.encrypt_block(self.PT, self.KEY)
+        _, ae = ext.encrypt_block(self.PT, self.KEY)
+        assert ab / ae < db / de
+
+
+class TestSha1Kernel:
+    @pytest.fixture(scope="class")
+    def kernel(self):
+        return Sha1Kernel()
+
+    @settings(max_examples=10, deadline=None)
+    @given(block=st.binary(min_size=64, max_size=64))
+    def test_matches_reference_compress(self, kernel, block):
+        state = list(sha1_mod._H0)
+        got, _ = kernel.compress(state, block)
+        assert got == list(sha1_mod._compress(tuple(state), block))
+
+    def test_bad_block_size(self, kernel):
+        with pytest.raises(ValueError):
+            kernel.compress(list(sha1_mod._H0), bytes(60))
+
+    def test_cycles_per_byte_sane(self, kernel):
+        assert 20 < kernel.cycles_per_byte() < 120
+
+
+class TestCustomCatalogue:
+    def test_catalogue_instruction_names_unique_per_family(self):
+        names = [ci.name for ci in candidate_catalogue()]
+        # desld/aesld etc. appear once per build call; family names unique
+        assert len(set(names)) >= len(names) - 2
+
+    def test_areas_positive_and_monotone(self):
+        areas = [make_vmac(m).area for m in MAC_WIDTHS]
+        assert all(a > 0 for a in areas)
+        assert areas == sorted(areas)
+
+    def test_unknown_resource_rejected(self):
+        with pytest.raises(AreaModelError):
+            area_of({"quantum_alu": 1})
+
+    def test_negative_resource_rejected(self):
+        with pytest.raises(ValueError):
+            area_of({"adder32": -1})

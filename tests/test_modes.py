@@ -1,0 +1,87 @@
+"""Tests for block cipher modes and PKCS#7 padding."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import modes
+from repro.crypto.aes import Aes
+from repro.crypto.des import Des
+
+
+class TestPkcs7:
+    @given(st.binary(max_size=100), st.sampled_from([8, 16]))
+    def test_roundtrip(self, data, bs):
+        padded = modes.pkcs7_pad(data, bs)
+        assert len(padded) % bs == 0
+        assert modes.pkcs7_unpad(padded, bs) == data
+
+    def test_full_block_appended_when_aligned(self):
+        padded = modes.pkcs7_pad(b"\x00" * 16, 16)
+        assert len(padded) == 32
+        assert padded[-1] == 16
+
+    def test_invalid_padding_rejected(self):
+        with pytest.raises(ValueError):
+            modes.pkcs7_unpad(b"\x01\x02\x03\x04\x05\x06\x07\x09", 8)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            modes.pkcs7_unpad(b"", 8)
+
+    def test_bad_block_size(self):
+        with pytest.raises(ValueError):
+            modes.pkcs7_pad(b"x", 0)
+
+
+class TestEcb:
+    @settings(max_examples=20)
+    @given(st.binary(min_size=16, max_size=16),
+           st.binary(max_size=64).map(lambda d: d + bytes(-len(d) % 16)))
+    def test_roundtrip(self, key, data):
+        cipher = Aes(key)
+        assert modes.ecb_decrypt(cipher, modes.ecb_encrypt(cipher, data)) == data
+
+    def test_identical_blocks_leak(self):
+        """ECB's defining weakness: equal plaintext blocks -> equal ciphertext."""
+        cipher = Aes(bytes(16))
+        ct = modes.ecb_encrypt(cipher, bytes(32))
+        assert ct[:16] == ct[16:]
+
+    def test_unaligned_rejected(self):
+        with pytest.raises(ValueError):
+            modes.ecb_encrypt(Aes(bytes(16)), b"x" * 17)
+
+
+class TestCbc:
+    @settings(max_examples=20)
+    @given(st.binary(min_size=8, max_size=8),
+           st.binary(min_size=8, max_size=8),
+           st.binary(max_size=64).map(lambda d: d + bytes(-len(d) % 8)))
+    def test_roundtrip_des(self, key, iv, data):
+        cipher = Des(key)
+        ct = modes.cbc_encrypt(cipher, iv, data)
+        assert modes.cbc_decrypt(cipher, iv, ct) == data
+
+    def test_identical_blocks_hidden(self):
+        cipher = Aes(bytes(16))
+        ct = modes.cbc_encrypt(cipher, b"\x01" * 16, bytes(32))
+        assert ct[:16] != ct[16:]
+
+    def test_iv_changes_ciphertext(self):
+        cipher = Aes(bytes(16))
+        data = b"A" * 16
+        assert modes.cbc_encrypt(cipher, bytes(16), data) != \
+            modes.cbc_encrypt(cipher, b"\x01" * 16, data)
+
+    def test_wrong_iv_length(self):
+        with pytest.raises(ValueError):
+            modes.cbc_encrypt(Aes(bytes(16)), bytes(8), bytes(16))
+
+    def test_nist_cbc_vector(self):
+        """NIST SP 800-38A F.2.1 CBC-AES128.Encrypt, first block."""
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        iv = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+        pt = bytes.fromhex("6bc1bee22e409f96e93d7e117393172a")
+        ct = modes.cbc_encrypt(Aes(key), iv, pt)
+        assert ct.hex() == "7649abac8119b246cee98e9b12e9197d"

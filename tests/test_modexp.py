@@ -1,0 +1,145 @@
+"""Tests for the modular exponentiation configuration space."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.modexp import (CACHING_OPTIONS, CRT_VARIANTS,
+                                 ModExpConfig, ModExpEngine, WINDOW_SIZES,
+                                 config_space_size, iter_configs)
+
+ODD_MOD = (1 << 128) + 51
+
+
+class TestConfigSpace:
+    def test_space_has_450_points(self):
+        assert config_space_size() == 450
+        assert len(list(iter_configs())) == 450
+
+    def test_all_configs_distinct(self):
+        configs = list(iter_configs())
+        assert len(set(configs)) == 450
+
+    def test_labels_distinct(self):
+        labels = {c.label() for c in iter_configs()}
+        assert len(labels) == 450
+
+    @pytest.mark.parametrize("field,value", [
+        ("modmul", "fft"), ("window", 6), ("crt", "mixed"),
+        ("radix_bits", 64), ("caching", "everything"),
+    ])
+    def test_invalid_configs_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            ModExpConfig(**{field: value})
+
+
+class TestPowm:
+    @pytest.mark.parametrize("window", WINDOW_SIZES)
+    def test_windows(self, window):
+        eng = ModExpEngine(ModExpConfig(window=window))
+        assert int(eng.powm(0xABCDEF, 0x123456789, ODD_MOD)) == \
+            pow(0xABCDEF, 0x123456789, ODD_MOD)
+
+    @pytest.mark.parametrize("modmul", ["schoolbook", "karatsuba", "barrett",
+                                        "montgomery", "interleaved"])
+    def test_modmul_choices(self, modmul):
+        eng = ModExpEngine(ModExpConfig(modmul=modmul))
+        assert int(eng.powm(987654321, 0xFEDCBA, ODD_MOD)) == \
+            pow(987654321, 0xFEDCBA, ODD_MOD)
+
+    @settings(max_examples=20)
+    @given(base=st.integers(min_value=0, max_value=(1 << 128) - 1),
+           exp=st.integers(min_value=0, max_value=(1 << 64) - 1))
+    def test_random_inputs_default_config(self, base, exp):
+        eng = ModExpEngine()
+        assert int(eng.powm(base, exp, ODD_MOD)) == pow(base, exp, ODD_MOD)
+
+    def test_exponent_zero(self):
+        assert int(ModExpEngine().powm(5, 0, 97)) == 1
+
+    def test_exponent_one(self):
+        assert int(ModExpEngine().powm(5, 1, 97)) == 5
+
+    def test_modulus_one(self):
+        assert int(ModExpEngine().powm(5, 3, 1)) == 0
+
+    def test_negative_exponent(self):
+        # 3^-1 mod 97 then squared
+        assert int(ModExpEngine().powm(3, -2, 97)) == pow(pow(3, -1, 97), 2, 97)
+
+    def test_nonpositive_modulus(self):
+        with pytest.raises(ValueError):
+            ModExpEngine().powm(2, 3, 0)
+
+    def test_base_larger_than_modulus(self):
+        assert int(ModExpEngine().powm(ODD_MOD + 7, 12, ODD_MOD)) == \
+            pow(7, 12, ODD_MOD)
+
+    @settings(max_examples=5, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=(1 << 32) - 1))
+    def test_broad_config_sample_agrees(self, seed):
+        """Every 29th config must agree with pow() on a random instance."""
+        base = (seed * 0x9E3779B9) % ODD_MOD
+        exp = (seed ^ 0x5DEECE66D) & ((1 << 48) - 1)
+        want = pow(base, exp, ODD_MOD)
+        configs = list(iter_configs())
+        for cfg in configs[seed % 29::29]:
+            assert int(ModExpEngine(cfg).powm(base, exp, ODD_MOD)) == want, \
+                cfg.label()
+
+
+class TestCrt:
+    P, Q = 1000003, 1000033
+    D = 65537
+
+    @pytest.mark.parametrize("crt", CRT_VARIANTS)
+    def test_crt_variants_agree(self, crt):
+        eng = ModExpEngine(ModExpConfig(crt=crt))
+        n = self.P * self.Q
+        got = int(eng.powm_crt(123456789, self.D, self.P, self.Q))
+        assert got == pow(123456789, self.D, n)
+
+    def test_derives_missing_crt_params(self):
+        eng = ModExpEngine(ModExpConfig(crt="garner"))
+        n = self.P * self.Q
+        dp = self.D % (self.P - 1)
+        dq = self.D % (self.Q - 1)
+        qinv = pow(self.Q, -1, self.P)
+        explicit = int(eng.powm_crt(42, self.D, self.P, self.Q,
+                                    dp=dp, dq=dq, qinv=qinv))
+        derived = int(eng.powm_crt(42, self.D, self.P, self.Q))
+        assert explicit == derived == pow(42, self.D, n)
+
+
+class TestCaching:
+    @pytest.mark.parametrize("caching", CACHING_OPTIONS)
+    def test_caching_does_not_change_results(self, caching):
+        eng = ModExpEngine(ModExpConfig(caching=caching))
+        for base in (3, 3, 5, 3):  # repeated bases exercise the caches
+            assert int(eng.powm(base, 0xBEEF, ODD_MOD)) == \
+                pow(base, 0xBEEF, ODD_MOD)
+
+    def test_constants_cache_reuses_modmul(self):
+        eng = ModExpEngine(ModExpConfig(caching="constants"))
+        eng.powm(2, 10, ODD_MOD)
+        first = eng._modmul_cache[ODD_MOD]
+        eng.powm(3, 10, ODD_MOD)
+        assert eng._modmul_cache[ODD_MOD] is first
+
+    def test_none_caching_keeps_no_state(self):
+        eng = ModExpEngine(ModExpConfig(caching="none"))
+        eng.powm(2, 10, ODD_MOD)
+        assert not eng._modmul_cache
+        assert not eng._table_cache
+
+    def test_full_caching_stores_window_table(self):
+        eng = ModExpEngine(ModExpConfig(caching="full"))
+        eng.powm(7, 100, ODD_MOD)
+        assert any(key[0] == 7 and key[1] == ODD_MOD
+                   for key in eng._table_cache)
+
+    def test_effective_window_adapts_to_exponent(self):
+        eng = ModExpEngine(ModExpConfig(window=5))
+        assert eng.effective_window(17) <= 2
+        assert eng.effective_window(1024) == 5
+        assert eng.effective_window(1) == 1

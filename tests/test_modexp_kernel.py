@@ -1,0 +1,88 @@
+"""Tests for the full ISS Montgomery modular exponentiation kernel."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa.kernels.modexp_kernel import ModExpKernel
+
+
+@pytest.fixture(scope="module")
+def base_kernel():
+    return ModExpKernel()
+
+
+@pytest.fixture(scope="module")
+def ext_kernel():
+    return ModExpKernel(add_width=8, mac_width=8)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("modulus", [23, (1 << 32) + 15, (1 << 64) + 13,
+                                         (1 << 96) + 61, (1 << 128) + 51])
+    def test_known_moduli(self, base_kernel, modulus):
+        got, _, _ = base_kernel.powm(0xABCDEF, 0x12345, modulus)
+        assert got == pow(0xABCDEF, 0x12345, modulus)
+
+    @settings(max_examples=10, deadline=None)
+    @given(base=st.integers(min_value=0, max_value=(1 << 96) - 1),
+           exp=st.integers(min_value=1, max_value=(1 << 20) - 1),
+           modseed=st.integers(min_value=1, max_value=(1 << 96) - 1))
+    def test_random_inputs(self, base_kernel, base, exp, modseed):
+        modulus = modseed | 1
+        if modulus < 3:
+            modulus = 3
+        got, _, _ = base_kernel.powm(base, exp, modulus)
+        assert got == pow(base, exp, modulus)
+
+    @settings(max_examples=8, deadline=None)
+    @given(base=st.integers(min_value=0, max_value=(1 << 96) - 1),
+           exp=st.integers(min_value=1, max_value=(1 << 16) - 1))
+    def test_extended_matches_base(self, base_kernel, ext_kernel, base, exp):
+        modulus = (1 << 96) + 61
+        got_b, cyc_b, _ = base_kernel.powm(base, exp, modulus)
+        got_e, cyc_e, _ = ext_kernel.powm(base, exp, modulus)
+        assert got_b == got_e == pow(base, exp, modulus)
+        assert cyc_e < cyc_b
+
+    def test_even_modulus_rejected(self, base_kernel):
+        with pytest.raises(ValueError):
+            base_kernel.powm(2, 3, 100)
+
+    def test_nonpositive_exponent_rejected(self, base_kernel):
+        with pytest.raises(ValueError):
+            base_kernel.powm(2, 0, 23)
+
+    def test_base_larger_than_modulus(self, base_kernel):
+        got, _, _ = base_kernel.powm((1 << 80) + 5, 7, (1 << 64) + 13)
+        assert got == pow((1 << 80) + 5, 7, (1 << 64) + 13)
+
+    def test_result_equal_to_modulus_minus_one(self, base_kernel):
+        # exercise the final conditional-subtract paths
+        m = (1 << 64) + 13
+        got, _, _ = base_kernel.powm(m - 1, 3, m)
+        assert got == pow(m - 1, 3, m)
+
+
+class TestProfileShape:
+    def test_profile_edges(self, base_kernel):
+        _, _, profile = base_kernel.powm(0xBEEF, 0x155, (1 << 128) + 51)
+        assert ("modexp", "mont_mul") in profile.call_edges
+        assert ("mont_mul", "mpn_addmul_1") in profile.call_edges
+        # squarings + multiplies + 2 domain conversions
+        exp_bits, popcount = 9, 5  # 0x155 = 0b101010101
+        assert profile.call_counts["mont_mul"] == exp_bits + popcount + 2
+
+    def test_ext_profile_uses_fused_rows(self, ext_kernel):
+        _, _, profile = ext_kernel.powm(0xBEEF, 0x155, (1 << 128) + 51)
+        # The fused macrow/montrow instructions replace the addmul calls.
+        assert "mpn_addmul_1" not in profile.call_counts
+
+    def test_cycles_scale_quadratically(self, base_kernel):
+        cycles = []
+        for bits in (128, 256, 512):
+            _, c, _ = base_kernel.powm(0xABC, 0xFF1, (1 << bits) + 0x169)
+            cycles.append(c)
+        # doubling the size should cost ~4x (schoolbook inner products)
+        assert 2.5 < cycles[1] / cycles[0] < 5.5
+        assert 2.5 < cycles[2] / cycles[1] < 5.5

@@ -1,0 +1,192 @@
+"""Unit and property tests for the Mpz signed integer layer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mp import Mpz, RADIX16
+from repro.mp.hooks import traced
+
+ints = st.integers(min_value=-(1 << 256), max_value=(1 << 256) - 1)
+nonzero = ints.filter(lambda x: x != 0)
+small_pos = st.integers(min_value=1, max_value=(1 << 64) - 1)
+
+
+class TestConstruction:
+    @given(ints)
+    def test_int_roundtrip(self, x):
+        assert int(Mpz(x)) == x
+
+    def test_copy_constructor(self):
+        a = Mpz(42)
+        b = Mpz(a)
+        assert int(b) == 42
+
+    def test_radix_conversion_on_copy(self):
+        a = Mpz(1 << 100)
+        b = Mpz(a, radix=RADIX16)
+        assert int(b) == 1 << 100
+        assert b.radix is RADIX16
+
+    def test_from_bytes_roundtrip(self):
+        data = b"\x01\x02\x03\x04\x05"
+        assert Mpz.from_bytes(data).to_bytes(5) == data
+
+    def test_to_bytes_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Mpz(-1).to_bytes(4)
+
+
+class TestArithmetic:
+    @given(ints, ints)
+    def test_add(self, a, b):
+        assert int(Mpz(a) + Mpz(b)) == a + b
+
+    @given(ints, ints)
+    def test_sub(self, a, b):
+        assert int(Mpz(a) - Mpz(b)) == a - b
+
+    @given(ints, ints)
+    def test_mul(self, a, b):
+        assert int(Mpz(a) * Mpz(b)) == a * b
+
+    @given(ints)
+    def test_neg_abs(self, a):
+        assert int(-Mpz(a)) == -a
+        assert int(abs(Mpz(a))) == abs(a)
+
+    @given(ints, nonzero)
+    def test_divmod_matches_python(self, a, b):
+        q, r = divmod(Mpz(a), Mpz(b))
+        eq, er = divmod(a, b)
+        assert (int(q), int(r)) == (eq, er)
+
+    @given(ints, nonzero)
+    def test_floordiv_mod(self, a, b):
+        assert int(Mpz(a) // Mpz(b)) == a // b
+        assert int(Mpz(a) % Mpz(b)) == a % b
+
+    def test_div_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            divmod(Mpz(1), Mpz(0))
+
+    @given(ints, st.integers(min_value=0, max_value=200))
+    def test_shifts(self, a, cnt):
+        assert int(Mpz(a) << cnt) == a << cnt
+        assert int(Mpz(a) >> cnt) == a >> cnt
+
+    @given(ints, ints)
+    def test_mixed_int_operands(self, a, b):
+        assert int(Mpz(a) + b) == a + b
+        assert int(a + Mpz(b)) == a + b
+        assert int(a - Mpz(b)) == a - b
+        assert int(Mpz(a) * b) == a * b
+
+    @given(st.integers(min_value=-1000, max_value=1000),
+           st.integers(min_value=0, max_value=12))
+    def test_pow(self, a, e):
+        assert int(Mpz(a) ** e) == a ** e
+
+
+class TestComparison:
+    @given(ints, ints)
+    def test_ordering(self, a, b):
+        assert (Mpz(a) < Mpz(b)) == (a < b)
+        assert (Mpz(a) <= Mpz(b)) == (a <= b)
+        assert (Mpz(a) == Mpz(b)) == (a == b)
+        assert (Mpz(a) >= Mpz(b)) == (a >= b)
+        assert (Mpz(a) > Mpz(b)) == (a > b)
+
+    @given(ints)
+    def test_compare_with_int(self, a):
+        assert Mpz(a) == a
+        assert (Mpz(a) < a + 1)
+
+    @given(ints)
+    def test_hash_consistent(self, a):
+        assert hash(Mpz(a)) == hash(Mpz(a))
+
+    def test_bool(self):
+        assert not Mpz(0)
+        assert Mpz(1)
+        assert Mpz(-1)
+
+
+class TestBits:
+    @given(st.integers(min_value=0, max_value=(1 << 256) - 1))
+    def test_bit_length(self, a):
+        assert Mpz(a).bit_length() == a.bit_length()
+
+    @given(st.integers(min_value=0, max_value=(1 << 128) - 1),
+           st.integers(min_value=0, max_value=200))
+    def test_test_bit(self, a, i):
+        assert Mpz(a).test_bit(i) == (a >> i) & 1
+
+    @given(ints)
+    def test_parity(self, a):
+        assert Mpz(a).is_odd() == bool(a & 1)
+        assert Mpz(a).is_even() == (not a & 1)
+
+
+class TestModularOps:
+    @given(st.integers(min_value=0, max_value=(1 << 128) - 1),
+           st.integers(min_value=0, max_value=(1 << 16) - 1),
+           st.integers(min_value=1, max_value=(1 << 128) - 1))
+    @settings(max_examples=30)
+    def test_pow_mod(self, base, exp, mod):
+        assert int(Mpz(base).pow_mod(exp, mod)) == pow(base, exp, mod)
+
+    def test_pow_mod_negative_exponent_uses_inverse(self):
+        # 3^-1 mod 7 == 5, so 3^-2 mod 7 == 25 mod 7 == 4
+        assert int(Mpz(3).pow_mod(-2, 7)) == 4
+
+    def test_pow_mod_nonpositive_modulus(self):
+        with pytest.raises(ValueError):
+            Mpz(2).pow_mod(3, 0)
+
+    @given(st.integers(min_value=1, max_value=(1 << 128) - 1),
+           st.integers(min_value=1, max_value=(1 << 128) - 1))
+    def test_gcdext_bezout(self, a, b):
+        g, s, t = Mpz(a).gcdext(b)
+        import math
+        assert int(g) == math.gcd(a, b)
+        assert int(s) * a + int(t) * b == int(g)
+
+    @given(st.integers(min_value=1, max_value=(1 << 64) - 1))
+    def test_invert(self, a):
+        mod = (1 << 127) - 1  # Mersenne prime: everything nonzero inverts
+        a = a % mod or 1
+        inv = Mpz(a).invert(mod)
+        assert (int(inv) * a) % mod == 1
+
+    def test_invert_nonexistent(self):
+        with pytest.raises(ValueError):
+            Mpz(4).invert(8)
+
+
+class TestTracing:
+    def test_leaf_routines_report_to_tracer(self):
+        calls = []
+        with traced(lambda name, params: calls.append((name, params))):
+            _ = Mpz(1 << 200) * Mpz(1 << 200)
+        names = {name for name, _ in calls}
+        assert "mpn_mul_1" in names or "mpn_addmul_1" in names
+
+    def test_tracer_cleared_after_context(self):
+        from repro.mp.hooks import get_tracer
+        with traced(lambda name, params: None):
+            pass
+        assert get_tracer() is None
+
+
+class TestRadix16Mpz:
+    @given(ints, ints)
+    @settings(max_examples=30)
+    def test_mul_radix16(self, a, b):
+        assert int(Mpz(a, RADIX16) * Mpz(b, RADIX16)) == a * b
+
+    @given(ints, nonzero)
+    @settings(max_examples=30)
+    def test_divmod_radix16(self, a, b):
+        q, r = divmod(Mpz(a, RADIX16), Mpz(b, RADIX16))
+        assert (int(q), int(r)) == divmod(a, b)

@@ -1,0 +1,50 @@
+"""Tests for macro-model persistence."""
+
+import pytest
+
+from repro.macromodel import characterize_platform
+from repro.macromodel.persist import (load_modelset, modelset_from_dict,
+                                      modelset_to_dict, save_modelset)
+
+
+@pytest.fixture(scope="module")
+def models():
+    return characterize_platform(reps=1, sizes=(1, 2, 4, 8),
+                                 modmul_overhead=False)
+
+
+class TestPersistence:
+    def test_dict_roundtrip(self, models):
+        restored = modelset_from_dict(modelset_to_dict(models))
+        assert restored.platform == models.platform
+        assert restored.routines() == models.routines()
+        for routine in models.routines():
+            for n in (1, 4, 16):
+                assert restored.predict(routine, n) == \
+                    pytest.approx(models.predict(routine, n))
+
+    def test_file_roundtrip(self, models, tmp_path):
+        path = tmp_path / "models.json"
+        save_modelset(models, str(path))
+        restored = load_modelset(str(path))
+        assert restored.predict("mpn_add_n", 8) == \
+            pytest.approx(models.predict("mpn_add_n", 8))
+
+    def test_json_is_stable(self, models, tmp_path):
+        p1, p2 = tmp_path / "a.json", tmp_path / "b.json"
+        save_modelset(models, str(p1))
+        save_modelset(models, str(p2))
+        assert p1.read_text() == p2.read_text()
+
+    def test_bad_schema_rejected(self, models):
+        data = modelset_to_dict(models)
+        data["schema"] = 99
+        with pytest.raises(ValueError, match="schema"):
+            modelset_from_dict(data)
+
+    def test_restored_models_usable_by_estimator(self, models):
+        from repro.macromodel import estimate_cycles
+        from repro.mp import Mpz
+        restored = modelset_from_dict(modelset_to_dict(models))
+        est = estimate_cycles(restored, lambda: Mpz(1 << 100) * Mpz(3))
+        assert est.cycles > 0

@@ -1,0 +1,177 @@
+"""Tests for primes, RSA and ElGamal (the public-key Layer 2/3 stack)."""
+
+import pytest
+
+from repro.mp import DeterministicPrng, Mpz
+from repro.crypto.elgamal import ElGamal, generate_elgamal_keypair
+from repro.crypto.modexp import ModExpConfig
+from repro.crypto.primes import (generate_prime, generate_safe_prime,
+                                 is_probable_prime)
+from repro.crypto.rsa import Rsa, generate_rsa_keypair
+
+
+class TestPrimality:
+    KNOWN_PRIMES = [2, 3, 5, 97, 65537, (1 << 61) - 1, (1 << 89) - 1,
+                    (1 << 127) - 1]
+    KNOWN_COMPOSITES = [0, 1, 4, 100, 65539 * 65543, (1 << 61) + 1,
+                        561, 41041, 825265]  # includes Carmichael numbers
+
+    @pytest.mark.parametrize("p", KNOWN_PRIMES)
+    def test_primes_accepted(self, p):
+        assert is_probable_prime(Mpz(p))
+
+    @pytest.mark.parametrize("c", KNOWN_COMPOSITES)
+    def test_composites_rejected(self, c):
+        assert not is_probable_prime(Mpz(c))
+
+    def test_negative_rejected(self):
+        assert not is_probable_prime(Mpz(-7))
+
+    def test_generate_prime_properties(self):
+        prng = DeterministicPrng(42)
+        p = generate_prime(48, prng)
+        assert p.bit_length() == 48
+        assert p.is_odd()
+        assert is_probable_prime(p)
+
+    def test_generate_prime_deterministic(self):
+        assert int(generate_prime(40, DeterministicPrng(7))) == \
+            int(generate_prime(40, DeterministicPrng(7)))
+
+    def test_generate_prime_too_small(self):
+        with pytest.raises(ValueError):
+            generate_prime(2, DeterministicPrng())
+
+    def test_safe_prime(self):
+        prng = DeterministicPrng(11)
+        p = generate_safe_prime(32, prng)
+        assert is_probable_prime(p)
+        assert is_probable_prime((p - 1) >> 1)
+        assert p.bit_length() == 32
+
+
+class TestRsaKeyGeneration:
+    def test_key_invariants(self):
+        kp = generate_rsa_keypair(128, DeterministicPrng(1))
+        priv = kp.private
+        n = int(priv.p) * int(priv.q)
+        assert int(priv.n) == n
+        phi = (int(priv.p) - 1) * (int(priv.q) - 1)
+        assert (int(priv.d) * int(priv.e)) % phi == 1
+        assert int(priv.dp) == int(priv.d) % (int(priv.p) - 1)
+        assert int(priv.dq) == int(priv.d) % (int(priv.q) - 1)
+        assert (int(priv.qinv) * int(priv.q)) % int(priv.p) == 1
+
+    def test_p_greater_than_q(self):
+        kp = generate_rsa_keypair(128, DeterministicPrng(2))
+        assert kp.private.p > kp.private.q
+
+    def test_deterministic(self):
+        a = generate_rsa_keypair(96, DeterministicPrng(5))
+        b = generate_rsa_keypair(96, DeterministicPrng(5))
+        assert int(a.private.n) == int(b.private.n)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            generate_rsa_keypair(8)
+
+
+class TestRsaOperations:
+    @pytest.fixture(scope="class")
+    def keypair(self):
+        return generate_rsa_keypair(256, DeterministicPrng(99))
+
+    def test_int_roundtrip(self, keypair):
+        rsa = Rsa()
+        c = rsa.encrypt_int(123456789, keypair.public)
+        assert rsa.decrypt_int(c, keypair.private) == 123456789
+
+    def test_bytes_roundtrip(self, keypair):
+        rsa = Rsa()
+        msg = b"wireless handset"
+        ct = rsa.encrypt(msg, keypair.public, DeterministicPrng(3))
+        assert rsa.decrypt(ct, keypair.private) == msg
+
+    def test_padding_randomized(self, keypair):
+        rsa = Rsa()
+        c1 = rsa.encrypt(b"m", keypair.public, DeterministicPrng(1))
+        c2 = rsa.encrypt(b"m", keypair.public, DeterministicPrng(2))
+        assert c1 != c2
+        assert rsa.decrypt(c1, keypair.private) == \
+            rsa.decrypt(c2, keypair.private) == b"m"
+
+    def test_message_too_long(self, keypair):
+        rsa = Rsa()
+        with pytest.raises(ValueError):
+            rsa.encrypt(b"x" * (keypair.public.byte_size - 10), keypair.public)
+
+    def test_out_of_range_int(self, keypair):
+        rsa = Rsa()
+        with pytest.raises(ValueError):
+            rsa.encrypt_int(int(keypair.public.n), keypair.public)
+
+    def test_sign_verify(self, keypair):
+        rsa = Rsa()
+        sig = rsa.sign(b"contract", keypair.private)
+        assert rsa.verify(b"contract", sig, keypair.public)
+        assert not rsa.verify(b"tampered", sig, keypair.public)
+
+    def test_corrupt_signature_rejected(self, keypair):
+        rsa = Rsa()
+        sig = bytearray(rsa.sign(b"contract", keypair.private))
+        sig[0] ^= 1
+        assert not rsa.verify(b"contract", bytes(sig), keypair.public)
+
+    @pytest.mark.parametrize("crt", ["none", "classic", "garner"])
+    def test_crt_variants_interoperate(self, keypair, crt):
+        enc = Rsa()  # default config on the sender
+        dec = Rsa(ModExpConfig(crt=crt))
+        ct = enc.encrypt(b"inter-op", keypair.public, DeterministicPrng(4))
+        assert dec.decrypt(ct, keypair.private) == b"inter-op"
+
+    @pytest.mark.parametrize("modmul", ["barrett", "montgomery", "interleaved"])
+    def test_modmul_variants_interoperate(self, keypair, modmul):
+        enc = Rsa(ModExpConfig(modmul=modmul, window=2))
+        ct = enc.encrypt(b"x", keypair.public, DeterministicPrng(4))
+        assert Rsa().decrypt(ct, keypair.private) == b"x"
+
+
+class TestElGamal:
+    @pytest.fixture(scope="class")
+    def keypair(self):
+        return generate_elgamal_keypair(48, DeterministicPrng(13))
+
+    def test_group_is_safe_prime(self, keypair):
+        p = keypair.public.p
+        assert is_probable_prime(p)
+        assert is_probable_prime((p - 1) >> 1)
+
+    def test_roundtrip(self, keypair):
+        eg = ElGamal()
+        ct = eg.encrypt_int(0xDEAD, keypair.public, DeterministicPrng(21))
+        assert eg.decrypt_int(ct, keypair.private) == 0xDEAD
+
+    def test_randomized_ciphertexts(self, keypair):
+        eg = ElGamal()
+        c1 = eg.encrypt_int(7, keypair.public, DeterministicPrng(1))
+        c2 = eg.encrypt_int(7, keypair.public, DeterministicPrng(2))
+        assert c1 != c2
+        assert eg.decrypt_int(c1, keypair.private) == \
+            eg.decrypt_int(c2, keypair.private) == 7
+
+    def test_message_range_checked(self, keypair):
+        eg = ElGamal()
+        with pytest.raises(ValueError):
+            eg.encrypt_int(0, keypair.public)
+        with pytest.raises(ValueError):
+            eg.encrypt_int(int(keypair.public.p), keypair.public)
+
+    def test_multiplicative_homomorphism(self, keypair):
+        """E(a) * E(b) decrypts to a*b mod p -- ElGamal's signature property."""
+        eg = ElGamal()
+        p = int(keypair.public.p)
+        a, b = 123, 456
+        c1a, c2a = eg.encrypt_int(a, keypair.public, DeterministicPrng(5))
+        c1b, c2b = eg.encrypt_int(b, keypair.public, DeterministicPrng(6))
+        product_ct = ((c1a * c1b) % p, (c2a * c2b) % p)
+        assert eg.decrypt_int(product_ct, keypair.private) == (a * b) % p

@@ -1,0 +1,106 @@
+"""Tests for the SSL session cache and the ISS run report."""
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.isa.cache import CacheConfig
+from repro.isa.machine import Machine
+from repro.isa.report import machine_report
+from repro.mp import DeterministicPrng
+from repro.ssl import fixtures
+from repro.ssl.handshake import SslClient, SslServer, run_handshake
+from repro.ssl.session_cache import SessionCache
+
+
+@pytest.fixture(scope="module")
+def session():
+    client = SslClient(fixtures.CLIENT_512, prng=DeterministicPrng(1))
+    server = SslServer(fixtures.SERVER_512)
+    return run_handshake(client, server, "aes")
+
+
+class TestSessionCache:
+    def test_store_and_lookup(self, session):
+        cache = SessionCache()
+        sid = cache.store(session)
+        assert cache.lookup(sid) is session
+        assert cache.hits == 1
+
+    def test_miss_counted(self):
+        cache = SessionCache()
+        assert cache.lookup(b"\x00" * 16) is None
+        assert cache.misses == 1
+        assert cache.hit_rate == 0.0
+
+    def test_session_id_is_not_the_secret(self, session):
+        sid = SessionCache.session_id(session)
+        assert sid != session.master[:16]
+        assert len(sid) == 16
+
+    def test_lru_eviction(self, session):
+        from repro.ssl.handshake import run_resumed_handshake
+        cache = SessionCache(capacity=2)
+        sids = []
+        for i in range(3):
+            derived = run_resumed_handshake(session, DeterministicPrng(i))
+            sids.append(cache.store(derived))
+        assert len(cache) == 2
+        assert cache.lookup(sids[0]) is None   # evicted
+        assert cache.lookup(sids[2]) is not None
+
+    def test_lookup_refreshes_lru(self, session):
+        from repro.ssl.handshake import run_resumed_handshake
+        cache = SessionCache(capacity=2)
+        a = cache.store(run_resumed_handshake(session, DeterministicPrng(1)))
+        b = cache.store(run_resumed_handshake(session, DeterministicPrng(2)))
+        cache.lookup(a)  # refresh a; b becomes the LRU victim
+        cache.store(run_resumed_handshake(session, DeterministicPrng(3)))
+        assert cache.lookup(a) is not None
+        assert cache.lookup(b) is None
+
+    def test_invalidate(self, session):
+        cache = SessionCache()
+        sid = cache.store(session)
+        assert cache.invalidate(sid)
+        assert not cache.invalidate(sid)
+        assert cache.lookup(sid) is None
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            SessionCache(capacity=0)
+
+
+class TestMachineReport:
+    SOURCE = """
+    main:
+        mov r12, r14
+        li r2, 3
+    loop:
+        jal work
+        subi r2, r2, 1
+        bne r2, r0, loop
+        jr r12
+    work:
+        lw r3, 0(r1)
+        addi r3, r3, 1
+        sw r3, 0(r1)
+        jr r14
+    """
+
+    def test_report_contents(self):
+        machine = Machine(assemble(self.SOURCE),
+                          dcache=CacheConfig(miss_penalty=5))
+        machine.run("main", [0x2000])
+        text = machine_report(machine)
+        assert "cycles:" in text
+        assert "CPI:" in text
+        assert "work" in text              # hot function listed
+        assert "dcache:" in text
+        assert "estimated energy" in text
+
+    def test_report_without_cache(self):
+        machine = Machine(assemble("main: halt"))
+        machine.run("main")
+        text = machine_report(machine)
+        assert "dcache" not in text
+        assert "halt" in text

@@ -1,0 +1,182 @@
+"""Tests for the SSL handshake, record layer, and transaction model."""
+
+import pytest
+
+from repro.mp import DeterministicPrng
+from repro.crypto.aes import Aes
+from repro.ssl import fixtures
+from repro.ssl.handshake import (SslClient, SslServer, derive_keys,
+                                 make_record_channels, run_handshake,
+                                 ssl3_expand)
+from repro.ssl.record import RecordError, RecordLayer
+from repro.ssl.transaction import (PlatformCosts, SslWorkloadModel,
+                                   TransactionBreakdown)
+
+
+def fresh_pair(seed=1):
+    client = SslClient(fixtures.CLIENT_512, prng=DeterministicPrng(seed))
+    server = SslServer(fixtures.SERVER_512)
+    return client, server
+
+
+class TestKeyDerivation:
+    def test_expand_length_and_determinism(self):
+        a = ssl3_expand(b"secret", b"seed", 100)
+        b = ssl3_expand(b"secret", b"seed", 100)
+        assert len(a) == 100 and a == b
+
+    def test_expand_sensitive_to_inputs(self):
+        assert ssl3_expand(b"s1", b"seed", 48) != ssl3_expand(b"s2", b"seed", 48)
+        assert ssl3_expand(b"s", b"seed1", 48) != ssl3_expand(b"s", b"seed2", 48)
+
+    def test_derive_keys_distinct(self):
+        keys = derive_keys(b"m" * 48, b"c" * 32, b"s" * 32, "aes")
+        material = [keys.client_mac, keys.server_mac, keys.client_key,
+                    keys.server_key, keys.client_iv, keys.server_iv]
+        assert len({bytes(m) for m in material}) == 6
+        assert len(keys.client_key) == 16
+        assert len(keys.client_iv) == 16
+
+
+class TestHandshake:
+    @pytest.mark.parametrize("cipher", ["des", "3des", "aes"])
+    def test_full_handshake(self, cipher):
+        client, server = fresh_pair()
+        result = run_handshake(client, server, cipher)
+        assert len(result.master) == 48
+        assert result.cipher_name == cipher
+
+    def test_handshake_deterministic_given_seeds(self):
+        r1 = run_handshake(*fresh_pair(7), "aes",
+                           prng=DeterministicPrng(3))
+        r2 = run_handshake(*fresh_pair(7), "aes",
+                           prng=DeterministicPrng(3))
+        assert r1.master == r2.master
+
+    def test_unknown_cipher_suite(self):
+        with pytest.raises(ValueError):
+            run_handshake(*fresh_pair(), "rc5")
+
+    def test_wrong_client_key_fails_verify(self):
+        client, server = fresh_pair()
+        client_hello = client.hello()
+        server_random, server_public = server.hello(client_hello,
+                                                    DeterministicPrng(9))
+        _, encrypted, signature = client.key_exchange(server_random,
+                                                      server_public)
+        with pytest.raises(ValueError, match="CertificateVerify"):
+            # Server checks against the *server* public key instead.
+            server.receive_key_exchange(encrypted, signature,
+                                        fixtures.SERVER_512.public)
+
+
+class TestRecordLayer:
+    def _channel(self):
+        key = bytes(range(16))
+        mac = bytes(range(20))
+        iv = bytes(16)
+        return (RecordLayer(Aes(key), mac, iv), RecordLayer(Aes(key), mac, iv))
+
+    def test_roundtrip(self):
+        sender, receiver = self._channel()
+        records = sender.seal(b"hello world")
+        assert len(records) == 1
+        assert receiver.open(records[0]) == b"hello world"
+
+    def test_fragmentation_over_16k(self):
+        sender, receiver = self._channel()
+        data = bytes(i & 0xFF for i in range(40_000))
+        records = sender.seal(data)
+        assert len(records) == 3
+        assert b"".join(receiver.open(r) for r in records) == data
+
+    def test_sequence_protects_against_replay(self):
+        sender, receiver = self._channel()
+        record = sender.seal(b"once")[0]
+        assert receiver.open(record) == b"once"
+        with pytest.raises(RecordError):
+            receiver.open(record)  # replay: wrong seq and wrong IV chain
+
+    def test_tampered_record_rejected(self):
+        sender, receiver = self._channel()
+        record = bytearray(sender.seal(b"payload")[0])
+        record[-1] ^= 1
+        with pytest.raises(RecordError):
+            receiver.open(bytes(record))
+
+    def test_truncated_record_rejected(self):
+        _, receiver = self._channel()
+        with pytest.raises(RecordError):
+            receiver.open(b"\x17")
+
+    def test_ciphertext_differs_per_record(self):
+        sender, _ = self._channel()
+        r1 = sender.seal(b"same plaintext")[0]
+        r2 = sender.seal(b"same plaintext")[0]
+        assert r1 != r2  # CBC chaining + sequence number in the MAC
+
+    def test_end_to_end_after_handshake(self):
+        result = run_handshake(*fresh_pair(), "aes")
+        sender, receiver = make_record_channels(result)
+        data = b"m-commerce order: 1 handset"
+        wire = sender.seal(data)
+        assert b"".join(receiver.open(r) for r in wire) == data
+
+
+class TestTransactionModel:
+    @pytest.fixture(scope="class")
+    def model(self):
+        base = PlatformCosts(name="base", rsa_public_cycles=600_000,
+                             rsa_private_cycles=60_000_000,
+                             cipher_cycles_per_byte=700,
+                             hash_cycles_per_byte=50)
+        opt = PlatformCosts(name="opt", rsa_public_cycles=120_000,
+                            rsa_private_cycles=2_000_000,
+                            cipher_cycles_per_byte=21,
+                            hash_cycles_per_byte=50)
+        return SslWorkloadModel(base, opt)
+
+    def test_breakdown_sums(self, model):
+        bd = model.breakdown(model.base_costs, 1024)
+        assert bd.total == pytest.approx(bd.public_key + bd.symmetric
+                                         + bd.misc)
+        fr = bd.fractions()
+        assert sum(fr.values()) == pytest.approx(1.0)
+
+    def test_small_transactions_public_key_bound(self, model):
+        bd = model.breakdown(model.base_costs, 1024)
+        assert bd.fractions()["public_key"] > 0.8
+
+    def test_large_transactions_bulk_bound(self, model):
+        bd = model.breakdown(model.base_costs, 1 << 20)
+        assert bd.fractions()["public_key"] < 0.1
+
+    def test_speedup_declines_with_size(self, model):
+        speedups = [model.speedup(size) for size in
+                    (1024, 4096, 32768, 1 << 20)]
+        assert speedups == sorted(speedups, reverse=True)
+
+    def test_speedup_approaches_asymptote(self, model):
+        asymptote = model.asymptotic_speedup()
+        assert model.speedup(1 << 26) == pytest.approx(asymptote, rel=0.05)
+        assert model.speedup(1024) > 2 * asymptote
+
+    def test_series_rows(self, model):
+        rows = model.series([1024, 2048])
+        assert len(rows) == 2
+        assert rows[0]["speedup"] > 1
+        assert set(rows[0]["base_fractions"]) == \
+            {"public_key", "symmetric", "misc"}
+
+
+class TestMeasuredCosts:
+    def test_measure_on_platforms(self):
+        from repro.platform import SecurityPlatform
+        base = PlatformCosts.measure(SecurityPlatform.base(),
+                                     fixtures.SERVER_512)
+        opt = PlatformCosts.measure(SecurityPlatform.optimized(),
+                                    fixtures.SERVER_512)
+        assert base.rsa_private_cycles > opt.rsa_private_cycles
+        assert base.cipher_cycles_per_byte > opt.cipher_cycles_per_byte
+        # misc (hashing) is identical: not accelerated
+        assert base.hash_cycles_per_byte == opt.hash_cycles_per_byte

@@ -1,0 +1,251 @@
+"""Tests for A-D curves, call graphs, and global instruction selection."""
+
+import pytest
+
+from repro.isa.extensions import CustomInstruction
+from repro.tie.adcurve import ADCurve, DesignPoint
+from repro.tie.callgraph import CallGraph
+from repro.tie.formulation import (adcurve_mpn_add_n, adcurve_mpn_addmul_1)
+from repro.tie.selection import (combine_curves, instruction_family,
+                                 propagate, reduce_instruction_set,
+                                 select_point)
+
+
+def _instr(name, area_units=1):
+    return CustomInstruction(name=name, signature="r",
+                             semantics=lambda m, a: None,
+                             resources={"adder32": area_units})
+
+
+def _curve(name, spec, catalogue):
+    """spec: list of (cycles, instruction names)."""
+    points = []
+    for cycles, names in spec:
+        area = sum(catalogue[n].area for n in names)
+        points.append(DesignPoint(cycles=cycles, area=area,
+                                  instructions=frozenset(names)))
+    return ADCurve(name, points, catalogue)
+
+
+@pytest.fixture
+def catalogue():
+    return {name: _instr(name, units) for name, units in [
+        ("add_2", 2), ("add_4", 4), ("add_8", 8), ("add_16", 16),
+        ("mul_1", 20)]}
+
+
+class TestDesignPoint:
+    def test_dominance(self):
+        better = DesignPoint(cycles=10, area=100)
+        worse = DesignPoint(cycles=20, area=200)
+        assert better.dominates(worse)
+        assert not worse.dominates(better)
+
+    def test_no_self_dominance_on_ties(self):
+        a = DesignPoint(cycles=10, area=100)
+        b = DesignPoint(cycles=10, area=100)
+        assert not a.dominates(b)
+
+    def test_tradeoff_points_incomparable(self):
+        fast = DesignPoint(cycles=10, area=500)
+        small = DesignPoint(cycles=50, area=10)
+        assert not fast.dominates(small)
+        assert not small.dominates(fast)
+
+
+class TestADCurve:
+    def test_pareto_prunes_inferior(self):
+        curve = ADCurve("x", [
+            DesignPoint(cycles=100, area=0),
+            DesignPoint(cycles=50, area=10),
+            DesignPoint(cycles=60, area=20),   # dominated by the 50/10 point
+        ])
+        pruned = curve.pareto()
+        assert len(pruned) == 2
+        assert all(p.cycles != 60 for p in pruned)
+
+    def test_base_point(self):
+        curve = ADCurve("x", [DesignPoint(cycles=100, area=0),
+                              DesignPoint(cycles=10, area=5,
+                                          instructions=frozenset({"i"}))])
+        assert curve.base_point.cycles == 100
+
+    def test_base_point_missing(self):
+        curve = ADCurve("x", [DesignPoint(cycles=10, area=5,
+                                          instructions=frozenset({"i"}))])
+        with pytest.raises(ValueError):
+            _ = curve.base_point
+
+    def test_best_under_area(self):
+        curve = ADCurve("x", [DesignPoint(cycles=100, area=0),
+                              DesignPoint(cycles=10, area=50)])
+        assert curve.best_under_area(10).cycles == 100
+        assert curve.best_under_area(100).cycles == 10
+
+    def test_best_under_area_infeasible(self):
+        curve = ADCurve("x", [DesignPoint(cycles=10, area=50)])
+        with pytest.raises(ValueError):
+            curve.best_under_area(10)
+
+    def test_scaled(self):
+        curve = ADCurve("x", [DesignPoint(cycles=10, area=5)])
+        scaled = curve.scaled(calls=4, local_cycles=3)
+        assert scaled.points[0].cycles == 43
+        assert scaled.points[0].area == 5
+
+
+class TestFamilies:
+    def test_parse(self):
+        assert instruction_family("vaddc_8") == ("vaddc", (8,))
+        assert instruction_family("aesrnd_8_2") == ("aesrnd", (8, 2))
+        assert instruction_family("desld") == ("desld", ())
+
+    def test_reduce_within_family(self):
+        assert reduce_instruction_set({"add_2", "add_4"}) == {"add_4"}
+
+    def test_reduce_across_families_keeps_both(self):
+        got = reduce_instruction_set({"add_4", "mul_1"})
+        assert got == {"add_4", "mul_1"}
+
+    def test_reduce_multi_param(self):
+        assert reduce_instruction_set({"aesrnd_8_2", "aesrnd_16_4"}) == \
+            {"aesrnd_16_4"}
+
+    def test_incomparable_multi_param_kept(self):
+        got = reduce_instruction_set({"aesrnd_16_1", "aesrnd_8_4"})
+        assert got == {"aesrnd_16_1", "aesrnd_8_4"}
+
+
+class TestCombination:
+    def test_paper_figure6_reduction(self, catalogue):
+        """25 Cartesian points -> 9 after sharing/dominance."""
+        add_curve = _curve("mpn_add_n", [
+            (202, []), (120, ["add_2"]), (80, ["add_4"]),
+            (60, ["add_8"]), (50, ["add_16"])], catalogue)
+        mac_curve = _curve("mpn_addmul_1", [
+            (340, []), (150, ["add_2", "mul_1"]), (100, ["add_4", "mul_1"]),
+            (80, ["add_8", "mul_1"]), (70, ["add_16", "mul_1"])], catalogue)
+        combined = combine_curves("root", [(add_curve, 1), (mac_curve, 1)],
+                                  pareto=False)
+        assert combined.raw_combination_count == 25
+        assert len(combined) == 9
+
+    def test_reduction_ablation(self, catalogue):
+        """Identical-set sharing alone merges less than sharing+dominance
+        (paper Figure 6 distinguishes cases (i) and (ii))."""
+        add_curve = _curve("a", [(202, []), (120, ["add_2"]),
+                                 (80, ["add_4"])], catalogue)
+        mac_curve = _curve("b", [(340, []), (150, ["add_2", "mul_1"]),
+                                 (100, ["add_4", "mul_1"])], catalogue)
+        shared_only = combine_curves("root", [(add_curve, 1), (mac_curve, 1)],
+                                     reduce=False, pareto=False)
+        with_dominance = combine_curves("root",
+                                        [(add_curve, 1), (mac_curve, 1)],
+                                        reduce=True, pareto=False)
+        assert shared_only.raw_combination_count == 9
+        assert len(shared_only) == 6
+        assert len(with_dominance) == 5
+        assert len(with_dominance) < len(shared_only)
+
+    def test_equation1_cycles(self, catalogue):
+        child = _curve("c", [(10, [])], catalogue)
+        combined = combine_curves("root", [(child, 5)], local_cycles=7,
+                                  pareto=False)
+        assert combined.points[0].cycles == 7 + 5 * 10
+
+    def test_shared_area_counted_once(self, catalogue):
+        a = _curve("a", [(10, ["add_4"])], catalogue)
+        b = _curve("b", [(20, ["add_4"])], catalogue)
+        combined = combine_curves("root", [(a, 1), (b, 1)], pareto=False)
+        assert combined.points[0].area == catalogue["add_4"].area
+
+
+class TestPropagation:
+    def _graph(self):
+        graph = CallGraph("decrypt")
+        graph.add_edge("decrypt", "mod_mul", 4)
+        graph.add_edge("mod_mul", "mpn_addmul_1", 8)
+        graph.add_edge("decrypt", "mpn_add_n", 2)
+        graph.set_local_cycles("decrypt", 100)
+        graph.set_local_cycles("mod_mul", 50)
+        graph.set_local_cycles("mpn_addmul_1", 340)
+        graph.set_local_cycles("mpn_add_n", 202)
+        return graph
+
+    def test_software_total(self):
+        graph = self._graph()
+        want = 100 + 4 * (50 + 8 * 340) + 2 * 202
+        assert graph.total_cycles() == want
+
+    def test_propagate_base_point_equals_software_total(self, catalogue):
+        graph = self._graph()
+        curves = {
+            "mpn_add_n": _curve("mpn_add_n", [(202, []), (60, ["add_8"])],
+                                catalogue),
+            "mpn_addmul_1": _curve("mpn_addmul_1",
+                                   [(340, []), (80, ["add_8", "mul_1"])],
+                                   catalogue),
+        }
+        root = propagate(graph, curves)
+        assert root.base_point.cycles == graph.total_cycles()
+
+    def test_selection_under_budget(self, catalogue):
+        graph = self._graph()
+        curves = {
+            "mpn_add_n": _curve("mpn_add_n", [(202, []), (60, ["add_8"])],
+                                catalogue),
+            "mpn_addmul_1": _curve("mpn_addmul_1",
+                                   [(340, []), (80, ["add_8", "mul_1"])],
+                                   catalogue),
+        }
+        # Budget = 0: must pick pure software.
+        point, _ = select_point(graph, curves, area_budget=0)
+        assert point.instructions == frozenset()
+        # Large budget: picks the accelerated configuration.
+        point, _ = select_point(graph, curves, area_budget=1e9)
+        assert "add_8" in point.instructions
+        assert point.cycles < graph.total_cycles()
+
+    def test_cycle_detection(self):
+        graph = CallGraph("a")
+        graph.add_edge("a", "b", 1)
+        graph.add_edge("b", "a", 1)
+        with pytest.raises(ValueError, match="cycle"):
+            graph.validate_acyclic()
+
+    def test_from_profile(self):
+        from repro.isa.kernels.modexp_kernel import ModExpKernel
+        kernel = ModExpKernel()
+        _, _, profile = kernel.powm(0xABC, 0x1F, (1 << 64) + 13)
+        graph = CallGraph.from_profile(profile, "modexp")
+        assert "mont_mul" in graph.nodes
+        assert graph.nodes["modexp"].children
+        graph.validate_acyclic()
+
+    def test_render_contains_nodes(self):
+        graph = self._graph()
+        text = graph.render()
+        assert "decrypt" in text and "mpn_addmul_1" in text
+
+
+class TestMeasuredCurves:
+    def test_add_n_curve_shape(self):
+        curve = adcurve_mpn_add_n(16, widths=(2, 8))
+        points = sorted(curve, key=lambda p: p.area)
+        assert points[0].area == 0
+        cycles = [p.cycles for p in points]
+        assert cycles == sorted(cycles, reverse=True)
+
+    def test_addmul_curve_shares_adder_family(self):
+        curve = adcurve_mpn_addmul_1(16, widths=(2, 8))
+        accelerated = [p for p in curve if p.instructions]
+        assert all("macmul_1" in p.instructions for p in accelerated)
+        assert any("vaddc_8" in p.instructions for p in accelerated)
+
+    def test_measured_25_to_9_reduction(self):
+        add_curve = adcurve_mpn_add_n(16)
+        mac_curve = adcurve_mpn_addmul_1(16)
+        combined = combine_curves("root", [(add_curve, 1), (mac_curve, 1)],
+                                  pareto=False)
+        assert combined.raw_combination_count == 25
+        assert len(combined) == 9

@@ -1,0 +1,101 @@
+"""Tests for the WTLS protocol model (ECDH handshake + records)."""
+
+import pytest
+
+from repro.crypto.ec import TINY_CURVE
+from repro.mp import DeterministicPrng
+from repro.protocols.wtls import (WtlsClient, WtlsError, WtlsGateway,
+                                  WtlsRecordLayer, derive_session,
+                                  make_channels, prf)
+
+
+@pytest.fixture(scope="module")
+def session():
+    gateway = WtlsGateway(prng=DeterministicPrng(1))
+    client = WtlsClient(prng=DeterministicPrng(2))
+    return client.handshake(gateway, "des")
+
+
+class TestPrf:
+    def test_deterministic_and_sized(self):
+        a = prf(b"secret", b"label", b"seed", 77)
+        assert len(a) == 77
+        assert a == prf(b"secret", b"label", b"seed", 77)
+
+    def test_sensitive_to_label(self):
+        assert prf(b"s", b"l1", b"seed", 20) != prf(b"s", b"l2", b"seed", 20)
+
+
+class TestHandshake:
+    def test_session_keys_distinct(self, session):
+        parts = [session.client_write_key, session.server_write_key,
+                 session.client_mac_key, session.server_mac_key]
+        assert len({bytes(p) for p in parts}) == 4
+
+    def test_aes_suite(self):
+        gateway = WtlsGateway(prng=DeterministicPrng(3))
+        sess = WtlsClient(prng=DeterministicPrng(4)).handshake(gateway,
+                                                               "aes")
+        assert len(sess.client_write_key) == 16
+
+    def test_unknown_suite(self):
+        gateway = WtlsGateway(prng=DeterministicPrng(3))
+        with pytest.raises(WtlsError):
+            WtlsClient().handshake(gateway, "rc6")
+
+    def test_distinct_clients_distinct_sessions(self):
+        gateway = WtlsGateway(prng=DeterministicPrng(3))
+        s1 = WtlsClient(prng=DeterministicPrng(10)).handshake(gateway)
+        s2 = WtlsClient(prng=DeterministicPrng(11)).handshake(gateway)
+        assert s1.client_write_key != s2.client_write_key
+
+
+class TestRecords:
+    def test_roundtrip(self, session):
+        sender, receiver = make_channels(session)
+        record = sender.seal(b"wap page request")
+        assert receiver.open(record) == b"wap page request"
+
+    def test_sequence_enforced(self, session):
+        sender, receiver = make_channels(session)
+        record = sender.seal(b"once")
+        receiver.open(record)
+        with pytest.raises(WtlsError):
+            receiver.open(record)
+
+    def test_tamper_detected(self, session):
+        sender, receiver = make_channels(session)
+        record = bytearray(sender.seal(b"payload"))
+        record[-1] ^= 1
+        with pytest.raises(WtlsError):
+            receiver.open(bytes(record))
+
+    def test_short_record(self, session):
+        _, receiver = make_channels(session)
+        with pytest.raises(WtlsError):
+            receiver.open(b"\x00")
+
+    def test_directions_use_distinct_keys(self, session):
+        client_side = WtlsRecordLayer(session, client_side=True)
+        server_side = WtlsRecordLayer(session, client_side=False)
+        record = client_side.seal(b"data")
+        with pytest.raises(WtlsError):
+            server_side.open(record)
+
+    def test_multiple_records_chain(self, session):
+        sender, receiver = make_channels(session)
+        for i in range(5):
+            msg = bytes([i]) * (i + 1)
+            assert receiver.open(sender.seal(msg)) == msg
+
+
+class TestDerivation:
+    def test_derive_session_deterministic(self):
+        a = derive_session(b"pm", b"seed", "des")
+        b = derive_session(b"pm", b"seed", "des")
+        assert a.client_write_key == b.client_write_key
+
+    def test_seed_changes_keys(self):
+        a = derive_session(b"pm", b"seed1", "des")
+        b = derive_session(b"pm", b"seed2", "des")
+        assert a.client_write_key != b.client_write_key
