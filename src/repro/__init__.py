@@ -21,6 +21,8 @@ The package implements the paper's entire system stack from scratch:
 - :mod:`repro.gap`       -- the Figure 1 security-processing-gap model
 - :mod:`repro.platform`  -- the platform facade tying HW and SW
   configurations together
+- :mod:`repro.farm`      -- multi-core scale-out: traffic generation,
+  discrete-event farm simulation, scheduling, and capacity planning
 
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured comparison of every table and figure.

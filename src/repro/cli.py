@@ -4,14 +4,17 @@
     python -m repro explore [--models models.json] [--bits 512] [--top 10]
                             [--stride 9]
     python -m repro speedups
-    python -m repro ssl [--sizes 1,4,16,32]
+    python -m repro ssl [--sizes 1,4,16,32] [--json]
     python -m repro callgraph [--bits 256]
+    python -m repro farm [--cores 4] [--requests 200] [--seed 1]
+                         [--rate 60] [--extended-fraction 0.5] [--json]
 
 Each subcommand runs one phase of the paper's methodology and prints
 the corresponding report.
 """
 
 import argparse
+import json
 import sys
 import time
 
@@ -65,12 +68,12 @@ def _cmd_speedups(args) -> int:
     from repro.ssl.transaction import PlatformCosts
 
     print("measuring both platforms (ISS kernels + macro-models)...")
-    base = PlatformCosts.measure(SecurityPlatform.base(),
-                                 fixtures.SERVER_1024)
-    opt = PlatformCosts.measure(SecurityPlatform.optimized(),
-                                fixtures.SERVER_1024)
+    # Build each platform exactly once: measure() characterizes the
+    # macro-models on the ISS, so a second construction would redo it.
     base_p = SecurityPlatform.base()
     opt_p = SecurityPlatform.optimized()
+    base = PlatformCosts.measure(base_p, fixtures.SERVER_1024)
+    opt = PlatformCosts.measure(opt_p, fixtures.SERVER_1024)
     print(f"\n{'algorithm':10s} {'base':>12s} {'optimized':>12s} "
           f"{'speedup':>8s}")
     for algo in ("des", "3des", "aes"):
@@ -97,14 +100,96 @@ def _cmd_ssl(args) -> int:
     opt = PlatformCosts.measure(SecurityPlatform.optimized(),
                                 fixtures.SERVER_1024)
     model = SslWorkloadModel(base, opt)
+    rows = model.series([kb * 1024 for kb in sizes])
+    if args.json:
+        print(json.dumps({"rows": rows,
+                          "asymptotic_speedup":
+                          model.asymptotic_speedup()},
+                         indent=2, sort_keys=True))
+        return 0
     print(f"{'size':>8s} {'speedup':>8s}   base pk/sym/misc")
-    for kb in sizes:
-        row = model.series([kb * 1024])[0]
+    for kb, row in zip(sizes, rows):
         bf = row["base_fractions"]
         print(f"{kb:6d}KB {row['speedup']:7.1f}x   "
               f"{bf['public_key']:.2f}/{bf['symmetric']:.2f}/"
               f"{bf['misc']:.2f}")
     print(f"asymptote: {model.asymptotic_speedup():.2f}x")
+    return 0
+
+
+def _cmd_farm(args) -> int:
+    from repro.farm import (FarmSimulator, TrafficProfile, build_farm,
+                            capacity_table, farm_rate_targets,
+                            generate_requests, make_scheduler,
+                            specs_as_configs, summarize)
+    from repro.farm.scheduler import scheduler_names
+    from repro.platform import SecurityPlatform
+    from repro.ssl import fixtures
+    from repro.ssl.transaction import PlatformCosts
+
+    # Validate the cheap inputs before the ~seconds of ISS
+    # characterization so bad flags fail fast and cleanly.
+    try:
+        if args.cores < 1:
+            raise ValueError("--cores must be at least 1")
+        if not 0 <= args.extended_fraction <= 1:
+            raise ValueError("--extended-fraction must be in [0, 1]")
+        if args.requests < 0:
+            raise ValueError("--requests must be non-negative")
+        profile = TrafficProfile(arrival_rate=args.rate,
+                                 resumption_ratio=args.resumption)
+        requests = generate_requests(profile, args.requests,
+                                     seed=args.seed)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if not args.json:
+        print("measuring both platforms (ISS kernels + macro-models)...")
+    base_costs = PlatformCosts.measure(SecurityPlatform.base(),
+                                       fixtures.SERVER_1024)
+    opt_costs = PlatformCosts.measure(SecurityPlatform.optimized(),
+                                      fixtures.SERVER_1024)
+    specs = build_farm(args.cores, base_costs, opt_costs,
+                       extended_fraction=args.extended_fraction)
+
+    rows = []
+    for name in scheduler_names():
+        sim = FarmSimulator(specs, make_scheduler(name))
+        rows.append(summarize(sim.run(requests)))
+
+    configs = specs_as_configs(specs)
+    plans = capacity_table(configs, farm_rate_targets())
+
+    if args.json:
+        print(json.dumps({
+            "cores": [{"name": s.name, "config": s.costs.name,
+                       "gates": s.gates} for s in specs],
+            "schedulers": [m.as_dict() for m in rows],
+            "capacity": [p.as_dict() for p in plans],
+        }, indent=2, sort_keys=True))
+        return 0
+
+    print(f"\nfarm: {args.cores} cores "
+          f"({sum(s.extended for s in specs)} extended / "
+          f"{sum(not s.extended for s in specs)} base), "
+          f"{args.requests} requests @ {args.rate:.0f}/s, seed {args.seed}")
+    print(f"\n{'scheduler':14s} {'sess/s':>8s} {'Mbps':>7s} "
+          f"{'p50 ms':>8s} {'p95 ms':>9s} {'p99 ms':>9s} "
+          f"{'util':>5s} {'hit':>5s} {'/s/Mgate':>9s}")
+    for m in rows:
+        print(f"{m.scheduler:14s} {m.sessions_per_s:8.1f} "
+              f"{m.secure_mbps:7.2f} {m.p50_ms:8.2f} {m.p95_ms:9.2f} "
+              f"{m.p99_ms:9.2f} {m.mean_utilization:5.2f} "
+              f"{m.cache_hit_rate:5.2f} "
+              f"{m.sessions_per_s_per_mgate:9.1f}")
+    print("\ncapacity plan (aggregate targets, "
+          "2% busy-instant activity):")
+    print(f"{'target':38s} {'config':>10s} {'cores':>7s} "
+          f"{'farm Mgates':>12s}")
+    for p in plans:
+        print(f"{p.target_name:38s} {p.config_name:>10s} "
+              f"{p.cores:7d} {p.farm_gates / 1e6:12.2f}")
     return 0
 
 
@@ -151,7 +236,24 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("ssl", help="Figure 8: SSL transaction speedups")
     p.add_argument("--sizes", default="1,2,4,8,16,32",
                    help="comma-separated transaction sizes in KB")
+    p.add_argument("--json", action="store_true",
+                   help="emit machine-readable JSON instead of the table")
     p.set_defaults(func=_cmd_ssl)
+
+    p = sub.add_parser("farm", help="multi-core farm: schedulers + "
+                                    "capacity plan")
+    p.add_argument("--cores", type=int, default=4)
+    p.add_argument("--requests", type=int, default=200)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--rate", type=float, default=60.0,
+                   help="offered load in sessions/second")
+    p.add_argument("--resumption", type=float, default=0.4,
+                   help="SSL session-resumption ratio")
+    p.add_argument("--extended-fraction", type=float, default=0.5,
+                   help="fraction of cores with TIE extensions")
+    p.add_argument("--json", action="store_true",
+                   help="emit machine-readable JSON instead of tables")
+    p.set_defaults(func=_cmd_farm)
 
     p = sub.add_parser("callgraph", help="Figure 4: profile a modexp")
     p.add_argument("--bits", type=int, default=256)

@@ -1,0 +1,51 @@
+"""A farm of security-processor cores serving mixed secure traffic.
+
+The paper evaluates the platform one SSL transaction at a time, but its
+objective is *sustained* secure traffic at 3G/WLAN rates -- and the
+natural scale-out (Paul & Chakrabarti, arXiv:1410.7560) is to replicate
+the security core and schedule crypto jobs across the replicas with a
+preferential algorithm.  This package models exactly that step:
+
+- :mod:`repro.farm.workload`  -- seeded generators of mixed-protocol
+  session-request streams (SSL full/resumed, WTLS, IPSec ESP, WEP),
+  costed in cycles through the existing platform cost models;
+- :mod:`repro.farm.simulator` -- a deterministic discrete-event engine:
+  event heap, per-core run queues, cycle-granular virtual clock;
+- :mod:`repro.farm.scheduler` -- pluggable dispatch policies
+  (round-robin, least-loaded, preferential with session-cache
+  affinity);
+- :mod:`repro.farm.metrics`   -- throughput, latency percentiles,
+  utilization, and area-normalized throughput (an A-D style
+  cores-vs-delay trade-off at the farm level);
+- :mod:`repro.farm.capacity`  -- the capacity planner: how many cores
+  of which configuration serve N users at rate R.
+
+Drive it from the command line with ``python -m repro farm``.
+"""
+
+from repro.farm.capacity import (CapacityPlan, capacity_table,
+                                 cores_for_rate, farm_rate_targets,
+                                 plan_farm, specs_as_configs)
+from repro.farm.metrics import FarmMetrics, percentile, summarize
+from repro.farm.scheduler import (SCHEDULERS, LeastLoadedScheduler,
+                                  PreferentialScheduler,
+                                  RoundRobinScheduler, Scheduler,
+                                  make_scheduler)
+from repro.farm.simulator import (BASE_CORE_GATES, Completion, Core,
+                                  CoreSpec, FarmResult, FarmSimulator,
+                                  build_farm)
+from repro.farm.workload import (RequestCost, SessionRequest,
+                                 TrafficProfile, cost_of,
+                                 generate_requests, is_public_key_heavy,
+                                 session_id_for_client)
+
+__all__ = [
+    "BASE_CORE_GATES", "CapacityPlan", "Completion", "Core", "CoreSpec",
+    "FarmMetrics", "FarmResult", "FarmSimulator", "LeastLoadedScheduler",
+    "PreferentialScheduler", "RequestCost", "RoundRobinScheduler",
+    "SCHEDULERS", "Scheduler", "SessionRequest", "TrafficProfile",
+    "build_farm", "capacity_table", "cores_for_rate", "cost_of",
+    "farm_rate_targets", "generate_requests", "is_public_key_heavy",
+    "make_scheduler", "percentile", "plan_farm",
+    "session_id_for_client", "specs_as_configs", "summarize",
+]

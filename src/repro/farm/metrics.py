@@ -1,0 +1,103 @@
+"""Farm-level performance metrics.
+
+Reduces a :class:`~repro.farm.simulator.FarmResult` to the unified
+throughput / latency / area report the analysis framework of Damaj &
+Kasbah (arXiv:1904.01000) argues for: sessions/s and secure Mbps,
+latency percentiles, per-core utilization, and *area-normalized*
+throughput -- sessions/s per million gate equivalents, the farm-level
+analogue of the paper's A-D trade-off (more cores buy throughput at a
+gate cost, exactly as wider datapaths buy cycles).
+"""
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.farm.simulator import FarmResult
+
+
+def percentile(values: Sequence[float], pct: float) -> float:
+    """Nearest-rank percentile (deterministic, no interpolation)."""
+    if not values:
+        return 0.0
+    if not 0 < pct <= 100:
+        raise ValueError("pct must be in (0, 100]")
+    ordered = sorted(values)
+    rank = max(1, math.ceil(pct / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+@dataclass
+class FarmMetrics:
+    """One scheduler/farm configuration's summary row."""
+
+    scheduler: str
+    n_cores: int
+    completed: int
+    elapsed_s: float
+    sessions_per_s: float
+    secure_mbps: float
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    core_utilization: List[float]
+    mean_utilization: float
+    cache_hit_rate: float
+    total_gates: float
+    sessions_per_s_per_mgate: float
+
+    def as_dict(self) -> Dict:
+        return {
+            "scheduler": self.scheduler,
+            "n_cores": self.n_cores,
+            "completed": self.completed,
+            "elapsed_s": self.elapsed_s,
+            "sessions_per_s": self.sessions_per_s,
+            "secure_mbps": self.secure_mbps,
+            "p50_ms": self.p50_ms,
+            "p95_ms": self.p95_ms,
+            "p99_ms": self.p99_ms,
+            "core_utilization": self.core_utilization,
+            "mean_utilization": self.mean_utilization,
+            "cache_hit_rate": self.cache_hit_rate,
+            "total_gates": self.total_gates,
+            "sessions_per_s_per_mgate": self.sessions_per_s_per_mgate,
+        }
+
+
+def summarize(result: FarmResult) -> FarmMetrics:
+    """Reduce a simulation run to its metrics row."""
+    clock = result.clock_hz
+    elapsed_s = result.makespan_cycles / clock if result.makespan_cycles \
+        else 0.0
+    latencies_ms = [c.latency_cycles / clock * 1e3
+                    for c in result.completions]
+    payload_bits = sum(c.request.size_bytes * 8
+                       for c in result.completions)
+    utilization = [
+        (core.busy_cycles / result.makespan_cycles
+         if result.makespan_cycles else 0.0)
+        for core in result.cores]
+    hits = sum(core.cache.hits for core in result.cores)
+    misses = sum(core.cache.misses for core in result.cores)
+    gates = sum(core.spec.gates for core in result.cores)
+    sessions_per_s = (len(result.completions) / elapsed_s
+                      if elapsed_s else 0.0)
+    return FarmMetrics(
+        scheduler=result.scheduler_name,
+        n_cores=len(result.cores),
+        completed=len(result.completions),
+        elapsed_s=elapsed_s,
+        sessions_per_s=sessions_per_s,
+        secure_mbps=(payload_bits / elapsed_s / 1e6 if elapsed_s else 0.0),
+        p50_ms=percentile(latencies_ms, 50),
+        p95_ms=percentile(latencies_ms, 95),
+        p99_ms=percentile(latencies_ms, 99),
+        core_utilization=utilization,
+        mean_utilization=(sum(utilization) / len(utilization)
+                          if utilization else 0.0),
+        cache_hit_rate=(hits / (hits + misses) if hits + misses else 0.0),
+        total_gates=gates,
+        sessions_per_s_per_mgate=(sessions_per_s / (gates / 1e6)
+                                  if gates else 0.0),
+    )

@@ -1,0 +1,124 @@
+"""Dispatch policies for the security-core farm.
+
+Three policies, mirroring the scale-out literature the farm models
+(Paul & Chakrabarti's multi-core SSL/TLS processor with a preferential
+scheduling algorithm, arXiv:1410.7560):
+
+- **round-robin** -- the baseline: cores in rotation, blind to both
+  load and job class.
+- **least-loaded** -- shortest-backlog-first over the estimated
+  outstanding cycles of each core.
+- **preferential** -- class-aware: public-key-heavy jobs (full SSL and
+  WTLS handshakes) go to TIE-extended cores, bulk-symmetric jobs (ESP,
+  WEP, resumed SSL) to base cores, each class least-loaded within its
+  preferred pool; resumed SSL requests are first routed to the core
+  whose session cache holds the client's session (cache affinity), so
+  the abbreviated-handshake price is actually realized.
+"""
+
+from typing import Dict, List, Optional, Sequence, Type
+
+from repro.farm.workload import (SessionRequest, is_public_key_heavy,
+                                 session_id_for_client)
+
+
+class Scheduler:
+    """Base policy: picks a core index for each arriving request."""
+
+    name = "abstract"
+
+    def select(self, request: SessionRequest, cores: Sequence,
+               now: float) -> int:
+        raise NotImplementedError
+
+    @staticmethod
+    def _least_loaded(cores: Sequence, now: float,
+                      indices: Optional[Sequence[int]] = None) -> int:
+        """Smallest estimated backlog; lowest index breaks ties."""
+        if indices is None:
+            indices = range(len(cores))
+        return min(indices, key=lambda i: (cores[i].backlog_cycles(now), i))
+
+    @staticmethod
+    def _affine_core(request: SessionRequest,
+                     cores: Sequence) -> Optional[int]:
+        """The core whose session cache can resume this request."""
+        if request.protocol != "ssl" or not request.resumed:
+            return None
+        sid = session_id_for_client(request.client_id)
+        for core in cores:
+            if core.knows_session(sid):
+                return core.index
+        return None
+
+
+class RoundRobinScheduler(Scheduler):
+    """Cores in strict rotation."""
+
+    name = "round-robin"
+
+    def __init__(self):
+        self._next = 0
+
+    def select(self, request: SessionRequest, cores: Sequence,
+               now: float) -> int:
+        index = self._next % len(cores)
+        self._next += 1
+        return index
+
+
+class LeastLoadedScheduler(Scheduler):
+    """Shortest estimated backlog first."""
+
+    name = "least-loaded"
+
+    def select(self, request: SessionRequest, cores: Sequence,
+               now: float) -> int:
+        return self._least_loaded(cores, now)
+
+
+class PreferentialScheduler(Scheduler):
+    """Class-aware routing with session-cache affinity.
+
+    ``affinity=False`` disables the session-cache check (useful for
+    ablating how much of the policy's win is affinity vs routing).
+    """
+
+    name = "preferential"
+
+    def __init__(self, affinity: bool = True):
+        self.affinity = affinity
+
+    def select(self, request: SessionRequest, cores: Sequence,
+               now: float) -> int:
+        if self.affinity:
+            affine = self._affine_core(request, cores)
+            if affine is not None:
+                return affine
+        extended = [c.index for c in cores if c.spec.extended]
+        base = [c.index for c in cores if not c.spec.extended]
+        preferred = extended if is_public_key_heavy(request) else base
+        if not preferred:
+            preferred = base or extended
+        return self._least_loaded(cores, now, preferred)
+
+
+SCHEDULERS: Dict[str, Type[Scheduler]] = {
+    RoundRobinScheduler.name: RoundRobinScheduler,
+    LeastLoadedScheduler.name: LeastLoadedScheduler,
+    PreferentialScheduler.name: PreferentialScheduler,
+}
+
+
+def make_scheduler(name: str, **kwargs) -> Scheduler:
+    """Instantiate a policy by registry name."""
+    try:
+        cls = SCHEDULERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scheduler {name!r}; known: {sorted(SCHEDULERS)}")
+    return cls(**kwargs)
+
+
+def scheduler_names() -> List[str]:
+    return list(SCHEDULERS)

@@ -1,0 +1,215 @@
+"""Deterministic discrete-event simulation of a security-core farm.
+
+Virtual time is counted in *cycles* of the farm's common clock (the
+paper's 188 MHz Xtensa, :data:`repro.ssl.throughput.DEFAULT_CLOCK_HZ`).
+The engine is a classic event-heap design: request arrivals and core
+completions are totally ordered by ``(time, sequence)``, so two runs
+over the same request stream and scheduler produce byte-identical
+results -- the property every benchmark and test in this package leans
+on.
+
+Each core carries its own run queue, busy-cycle accounting, and an SSL
+:class:`~repro.ssl.session_cache.SessionCache`: a resumed request only
+gets the abbreviated-handshake price if it lands on a core that cached
+the client's session, which is what makes scheduler affinity a
+measurable performance lever rather than a flag.
+"""
+
+import heapq
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional, Sequence, Tuple
+
+from repro.explore.codesign import HardwareConfig
+from repro.ssl.session_cache import SessionCache
+from repro.ssl.throughput import DEFAULT_CLOCK_HZ
+from repro.ssl.transaction import PlatformCosts
+from repro.farm.workload import (SessionRequest, cost_of, farm_session,
+                                 session_id_for_client)
+
+#: Representative gate-equivalent area of one base XT32 core (an
+#: Xtensa-T1040-class embedded core is on the order of 1e5 NAND2
+#: equivalents).  Only *relative* farm areas matter, exactly as with
+#: the A-D curves.
+BASE_CORE_GATES = 100_000.0
+
+_ARRIVAL, _COMPLETE = 0, 1
+
+
+@dataclass(frozen=True)
+class CoreSpec:
+    """Static description of one core in the farm."""
+
+    name: str
+    costs: PlatformCosts
+    extended: bool
+    gates: float
+
+
+def extension_gates(add_width: int = 8, mac_width: int = 8) -> float:
+    """Gate overhead of the TIE datapath (from the co-design area model)."""
+    return HardwareConfig(add_width, mac_width).area
+
+
+def build_farm(n_cores: int, base_costs: PlatformCosts,
+               optimized_costs: PlatformCosts,
+               extended_fraction: float = 0.5) -> List[CoreSpec]:
+    """A farm of ``n_cores``: the first ``ceil(n*fraction)`` cores are
+    TIE-extended ("optimized"), the rest are base cores.
+
+    ``extended_fraction=1.0`` gives a homogeneous optimized farm,
+    ``0.0`` a homogeneous base farm, anything between a heterogeneous
+    one (the configuration the preferential scheduler targets).
+    """
+    if n_cores < 1:
+        raise ValueError("need at least one core")
+    if not 0 <= extended_fraction <= 1:
+        raise ValueError("extended_fraction must be in [0, 1]")
+    n_ext = round(n_cores * extended_fraction)
+    if extended_fraction > 0:
+        n_ext = max(1, n_ext)
+    ext_gates = BASE_CORE_GATES + extension_gates()
+    specs = []
+    for i in range(n_cores):
+        if i < n_ext:
+            specs.append(CoreSpec(name=f"ext{i}", costs=optimized_costs,
+                                  extended=True, gates=ext_gates))
+        else:
+            specs.append(CoreSpec(name=f"base{i}", costs=base_costs,
+                                  extended=False, gates=BASE_CORE_GATES))
+    return specs
+
+
+@dataclass
+class Completion:
+    """One served request, with its full timing record (cycles)."""
+
+    request: SessionRequest
+    core_index: int
+    start_cycle: float
+    finish_cycle: float
+    service_cycles: float
+    cache_hit: bool
+
+    @property
+    def latency_cycles(self) -> float:
+        return self.finish_cycle - self.request.arrival_cycle
+
+    @property
+    def queue_cycles(self) -> float:
+        return self.start_cycle - self.request.arrival_cycle
+
+
+class Core:
+    """Runtime state of one farm core."""
+
+    def __init__(self, index: int, spec: CoreSpec,
+                 cache_capacity: int = 128):
+        self.index = index
+        self.spec = spec
+        self.cache = SessionCache(cache_capacity)
+        self.queue: Deque[Tuple[SessionRequest, float]] = deque()
+        self.current: Optional[SessionRequest] = None
+        self.busy_until = 0.0
+        self.busy_cycles = 0.0
+        self.served = 0
+
+    def backlog_cycles(self, now: float) -> float:
+        """Estimated outstanding work: remainder of the in-flight
+        request plus the (full-handshake-priced) queued estimates."""
+        remaining = max(0.0, self.busy_until - now)
+        return remaining + sum(est for _, est in self.queue)
+
+    def knows_session(self, session_id: bytes) -> bool:
+        """Non-mutating cache membership probe (no hit/miss counting);
+        the real, counted lookup happens when service starts."""
+        return session_id in self.cache
+
+
+@dataclass
+class FarmResult:
+    """Everything a simulation run produced."""
+
+    completions: List[Completion]
+    cores: List[Core]
+    makespan_cycles: float
+    clock_hz: float
+    scheduler_name: str
+    offered: int = 0
+    events_processed: int = 0
+
+
+class FarmSimulator:
+    """Event-driven farm simulator (arrivals in, completions out)."""
+
+    def __init__(self, specs: Sequence[CoreSpec], scheduler,
+                 clock_hz: float = DEFAULT_CLOCK_HZ,
+                 cache_capacity: int = 128):
+        if not specs:
+            raise ValueError("farm needs at least one core")
+        self.specs = list(specs)
+        self.scheduler = scheduler
+        self.clock_hz = clock_hz
+        self.cache_capacity = cache_capacity
+
+    def run(self, requests: Sequence[SessionRequest]) -> FarmResult:
+        cores = [Core(i, spec, self.cache_capacity)
+                 for i, spec in enumerate(self.specs)]
+        heap: List[Tuple[float, int, int, int]] = []
+        for request in requests:
+            # (time, kind, seq, core): arrivals sort before completions
+            # at equal times so a freed core sees new work immediately.
+            heapq.heappush(heap, (request.arrival_cycle, _ARRIVAL,
+                                  request.seq, -1))
+        by_seq = {r.seq: r for r in requests}
+        completions: List[Completion] = []
+        starts = {}
+        events = 0
+        makespan = 0.0
+        while heap:
+            now, kind, seq, core_index = heapq.heappop(heap)
+            events += 1
+            makespan = max(makespan, now)
+            if kind == _ARRIVAL:
+                request = by_seq[seq]
+                target = self.scheduler.select(request, cores, now)
+                core = cores[target]
+                estimate = cost_of(request, core.spec.costs).cycles
+                core.queue.append((request, estimate))
+                if core.current is None:
+                    self._start_next(core, now, heap, starts)
+            else:
+                core = cores[core_index]
+                request = core.current
+                start, service, hit = starts.pop((core_index, seq))
+                completions.append(Completion(
+                    request=request, core_index=core_index,
+                    start_cycle=start, finish_cycle=now,
+                    service_cycles=service, cache_hit=hit))
+                core.busy_cycles += service
+                core.served += 1
+                if request.protocol == "ssl" and not (request.resumed
+                                                      and hit):
+                    core.cache.store(farm_session(request.client_id))
+                core.current = None
+                if core.queue:
+                    self._start_next(core, now, heap, starts)
+        return FarmResult(completions=completions, cores=cores,
+                          makespan_cycles=makespan, clock_hz=self.clock_hz,
+                          scheduler_name=getattr(self.scheduler, "name",
+                                                 "?"),
+                          offered=len(requests), events_processed=events)
+
+    @staticmethod
+    def _start_next(core: Core, now: float, heap, starts) -> None:
+        request, _ = core.queue.popleft()
+        hit = False
+        if request.protocol == "ssl" and request.resumed:
+            sid = session_id_for_client(request.client_id)
+            hit = core.cache.lookup(sid) is not None
+        service = cost_of(request, core.spec.costs, cache_hit=hit).cycles
+        core.current = request
+        core.busy_until = now + service
+        starts[(core.index, request.seq)] = (now, service, hit)
+        heapq.heappush(heap, (now + service, _COMPLETE, request.seq,
+                              core.index))

@@ -1,0 +1,245 @@
+"""Seeded traffic generation for the security-processor farm.
+
+A *session request* is one unit of secure work a handset population
+offers the farm: an SSL transaction (full or resumed handshake plus
+record transfer), a WTLS browsing session (ECDH handshake), an IPSec
+ESP bulk transfer, or a burst of WEP frames.  Requests are generated
+from a :class:`~repro.mp.DeterministicPrng` stream so a (profile,
+seed) pair always produces the identical request list, and they are
+costed in cycles through the same models the single-transaction
+evaluation uses: :class:`repro.ssl.transaction.PlatformCosts` and
+:meth:`repro.ssl.transaction.SslWorkloadModel.breakdown`.
+"""
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.mp import DeterministicPrng
+from repro.ssl.session_cache import SessionCache
+from repro.ssl.throughput import DEFAULT_CLOCK_HZ
+from repro.ssl.transaction import (HANDSHAKE_TRANSCRIPT_BYTES,
+                                   PlatformCosts, SslWorkloadModel)
+
+#: ECDH (secp160r1) handshake cycles per platform, measured once with
+#: the macro-model estimator (same flow as benchmarks/test_ecc_vs_rsa):
+#: the TIE extensions help EC field arithmetic far less than RSA, so
+#: the cost is tabulated per configuration rather than scaled from the
+#: RSA figures.
+ECDH_HANDSHAKE_CYCLES: Dict[str, float] = {
+    "base": 4_441_001.0,
+    "optimized": 2_894_298.0,
+}
+#: Fallback when costs carry an unknown configuration name: on the
+#: base platform one secp160r1 ECDH costs ~7 RSA-1024 public ops.
+ECDH_PUBLIC_OP_EQUIV = 7.0
+
+#: RC4 and CRC-32 per-byte costs (WEP's primitives).  Neither is
+#: accelerated by the paper's custom instructions, so both platforms
+#: pay the same price -- WEP traffic is what makes *base* cores useful
+#: in a heterogeneous farm.
+RC4_CYCLES_PER_BYTE = 36.0
+CRC32_CYCLES_PER_BYTE = 6.0
+#: Link-layer MTU used to charge per-packet/per-frame fixed overheads.
+MTU_BYTES = 1500
+#: Fixed per-packet cycles (header build, SA lookup, replay window).
+ESP_PACKET_FIXED_CYCLES = 2_000.0
+WEP_FRAME_FIXED_CYCLES = 800.0
+
+PROTOCOLS = ("ssl", "wtls", "esp", "wep")
+
+_SERVER_RANDOM = b"farm-server-random".ljust(32, b"\0")
+
+
+@dataclass(frozen=True)
+class SessionRequest:
+    """One unit of offered secure work."""
+
+    seq: int                 # generation order; breaks event-time ties
+    arrival_cycle: float     # virtual arrival time, in core cycles
+    protocol: str            # one of PROTOCOLS
+    size_bytes: int          # protected payload size
+    resumed: bool            # SSL only: client presents a session id
+    client_id: int           # originating handset (affinity key)
+
+
+@dataclass(frozen=True)
+class RequestCost:
+    """Cycle price of serving one request on one core configuration."""
+
+    cycles: float
+    public_key_cycles: float
+    payload_bytes: int
+
+    @property
+    def public_key_fraction(self) -> float:
+        return self.public_key_cycles / self.cycles if self.cycles else 0.0
+
+
+@dataclass(frozen=True)
+class _FarmSession:
+    """Shim handshake result so cores can reuse the SSL session cache."""
+
+    client_random: bytes
+    server_random: bytes
+
+
+def farm_session(client_id: int) -> _FarmSession:
+    """The cacheable session record for a client's full handshake."""
+    return _FarmSession(
+        client_random=client_id.to_bytes(32, "big"),
+        server_random=_SERVER_RANDOM)
+
+
+def session_id_for_client(client_id: int) -> bytes:
+    """The session id a resuming client presents (affinity key)."""
+    return SessionCache.session_id(farm_session(client_id))
+
+
+def is_public_key_heavy(request: SessionRequest) -> bool:
+    """Does this request's cost concentrate in public-key work?
+
+    Full SSL and WTLS handshakes are public-key bound; resumed SSL,
+    ESP, and WEP are bulk-symmetric/misc bound.  The preferential
+    scheduler uses this split to route work onto TIE-extended cores.
+    """
+    return request.protocol in ("ssl", "wtls") and not request.resumed
+
+
+def ecdh_cycles(costs: PlatformCosts) -> float:
+    """Per-platform ECDH handshake cost (tabulated, with fallback)."""
+    return ECDH_HANDSHAKE_CYCLES.get(
+        costs.name, ECDH_PUBLIC_OP_EQUIV * costs.rsa_public_cycles)
+
+
+def cost_of(request: SessionRequest, costs: PlatformCosts,
+            cache_hit: bool = False) -> RequestCost:
+    """Cycles to serve ``request`` on a core with unit costs ``costs``.
+
+    ``cache_hit`` applies to resumed SSL requests only: a hit serves
+    the abbreviated handshake, a miss falls back to the full one (the
+    client's session id is unknown to this core's cache).
+    """
+    size = request.size_bytes
+    if request.protocol == "ssl":
+        resumed = request.resumed and cache_hit
+        b = SslWorkloadModel.breakdown(costs, size, resumed=resumed)
+        return RequestCost(cycles=b.total, public_key_cycles=b.public_key,
+                           payload_bytes=size)
+    if request.protocol == "wtls":
+        public_key = ecdh_cycles(costs)
+        hashed = HANDSHAKE_TRANSCRIPT_BYTES // 4 + size
+        bulk = (size * costs.cipher_cycles_per_byte
+                + hashed * costs.hash_cycles_per_byte
+                + size * costs.protocol_cycles_per_byte
+                + costs.protocol_fixed_cycles)
+        return RequestCost(cycles=public_key + bulk,
+                           public_key_cycles=public_key,
+                           payload_bytes=size)
+    if request.protocol == "esp":
+        packets = max(1, math.ceil(size / MTU_BYTES))
+        cycles = (size * (costs.cipher_cycles_per_byte
+                          + costs.hash_cycles_per_byte
+                          + costs.protocol_cycles_per_byte)
+                  + packets * ESP_PACKET_FIXED_CYCLES)
+        return RequestCost(cycles=cycles, public_key_cycles=0.0,
+                           payload_bytes=size)
+    if request.protocol == "wep":
+        frames = max(1, math.ceil(size / MTU_BYTES))
+        cycles = (size * (RC4_CYCLES_PER_BYTE + CRC32_CYCLES_PER_BYTE
+                          + costs.protocol_cycles_per_byte)
+                  + frames * WEP_FRAME_FIXED_CYCLES)
+        return RequestCost(cycles=cycles, public_key_cycles=0.0,
+                           payload_bytes=size)
+    raise ValueError(f"unknown protocol {request.protocol!r}")
+
+
+@dataclass
+class TrafficProfile:
+    """Shape of the offered traffic (all draws are seed-deterministic).
+
+    ``arrival_rate`` is in sessions/second of virtual time; inter-
+    arrivals are exponential (Poisson arrivals).  ``mix`` weights the
+    protocols; ``resumption_ratio`` is the probability an SSL client
+    that already completed a full handshake asks to resume.  Session
+    sizes are drawn from ``sizes_kb`` with ``size_weights`` (defaults
+    favour small transactions, matching Figure 8's emphasis).
+    """
+
+    arrival_rate: float = 50.0
+    mix: Dict[str, float] = field(default_factory=lambda: {
+        "ssl": 0.5, "wtls": 0.2, "esp": 0.2, "wep": 0.1})
+    resumption_ratio: float = 0.4
+    sizes_kb: Sequence[int] = (1, 2, 4, 8, 16, 32)
+    size_weights: Sequence[float] = (8, 6, 4, 2, 1, 1)
+    clients: int = 64
+
+    def __post_init__(self):
+        if self.arrival_rate <= 0:
+            raise ValueError("arrival_rate must be positive")
+        if not 0 <= self.resumption_ratio <= 1:
+            raise ValueError("resumption_ratio must be in [0, 1]")
+        if self.clients < 1:
+            raise ValueError("need at least one client")
+        unknown = set(self.mix) - set(PROTOCOLS)
+        if unknown:
+            raise ValueError(f"unknown protocols in mix: {sorted(unknown)}")
+        if not self.mix or sum(self.mix.values()) <= 0:
+            raise ValueError("mix must have positive total weight")
+        if len(self.sizes_kb) != len(self.size_weights):
+            raise ValueError("sizes_kb and size_weights length mismatch")
+
+
+def _uniform(prng: DeterministicPrng) -> float:
+    """Uniform draw in (0, 1] -- safe as a log() argument."""
+    return (prng.next_u64() + 1) / 2.0 ** 64
+
+
+def _weighted_choice(prng: DeterministicPrng,
+                     items: Sequence, weights: Sequence[float]):
+    total = float(sum(weights))
+    u = _uniform(prng) * total
+    acc = 0.0
+    for item, w in zip(items, weights):
+        acc += w
+        if u <= acc:
+            return item
+    return items[-1]
+
+
+def generate_requests(profile: TrafficProfile, n_requests: int,
+                      seed: int = 1,
+                      clock_hz: float = DEFAULT_CLOCK_HZ
+                      ) -> List[SessionRequest]:
+    """Generate a deterministic stream of ``n_requests`` requests.
+
+    Resumption is *causal*: a request is marked resumed only if its
+    client already issued a full SSL handshake earlier in the stream,
+    so every resumed request has a session some core may have cached.
+    """
+    if n_requests < 0:
+        raise ValueError("n_requests must be non-negative")
+    prng = DeterministicPrng(seed)
+    protocols: Tuple[str, ...] = tuple(profile.mix)
+    weights = tuple(profile.mix[p] for p in protocols)
+    requests: List[SessionRequest] = []
+    handshaken = set()      # clients with a completed-full-SSL history
+    arrival_s = 0.0
+    for seq in range(n_requests):
+        arrival_s += -math.log(_uniform(prng)) / profile.arrival_rate
+        protocol = _weighted_choice(prng, protocols, weights)
+        size_kb = _weighted_choice(prng, profile.sizes_kb,
+                                   profile.size_weights)
+        client = prng.next_u64() % profile.clients
+        resumed = False
+        if protocol == "ssl":
+            if (client in handshaken
+                    and _uniform(prng) <= profile.resumption_ratio):
+                resumed = True
+            else:
+                handshaken.add(client)
+        requests.append(SessionRequest(
+            seq=seq, arrival_cycle=arrival_s * clock_hz,
+            protocol=protocol, size_bytes=size_kb * 1024,
+            resumed=resumed, client_id=client))
+    return requests

@@ -57,6 +57,11 @@ class SessionCache:
     def __len__(self) -> int:
         return len(self._entries)
 
+    def __contains__(self, session_id: bytes) -> bool:
+        """Membership probe that neither counts as a hit/miss nor
+        refreshes LRU position (schedulers peek, resumptions look up)."""
+        return session_id in self._entries
+
     @property
     def hit_rate(self) -> float:
         total = self.hits + self.misses

@@ -20,7 +20,12 @@ class TestParser:
         ["explore", "--stride", "45", "--top", "3"],
         ["speedups"],
         ["ssl", "--sizes", "1,32"],
+        ["ssl", "--json"],
         ["callgraph", "--bits", "128"],
+        ["farm"],
+        ["farm", "--cores", "8", "--requests", "100", "--seed", "2",
+         "--rate", "40", "--resumption", "0.5",
+         "--extended-fraction", "0.25", "--json"],
     ])
     def test_valid_invocations_parse(self, argv):
         args = build_parser().parse_args(argv)
@@ -43,6 +48,16 @@ class TestExecution:
         assert main(["callgraph", "--bits", "128"]) == 0
         captured = capsys.readouterr().out
         assert "mont_mul" in captured
+
+    def test_farm_json_runs(self, capsys):
+        import json
+        assert main(["farm", "--cores", "2", "--requests", "40",
+                     "--seed", "1", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert {m["scheduler"] for m in payload["schedulers"]} == \
+            {"round-robin", "least-loaded", "preferential"}
+        assert len(payload["cores"]) == 2
+        assert payload["capacity"]
 
     def test_explore_with_saved_models(self, tmp_path, capsys):
         out = tmp_path / "models.json"

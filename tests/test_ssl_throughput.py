@@ -1,0 +1,83 @@
+"""Tests for :mod:`repro.ssl.throughput` (secure data-rate feasibility).
+
+Canned unit costs (the measured base/optimized figures) keep this free
+of ISS characterization.
+"""
+
+import pytest
+
+from repro.ssl.throughput import (DEFAULT_CLOCK_HZ, RATE_TARGETS,
+                                  bulk_cycles_per_byte, feasibility,
+                                  feasibility_table, max_secure_rate)
+from repro.ssl.transaction import PlatformCosts
+
+BASE_COSTS = PlatformCosts(
+    name="base", rsa_public_cycles=631103.0,
+    rsa_private_cycles=61433705.5, cipher_cycles_per_byte=703.5,
+    hash_cycles_per_byte=50.84375)
+OPT_COSTS = PlatformCosts(
+    name="optimized", rsa_public_cycles=124890.5,
+    rsa_private_cycles=2139136.0, cipher_cycles_per_byte=21.375,
+    hash_cycles_per_byte=50.84375)
+
+
+class TestMaxSecureRate:
+    def test_rate_matches_hand_computation(self):
+        rate = max_secure_rate(BASE_COSTS)
+        expected = (DEFAULT_CLOCK_HZ / bulk_cycles_per_byte(BASE_COSTS)
+                    ) * 8
+        assert rate == pytest.approx(expected)
+
+    def test_cpu_fraction_scales_linearly(self):
+        full = max_secure_rate(OPT_COSTS, cpu_fraction=1.0)
+        half = max_secure_rate(OPT_COSTS, cpu_fraction=0.5)
+        assert half == pytest.approx(full / 2)
+
+    @pytest.mark.parametrize("fraction", [0.0, -0.5, 1.0001, 2.0])
+    def test_cpu_fraction_validation(self, fraction):
+        with pytest.raises(ValueError):
+            max_secure_rate(BASE_COSTS, cpu_fraction=fraction)
+
+    @pytest.mark.parametrize("fraction", [1e-6, 0.5, 1.0])
+    def test_cpu_fraction_boundary_accepted(self, fraction):
+        assert max_secure_rate(BASE_COSTS, cpu_fraction=fraction) > 0
+
+
+class TestFeasibility:
+    def test_feasible_set_is_downward_closed(self):
+        """If a platform sustains some rate it sustains every lower
+        one: feasibility decreases monotonically in the target rate."""
+        report = feasibility(OPT_COSTS)
+        verdicts = [report.feasible[name]
+                    for name in sorted(RATE_TARGETS,
+                                       key=RATE_TARGETS.get)]
+        assert verdicts == sorted(verdicts, reverse=True)
+
+    def test_feasible_preserves_target_order(self):
+        report = feasibility(BASE_COSTS)
+        assert list(report.feasible) == list(RATE_TARGETS)
+
+    def test_table_preserves_input_order(self):
+        reports = feasibility_table([OPT_COSTS, BASE_COSTS])
+        assert [r.platform for r in reports] == ["optimized", "base"]
+        reports = feasibility_table([BASE_COSTS, OPT_COSTS])
+        assert [r.platform for r in reports] == ["base", "optimized"]
+
+    def test_optimized_clears_strictly_more_targets(self):
+        base_report, opt_report = feasibility_table(
+            [BASE_COSTS, OPT_COSTS])
+        base_n = sum(base_report.feasible.values())
+        opt_n = sum(opt_report.feasible.values())
+        assert opt_n > base_n
+        # ... and never fails a target the base platform meets.
+        for name in RATE_TARGETS:
+            if base_report.feasible[name]:
+                assert opt_report.feasible[name]
+
+    def test_cpu_fraction_flows_through_table(self):
+        full = feasibility_table([OPT_COSTS], cpu_fraction=1.0)[0]
+        tenth = feasibility_table([OPT_COSTS], cpu_fraction=0.1)[0]
+        assert tenth.max_rate_bps == pytest.approx(
+            full.max_rate_bps / 10)
+        assert sum(tenth.feasible.values()) <= \
+            sum(full.feasible.values())
