@@ -1,84 +1,147 @@
 """Command-line interface to the co-design flows.
 
-    python -m repro characterize [--ext] [-o models.json]
+    python -m repro characterize [--ext] [-o models.json] [--json]
     python -m repro explore [--models models.json] [--bits 512] [--top 10]
-                            [--stride 9]
-    python -m repro speedups
+                            [--stride 9] [--json]
+    python -m repro speedups [--json]
     python -m repro ssl [--sizes 1,4,16,32] [--json]
     python -m repro callgraph [--bits 256]
     python -m repro farm [--cores 4] [--requests 200] [--seed 1]
                          [--rate 60] [--extended-fraction 0.5] [--json]
 
 Each subcommand runs one phase of the paper's methodology and prints
-the corresponding report.
+the corresponding report; ``--json`` swaps the table for a
+machine-readable payload through one shared serializer.
+
+Every cost-consuming subcommand shares one cost build behind
+:mod:`repro.costs`: characterization is memoized per configuration in
+the process, and ``--cache-dir DIR`` (or ``$REPRO_COSTS_CACHE_DIR``)
+persists it on disk so repeated runs characterize zero times.
+``--no-cache`` forces a fresh characterization.
 """
 
 import argparse
 import json
+import os
 import sys
 import time
 
 
-def _cmd_characterize(args) -> int:
-    from repro.macromodel import characterize_platform
-    from repro.macromodel.persist import save_modelset
+def _print_json(payload) -> int:
+    """The one JSON serialization path every subcommand shares."""
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
 
+
+def _configure_cache(args) -> None:
+    """Apply the shared ``--cache-dir``/``--no-cache`` flags."""
+    from repro.costs import configure_cache
+    if getattr(args, "no_cache", False):
+        configure_cache(enabled=False)
+    else:
+        configure_cache(cache_dir=getattr(args, "cache_dir", None))
+
+
+def _measured_cost_pair(announce: bool = True):
+    """The shared cost build: both stock platforms, measured once.
+
+    Characterization behind this routes through the global cache, so
+    however many subcommand phases need the pair, the ISS stimulus
+    programs run at most once per configuration per process -- and not
+    at all with a warm ``--cache-dir``.
+    """
+    from repro.costs import PlatformCosts
+    from repro.platform import SecurityPlatform
+    from repro.ssl import fixtures
+
+    if announce:
+        print("measuring both platforms (ISS kernels + macro-models)...")
+    base_platform = SecurityPlatform.base()
+    opt_platform = SecurityPlatform.optimized()
+    base = PlatformCosts.measure(base_platform, fixtures.SERVER_1024)
+    opt = PlatformCosts.measure(opt_platform, fixtures.SERVER_1024)
+    return base_platform, opt_platform, base, opt
+
+
+def _cmd_characterize(args) -> int:
+    from repro.costs import characterize_cached
+    from repro.macromodel.persist import modelset_to_dict, save_modelset
+
+    _configure_cache(args)
     widths = (args.add_width, args.mac_width) if args.ext else (0, 0)
-    print(f"characterizing {'extended' if args.ext else 'base'} platform "
-          f"on the ISS...")
+    if not args.json:
+        print(f"characterizing {'extended' if args.ext else 'base'} "
+              f"platform on the ISS...")
     start = time.perf_counter()
-    models = characterize_platform(*widths)
-    print(f"fitted {len(models)} macro-models in "
-          f"{time.perf_counter() - start:.1f}s:")
+    models = characterize_cached(*widths)
+    elapsed = time.perf_counter() - start
+    if args.output:
+        save_modelset(models, args.output)
+    if args.json:
+        return _print_json(modelset_to_dict(models))
+    print(f"fitted {len(models)} macro-models in {elapsed:.1f}s:")
     for model in sorted(models, key=lambda m: m.routine):
         coeffs = ", ".join(f"{c:.2f}" for c in model.fit.coeffs)
         print(f"  {model.routine:18s} {model.fit.form:12s} [{coeffs}]  "
               f"fit err {model.fit.mean_abs_pct_error:.2f}%")
     if args.output:
-        save_modelset(models, args.output)
         print(f"saved to {args.output}")
     return 0
 
 
 def _cmd_explore(args) -> int:
+    from repro.costs import characterize_cached
     from repro.crypto.modexp import iter_configs
     from repro.explore import AlgorithmExplorer, RsaDecryptWorkload
-    from repro.macromodel import characterize_platform
     from repro.macromodel.persist import load_modelset
 
+    _configure_cache(args)
     models = (load_modelset(args.models) if args.models
-              else characterize_platform())
+              else characterize_cached())
     workload = (RsaDecryptWorkload.bits1024() if args.bits == 1024
                 else RsaDecryptWorkload.bits512())
     configs = list(iter_configs())[:: args.stride]
-    print(f"exploring {len(configs)} candidates "
-          f"({args.bits}-bit RSA decrypt)...")
+    if not args.json:
+        print(f"exploring {len(configs)} candidates "
+              f"({args.bits}-bit RSA decrypt)...")
     explorer = AlgorithmExplorer(models, workload)
     start = time.perf_counter()
     results = explorer.explore(configs)
-    print(f"done in {time.perf_counter() - start:.0f}s\n")
+    elapsed = time.perf_counter() - start
+    if args.json:
+        return _print_json({
+            "bits": args.bits,
+            "candidates_evaluated": len(results),
+            "wall_seconds": elapsed,
+            "top": [r.as_dict() for r in results[: args.top]],
+        })
+    print(f"done in {elapsed:.0f}s\n")
     for result in results[: args.top]:
         print(f"  {result.estimated_cycles / 1e6:8.2f}M  {result.label}")
     return 0
 
 
 def _cmd_speedups(args) -> int:
-    from repro.platform import SecurityPlatform
-    from repro.ssl import fixtures
-    from repro.ssl.transaction import PlatformCosts
-
-    print("measuring both platforms (ISS kernels + macro-models)...")
-    # Build each platform exactly once: measure() characterizes the
-    # macro-models on the ISS, so a second construction would redo it.
-    base_p = SecurityPlatform.base()
-    opt_p = SecurityPlatform.optimized()
-    base = PlatformCosts.measure(base_p, fixtures.SERVER_1024)
-    opt = PlatformCosts.measure(opt_p, fixtures.SERVER_1024)
-    print(f"\n{'algorithm':10s} {'base':>12s} {'optimized':>12s} "
-          f"{'speedup':>8s}")
+    _configure_cache(args)
+    base_p, opt_p, base, opt = _measured_cost_pair(announce=not args.json)
+    ciphers = {}
     for algo in ("des", "3des", "aes"):
         b = base_p.cipher_cycles_per_byte(algo)
         o = opt_p.cipher_cycles_per_byte(algo)
+        ciphers[algo] = (b, o)
+    if args.json:
+        return _print_json({
+            "base": base.as_dict(),
+            "optimized": opt.as_dict(),
+            "speedups": dict(
+                {algo: b / o for algo, (b, o) in ciphers.items()},
+                rsa_public=base.rsa_public_cycles / opt.rsa_public_cycles,
+                rsa_private=(base.rsa_private_cycles
+                             / opt.rsa_private_cycles)),
+        })
+    print(f"\n{'algorithm':10s} {'base':>12s} {'optimized':>12s} "
+          f"{'speedup':>8s}")
+    for algo, (b, o) in ciphers.items():
         print(f"{algo.upper():10s} {b:10.1f}c/B {o:10.1f}c/B {b / o:7.1f}x")
     print(f"{'RSA enc':10s} {base.rsa_public_cycles:11.0f}c "
           f"{opt.rsa_public_cycles:11.0f}c "
@@ -90,23 +153,17 @@ def _cmd_speedups(args) -> int:
 
 
 def _cmd_ssl(args) -> int:
-    from repro.platform import SecurityPlatform
-    from repro.ssl import fixtures
-    from repro.ssl.transaction import PlatformCosts, SslWorkloadModel
+    from repro.ssl.transaction import SslWorkloadModel
 
+    _configure_cache(args)
     sizes = [int(s) for s in args.sizes.split(",")]
-    base = PlatformCosts.measure(SecurityPlatform.base(),
-                                 fixtures.SERVER_1024)
-    opt = PlatformCosts.measure(SecurityPlatform.optimized(),
-                                fixtures.SERVER_1024)
+    _, _, base, opt = _measured_cost_pair(announce=False)
     model = SslWorkloadModel(base, opt)
     rows = model.series([kb * 1024 for kb in sizes])
     if args.json:
-        print(json.dumps({"rows": rows,
-                          "asymptotic_speedup":
-                          model.asymptotic_speedup()},
-                         indent=2, sort_keys=True))
-        return 0
+        return _print_json({"rows": rows,
+                            "asymptotic_speedup":
+                            model.asymptotic_speedup()})
     print(f"{'size':>8s} {'speedup':>8s}   base pk/sym/misc")
     for kb, row in zip(sizes, rows):
         bf = row["base_fractions"]
@@ -118,15 +175,13 @@ def _cmd_ssl(args) -> int:
 
 
 def _cmd_farm(args) -> int:
-    from repro.farm import (FarmSimulator, TrafficProfile, build_farm,
-                            capacity_table, farm_rate_targets,
+    from repro.farm import (FarmSimulator, TrafficProfile,
+                            build_farm, capacity_table, farm_rate_targets,
                             generate_requests, make_scheduler,
                             specs_as_configs, summarize)
     from repro.farm.scheduler import scheduler_names
-    from repro.platform import SecurityPlatform
-    from repro.ssl import fixtures
-    from repro.ssl.transaction import PlatformCosts
 
+    _configure_cache(args)
     # Validate the cheap inputs before the ~seconds of ISS
     # characterization so bad flags fail fast and cleanly.
     try:
@@ -144,12 +199,8 @@ def _cmd_farm(args) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
-    if not args.json:
-        print("measuring both platforms (ISS kernels + macro-models)...")
-    base_costs = PlatformCosts.measure(SecurityPlatform.base(),
-                                       fixtures.SERVER_1024)
-    opt_costs = PlatformCosts.measure(SecurityPlatform.optimized(),
-                                      fixtures.SERVER_1024)
+    _, _, base_costs, opt_costs = _measured_cost_pair(
+        announce=not args.json)
     specs = build_farm(args.cores, base_costs, opt_costs,
                        extended_fraction=args.extended_fraction)
 
@@ -162,13 +213,12 @@ def _cmd_farm(args) -> int:
     plans = capacity_table(configs, farm_rate_targets())
 
     if args.json:
-        print(json.dumps({
+        return _print_json({
             "cores": [{"name": s.name, "config": s.costs.name,
                        "gates": s.gates} for s in specs],
             "schedulers": [m.as_dict() for m in rows],
             "capacity": [p.as_dict() for p in plans],
-        }, indent=2, sort_keys=True))
-        return 0
+        })
 
     print(f"\nfarm: {args.cores} cores "
           f"({sum(s.extended for s in specs)} extended / "
@@ -209,39 +259,61 @@ def _cmd_callgraph(args) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro.costs.cache import CACHE_DIR_ENV
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Wireless security processing platform co-design flows")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("characterize", help="fit leaf-routine macro-models")
+    # Flags shared by every cost-consuming subcommand.
+    cache_flags = argparse.ArgumentParser(add_help=False)
+    cache_flags.add_argument(
+        "--cache-dir", default=os.environ.get(CACHE_DIR_ENV) or None,
+        help="persist/reuse the characterization store in this directory "
+             f"(default: ${CACHE_DIR_ENV})")
+    cache_flags.add_argument(
+        "--no-cache", action="store_true",
+        help="force re-characterization (bypass memo and disk store)")
+
+    p = sub.add_parser("characterize", parents=[cache_flags],
+                       help="fit leaf-routine macro-models")
     p.add_argument("--ext", action="store_true",
                    help="characterize the extended platform")
     p.add_argument("--add-width", type=int, default=8)
     p.add_argument("--mac-width", type=int, default=8)
     p.add_argument("-o", "--output", help="save models as JSON")
+    p.add_argument("--json", action="store_true",
+                   help="emit the fitted model set as JSON")
     p.set_defaults(func=_cmd_characterize)
 
-    p = sub.add_parser("explore", help="explore the modexp design space")
+    p = sub.add_parser("explore", parents=[cache_flags],
+                       help="explore the modexp design space")
     p.add_argument("--models", help="JSON macro-models (else characterize)")
     p.add_argument("--bits", type=int, default=512, choices=(512, 1024))
     p.add_argument("--stride", type=int, default=9,
                    help="evaluate every Nth of the 450 candidates (1=all)")
     p.add_argument("--top", type=int, default=10)
+    p.add_argument("--json", action="store_true",
+                   help="emit the ranked candidates as JSON")
     p.set_defaults(func=_cmd_explore)
 
-    p = sub.add_parser("speedups", help="Table 1: per-algorithm speedups")
+    p = sub.add_parser("speedups", parents=[cache_flags],
+                       help="Table 1: per-algorithm speedups")
+    p.add_argument("--json", action="store_true",
+                   help="emit unit costs and speedups as JSON")
     p.set_defaults(func=_cmd_speedups)
 
-    p = sub.add_parser("ssl", help="Figure 8: SSL transaction speedups")
+    p = sub.add_parser("ssl", parents=[cache_flags],
+                       help="Figure 8: SSL transaction speedups")
     p.add_argument("--sizes", default="1,2,4,8,16,32",
                    help="comma-separated transaction sizes in KB")
     p.add_argument("--json", action="store_true",
                    help="emit machine-readable JSON instead of the table")
     p.set_defaults(func=_cmd_ssl)
 
-    p = sub.add_parser("farm", help="multi-core farm: schedulers + "
-                                    "capacity plan")
+    p = sub.add_parser("farm", parents=[cache_flags],
+                       help="multi-core farm: schedulers + capacity plan")
     p.add_argument("--cores", type=int, default=4)
     p.add_argument("--requests", type=int, default=200)
     p.add_argument("--seed", type=int, default=1)

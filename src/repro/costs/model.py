@@ -1,0 +1,99 @@
+"""The unified cost vocabulary: :class:`PlatformCosts`.
+
+One characterization pass yields unit costs that every downstream
+layer consumes -- the SSL transaction model, the throughput/feasibility
+calculator, the farm simulator, and the capacity planner all price
+work through this single dataclass.  (It historically lived in
+:mod:`repro.ssl.transaction`; that module re-exports it for backward
+compatibility.)
+
+The vocabulary covers all four protocol stacks the paper names (WEP,
+IPSec ESP, SSL, WTLS): RSA and ECDH public-key operations, bulk cipher
+and hash per-byte rates, and the per-protocol framing overheads.
+"""
+
+from dataclasses import asdict, dataclass
+from typing import Dict, Optional
+
+#: Per-byte protocol processing (framing, buffer copies) -- identical
+#: on both platforms; calibrated to a few instructions per byte.
+PROTOCOL_CYCLES_PER_BYTE = 24.0
+#: Fixed per-transaction protocol processing outside the crypto.
+PROTOCOL_FIXED_CYCLES = 50_000.0
+
+#: RC4 and CRC-32 per-byte costs (WEP's primitives).  Neither is
+#: accelerated by the paper's custom instructions, so both platforms
+#: pay the same price -- WEP traffic is what makes *base* cores useful
+#: in a heterogeneous farm.
+RC4_CYCLES_PER_BYTE = 36.0
+CRC32_CYCLES_PER_BYTE = 6.0
+#: Fixed per-packet cycles (header build, SA lookup, replay window).
+ESP_PACKET_FIXED_CYCLES = 2_000.0
+WEP_FRAME_FIXED_CYCLES = 800.0
+
+#: Documented fallback when a :class:`PlatformCosts` carries no
+#: measured ECDH figure (hand-built costs, unknown configuration
+#: names): on the base platform one secp160r1 ECDH scalar
+#: multiplication costs ~7 RSA-1024 public operations.
+ECDH_RSA_PUBLIC_EQUIV = 7.0
+
+
+@dataclass
+class PlatformCosts:
+    """Measured/estimated unit costs for one platform configuration.
+
+    ``ecdh_cycles`` is the online scalar multiplication of an ECDH
+    (secp160r1) handshake; :meth:`measure` fills it from the
+    macro-model estimator.  When absent (``None``), consumers fall
+    back to :data:`ECDH_RSA_PUBLIC_EQUIV` RSA public operations via
+    :meth:`ecdh_handshake_cycles`.
+    """
+
+    name: str
+    rsa_public_cycles: float        # one public-key op (verify or encrypt)
+    rsa_private_cycles: float       # one private-key op (sign)
+    cipher_cycles_per_byte: float
+    hash_cycles_per_byte: float
+    protocol_cycles_per_byte: float = PROTOCOL_CYCLES_PER_BYTE
+    protocol_fixed_cycles: float = PROTOCOL_FIXED_CYCLES
+    # -- WTLS --
+    ecdh_cycles: Optional[float] = None
+    # -- WEP / ESP framing --
+    rc4_cycles_per_byte: float = RC4_CYCLES_PER_BYTE
+    crc32_cycles_per_byte: float = CRC32_CYCLES_PER_BYTE
+    esp_packet_fixed_cycles: float = ESP_PACKET_FIXED_CYCLES
+    wep_frame_fixed_cycles: float = WEP_FRAME_FIXED_CYCLES
+
+    def ecdh_handshake_cycles(self) -> float:
+        """The WTLS handshake's public-key cost on this platform.
+
+        Prefers the measured ``ecdh_cycles``; otherwise applies the
+        documented RSA-equivalence fallback so hand-built costs (tests,
+        canned configurations) still price WTLS traffic sensibly.
+        """
+        if self.ecdh_cycles is not None:
+            return self.ecdh_cycles
+        return ECDH_RSA_PUBLIC_EQUIV * self.rsa_public_cycles
+
+    def as_dict(self) -> Dict:
+        """JSON-ready mapping (the CLI's shared serialization path)."""
+        return asdict(self)
+
+    @classmethod
+    def measure(cls, platform, keypair=None, cipher: str = "3des",
+                backend=None) -> "PlatformCosts":
+        """Measure unit costs on a platform through a cost backend.
+
+        The default backend is the fast
+        :class:`repro.costs.backends.MacroModelBackend` (macro-models
+        for public-key work, ISS kernels for the symmetric rates);
+        pass an :class:`repro.costs.backends.IssBackend` for
+        cycle-accurate ground truth.  Characterization behind the
+        default backend is memoized per configuration by the
+        :mod:`repro.costs.cache` layer.
+        """
+        if backend is None:
+            from repro.costs.backends import MacroModelBackend
+            backend = MacroModelBackend()
+        return backend.platform_costs(platform, keypair=keypair,
+                                      cipher=cipher, cls=cls)

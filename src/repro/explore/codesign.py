@@ -21,7 +21,7 @@ from repro.crypto.modexp import ModExpConfig
 from repro.explore.explorer import AlgorithmExplorer, RsaDecryptWorkload
 from repro.isa.custom import (make_vaddc, make_vmac, make_vmsub, make_vmul1,
                               make_vsubb)
-from repro.macromodel import MacroModelSet, characterize_platform
+from repro.macromodel import MacroModelSet
 
 
 @dataclass(frozen=True)
@@ -96,8 +96,11 @@ class CodesignExplorer:
         self._models_by_hw = dict(models_by_hw or {})
 
     def models_for(self, hw: HardwareConfig) -> MacroModelSet:
+        """Characterized models for ``hw``, via the shared cache (one
+        characterization per configuration, ever)."""
         if hw not in self._models_by_hw:
-            self._models_by_hw[hw] = characterize_platform(
+            from repro.costs.cache import characterize_cached
+            self._models_by_hw[hw] = characterize_cached(
                 hw.add_width, hw.mac_width)
         return self._models_by_hw[hw]
 

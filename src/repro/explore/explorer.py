@@ -56,6 +56,12 @@ class ExplorationResult:
     def label(self) -> str:
         return self.config.label()
 
+    def as_dict(self) -> dict:
+        """JSON-ready row (the CLI's shared serialization path)."""
+        return {"label": self.label,
+                "estimated_cycles": self.estimated_cycles,
+                "correct": self.correct}
+
 
 class AlgorithmExplorer:
     """Evaluates candidate configurations against a workload."""

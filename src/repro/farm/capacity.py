@@ -15,9 +15,9 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
+from repro.costs import PlatformCosts
 from repro.ssl.throughput import (DEFAULT_CLOCK_HZ, RATE_TARGETS,
                                   max_secure_rate)
-from repro.ssl.transaction import PlatformCosts
 from repro.farm.simulator import CoreSpec
 
 #: Fraction of a subscriber population with an active secure session

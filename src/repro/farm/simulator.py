@@ -20,10 +20,10 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Deque, List, Optional, Sequence, Tuple
 
+from repro.costs import PlatformCosts
 from repro.explore.codesign import HardwareConfig
 from repro.ssl.session_cache import SessionCache
 from repro.ssl.throughput import DEFAULT_CLOCK_HZ
-from repro.ssl.transaction import PlatformCosts
 from repro.farm.workload import (SessionRequest, cost_of, farm_session,
                                  session_id_for_client)
 

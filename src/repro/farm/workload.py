@@ -6,45 +6,29 @@ record transfer), a WTLS browsing session (ECDH handshake), an IPSec
 ESP bulk transfer, or a burst of WEP frames.  Requests are generated
 from a :class:`~repro.mp.DeterministicPrng` stream so a (profile,
 seed) pair always produces the identical request list, and they are
-costed in cycles through the same models the single-transaction
-evaluation uses: :class:`repro.ssl.transaction.PlatformCosts` and
+costed in cycles through the same vocabulary the single-transaction
+evaluation uses: :class:`repro.costs.PlatformCosts` and
 :meth:`repro.ssl.transaction.SslWorkloadModel.breakdown`.
 """
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
+# WEP/ESP per-byte and framing rates live in the unified cost
+# vocabulary now; re-exported here because they are part of this
+# module's historical surface.
+from repro.costs import (CRC32_CYCLES_PER_BYTE, ESP_PACKET_FIXED_CYCLES,
+                         PlatformCosts, RC4_CYCLES_PER_BYTE,
+                         WEP_FRAME_FIXED_CYCLES)
 from repro.mp import DeterministicPrng
 from repro.ssl.session_cache import SessionCache
 from repro.ssl.throughput import DEFAULT_CLOCK_HZ
 from repro.ssl.transaction import (HANDSHAKE_TRANSCRIPT_BYTES,
-                                   PlatformCosts, SslWorkloadModel)
+                                   SslWorkloadModel)
 
-#: ECDH (secp160r1) handshake cycles per platform, measured once with
-#: the macro-model estimator (same flow as benchmarks/test_ecc_vs_rsa):
-#: the TIE extensions help EC field arithmetic far less than RSA, so
-#: the cost is tabulated per configuration rather than scaled from the
-#: RSA figures.
-ECDH_HANDSHAKE_CYCLES: Dict[str, float] = {
-    "base": 4_441_001.0,
-    "optimized": 2_894_298.0,
-}
-#: Fallback when costs carry an unknown configuration name: on the
-#: base platform one secp160r1 ECDH costs ~7 RSA-1024 public ops.
-ECDH_PUBLIC_OP_EQUIV = 7.0
-
-#: RC4 and CRC-32 per-byte costs (WEP's primitives).  Neither is
-#: accelerated by the paper's custom instructions, so both platforms
-#: pay the same price -- WEP traffic is what makes *base* cores useful
-#: in a heterogeneous farm.
-RC4_CYCLES_PER_BYTE = 36.0
-CRC32_CYCLES_PER_BYTE = 6.0
 #: Link-layer MTU used to charge per-packet/per-frame fixed overheads.
 MTU_BYTES = 1500
-#: Fixed per-packet cycles (header build, SA lookup, replay window).
-ESP_PACKET_FIXED_CYCLES = 2_000.0
-WEP_FRAME_FIXED_CYCLES = 800.0
 
 PROTOCOLS = ("ssl", "wtls", "esp", "wep")
 
@@ -107,9 +91,14 @@ def is_public_key_heavy(request: SessionRequest) -> bool:
 
 
 def ecdh_cycles(costs: PlatformCosts) -> float:
-    """Per-platform ECDH handshake cost (tabulated, with fallback)."""
-    return ECDH_HANDSHAKE_CYCLES.get(
-        costs.name, ECDH_PUBLIC_OP_EQUIV * costs.rsa_public_cycles)
+    """Per-platform ECDH handshake cost.
+
+    Measured costs (built by :meth:`repro.costs.PlatformCosts.measure`)
+    carry a macro-model-estimated secp160r1 figure; hand-built costs
+    without one fall back to the documented RSA-equivalence heuristic
+    in :meth:`~repro.costs.PlatformCosts.ecdh_handshake_cycles`.
+    """
+    return costs.ecdh_handshake_cycles()
 
 
 def cost_of(request: SessionRequest, costs: PlatformCosts,
@@ -141,14 +130,15 @@ def cost_of(request: SessionRequest, costs: PlatformCosts,
         cycles = (size * (costs.cipher_cycles_per_byte
                           + costs.hash_cycles_per_byte
                           + costs.protocol_cycles_per_byte)
-                  + packets * ESP_PACKET_FIXED_CYCLES)
+                  + packets * costs.esp_packet_fixed_cycles)
         return RequestCost(cycles=cycles, public_key_cycles=0.0,
                            payload_bytes=size)
     if request.protocol == "wep":
         frames = max(1, math.ceil(size / MTU_BYTES))
-        cycles = (size * (RC4_CYCLES_PER_BYTE + CRC32_CYCLES_PER_BYTE
+        cycles = (size * (costs.rc4_cycles_per_byte
+                          + costs.crc32_cycles_per_byte
                           + costs.protocol_cycles_per_byte)
-                  + frames * WEP_FRAME_FIXED_CYCLES)
+                  + frames * costs.wep_frame_fixed_cycles)
         return RequestCost(cycles=cycles, public_key_cycles=0.0,
                            payload_bytes=size)
     raise ValueError(f"unknown protocol {request.protocol!r}")

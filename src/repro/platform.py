@@ -21,12 +21,12 @@ import functools
 from typing import Optional
 
 from repro.crypto.api import SecurityApi
-from repro.crypto.modexp import ModExpConfig, ModExpEngine
+from repro.crypto.modexp import ModExpConfig
 from repro.crypto.rsa import Rsa, RsaKeyPair
 from repro.isa.kernels.aes_kernels import AesKernel
 from repro.isa.kernels.des_kernels import DesKernel
 from repro.isa.kernels.hash_kernels import Sha1Kernel
-from repro.macromodel import MacroModelSet, characterize_platform, estimate_cycles
+from repro.macromodel import MacroModelSet
 from repro.mp import DeterministicPrng
 
 #: Reference software configuration (the "well-optimized C library"
@@ -74,10 +74,17 @@ class SecurityPlatform:
 
     @property
     def models(self) -> MacroModelSet:
-        """The platform's characterized macro-models (built on demand)."""
+        """The platform's characterized macro-models (built on demand).
+
+        Resolution goes through the process-global characterization
+        cache (:mod:`repro.costs.cache`), so every platform with the
+        same configuration shares one characterization pass -- and a
+        warm disk cache shares it across processes.
+        """
         if self._models is None:
-            self._models = characterize_platform(self.add_width,
-                                                 self.mac_width)
+            from repro.costs.cache import characterize_cached
+            self._models = characterize_cached(self.add_width,
+                                               self.mac_width)
         return self._models
 
     @functools.cached_property
@@ -122,17 +129,21 @@ class SecurityPlatform:
     def rsa_public_cycles(self, keypair: RsaKeyPair,
                           message: int = 0x1234567) -> float:
         """Macro-model estimate of one RSA public operation."""
-        engine = ModExpEngine(self.modexp_config)
-        est = estimate_cycles(self.models, engine.powm, message,
-                              keypair.public.e, keypair.public.n)
-        return est.cycles
+        from repro.costs.backends import MacroModelBackend
+        return MacroModelBackend().rsa_public_cycles(self, keypair,
+                                                     message)
 
     def rsa_private_cycles(self, keypair: RsaKeyPair,
                            message: int = 0x1234567) -> float:
         """Macro-model estimate of one RSA private operation."""
-        priv = keypair.private
-        engine = ModExpEngine(self.modexp_config)
-        est = estimate_cycles(
-            self.models, engine.powm_crt, message, priv.d, priv.p, priv.q,
-            priv.dp, priv.dq, priv.qinv)
-        return est.cycles
+        from repro.costs.backends import MacroModelBackend
+        return MacroModelBackend().rsa_private_cycles(self, keypair,
+                                                      message)
+
+    def costs(self, keypair: Optional[RsaKeyPair] = None,
+              cipher: str = "3des", backend=None):
+        """This platform's full unit-cost vocabulary
+        (:class:`repro.costs.PlatformCosts`) through a cost backend."""
+        from repro.costs import PlatformCosts
+        return PlatformCosts.measure(self, keypair, cipher,
+                                     backend=backend)

@@ -13,7 +13,7 @@ handset does more than crypto).
 from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
-from repro.ssl.transaction import PlatformCosts
+from repro.costs import PlatformCosts
 
 #: The paper's 188 MHz Xtensa clock.
 DEFAULT_CLOCK_HZ = 188e6

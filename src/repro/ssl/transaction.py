@@ -18,47 +18,17 @@ both platforms and the speedup saturates near
 """
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
-from repro.crypto.rsa import RsaKeyPair
-from repro.platform import SecurityPlatform
-from repro.ssl import fixtures
+# PlatformCosts historically lived here; it is now the heart of the
+# unified cost layer.  Re-exported (with the calibration constants)
+# so `from repro.ssl.transaction import PlatformCosts` keeps working.
+from repro.costs.model import (PROTOCOL_CYCLES_PER_BYTE,
+                               PROTOCOL_FIXED_CYCLES, PlatformCosts)
 
 #: Handshake bytes hashed into the transcript (hellos, certificate,
 #: key exchange, Finished) -- a representative fixed workload.
 HANDSHAKE_TRANSCRIPT_BYTES = 4096
-#: Per-byte protocol processing (framing, buffer copies) -- identical
-#: on both platforms; calibrated to a few instructions per byte.
-PROTOCOL_CYCLES_PER_BYTE = 24.0
-#: Fixed per-transaction protocol processing outside the crypto.
-PROTOCOL_FIXED_CYCLES = 50_000.0
-
-
-@dataclass
-class PlatformCosts:
-    """Measured/estimated unit costs for one platform configuration."""
-
-    name: str
-    rsa_public_cycles: float        # one public-key op (verify or encrypt)
-    rsa_private_cycles: float       # one private-key op (sign)
-    cipher_cycles_per_byte: float
-    hash_cycles_per_byte: float
-    protocol_cycles_per_byte: float = PROTOCOL_CYCLES_PER_BYTE
-    protocol_fixed_cycles: float = PROTOCOL_FIXED_CYCLES
-
-    @classmethod
-    def measure(cls, platform: SecurityPlatform,
-                keypair: Optional[RsaKeyPair] = None,
-                cipher: str = "3des") -> "PlatformCosts":
-        """Measure unit costs on a platform (macro-models + ISS kernels)."""
-        keypair = keypair or fixtures.SERVER_1024
-        return cls(
-            name=platform.name,
-            rsa_public_cycles=platform.rsa_public_cycles(keypair),
-            rsa_private_cycles=platform.rsa_private_cycles(keypair),
-            cipher_cycles_per_byte=platform.cipher_cycles_per_byte(cipher),
-            hash_cycles_per_byte=platform.hash_cycles_per_byte(),
-        )
 
 
 @dataclass

@@ -17,10 +17,15 @@ class TestParser:
     @pytest.mark.parametrize("argv", [
         ["characterize"],
         ["characterize", "--ext", "-o", "out.json"],
+        ["characterize", "--json", "--no-cache"],
         ["explore", "--stride", "45", "--top", "3"],
+        ["explore", "--json", "--cache-dir", "/tmp/store"],
         ["speedups"],
+        ["speedups", "--json", "--no-cache"],
         ["ssl", "--sizes", "1,32"],
         ["ssl", "--json"],
+        ["ssl", "--cache-dir", "/tmp/store"],
+        ["farm", "--no-cache"],
         ["callgraph", "--bits", "128"],
         ["farm"],
         ["farm", "--cores", "8", "--requests", "100", "--seed", "2",
@@ -67,3 +72,44 @@ class TestExecution:
                      "--top", "2"]) == 0
         captured = capsys.readouterr().out
         assert "M  " in captured  # cycle column present
+
+    def test_characterize_json(self, capsys):
+        import json
+        assert main(["characterize", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["platform"] == "base"
+        assert "mpn_addmul_1" in payload["models"]
+
+    def test_explore_json(self, tmp_path, capsys):
+        import json
+        out = tmp_path / "models.json"
+        main(["characterize", "-o", str(out)])
+        capsys.readouterr()
+        assert main(["explore", "--models", str(out), "--stride", "150",
+                     "--top", "2", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["bits"] == 512
+        assert payload["candidates_evaluated"] == 3
+        assert len(payload["top"]) == 2
+        top = payload["top"][0]
+        assert top["correct"] and top["estimated_cycles"] > 0
+
+    def test_speedups_json(self, capsys):
+        import json
+        assert main(["speedups", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["base"]["name"] == "base"
+        assert payload["optimized"]["ecdh_cycles"] > 0
+        for algo in ("des", "3des", "aes", "rsa_public", "rsa_private"):
+            assert payload["speedups"][algo] > 1.0
+
+    def test_ssl_uses_cache_dir(self, tmp_path, capsys):
+        import json
+        import os
+        assert main(["ssl", "--sizes", "1", "--json",
+                     "--cache-dir", str(tmp_path)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["rows"][0]["speedup"] > 1.0
+        stored = [f for f in os.listdir(tmp_path)
+                  if f.startswith("models-") and f.endswith(".json")]
+        assert len(stored) == 2    # base + extended platform entries

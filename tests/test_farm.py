@@ -19,15 +19,17 @@ from repro.farm.simulator import BASE_CORE_GATES, extension_gates
 from repro.ssl.throughput import DEFAULT_CLOCK_HZ
 from repro.ssl.transaction import PlatformCosts
 
-#: Frozen measured unit costs (same figures the benches reproduce).
+#: Frozen measured unit costs (same figures the benches reproduce);
+#: the ECDH figures are what PlatformCosts.measure computes through
+#: the macro-model backend for the stock configurations.
 BASE_COSTS = PlatformCosts(
     name="base", rsa_public_cycles=631103.0,
     rsa_private_cycles=61433705.5, cipher_cycles_per_byte=703.5,
-    hash_cycles_per_byte=50.84375)
+    hash_cycles_per_byte=50.84375, ecdh_cycles=4451571.0)
 OPT_COSTS = PlatformCosts(
     name="optimized", rsa_public_cycles=124890.5,
     rsa_private_cycles=2139136.0, cipher_cycles_per_byte=21.375,
-    hash_cycles_per_byte=50.84375)
+    hash_cycles_per_byte=50.84375, ecdh_cycles=2903293.8)
 
 EXT_GATES = BASE_CORE_GATES + extension_gates()
 

@@ -42,6 +42,16 @@ class TestPersistence:
         with pytest.raises(ValueError, match="schema"):
             modelset_from_dict(data)
 
+    def test_bad_schema_file_rejected(self, models, tmp_path):
+        import json
+        path = tmp_path / "models.json"
+        save_modelset(models, str(path))
+        data = json.loads(path.read_text())
+        data["schema"] = 99
+        path.write_text(json.dumps(data))
+        with pytest.raises(ValueError, match="schema"):
+            load_modelset(str(path))
+
     def test_restored_models_usable_by_estimator(self, models):
         from repro.macromodel import estimate_cycles
         from repro.mp import Mpz
