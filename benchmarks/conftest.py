@@ -10,7 +10,7 @@ import pytest
 from repro.macromodel import characterize_platform
 from repro.platform import SecurityPlatform
 from repro.ssl import fixtures
-from repro.ssl.transaction import PlatformCosts
+from repro.costs import PlatformCosts
 
 
 @pytest.fixture(scope="session")

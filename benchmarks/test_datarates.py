@@ -13,7 +13,7 @@ lower WLAN band when given the full CPU with AES instead of 3DES).
 from benchmarks._report import table, write_report
 from repro.platform import SecurityPlatform
 from repro.ssl import fixtures
-from repro.ssl.transaction import PlatformCosts
+from repro.costs import PlatformCosts
 from repro.ssl.throughput import RATE_TARGETS, feasibility
 
 

@@ -17,7 +17,7 @@ from repro.mp import DeterministicPrng
 from repro.platform import SecurityPlatform
 from repro.protocols.esp import EspError, EspSecurityAssociation
 from repro.ssl import fixtures
-from repro.ssl.transaction import PlatformCosts
+from repro.costs import PlatformCosts
 from repro.ssl.throughput import feasibility
 
 CLOCK_MHZ = 188

@@ -15,7 +15,8 @@ from repro.platform import SecurityPlatform
 from repro.ssl import fixtures
 from repro.ssl.handshake import (SslClient, SslServer,
                                  make_record_channels, run_handshake)
-from repro.ssl.transaction import PlatformCosts, SslWorkloadModel
+from repro.costs import PlatformCosts
+from repro.ssl.transaction import SslWorkloadModel
 
 
 def main() -> None:

@@ -11,13 +11,22 @@
 
 Each subcommand runs one phase of the paper's methodology and prints
 the corresponding report; ``--json`` swaps the table for a
-machine-readable payload through one shared serializer.
+machine-readable payload through one shared serializer.  Every JSON
+payload uses one envelope::
+
+    {"command": <subcommand>, "params": <effective flags>,
+     "results": <subcommand-specific body>}
 
 Every cost-consuming subcommand shares one cost build behind
 :mod:`repro.costs`: characterization is memoized per configuration in
 the process, and ``--cache-dir DIR`` (or ``$REPRO_COSTS_CACHE_DIR``)
 persists it on disk so repeated runs characterize zero times.
 ``--no-cache`` forces a fresh characterization.
+
+Observability (``farm``, ``ssl``, ``characterize``): ``--trace-out
+FILE`` enables the process-global :mod:`repro.obs` tracer and writes a
+deterministic JSON-lines event log; ``--metrics`` adds the metrics
+summary to the report (under ``results.metrics`` with ``--json``).
 """
 
 import argparse
@@ -27,9 +36,18 @@ import sys
 import time
 
 
-def _print_json(payload) -> int:
-    """The one JSON serialization path every subcommand shares."""
-    print(json.dumps(payload, indent=2, sort_keys=True))
+def _params_of(args) -> dict:
+    """The effective parameters of a run (everything but the callback)."""
+    return {key: value for key, value in sorted(vars(args).items())
+            if key not in ("func", "command")}
+
+
+def _print_json(args, results) -> int:
+    """The one JSON serialization path every subcommand shares --
+    emits the standard ``{"command", "params", "results"}`` envelope."""
+    envelope = {"command": args.command, "params": _params_of(args),
+                "results": results}
+    print(json.dumps(envelope, indent=2, sort_keys=True))
     return 0
 
 
@@ -40,6 +58,45 @@ def _configure_cache(args) -> None:
         configure_cache(enabled=False)
     else:
         configure_cache(cache_dir=getattr(args, "cache_dir", None))
+
+
+def _setup_obs(args) -> None:
+    """Apply the shared ``--trace-out``/``--metrics`` flags.
+
+    A fresh metrics registry and (when requested) a fresh tracer are
+    installed globally so the run's summary reflects this invocation
+    only, however the process was reused.
+    """
+    from repro.obs import configure_tracing, reset_metrics, reset_tracing
+    reset_metrics()
+    if getattr(args, "trace_out", None):
+        configure_tracing()
+    else:
+        reset_tracing()
+
+
+def _finish_obs(args, results=None):
+    """Write the trace log; fold the metrics summary into the report.
+
+    Returns the metrics summary dict (or ``None``); with ``results``
+    given (the JSON path) it is also attached as ``results["metrics"]``.
+    """
+    from repro.obs import (get_registry, get_tracer, metrics_summary,
+                           render_metrics, write_events_jsonl)
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out:
+        written = write_events_jsonl(get_tracer(), trace_out)
+        if not args.json:
+            print(f"wrote {written} trace records to {trace_out}")
+    if not getattr(args, "metrics", False):
+        return None
+    summary = metrics_summary(get_registry())
+    if results is not None:
+        results["metrics"] = summary
+    elif not args.json:
+        print("\nmetrics:")
+        print(render_metrics(get_registry()))
+    return summary
 
 
 def _measured_cost_pair(announce: bool = True):
@@ -68,6 +125,7 @@ def _cmd_characterize(args) -> int:
     from repro.macromodel.persist import modelset_to_dict, save_modelset
 
     _configure_cache(args)
+    _setup_obs(args)
     widths = (args.add_width, args.mac_width) if args.ext else (0, 0)
     if not args.json:
         print(f"characterizing {'extended' if args.ext else 'base'} "
@@ -78,7 +136,9 @@ def _cmd_characterize(args) -> int:
     if args.output:
         save_modelset(models, args.output)
     if args.json:
-        return _print_json(modelset_to_dict(models))
+        results = modelset_to_dict(models)
+        _finish_obs(args, results)
+        return _print_json(args, results)
     print(f"fitted {len(models)} macro-models in {elapsed:.1f}s:")
     for model in sorted(models, key=lambda m: m.routine):
         coeffs = ", ".join(f"{c:.2f}" for c in model.fit.coeffs)
@@ -86,6 +146,7 @@ def _cmd_characterize(args) -> int:
               f"fit err {model.fit.mean_abs_pct_error:.2f}%")
     if args.output:
         print(f"saved to {args.output}")
+    _finish_obs(args)
     return 0
 
 
@@ -109,7 +170,7 @@ def _cmd_explore(args) -> int:
     results = explorer.explore(configs)
     elapsed = time.perf_counter() - start
     if args.json:
-        return _print_json({
+        return _print_json(args, {
             "bits": args.bits,
             "candidates_evaluated": len(results),
             "wall_seconds": elapsed,
@@ -130,7 +191,7 @@ def _cmd_speedups(args) -> int:
         o = opt_p.cipher_cycles_per_byte(algo)
         ciphers[algo] = (b, o)
     if args.json:
-        return _print_json({
+        return _print_json(args, {
             "base": base.as_dict(),
             "optimized": opt.as_dict(),
             "speedups": dict(
@@ -153,17 +214,25 @@ def _cmd_speedups(args) -> int:
 
 
 def _cmd_ssl(args) -> int:
+    from repro.obs import get_tracer
     from repro.ssl.transaction import SslWorkloadModel
 
     _configure_cache(args)
+    _setup_obs(args)
     sizes = [int(s) for s in args.sizes.split(",")]
     _, _, base, opt = _measured_cost_pair(announce=False)
     model = SslWorkloadModel(base, opt)
-    rows = model.series([kb * 1024 for kb in sizes])
+    tracer = get_tracer()
+    with tracer.span("ssl.series", sizes=",".join(map(str, sizes))):
+        rows = []
+        for kb in sizes:
+            with tracer.span("ssl.transaction", size_kb=kb):
+                rows.extend(model.series([kb * 1024]))
     if args.json:
-        return _print_json({"rows": rows,
-                            "asymptotic_speedup":
-                            model.asymptotic_speedup()})
+        results = {"rows": rows,
+                   "asymptotic_speedup": model.asymptotic_speedup()}
+        _finish_obs(args, results)
+        return _print_json(args, results)
     print(f"{'size':>8s} {'speedup':>8s}   base pk/sym/misc")
     for kb, row in zip(sizes, rows):
         bf = row["base_fractions"]
@@ -171,6 +240,7 @@ def _cmd_ssl(args) -> int:
               f"{bf['public_key']:.2f}/{bf['symmetric']:.2f}/"
               f"{bf['misc']:.2f}")
     print(f"asymptote: {model.asymptotic_speedup():.2f}x")
+    _finish_obs(args)
     return 0
 
 
@@ -180,8 +250,10 @@ def _cmd_farm(args) -> int:
                             generate_requests, make_scheduler,
                             specs_as_configs, summarize)
     from repro.farm.scheduler import scheduler_names
+    from repro.obs import get_registry, get_tracer
 
     _configure_cache(args)
+    _setup_obs(args)
     # Validate the cheap inputs before the ~seconds of ISS
     # characterization so bad flags fail fast and cleanly.
     try:
@@ -204,21 +276,26 @@ def _cmd_farm(args) -> int:
     specs = build_farm(args.cores, base_costs, opt_costs,
                        extended_fraction=args.extended_fraction)
 
+    tracer = get_tracer()
+    metrics = get_registry() if args.metrics else None
     rows = []
     for name in scheduler_names():
-        sim = FarmSimulator(specs, make_scheduler(name))
+        sim = FarmSimulator(specs, make_scheduler(name), tracer=tracer,
+                            metrics=metrics)
         rows.append(summarize(sim.run(requests)))
 
     configs = specs_as_configs(specs)
     plans = capacity_table(configs, farm_rate_targets())
 
     if args.json:
-        return _print_json({
+        results = {
             "cores": [{"name": s.name, "config": s.costs.name,
                        "gates": s.gates} for s in specs],
             "schedulers": [m.as_dict() for m in rows],
             "capacity": [p.as_dict() for p in plans],
-        })
+        }
+        _finish_obs(args, results)
+        return _print_json(args, results)
 
     print(f"\nfarm: {args.cores} cores "
           f"({sum(s.extended for s in specs)} extended / "
@@ -240,6 +317,7 @@ def _cmd_farm(args) -> int:
     for p in plans:
         print(f"{p.target_name:38s} {p.config_name:>10s} "
               f"{p.cores:7d} {p.farm_gates / 1e6:12.2f}")
+    _finish_obs(args)
     return 0
 
 
@@ -276,7 +354,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache", action="store_true",
         help="force re-characterization (bypass memo and disk store)")
 
-    p = sub.add_parser("characterize", parents=[cache_flags],
+    # Observability flags shared by the instrumented subcommands.
+    obs_flags = argparse.ArgumentParser(add_help=False)
+    obs_flags.add_argument(
+        "--trace-out", metavar="FILE",
+        help="enable tracing and write a JSON-lines span/event log here")
+    obs_flags.add_argument(
+        "--metrics", action="store_true",
+        help="report the metrics summary (under results.metrics with "
+             "--json)")
+
+    p = sub.add_parser("characterize", parents=[cache_flags, obs_flags],
                        help="fit leaf-routine macro-models")
     p.add_argument("--ext", action="store_true",
                    help="characterize the extended platform")
@@ -304,7 +392,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="emit unit costs and speedups as JSON")
     p.set_defaults(func=_cmd_speedups)
 
-    p = sub.add_parser("ssl", parents=[cache_flags],
+    p = sub.add_parser("ssl", parents=[cache_flags, obs_flags],
                        help="Figure 8: SSL transaction speedups")
     p.add_argument("--sizes", default="1,2,4,8,16,32",
                    help="comma-separated transaction sizes in KB")
@@ -312,7 +400,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="emit machine-readable JSON instead of the table")
     p.set_defaults(func=_cmd_ssl)
 
-    p = sub.add_parser("farm", parents=[cache_flags],
+    p = sub.add_parser("farm", parents=[cache_flags, obs_flags],
                        help="multi-core farm: schedulers + capacity plan")
     p.add_argument("--cores", type=int, default=4)
     p.add_argument("--requests", type=int, default=200)

@@ -25,6 +25,7 @@ from repro.costs.model import PlatformCosts
 from repro.crypto.modexp import ModExpEngine
 from repro.macromodel import estimate_cycles
 from repro.mp.prng import DeterministicPrng
+from repro.obs import get_registry as get_obs_registry
 
 #: Stimulus seed for cross-validation -- deliberately not the
 #: characterization seed, so the check runs on held-out inputs.
@@ -321,4 +322,12 @@ def cross_validate(add_width: int = 0, mac_width: int = 0,
             routine=routine, sizes=tuple(sizes),
             model_cycles=tuple(model_cycles),
             iss_cycles=tuple(iss_cycles)))
+    registry = get_obs_registry()
+    for row in report.rows:
+        registry.gauge("costs.cross_validation.mean_abs_pct_error",
+                       platform=platform,
+                       routine=row.routine).set(row.mean_abs_pct_error)
+    registry.gauge("costs.cross_validation.mean_abs_pct_error",
+                   platform=platform,
+                   routine="__aggregate__").set(report.mean_abs_pct_error)
     return report

@@ -34,6 +34,8 @@ from repro.macromodel.characterize import DEFAULT_SIZES, characterize_platform
 from repro.macromodel.model import MacroModelSet
 from repro.macromodel.persist import modelset_from_dict, modelset_to_dict
 from repro.mp.prng import DeterministicPrng
+from repro.obs import get_registry as get_obs_registry
+from repro.obs import get_tracer
 
 #: The characterization harness's stimulus seed (must match the
 #: default PRNG in :func:`characterize_platform`).
@@ -79,10 +81,16 @@ class CharacterizationKey:
 
 @dataclass
 class CacheStats:
-    """Observability for tests and the CLI's verbose paths."""
+    """Observability for tests and the CLI's verbose paths.
+
+    ``disk_stale`` counts disk entries that existed but could not be
+    used (old schema, key mismatch, corrupt JSON) -- each one is also a
+    miss that triggers re-characterization and a rewrite.
+    """
 
     memo_hits: int = 0
     disk_hits: int = 0
+    disk_stale: int = 0
     characterizations: int = 0
 
     def as_dict(self) -> Dict[str, int]:
@@ -116,12 +124,19 @@ class CharacterizationCache:
             with open(path) as fh:
                 entry = json.load(fh)
             if entry.get("schema") != _CACHE_SCHEMA:
+                self._count_stale()
                 return None
             if entry.get("key") != key.as_dict():
+                self._count_stale()
                 return None      # digest collision or hand-edited file
             return modelset_from_dict(entry["models"])
         except (OSError, ValueError, KeyError, TypeError):
+            self._count_stale()
             return None          # corrupt entry: recharacterize + rewrite
+
+    def _count_stale(self) -> None:
+        self.stats.disk_stale += 1
+        get_obs_registry().counter("costs.cache.disk_stale").inc()
 
     def _store_disk(self, key: CharacterizationKey,
                     models: MacroModelSet) -> None:
@@ -142,8 +157,10 @@ class CharacterizationCache:
     def models_for(self, key: CharacterizationKey) -> MacroModelSet:
         """The fitted model set for ``key`` -- characterizing at most
         once per process and zero times with a warm disk store."""
+        obs = get_obs_registry()
         if self.enabled and key in self._memo:
             self.stats.memo_hits += 1
+            obs.counter("costs.cache.memo_hit").inc()
             models = self._memo[key]
             path = self.path_for(key)
             if path and not os.path.exists(path):
@@ -153,17 +170,35 @@ class CharacterizationCache:
             models = self._load_disk(key)
             if models is not None:
                 self.stats.disk_hits += 1
+                obs.counter("costs.cache.disk_hit").inc()
                 self._memo[key] = models
                 return models
         self.stats.characterizations += 1
-        models = characterize_platform(
-            key.add_width, key.mac_width, sizes=key.sizes, reps=key.reps,
-            prng=DeterministicPrng(key.seed),
-            modmul_overhead=key.modmul_overhead)
+        obs.counter("costs.cache.characterization").inc()
+        with get_tracer().span("costs.characterize",
+                               add_width=key.add_width,
+                               mac_width=key.mac_width):
+            models = characterize_platform(
+                key.add_width, key.mac_width, sizes=key.sizes,
+                reps=key.reps, prng=DeterministicPrng(key.seed),
+                modmul_overhead=key.modmul_overhead)
+        self._publish_fit_errors(key, models)
         if self.enabled:
             self._memo[key] = models
             self._store_disk(key, models)
         return models
+
+    @staticmethod
+    def _publish_fit_errors(key: CharacterizationKey,
+                            models: MacroModelSet) -> None:
+        """Per-routine fit-error gauges for a fresh characterization."""
+        platform = (f"ext(add{key.add_width},mac{key.mac_width})"
+                    if key.add_width and key.mac_width else "base")
+        obs = get_obs_registry()
+        for model in models:
+            obs.gauge("costs.fit_error_pct", platform=platform,
+                      routine=model.routine).set(
+                model.fit.mean_abs_pct_error)
 
     def clear_memo(self) -> None:
         """Drop the in-process memo (the disk store is untouched)."""

@@ -25,11 +25,13 @@ from repro.crypto.aes import Aes
 from repro.crypto.des import Des, TripleDes
 from repro.crypto.rsa import RsaKeyPair, RsaPrivateKey, RsaPublicKey, generate_rsa_keypair
 from repro.crypto.elgamal import ElGamalKeyPair, generate_elgamal_keypair
-from repro.crypto.api import SecurityApi
+from repro.crypto.api import (SecurityApi, UnknownAlgorithmError,
+                              register_algorithm, registered_algorithms)
 
 __all__ = [
     "Aes", "Des", "TripleDes",
     "RsaKeyPair", "RsaPrivateKey", "RsaPublicKey", "generate_rsa_keypair",
     "ElGamalKeyPair", "generate_elgamal_keypair",
-    "SecurityApi",
+    "SecurityApi", "UnknownAlgorithmError", "register_algorithm",
+    "registered_algorithms",
 ]

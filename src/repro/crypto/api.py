@@ -11,9 +11,17 @@ algorithm."
 (:mod:`repro.ssl`), the examples and the benchmark harness all go
 through it, so the underlying algorithm configuration (the exploration
 result) can be swapped without touching any caller.
+
+Algorithm dispatch is table-driven: one :func:`register_algorithm`
+registry keyed by ``(kind, name)`` backs ``encrypt``/``decrypt``/
+``hash``/``hmac``/``new_block_cipher``/``generate_symmetric_key``/
+``generate_keypair``, so adding an algorithm is one registration --
+not another ``if``/``elif`` arm per method -- and every unknown name
+fails the same way: :class:`UnknownAlgorithmError` naming the valid
+choices.
 """
 
-from typing import Optional, Tuple, Union
+from typing import Callable, Dict, Optional, Tuple, Union
 
 from repro.mp import DeterministicPrng
 from repro.crypto import modes
@@ -30,10 +38,82 @@ from repro.crypto.rsa import (Rsa, RsaKeyPair, RsaPrivateKey, RsaPublicKey,
                               generate_rsa_keypair)
 from repro.crypto.sha1 import sha1
 
-_BLOCK_CIPHERS = {"des": Des, "3des": TripleDes, "aes": Aes}
-_KEY_SIZES = {"des": 8, "3des": 24, "aes": 16, "aes-192": 24, "aes-256": 32,
-              "rc4": 16}
-_HASHES = {"sha1": sha1, "md5": md5}
+
+class UnknownAlgorithmError(ValueError):
+    """Raised uniformly by every API method for an unregistered name."""
+
+    def __init__(self, kind: str, name: str, choices):
+        self.kind = kind
+        self.name = name
+        self.choices = tuple(sorted(choices))
+        super().__init__(f"unknown {kind} algorithm {name!r}; "
+                         f"choose from {list(self.choices)}")
+
+
+# -- the algorithm registry --------------------------------------------------
+
+#: Registered algorithm kinds.  ``cipher`` covers both block ciphers
+#: (``block=True``) and stream ciphers; ``hash`` entries are one-shot
+#: digest functions; ``keypair`` entries are ``(api, bits) ->`` keypair
+#: factories.
+ALGORITHM_KINDS = ("cipher", "hash", "keypair")
+
+_REGISTRY: Dict[Tuple[str, str], Dict] = {}
+
+
+def register_algorithm(kind: str, name: str, factory: Callable, *,
+                       key_size: Optional[int] = None,
+                       block: bool = False) -> None:
+    """Register one algorithm under ``(kind, name)``.
+
+    ``factory`` is what dispatch hands back: a cipher class for
+    ``cipher`` entries (``block=True`` marks block ciphers eligible
+    for ECB/CBC modes; otherwise it is a stream cipher class with a
+    ``process`` method), a one-shot digest callable for ``hash``, or a
+    ``(api, bits)`` keypair generator for ``keypair``.  ``key_size``
+    (bytes) feeds :meth:`SecurityApi.generate_symmetric_key`.
+    """
+    if kind not in ALGORITHM_KINDS:
+        raise ValueError(f"unknown algorithm kind {kind!r}; "
+                         f"choose from {list(ALGORITHM_KINDS)}")
+    _REGISTRY[(kind, name.lower())] = {
+        "factory": factory, "key_size": key_size, "block": block}
+
+
+def registered_algorithms(kind: str) -> Tuple[str, ...]:
+    """Sorted registered names of one kind (introspection/errors)."""
+    return tuple(sorted(n for k, n in _REGISTRY if k == kind))
+
+
+def resolve_algorithm(kind: str, name: str) -> Dict:
+    """The registry entry for ``(kind, name)``, or a uniform error."""
+    entry = _REGISTRY.get((kind, name.lower()))
+    if entry is None:
+        raise UnknownAlgorithmError(kind, name,
+                                    registered_algorithms(kind))
+    return entry
+
+
+# The stock algorithm suite.  AES key-length variants are distinct
+# registrations of the same class: the registry, not the method body,
+# carries the key-size knowledge.
+register_algorithm("cipher", "des", Des, key_size=8, block=True)
+register_algorithm("cipher", "3des", TripleDes, key_size=24, block=True)
+register_algorithm("cipher", "aes", Aes, key_size=16, block=True)
+register_algorithm("cipher", "aes-192", Aes, key_size=24, block=True)
+register_algorithm("cipher", "aes-256", Aes, key_size=32, block=True)
+register_algorithm("cipher", "rc4", Rc4, key_size=16)
+
+register_algorithm("hash", "sha1", sha1)
+register_algorithm("hash", "md5", md5)
+
+register_algorithm(
+    "keypair", "rsa",
+    lambda api, bits: generate_rsa_keypair(bits, api.prng))
+register_algorithm(
+    "keypair", "elgamal",
+    lambda api, bits: generate_elgamal_keypair(bits, api.prng,
+                                               api.modexp_config))
 
 
 class SecurityApi:
@@ -50,39 +130,37 @@ class SecurityApi:
 
     def generate_symmetric_key(self, algorithm: str) -> bytes:
         """Random key of the right size for the named symmetric algorithm."""
-        try:
-            size = _KEY_SIZES[algorithm.lower()]
-        except KeyError:
-            raise ValueError(f"unknown symmetric algorithm {algorithm!r}")
-        return self.prng.next_bytes(size)
+        entry = resolve_algorithm("cipher", algorithm)
+        if entry["key_size"] is None:
+            raise UnknownAlgorithmError("cipher", algorithm,
+                                        registered_algorithms("cipher"))
+        return self.prng.next_bytes(entry["key_size"])
 
     def generate_keypair(self, algorithm: str,
                          bits: int) -> Union[RsaKeyPair, ElGamalKeyPair]:
         """Generate a public-key pair ('rsa' or 'elgamal')."""
-        algorithm = algorithm.lower()
-        if algorithm == "rsa":
-            return generate_rsa_keypair(bits, self.prng)
-        if algorithm == "elgamal":
-            return generate_elgamal_keypair(bits, self.prng,
-                                            self.modexp_config)
-        raise ValueError(f"unknown public-key algorithm {algorithm!r}")
+        return resolve_algorithm("keypair", algorithm)["factory"](self,
+                                                                  bits)
 
     # -- symmetric encryption ------------------------------------------------
 
     def new_block_cipher(self, algorithm: str, key: bytes):
-        """Instantiate a block cipher by name ('des', '3des', 'aes')."""
-        try:
-            cls = _BLOCK_CIPHERS[algorithm.lower()]
-        except KeyError:
-            raise ValueError(f"unknown block cipher {algorithm!r}")
-        return cls(key)
+        """Instantiate a block cipher by name ('des', '3des', 'aes', ...)."""
+        entry = resolve_algorithm("cipher", algorithm)
+        if not entry["block"]:
+            raise UnknownAlgorithmError(
+                "cipher", algorithm,
+                (name for name in registered_algorithms("cipher")
+                 if _REGISTRY[("cipher", name)]["block"]))
+        return entry["factory"](key)
 
-    def encrypt(self, algorithm: str, key: bytes, data: bytes,
+    def encrypt(self, algorithm: str, key: bytes, data: bytes, *,
                 iv: Optional[bytes] = None, mode: str = "cbc") -> bytes:
-        """Pad and encrypt ``data`` with a block cipher, or RC4-stream it."""
-        if algorithm.lower() == "rc4":
-            return Rc4(key).process(data)
-        cipher = self.new_block_cipher(algorithm, key)
+        """Pad and encrypt ``data`` with a block cipher, or stream it."""
+        entry = resolve_algorithm("cipher", algorithm)
+        if not entry["block"]:
+            return entry["factory"](key).process(data)
+        cipher = entry["factory"](key)
         padded = modes.pkcs7_pad(data, cipher.block_size)
         if mode == "ecb":
             return modes.ecb_encrypt(cipher, padded)
@@ -92,11 +170,12 @@ class SecurityApi:
             return modes.cbc_encrypt(cipher, iv, padded)
         raise ValueError(f"unknown mode {mode!r}")
 
-    def decrypt(self, algorithm: str, key: bytes, data: bytes,
+    def decrypt(self, algorithm: str, key: bytes, data: bytes, *,
                 iv: Optional[bytes] = None, mode: str = "cbc") -> bytes:
-        if algorithm.lower() == "rc4":
-            return Rc4(key).process(data)
-        cipher = self.new_block_cipher(algorithm, key)
+        entry = resolve_algorithm("cipher", algorithm)
+        if not entry["block"]:
+            return entry["factory"](key).process(data)
+        cipher = entry["factory"](key)
         if mode == "ecb":
             padded = modes.ecb_decrypt(cipher, data)
         elif mode == "cbc":
@@ -110,13 +189,10 @@ class SecurityApi:
     # -- hashing / MAC -----------------------------------------------------
 
     def hash(self, algorithm: str, data: bytes) -> bytes:
-        try:
-            fn = _HASHES[algorithm.lower()]
-        except KeyError:
-            raise ValueError(f"unknown hash {algorithm!r}")
-        return fn(data)
+        return resolve_algorithm("hash", algorithm)["factory"](data)
 
     def hmac(self, algorithm: str, key: bytes, data: bytes) -> bytes:
+        resolve_algorithm("hash", algorithm)   # uniform unknown-name path
         return _hmac(key, data, algorithm.lower())
 
     # -- public key -------------------------------------------------------
@@ -148,8 +224,8 @@ class SecurityApi:
         try:
             curve = ec.CURVES[curve_name]
         except KeyError:
-            raise ValueError(f"unknown curve {curve_name!r}; "
-                             f"choose from {sorted(ec.CURVES)}")
+            raise UnknownAlgorithmError("curve", curve_name,
+                                        sorted(ec.CURVES)) from None
         return ec.generate_ec_keypair(curve, self.prng)
 
     def ecdh(self, private: int, peer_public) -> int:

@@ -22,6 +22,7 @@ from typing import Deque, List, Optional, Sequence, Tuple
 
 from repro.costs import PlatformCosts
 from repro.explore.codesign import HardwareConfig
+from repro.obs import NULL_TRACER, MetricsRegistry, Tracer
 from repro.ssl.session_cache import SessionCache
 from repro.ssl.throughput import DEFAULT_CLOCK_HZ
 from repro.farm.workload import (SessionRequest, cost_of, farm_session,
@@ -140,21 +141,41 @@ class FarmResult:
 
 
 class FarmSimulator:
-    """Event-driven farm simulator (arrivals in, completions out)."""
+    """Event-driven farm simulator (arrivals in, completions out).
+
+    Observability is opt-in: pass a :class:`repro.obs.Tracer` to get a
+    ``farm.request`` span per completion (enqueue/start/finish stamped
+    on the farm's cycle clock) plus ``farm.core.queue_depth`` events
+    whenever a run queue changes length, and a
+    :class:`repro.obs.MetricsRegistry` for cache hit/miss counters,
+    latency histograms, and per-core utilization gauges.  With neither
+    supplied the inner loop's only overhead is one precomputed
+    identity check against :data:`repro.obs.NULL_TRACER` -- the
+    disabled path allocates nothing per event.
+    """
 
     def __init__(self, specs: Sequence[CoreSpec], scheduler,
                  clock_hz: float = DEFAULT_CLOCK_HZ,
-                 cache_capacity: int = 128):
+                 cache_capacity: int = 128,
+                 tracer: Optional[Tracer] = None,
+                 metrics: Optional[MetricsRegistry] = None):
         if not specs:
             raise ValueError("farm needs at least one core")
         self.specs = list(specs)
         self.scheduler = scheduler
         self.clock_hz = clock_hz
         self.cache_capacity = cache_capacity
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics
 
     def run(self, requests: Sequence[SessionRequest]) -> FarmResult:
         cores = [Core(i, spec, self.cache_capacity)
                  for i, spec in enumerate(self.specs)]
+        tracer = self.tracer
+        # Hoisted no-op check: the disabled path costs one identity
+        # comparison per run, not per event (regression-tested).
+        trace = tracer is not NULL_TRACER
+        sched_name = getattr(self.scheduler, "name", "?")
         heap: List[Tuple[float, int, int, int]] = []
         for request in requests:
             # (time, kind, seq, core): arrivals sort before completions
@@ -176,8 +197,12 @@ class FarmSimulator:
                 core = cores[target]
                 estimate = cost_of(request, core.spec.costs).cycles
                 core.queue.append((request, estimate))
+                if trace:
+                    tracer.event("farm.core.queue_depth", time=now,
+                                 core=core.index, depth=len(core.queue))
                 if core.current is None:
-                    self._start_next(core, now, heap, starts)
+                    self._start_next(core, now, heap, starts, tracer,
+                                     trace)
             else:
                 core = cores[core_index]
                 request = core.current
@@ -192,16 +217,61 @@ class FarmSimulator:
                                                       and hit):
                     core.cache.store(farm_session(request.client_id))
                 core.current = None
+                if trace:
+                    tracer.record(
+                        "farm.request", start=request.arrival_cycle,
+                        end=now, scheduler=sched_name, seq=request.seq,
+                        protocol=request.protocol,
+                        client_id=request.client_id, core=core_index,
+                        resumed=request.resumed, cache_hit=hit,
+                        enqueue_cycle=request.arrival_cycle,
+                        start_cycle=start, finish_cycle=now,
+                        service_cycles=service,
+                        queue_cycles=start - request.arrival_cycle,
+                        size_bytes=request.size_bytes)
                 if core.queue:
-                    self._start_next(core, now, heap, starts)
-        return FarmResult(completions=completions, cores=cores,
-                          makespan_cycles=makespan, clock_hz=self.clock_hz,
-                          scheduler_name=getattr(self.scheduler, "name",
-                                                 "?"),
-                          offered=len(requests), events_processed=events)
+                    self._start_next(core, now, heap, starts, tracer,
+                                     trace)
+        result = FarmResult(completions=completions, cores=cores,
+                            makespan_cycles=makespan,
+                            clock_hz=self.clock_hz,
+                            scheduler_name=getattr(self.scheduler, "name",
+                                                   "?"),
+                            offered=len(requests), events_processed=events)
+        if self.metrics is not None:
+            self._publish_metrics(result)
+        return result
+
+    def _publish_metrics(self, result: FarmResult) -> None:
+        """End-of-run reduction into the supplied registry."""
+        registry = self.metrics
+        sched = result.scheduler_name
+        clock = result.clock_hz
+        registry.counter("farm.requests.offered",
+                         scheduler=sched).inc(result.offered)
+        registry.counter("farm.requests.completed",
+                         scheduler=sched).inc(len(result.completions))
+        registry.counter("farm.events.processed",
+                         scheduler=sched).inc(result.events_processed)
+        latency = registry.histogram("farm.request.latency_ms",
+                                     scheduler=sched)
+        for completion in result.completions:
+            latency.observe(completion.latency_cycles / clock * 1e3)
+        for core in result.cores:
+            registry.counter("farm.cache.hits", scheduler=sched,
+                             core=core.index).inc(core.cache.hits)
+            registry.counter("farm.cache.misses", scheduler=sched,
+                             core=core.index).inc(core.cache.misses)
+            registry.gauge("farm.core.utilization", scheduler=sched,
+                           core=core.index).set(
+                core.busy_cycles / result.makespan_cycles
+                if result.makespan_cycles else 0.0)
+            registry.counter("farm.core.served", scheduler=sched,
+                             core=core.index).inc(core.served)
 
     @staticmethod
-    def _start_next(core: Core, now: float, heap, starts) -> None:
+    def _start_next(core: Core, now: float, heap, starts,
+                    tracer=NULL_TRACER, trace: bool = False) -> None:
         request, _ = core.queue.popleft()
         hit = False
         if request.protocol == "ssl" and request.resumed:
@@ -211,5 +281,8 @@ class FarmSimulator:
         core.current = request
         core.busy_until = now + service
         starts[(core.index, request.seq)] = (now, service, hit)
+        if trace:
+            tracer.event("farm.core.queue_depth", time=now,
+                         core=core.index, depth=len(core.queue))
         heapq.heappush(heap, (now + service, _COMPLETE, request.seq,
                               core.index))

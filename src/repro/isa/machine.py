@@ -156,6 +156,38 @@ class Machine:
         prof.inclusive_cycles[func] = \
             prof.inclusive_cycles.get(func, 0) + (self.cycles - entry_cycles)
 
+    # -- observability -----------------------------------------------------
+
+    def instruction_mix(self) -> Dict[str, int]:
+        """Executed-opcode histogram (sorted by opcode name)."""
+        return dict(sorted(self.opcode_counts.items()))
+
+    def custom_instruction_usage(self) -> Dict[str, int]:
+        """Executed counts of the TIE custom instructions only --
+        the direct measure of how much the selected extensions are
+        actually exercised by a workload."""
+        return {op: count for op, count in self.instruction_mix().items()
+                if self.extensions.get(op) is not None}
+
+    def publish_metrics(self, registry=None, run: str = "") -> None:
+        """Opt-in: publish this machine's instruction-mix profile to a
+        :class:`repro.obs.MetricsRegistry` (the global one by default).
+
+        Deliberately not called from :meth:`run` -- the ISS inner loop
+        stays observability-free; callers that want the profile ask
+        for it after execution.
+        """
+        from repro.obs import get_registry
+        registry = registry if registry is not None else get_registry()
+        extra = {"run": run} if run else {}
+        for op, count in self.instruction_mix().items():
+            kind = ("custom" if self.extensions.get(op) is not None
+                    else "base")
+            registry.counter("iss.instruction_mix", opcode=op,
+                             kind=kind, **extra).inc(count)
+        registry.counter("iss.instructions", **extra).inc(self.instret)
+        registry.counter("iss.cycles", **extra).inc(self.cycles)
+
     # -- execution ---------------------------------------------------------
 
     def run(self, entry: str, args: Sequence[int] = (),

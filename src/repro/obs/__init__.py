@@ -1,0 +1,48 @@
+"""Observability: metrics and structured tracing for every layer.
+
+The paper's methodology is measurement all the way down -- the ISS
+characterizes, macro-models estimate, the farm simulates -- yet until
+this package the scale-out layers only reported end-of-run aggregates.
+:mod:`repro.obs` is the substrate that lets every later performance PR
+justify itself:
+
+- :mod:`repro.obs.metrics` -- a deterministic metrics registry:
+  :class:`Counter`, :class:`Gauge`, and :class:`Histogram` (fixed
+  bucket edges, so two identical runs bucket identically), keyed by
+  ``(name, labels)`` and serialized in sorted order;
+- :mod:`repro.obs.trace`   -- span-based structured tracing: a
+  :class:`Tracer` records :class:`Span` records (explicit virtual-time
+  stamps from the farm's cycle clock, or a logical step clock
+  elsewhere), and the process-global tracer is a shared
+  :data:`NULL_TRACER` no-op when disabled so hot loops pay one
+  identity check;
+- :mod:`repro.obs.export`  -- JSON-lines event logs and the text/JSON
+  summaries the CLI's ``--trace-out``/``--metrics`` flags emit.
+
+Instrumented layers: :mod:`repro.farm.simulator` (per-request spans,
+queue-depth timelines, session-cache counters), :mod:`repro.costs`
+(characterization-cache hit/miss/stale counters, per-routine fit-error
+gauges), :mod:`repro.isa.machine` (opt-in instruction-mix profiles),
+and the :mod:`repro.ssl` / :mod:`repro.protocols` entry points.
+
+Everything here is dependency-free within the repo (stdlib only), so
+any layer may import it without cycles.
+"""
+
+from repro.obs.metrics import (Counter, DEFAULT_LATENCY_MS_EDGES, Gauge,
+                               Histogram, MetricsRegistry, get_registry,
+                               reset_metrics, set_registry)
+from repro.obs.trace import (NULL_TRACER, NullTracer, Span, Tracer,
+                             configure_tracing, get_tracer,
+                             reset_tracing, tracing_enabled)
+from repro.obs.export import (metrics_summary, render_metrics,
+                              write_events_jsonl)
+
+__all__ = [
+    "Counter", "DEFAULT_LATENCY_MS_EDGES", "Gauge", "Histogram",
+    "MetricsRegistry", "NULL_TRACER", "NullTracer", "Span", "Tracer",
+    "configure_tracing", "get_registry", "get_tracer",
+    "metrics_summary", "render_metrics", "reset_metrics",
+    "reset_tracing", "set_registry", "tracing_enabled",
+    "write_events_jsonl",
+]

@@ -1,0 +1,54 @@
+"""Exporters: JSON-lines event logs and metrics summaries.
+
+The trace file format is one JSON object per line, in emission order:
+spans as ``{"kind": "span", ...}`` and point events as ``{"kind":
+"event", ...}``.  Keys are sorted and nothing is timestamped with wall
+clock, so a seeded run writes a byte-identical log every time.
+"""
+
+import json
+from typing import Dict, Optional, TextIO, Union
+
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.trace import Tracer
+
+
+def write_events_jsonl(tracer: Tracer,
+                       destination: Union[str, TextIO]) -> int:
+    """Write the tracer's records to ``destination`` (path or file
+    object) as JSON lines; returns the number of records written."""
+    records = tracer.records()
+    if hasattr(destination, "write"):
+        fh, close = destination, False
+    else:
+        fh, close = open(destination, "w"), True
+    try:
+        for record in records:
+            fh.write(json.dumps(record.as_dict(), sort_keys=True) + "\n")
+    finally:
+        if close:
+            fh.close()
+    return len(records)
+
+
+def metrics_summary(registry: Optional[MetricsRegistry] = None) -> Dict:
+    """The JSON form of a registry (the CLI's ``--metrics`` payload)."""
+    registry = registry if registry is not None else get_registry()
+    return registry.as_dict()
+
+
+def render_metrics(registry: Optional[MetricsRegistry] = None) -> str:
+    """Human-readable one-instrument-per-line metrics summary."""
+    registry = registry if registry is not None else get_registry()
+    lines = []
+    for key, payload in registry.as_dict().items():
+        kind = payload["type"]
+        if kind == "histogram":
+            mean = (payload["sum"] / payload["count"]
+                    if payload["count"] else 0.0)
+            lines.append(f"{key:52s} histogram count={payload['count']} "
+                         f"mean={mean:.3f} min={payload['min']} "
+                         f"max={payload['max']}")
+        else:
+            lines.append(f"{key:52s} {kind} {payload['value']:g}")
+    return "\n".join(lines)

@@ -1,0 +1,203 @@
+"""The deterministic metrics registry.
+
+Three instrument kinds cover everything the layers report:
+
+- :class:`Counter`   -- monotone event counts (cache hits, handshakes);
+- :class:`Gauge`     -- last-written values (fit errors, utilizations);
+- :class:`Histogram` -- distributions over *fixed* bucket edges, so
+  the bucketing of two identical runs is byte-identical (no dynamic
+  rebinning, no wall-clock dependence).
+
+Instruments are keyed by ``(name, labels)`` where labels are an
+immutable sorted tuple of ``(key, value)`` pairs; :meth:`MetricsRegistry
+.as_dict` serializes everything in sorted order, which is what makes
+metrics payloads diffable across runs and safe to assert on in tests.
+"""
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: Fixed latency bucket edges in milliseconds (upper bounds; the last
+#: bucket is open-ended).  Chosen to straddle the farm's observed p50
+#: to p99 range across core counts.
+DEFAULT_LATENCY_MS_EDGES = (1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0,
+                            200.0, 500.0, 1000.0, 2000.0, 5000.0)
+
+LabelsKey = Tuple[Tuple[str, str], ...]
+
+
+def _labels_key(labels: Dict[str, object]) -> LabelsKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing count."""
+
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+    def as_dict(self) -> Dict:
+        return {"type": "counter", "value": self.value}
+
+
+@dataclass
+class Gauge:
+    """A last-write-wins value."""
+
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def add(self, delta: float) -> None:
+        self.value += delta
+
+    def as_dict(self) -> Dict:
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """Counts over fixed bucket edges plus sum/count/min/max.
+
+    ``edges`` are inclusive upper bounds; one extra open-ended bucket
+    catches everything above the last edge.  The edges are frozen at
+    construction -- determinism over adaptivity.
+    """
+
+    def __init__(self, edges: Sequence[float] = DEFAULT_LATENCY_MS_EDGES):
+        if not edges or list(edges) != sorted(edges):
+            raise ValueError("histogram edges must be non-empty and sorted")
+        self.edges: Tuple[float, ...] = tuple(float(e) for e in edges)
+        self.bucket_counts: List[int] = [0] * (len(self.edges) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.bucket_counts[bisect.bisect_left(self.edges, value)] += 1
+        self.count += 1
+        self.sum += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Upper edge of the bucket holding the ``q``-quantile
+        observation (a deterministic, conservative estimate)."""
+        if not 0 < q <= 1:
+            raise ValueError("q must be in (0, 1]")
+        if not self.count:
+            return 0.0
+        rank = max(1, int(q * self.count + 0.999999))
+        seen = 0
+        for i, n in enumerate(self.bucket_counts):
+            seen += n
+            if seen >= rank:
+                return (self.edges[i] if i < len(self.edges)
+                        else (self.max if self.max is not None else 0.0))
+        return self.max if self.max is not None else 0.0
+
+    def as_dict(self) -> Dict:
+        return {"type": "histogram", "edges": list(self.edges),
+                "bucket_counts": list(self.bucket_counts),
+                "count": self.count, "sum": self.sum,
+                "min": self.min, "max": self.max}
+
+
+class MetricsRegistry:
+    """Instruments keyed by ``(name, labels)``, serialized sorted."""
+
+    def __init__(self):
+        self._counters: Dict[Tuple[str, LabelsKey], Counter] = {}
+        self._gauges: Dict[Tuple[str, LabelsKey], Gauge] = {}
+        self._histograms: Dict[Tuple[str, LabelsKey], Histogram] = {}
+
+    # -- instrument accessors (created on first use) ---------------------
+
+    def counter(self, name: str, **labels) -> Counter:
+        key = (name, _labels_key(labels))
+        instrument = self._counters.get(key)
+        if instrument is None:
+            instrument = self._counters[key] = Counter()
+        return instrument
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        key = (name, _labels_key(labels))
+        instrument = self._gauges.get(key)
+        if instrument is None:
+            instrument = self._gauges[key] = Gauge()
+        return instrument
+
+    def histogram(self, name: str,
+                  edges: Sequence[float] = DEFAULT_LATENCY_MS_EDGES,
+                  **labels) -> Histogram:
+        key = (name, _labels_key(labels))
+        instrument = self._histograms.get(key)
+        if instrument is None:
+            instrument = self._histograms[key] = Histogram(edges)
+        elif instrument.edges != tuple(float(e) for e in edges):
+            raise ValueError(f"histogram {name!r} already registered "
+                             f"with different edges")
+        return instrument
+
+    # -- introspection ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return (len(self._counters) + len(self._gauges)
+                + len(self._histograms))
+
+    def items(self) -> Iterable[Tuple[str, LabelsKey, object]]:
+        """All instruments as ``(name, labels, instrument)``, sorted."""
+        merged = []
+        for table in (self._counters, self._gauges, self._histograms):
+            merged.extend((name, labels, inst)
+                          for (name, labels), inst in table.items())
+        return sorted(merged, key=lambda item: (item[0], item[1]))
+
+    def as_dict(self) -> Dict:
+        """JSON-ready mapping: ``name{label=value,...}`` -> instrument."""
+        out = {}
+        for name, labels, instrument in self.items():
+            if labels:
+                rendered = ",".join(f"{k}={v}" for k, v in labels)
+                out[f"{name}{{{rendered}}}"] = instrument.as_dict()
+            else:
+                out[name] = instrument.as_dict()
+        return out
+
+    def clear(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+
+# -- the process-global default registry ------------------------------------
+
+_default_registry = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-global registry instrumented layers write to."""
+    return _default_registry
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the global registry (tests, CLI isolation); returns it."""
+    global _default_registry
+    _default_registry = registry
+    return registry
+
+
+def reset_metrics() -> MetricsRegistry:
+    """Fresh global registry (equivalent to a new process)."""
+    return set_registry(MetricsRegistry())

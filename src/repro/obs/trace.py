@@ -1,0 +1,218 @@
+"""Span-based structured tracing with a near-zero-cost disabled path.
+
+A :class:`Span` is one named, timed unit of work with attributes; a
+:class:`Tracer` collects spans (and point events) in emission order.
+Two clock disciplines coexist:
+
+- **virtual time** -- instrumented simulations (the farm) stamp spans
+  explicitly via :meth:`Tracer.record` with their own deterministic
+  cycle clock;
+- **logical time** -- the :meth:`Tracer.span` context manager stamps
+  entry/exit with a monotonically increasing step counter, so span
+  ordering and nesting are reproducible without any wall-clock reads.
+
+When tracing is off the process-global tracer *is* the shared
+:data:`NULL_TRACER` singleton: hot loops compare ``tracer is
+NULL_TRACER`` once and skip instrumentation entirely, and even a
+call that slips through allocates nothing (the no-op context manager
+is one shared object).
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+_MISSING = object()
+
+
+@dataclass
+class Span:
+    """One named, timed unit of work."""
+
+    span_id: int
+    parent_id: Optional[int]
+    name: str
+    start: float
+    end: Optional[float] = None
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        if self.end is None:
+            raise ValueError(f"span {self.name!r} not finished")
+        return self.end - self.start
+
+    def as_dict(self) -> Dict:
+        return {"kind": "span", "span_id": self.span_id,
+                "parent_id": self.parent_id, "name": self.name,
+                "start": self.start, "end": self.end,
+                "attrs": dict(self.attrs)}
+
+
+@dataclass
+class TraceEvent:
+    """A point-in-time observation (queue depth sample, state change)."""
+
+    name: str
+    time: float
+    span_id: Optional[int]
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict:
+        return {"kind": "event", "name": self.name, "time": self.time,
+                "span_id": self.span_id, "attrs": dict(self.attrs)}
+
+
+class _SpanContext:
+    """Context manager finishing one logical-clock span."""
+
+    __slots__ = ("_tracer", "span")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self._tracer = tracer
+        self.span = span
+
+    def __enter__(self) -> Span:
+        return self.span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._tracer._finish(self.span, error=exc_type is not None)
+        return False
+
+
+class Tracer:
+    """Collects spans and events in deterministic emission order."""
+
+    enabled = True
+
+    def __init__(self):
+        self.spans: List[Span] = []
+        self.events: List[TraceEvent] = []
+        self._records: List = []        # spans + events, emission order
+        self._stack: List[Span] = []    # open logical-clock spans
+        self._next_id = 1
+        self._step = 0
+
+    # -- logical-clock spans ---------------------------------------------
+
+    def _tick(self) -> float:
+        self._step += 1
+        return float(self._step)
+
+    def span(self, name: str, **attrs) -> _SpanContext:
+        """Open a nested span on the logical step clock."""
+        parent = self._stack[-1].span_id if self._stack else None
+        span = Span(span_id=self._next_id, parent_id=parent, name=name,
+                    start=self._tick(), attrs=attrs)
+        self._next_id += 1
+        self._stack.append(span)
+        return _SpanContext(self, span)
+
+    def _finish(self, span: Span, error: bool = False) -> None:
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+        span.end = self._tick()
+        if error:
+            span.attrs["error"] = True
+        self.spans.append(span)
+        self._records.append(span)
+
+    # -- explicit virtual-time records -----------------------------------
+
+    def record(self, name: str, start: float, end: float,
+               parent_id: Optional[int] = None, **attrs) -> Span:
+        """Record a completed span with caller-supplied timestamps
+        (the farm's cycle clock)."""
+        span = Span(span_id=self._next_id, parent_id=parent_id,
+                    name=name, start=start, end=end, attrs=attrs)
+        self._next_id += 1
+        self.spans.append(span)
+        self._records.append(span)
+        return span
+
+    def event(self, name: str, time: float = _MISSING, **attrs) -> None:
+        """Record a point event (logical clock unless ``time`` given)."""
+        if time is _MISSING:
+            time = self._tick()
+        parent = self._stack[-1].span_id if self._stack else None
+        ev = TraceEvent(name=name, time=time, span_id=parent, attrs=attrs)
+        self.events.append(ev)
+        self._records.append(ev)
+
+    # -- export ----------------------------------------------------------
+
+    def records(self) -> List:
+        """Spans and events in the order they were emitted."""
+        return list(self._records)
+
+    def find_spans(self, name: str) -> List[Span]:
+        return [s for s in self.spans if s.name == name]
+
+    def clear(self) -> None:
+        self.spans.clear()
+        self.events.clear()
+        self._records.clear()
+        self._stack.clear()
+        self._next_id = 1
+        self._step = 0
+
+
+class _NullSpanContext:
+    """The one shared no-op context manager (allocates nothing)."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_CONTEXT = _NullSpanContext()
+
+
+class NullTracer(Tracer):
+    """Disabled tracing: every operation is a constant-cost no-op."""
+
+    enabled = False
+
+    def span(self, name: str, **attrs) -> _NullSpanContext:
+        return _NULL_CONTEXT
+
+    def record(self, name: str, start: float, end: float,
+               parent_id: Optional[int] = None, **attrs) -> None:
+        return None
+
+    def event(self, name: str, time: float = _MISSING, **attrs) -> None:
+        return None
+
+
+#: The process-wide disabled tracer.  Hot paths use ``tracer is
+#: NULL_TRACER`` as their "is tracing on?" check -- one identity
+#: comparison, no attribute lookups, no allocation.
+NULL_TRACER = NullTracer()
+
+_global_tracer: Tracer = NULL_TRACER
+
+
+def get_tracer() -> Tracer:
+    """The process-global tracer (:data:`NULL_TRACER` when disabled)."""
+    return _global_tracer
+
+
+def configure_tracing(tracer: Optional[Tracer] = None) -> Tracer:
+    """Enable tracing globally; installs (and returns) ``tracer`` or a
+    fresh :class:`Tracer`."""
+    global _global_tracer
+    _global_tracer = tracer if tracer is not None else Tracer()
+    return _global_tracer
+
+
+def reset_tracing() -> None:
+    """Disable tracing globally (back to the no-op singleton)."""
+    global _global_tracer
+    _global_tracer = NULL_TRACER
+
+
+def tracing_enabled() -> bool:
+    return _global_tracer is not NULL_TRACER

@@ -14,6 +14,7 @@ from typing import Optional
 from repro.crypto import modes
 from repro.crypto.hmac import hmac
 from repro.mp import DeterministicPrng
+from repro.obs import get_registry, get_tracer
 
 _ICV_LEN = 12  # HMAC-SHA1-96
 _REPLAY_WINDOW = 64
@@ -42,18 +43,24 @@ class EspSecurityAssociation:
 
     def seal(self, payload: bytes, next_header: int = 4) -> bytes:
         """Protect one packet (next_header=4: IP-in-IP tunnel mode)."""
-        self.send_seq += 1
-        if self.send_seq >= (1 << 32):
-            raise EspError("sequence number exhausted; rekey required")
-        bs = self.cipher.block_size
-        iv = self._prng.next_bytes(bs)
-        # RFC 2406 trailer: pad || pad length || next header.
-        pad_len = (-(len(payload) + 2)) % bs
-        trailer = bytes(range(1, pad_len + 1)) + bytes([pad_len, next_header])
-        ct = modes.cbc_encrypt(self.cipher, iv, payload + trailer)
-        header = struct.pack(">II", self.spi, self.send_seq)
-        body = header + iv + ct
-        icv = hmac(self.auth_key, body, "sha1")[:_ICV_LEN]
+        with get_tracer().span("esp.seal", spi=self.spi,
+                               bytes=len(payload)):
+            self.send_seq += 1
+            if self.send_seq >= (1 << 32):
+                raise EspError("sequence number exhausted; rekey required")
+            bs = self.cipher.block_size
+            iv = self._prng.next_bytes(bs)
+            # RFC 2406 trailer: pad || pad length || next header.
+            pad_len = (-(len(payload) + 2)) % bs
+            trailer = (bytes(range(1, pad_len + 1))
+                       + bytes([pad_len, next_header]))
+            ct = modes.cbc_encrypt(self.cipher, iv, payload + trailer)
+            header = struct.pack(">II", self.spi, self.send_seq)
+            body = header + iv + ct
+            icv = hmac(self.auth_key, body, "sha1")[:_ICV_LEN]
+        registry = get_registry()
+        registry.counter("esp.packets", direction="seal").inc()
+        registry.counter("esp.bytes", direction="seal").inc(len(payload))
         return body + icv
 
     # -- receive side ---------------------------------------------------------
@@ -76,22 +83,29 @@ class EspSecurityAssociation:
 
     def open(self, packet: bytes) -> bytes:
         """Verify, replay-check and decrypt one packet."""
-        bs = self.cipher.block_size
-        min_len = 8 + bs + bs + _ICV_LEN
-        if len(packet) < min_len:
-            raise EspError("packet too short")
-        body, icv = packet[:-_ICV_LEN], packet[-_ICV_LEN:]
-        if hmac(self.auth_key, body, "sha1")[:_ICV_LEN] != icv:
-            raise EspError("ICV verification failed")
-        spi, seq = struct.unpack(">II", body[:8])
-        if spi != self.spi:
-            raise EspError(f"unknown SPI {spi:#x}")
-        self._check_replay(seq)
-        iv = body[8: 8 + bs]
-        plaintext = modes.cbc_decrypt(self.cipher, iv, body[8 + bs:])
-        if len(plaintext) < 2:
-            raise EspError("decrypted payload too short")
-        pad_len = plaintext[-2]
-        if pad_len + 2 > len(plaintext):
-            raise EspError("bad pad length")
+        with get_tracer().span("esp.open", spi=self.spi,
+                               bytes=len(packet)):
+            bs = self.cipher.block_size
+            min_len = 8 + bs + bs + _ICV_LEN
+            if len(packet) < min_len:
+                raise EspError("packet too short")
+            body, icv = packet[:-_ICV_LEN], packet[-_ICV_LEN:]
+            if hmac(self.auth_key, body, "sha1")[:_ICV_LEN] != icv:
+                get_registry().counter("esp.icv_failures").inc()
+                raise EspError("ICV verification failed")
+            spi, seq = struct.unpack(">II", body[:8])
+            if spi != self.spi:
+                raise EspError(f"unknown SPI {spi:#x}")
+            self._check_replay(seq)
+            iv = body[8: 8 + bs]
+            plaintext = modes.cbc_decrypt(self.cipher, iv, body[8 + bs:])
+            if len(plaintext) < 2:
+                raise EspError("decrypted payload too short")
+            pad_len = plaintext[-2]
+            if pad_len + 2 > len(plaintext):
+                raise EspError("bad pad length")
+        registry = get_registry()
+        registry.counter("esp.packets", direction="open").inc()
+        registry.counter("esp.bytes", direction="open").inc(
+            len(plaintext) - pad_len - 2)
         return plaintext[: len(plaintext) - pad_len - 2]

@@ -16,6 +16,7 @@ from typing import Optional
 from repro.crypto.crc import crc32
 from repro.crypto.rc4 import Rc4
 from repro.mp import DeterministicPrng
+from repro.obs import get_registry, get_tracer
 
 
 class WepError(ValueError):
@@ -38,21 +39,30 @@ class WepPeer:
 
     def seal(self, payload: bytes, iv: Optional[bytes] = None) -> bytes:
         """Protect one frame; a fresh IV is drawn unless provided."""
-        iv = iv if iv is not None else self._next_iv()
-        if len(iv) != 3:
-            raise WepError("WEP IV must be 3 bytes")
-        icv = struct.pack("<I", crc32(payload))
-        keystream_cipher = Rc4(iv + self.key)
-        body = keystream_cipher.process(payload + icv)
+        with get_tracer().span("wep.seal", bytes=len(payload)):
+            iv = iv if iv is not None else self._next_iv()
+            if len(iv) != 3:
+                raise WepError("WEP IV must be 3 bytes")
+            icv = struct.pack("<I", crc32(payload))
+            keystream_cipher = Rc4(iv + self.key)
+            body = keystream_cipher.process(payload + icv)
+        registry = get_registry()
+        registry.counter("wep.frames", direction="seal").inc()
+        registry.counter("wep.bytes", direction="seal").inc(len(payload))
         return iv + b"\x00" + body
 
     def open(self, frame: bytes) -> bytes:
         """Verify and decrypt one frame."""
-        if len(frame) < 8:
-            raise WepError("frame too short")
-        iv, body = frame[:3], frame[4:]
-        plaintext = Rc4(iv + self.key).process(body)
-        payload, icv = plaintext[:-4], plaintext[-4:]
-        if struct.pack("<I", crc32(payload)) != icv:
-            raise WepError("ICV check failed")
+        with get_tracer().span("wep.open", bytes=len(frame)):
+            if len(frame) < 8:
+                raise WepError("frame too short")
+            iv, body = frame[:3], frame[4:]
+            plaintext = Rc4(iv + self.key).process(body)
+            payload, icv = plaintext[:-4], plaintext[-4:]
+            if struct.pack("<I", crc32(payload)) != icv:
+                get_registry().counter("wep.icv_failures").inc()
+                raise WepError("ICV check failed")
+        registry = get_registry()
+        registry.counter("wep.frames", direction="open").inc()
+        registry.counter("wep.bytes", direction="open").inc(len(payload))
         return payload

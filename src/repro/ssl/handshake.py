@@ -146,19 +146,24 @@ def run_handshake(client: SslClient, server: SslServer,
     if cipher_name not in _CIPHERS:
         raise ValueError(f"unknown cipher suite {cipher_name!r}")
     prng = prng or DeterministicPrng(0x5E44)
-    client_hello = client.hello()
-    server_random, server_public = server.hello(client_hello, prng)
-    premaster, encrypted, signature = client.key_exchange(
-        server_random, server_public)
-    server_premaster = server.receive_key_exchange(
-        encrypted, signature, client.keypair.public)
-    if server_premaster != premaster:
-        raise ValueError("premaster secrets diverged")
-    master = ssl3_expand(premaster, client_hello + server_random, 48)
-    keys = derive_keys(master, client_hello, server_random, cipher_name)
-    # Finished verification: both sides MAC the same transcript.
-    if server.finished_mac(master) != sha1(master + client.transcript):
-        raise ValueError("Finished MAC mismatch")
+    from repro.obs import get_registry, get_tracer
+    get_registry().counter("ssl.handshakes", resumed="false").inc()
+    with get_tracer().span("ssl.handshake", cipher=cipher_name,
+                           resumed=False):
+        client_hello = client.hello()
+        server_random, server_public = server.hello(client_hello, prng)
+        premaster, encrypted, signature = client.key_exchange(
+            server_random, server_public)
+        server_premaster = server.receive_key_exchange(
+            encrypted, signature, client.keypair.public)
+        if server_premaster != premaster:
+            raise ValueError("premaster secrets diverged")
+        master = ssl3_expand(premaster, client_hello + server_random, 48)
+        keys = derive_keys(master, client_hello, server_random,
+                           cipher_name)
+        # Finished verification: both sides MAC the same transcript.
+        if server.finished_mac(master) != sha1(master + client.transcript):
+            raise ValueError("Finished MAC mismatch")
     return HandshakeResult(keys=keys, master=master,
                            client_random=client_hello,
                            server_random=server_random,
@@ -178,10 +183,14 @@ def run_resumed_handshake(prior: HandshakeResult,
     transactions.
     """
     prng = prng or DeterministicPrng(0x4E5)
-    client_random = prng.next_bytes(32)
-    server_random = prng.next_bytes(32)
-    keys = derive_keys(prior.master, client_random, server_random,
-                       prior.cipher_name)
+    from repro.obs import get_registry, get_tracer
+    get_registry().counter("ssl.handshakes", resumed="true").inc()
+    with get_tracer().span("ssl.handshake", cipher=prior.cipher_name,
+                           resumed=True):
+        client_random = prng.next_bytes(32)
+        server_random = prng.next_bytes(32)
+        keys = derive_keys(prior.master, client_random, server_random,
+                           prior.cipher_name)
     return HandshakeResult(keys=keys, master=prior.master,
                            client_random=client_random,
                            server_random=server_random,

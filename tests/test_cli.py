@@ -26,6 +26,9 @@ class TestParser:
         ["ssl", "--json"],
         ["ssl", "--cache-dir", "/tmp/store"],
         ["farm", "--no-cache"],
+        ["farm", "--trace-out", "trace.jsonl", "--metrics"],
+        ["ssl", "--metrics"],
+        ["characterize", "--trace-out", "trace.jsonl"],
         ["callgraph", "--bits", "128"],
         ["farm"],
         ["farm", "--cores", "8", "--requests", "100", "--seed", "2",
@@ -59,10 +62,14 @@ class TestExecution:
         assert main(["farm", "--cores", "2", "--requests", "40",
                      "--seed", "1", "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
-        assert {m["scheduler"] for m in payload["schedulers"]} == \
+        assert payload["command"] == "farm"
+        assert payload["params"]["cores"] == 2
+        assert payload["params"]["requests"] == 40
+        results = payload["results"]
+        assert {m["scheduler"] for m in results["schedulers"]} == \
             {"round-robin", "least-loaded", "preferential"}
-        assert len(payload["cores"]) == 2
-        assert payload["capacity"]
+        assert len(results["cores"]) == 2
+        assert results["capacity"]
 
     def test_explore_with_saved_models(self, tmp_path, capsys):
         out = tmp_path / "models.json"
@@ -77,8 +84,10 @@ class TestExecution:
         import json
         assert main(["characterize", "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
-        assert payload["platform"] == "base"
-        assert "mpn_addmul_1" in payload["models"]
+        assert payload["command"] == "characterize"
+        assert payload["params"]["ext"] is False
+        assert payload["results"]["platform"] == "base"
+        assert "mpn_addmul_1" in payload["results"]["models"]
 
     def test_explore_json(self, tmp_path, capsys):
         import json
@@ -88,20 +97,24 @@ class TestExecution:
         assert main(["explore", "--models", str(out), "--stride", "150",
                      "--top", "2", "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
-        assert payload["bits"] == 512
-        assert payload["candidates_evaluated"] == 3
-        assert len(payload["top"]) == 2
-        top = payload["top"][0]
+        assert payload["command"] == "explore"
+        results = payload["results"]
+        assert results["bits"] == 512
+        assert results["candidates_evaluated"] == 3
+        assert len(results["top"]) == 2
+        top = results["top"][0]
         assert top["correct"] and top["estimated_cycles"] > 0
 
     def test_speedups_json(self, capsys):
         import json
         assert main(["speedups", "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
-        assert payload["base"]["name"] == "base"
-        assert payload["optimized"]["ecdh_cycles"] > 0
+        assert payload["command"] == "speedups"
+        results = payload["results"]
+        assert results["base"]["name"] == "base"
+        assert results["optimized"]["ecdh_cycles"] > 0
         for algo in ("des", "3des", "aes", "rsa_public", "rsa_private"):
-            assert payload["speedups"][algo] > 1.0
+            assert results["speedups"][algo] > 1.0
 
     def test_ssl_uses_cache_dir(self, tmp_path, capsys):
         import json
@@ -109,7 +122,54 @@ class TestExecution:
         assert main(["ssl", "--sizes", "1", "--json",
                      "--cache-dir", str(tmp_path)]) == 0
         payload = json.loads(capsys.readouterr().out)
-        assert payload["rows"][0]["speedup"] > 1.0
+        assert payload["results"]["rows"][0]["speedup"] > 1.0
         stored = [f for f in os.listdir(tmp_path)
                   if f.startswith("models-") and f.endswith(".json")]
         assert len(stored) == 2    # base + extended platform entries
+
+    def test_every_json_payload_uses_the_envelope(self, capsys):
+        """The schema contract: every --json subcommand emits exactly
+        {"command", "params", "results"} at the top level."""
+        import json
+        for argv in (["characterize", "--json"],
+                     ["speedups", "--json"],
+                     ["ssl", "--sizes", "1", "--json"],
+                     ["farm", "--cores", "2", "--requests", "20",
+                      "--json"]):
+            assert main(argv) == 0
+            payload = json.loads(capsys.readouterr().out)
+            assert sorted(payload) == ["command", "params", "results"]
+            assert payload["command"] == argv[0]
+
+    def test_farm_trace_out_writes_jsonl(self, tmp_path, capsys):
+        import json
+        trace = tmp_path / "trace.jsonl"
+        assert main(["farm", "--cores", "2", "--requests", "30",
+                     "--seed", "3", "--trace-out", str(trace),
+                     "--metrics", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        metrics = payload["results"]["metrics"]
+        assert metrics["farm.requests.completed"
+                       "{scheduler=preferential}"]["value"] == 30
+        records = [json.loads(line)
+                   for line in trace.read_text().splitlines()]
+        spans = [r for r in records
+                 if r["kind"] == "span" and r["name"] == "farm.request"]
+        # One span per request per scheduler run.
+        assert len(spans) == 3 * 30
+        assert {s["attrs"]["scheduler"] for s in spans} == \
+            {"round-robin", "least-loaded", "preferential"}
+        depth_events = [r for r in records
+                        if r["kind"] == "event"
+                        and r["name"] == "farm.core.queue_depth"]
+        assert depth_events
+
+    def test_characterize_metrics_reports_cache_and_fit(self, capsys):
+        import json
+        assert main(["characterize", "--json", "--metrics"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        metrics = payload["results"]["metrics"]
+        cache_keys = [k for k in metrics if k.startswith("costs.cache.")]
+        assert cache_keys
+        total = sum(metrics[k]["value"] for k in cache_keys)
+        assert total >= 1   # hit or characterization, depending on state

@@ -10,7 +10,7 @@ from repro.macromodel import characterize_platform
 from repro.ssl.throughput import (bulk_cycles_per_byte, feasibility,
                                   feasibility_table, max_secure_rate,
                                   RATE_TARGETS)
-from repro.ssl.transaction import PlatformCosts
+from repro.costs import PlatformCosts
 
 
 class TestHardwareConfig:

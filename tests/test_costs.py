@@ -40,9 +40,20 @@ def counted_characterize(monkeypatch):
 class TestCompatReexports:
     def test_platformcosts_import_paths_are_one_class(self):
         from repro.costs import PlatformCosts as from_costs
-        from repro.ssl import PlatformCosts as from_ssl
-        from repro.ssl.transaction import PlatformCosts as from_transaction
+        with pytest.warns(DeprecationWarning, match="repro.costs"):
+            from repro.ssl import PlatformCosts as from_ssl
+        with pytest.warns(DeprecationWarning, match="repro.costs"):
+            from repro.ssl.transaction import PlatformCosts as from_transaction
         assert from_costs is from_ssl is from_transaction
+
+    def test_protocol_constants_shimmed_with_warning(self):
+        import repro.costs
+        import repro.ssl.transaction as txn
+        with pytest.warns(DeprecationWarning, match="repro.costs"):
+            assert txn.PROTOCOL_FIXED_CYCLES == \
+                repro.costs.PROTOCOL_FIXED_CYCLES
+        with pytest.raises(AttributeError):
+            txn.does_not_exist
 
     def test_workload_constants_still_importable(self):
         from repro.farm.workload import (CRC32_CYCLES_PER_BYTE,
@@ -175,13 +186,13 @@ class TestSharedCostBuild:
                      "--cache-dir", str(tmp_path)]) == 0
         cold = len(counted_characterize)
         assert cold == 2        # base + extended, exactly once each
-        assert json.loads(capsys.readouterr().out)["rows"]
+        assert json.loads(capsys.readouterr().out)["results"]["rows"]
         # Simulate a new process against the warm store.
         reset_cache()
         assert main(["ssl", "--sizes", "1", "--json",
                      "--cache-dir", str(tmp_path)]) == 0
         assert len(counted_characterize) == cold   # zero new passes
-        assert json.loads(capsys.readouterr().out)["rows"]
+        assert json.loads(capsys.readouterr().out)["results"]["rows"]
 
 
 class TestPlatformCostsVocabulary:

@@ -10,7 +10,8 @@ from repro.mp import DeterministicPrng
 from repro.ssl import fixtures
 from repro.ssl.handshake import (SslClient, SslServer, make_record_channels,
                                  run_handshake, run_resumed_handshake)
-from repro.ssl.transaction import PlatformCosts, SslWorkloadModel
+from repro.costs import PlatformCosts
+from repro.ssl.transaction import SslWorkloadModel
 
 MOD = (1 << 192) + 0x4BD
 

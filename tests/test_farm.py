@@ -17,7 +17,7 @@ from repro.farm import (FarmSimulator, LeastLoadedScheduler,
                         specs_as_configs, summarize)
 from repro.farm.simulator import BASE_CORE_GATES, extension_gates
 from repro.ssl.throughput import DEFAULT_CLOCK_HZ
-from repro.ssl.transaction import PlatformCosts
+from repro.costs import PlatformCosts
 
 #: Frozen measured unit costs (same figures the benches reproduce);
 #: the ECDH figures are what PlatformCosts.measure computes through

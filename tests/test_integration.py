@@ -16,7 +16,8 @@ from repro.platform import SecurityPlatform
 from repro.ssl import fixtures
 from repro.ssl.handshake import (SslClient, SslServer, make_record_channels,
                                  run_handshake, run_resumed_handshake)
-from repro.ssl.transaction import PlatformCosts, SslWorkloadModel
+from repro.costs import PlatformCosts
+from repro.ssl.transaction import SslWorkloadModel
 from repro.tie.callgraph import CallGraph
 from repro.tie.formulation import adcurve_mpn_add_n, adcurve_mpn_addmul_1
 from repro.tie.selection import select_point

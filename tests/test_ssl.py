@@ -9,8 +9,8 @@ from repro.ssl.handshake import (SslClient, SslServer, derive_keys,
                                  make_record_channels, run_handshake,
                                  ssl3_expand)
 from repro.ssl.record import RecordError, RecordLayer
-from repro.ssl.transaction import (PlatformCosts, SslWorkloadModel,
-                                   TransactionBreakdown)
+from repro.costs import PlatformCosts
+from repro.ssl.transaction import SslWorkloadModel, TransactionBreakdown
 
 
 def fresh_pair(seed=1):

@@ -9,7 +9,7 @@ import pytest
 from repro.ssl.throughput import (DEFAULT_CLOCK_HZ, RATE_TARGETS,
                                   bulk_cycles_per_byte, feasibility,
                                   feasibility_table, max_secure_rate)
-from repro.ssl.transaction import PlatformCosts
+from repro.costs import PlatformCosts
 
 BASE_COSTS = PlatformCosts(
     name="base", rsa_public_cycles=631103.0,
