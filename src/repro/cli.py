@@ -8,6 +8,10 @@
     python -m repro callgraph [--bits 256]
     python -m repro farm [--cores 4] [--requests 200] [--seed 1]
                          [--rate 60] [--extended-fraction 0.5] [--json]
+    python -m repro profile --trace trace.jsonl [--top 20]
+                            [--group-by scheduler] [--folded out.folded]
+    python -m repro bench [--scenario NAME]... [--dir DIR]
+                          [--check] [--report FILE]
 
 Each subcommand runs one phase of the paper's methodology and prints
 the corresponding report; ``--json`` swaps the table for a
@@ -23,10 +27,16 @@ the process, and ``--cache-dir DIR`` (or ``$REPRO_COSTS_CACHE_DIR``)
 persists it on disk so repeated runs characterize zero times.
 ``--no-cache`` forces a fresh characterization.
 
-Observability (``farm``, ``ssl``, ``characterize``): ``--trace-out
-FILE`` enables the process-global :mod:`repro.obs` tracer and writes a
-deterministic JSON-lines event log; ``--metrics`` adds the metrics
-summary to the report (under ``results.metrics`` with ``--json``).
+Observability (``farm``, ``ssl``, ``characterize``, ``explore``,
+``speedups``): ``--trace-out FILE`` enables the process-global
+:mod:`repro.obs` tracer and writes a deterministic JSON-lines event
+log; ``--metrics`` adds the metrics summary to the report (under
+``results.metrics`` with ``--json``); ``--profile FILE`` additionally
+reduces the run's span tree to a cycle-attribution profile
+(:class:`repro.obs.CycleProfile`), written as JSON with a top-10 table
+on stdout.  ``profile`` analyses a saved trace log offline; ``bench``
+records ``BENCH_<scenario>.json`` baselines and ``bench --check``
+gates the current tree against them.
 """
 
 import argparse
@@ -61,33 +71,47 @@ def _configure_cache(args) -> None:
 
 
 def _setup_obs(args) -> None:
-    """Apply the shared ``--trace-out``/``--metrics`` flags.
+    """Apply the shared ``--trace-out``/``--metrics``/``--profile``
+    flags.
 
     A fresh metrics registry and (when requested) a fresh tracer are
     installed globally so the run's summary reflects this invocation
-    only, however the process was reused.
+    only, however the process was reused.  ``--profile`` needs the
+    span tree, so it enables tracing even without ``--trace-out``.
     """
     from repro.obs import configure_tracing, reset_metrics, reset_tracing
     reset_metrics()
-    if getattr(args, "trace_out", None):
+    if getattr(args, "trace_out", None) or getattr(args, "profile", None):
         configure_tracing()
     else:
         reset_tracing()
 
 
 def _finish_obs(args, results=None):
-    """Write the trace log; fold the metrics summary into the report.
+    """Write the trace log and profile; fold the metrics summary into
+    the report.
 
     Returns the metrics summary dict (or ``None``); with ``results``
     given (the JSON path) it is also attached as ``results["metrics"]``.
     """
-    from repro.obs import (get_registry, get_tracer, metrics_summary,
-                           render_metrics, write_events_jsonl)
+    from repro.obs import (CycleProfile, get_registry, get_tracer,
+                           metrics_summary, render_metrics,
+                           write_events_jsonl)
     trace_out = getattr(args, "trace_out", None)
     if trace_out:
         written = write_events_jsonl(get_tracer(), trace_out)
         if not args.json:
             print(f"wrote {written} trace records to {trace_out}")
+    profile_out = getattr(args, "profile", None)
+    if profile_out:
+        profile = CycleProfile.from_tracer(get_tracer())
+        with open(profile_out, "w") as fh:
+            json.dump(profile.as_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        if not args.json:
+            print("\ncycle attribution (top 10 by self cycles):")
+            print(profile.render_top(10))
+            print(f"wrote profile to {profile_out}")
     if not getattr(args, "metrics", False):
         return None
     summary = metrics_summary(get_registry())
@@ -157,6 +181,7 @@ def _cmd_explore(args) -> int:
     from repro.macromodel.persist import load_modelset
 
     _configure_cache(args)
+    _setup_obs(args)
     models = (load_modelset(args.models) if args.models
               else characterize_cached())
     workload = (RsaDecryptWorkload.bits1024() if args.bits == 1024
@@ -170,28 +195,44 @@ def _cmd_explore(args) -> int:
     results = explorer.explore(configs)
     elapsed = time.perf_counter() - start
     if args.json:
-        return _print_json(args, {
+        payload = {
             "bits": args.bits,
             "candidates_evaluated": len(results),
             "wall_seconds": elapsed,
             "top": [r.as_dict() for r in results[: args.top]],
-        })
+        }
+        _finish_obs(args, payload)
+        return _print_json(args, payload)
     print(f"done in {elapsed:.0f}s\n")
     for result in results[: args.top]:
         print(f"  {result.estimated_cycles / 1e6:8.2f}M  {result.label}")
+    _finish_obs(args)
     return 0
 
 
 def _cmd_speedups(args) -> int:
+    from repro.obs import get_registry, get_tracer
+
     _configure_cache(args)
-    base_p, opt_p, base, opt = _measured_cost_pair(announce=not args.json)
+    _setup_obs(args)
+    tracer = get_tracer()
+    with tracer.span("speedups.measure"):
+        base_p, opt_p, base, opt = _measured_cost_pair(
+            announce=not args.json)
+    registry = get_registry()
     ciphers = {}
     for algo in ("des", "3des", "aes"):
-        b = base_p.cipher_cycles_per_byte(algo)
-        o = opt_p.cipher_cycles_per_byte(algo)
+        with tracer.span("speedups.cipher", algo=algo):
+            b = base_p.cipher_cycles_per_byte(algo)
+            o = opt_p.cipher_cycles_per_byte(algo)
         ciphers[algo] = (b, o)
+        registry.gauge("speedups.speedup", algo=algo).set(b / o)
+    registry.gauge("speedups.speedup", algo="rsa_public").set(
+        base.rsa_public_cycles / opt.rsa_public_cycles)
+    registry.gauge("speedups.speedup", algo="rsa_private").set(
+        base.rsa_private_cycles / opt.rsa_private_cycles)
     if args.json:
-        return _print_json(args, {
+        payload = {
             "base": base.as_dict(),
             "optimized": opt.as_dict(),
             "speedups": dict(
@@ -199,7 +240,9 @@ def _cmd_speedups(args) -> int:
                 rsa_public=base.rsa_public_cycles / opt.rsa_public_cycles,
                 rsa_private=(base.rsa_private_cycles
                              / opt.rsa_private_cycles)),
-        })
+        }
+        _finish_obs(args, payload)
+        return _print_json(args, payload)
     print(f"\n{'algorithm':10s} {'base':>12s} {'optimized':>12s} "
           f"{'speedup':>8s}")
     for algo, (b, o) in ciphers.items():
@@ -210,6 +253,7 @@ def _cmd_speedups(args) -> int:
     print(f"{'RSA dec':10s} {base.rsa_private_cycles:11.0f}c "
           f"{opt.rsa_private_cycles:11.0f}c "
           f"{base.rsa_private_cycles / opt.rsa_private_cycles:7.1f}x")
+    _finish_obs(args)
     return 0
 
 
@@ -336,6 +380,74 @@ def _cmd_callgraph(args) -> int:
     return 0
 
 
+def _cmd_profile(args) -> int:
+    from repro.obs import CycleProfile, read_events_jsonl
+
+    try:
+        tracer = read_events_jsonl(args.trace)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"error: cannot read trace {args.trace}: {exc}",
+              file=sys.stderr)
+        return 2
+    group_by = tuple(a for a in args.group_by.split(",") if a)
+    profile = CycleProfile.from_tracer(tracer, group_by=group_by)
+    if args.folded:
+        with open(args.folded, "w") as fh:
+            for line in profile.folded():
+                fh.write(line + "\n")
+    if args.json:
+        return _print_json(args, profile.as_dict())
+    print(f"{len(tracer.spans)} spans, "
+          f"{profile.total_cycles():.0f} cycles attributed")
+    print(profile.render_top(args.top))
+    if args.folded:
+        print(f"wrote folded stacks to {args.folded} "
+              f"(feed to flamegraph.pl)")
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from repro.obs import bench
+
+    _configure_cache(args)
+    names = args.scenario or bench.scenario_names()
+    try:
+        for name in names:
+            bench.get_scenario(name)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    if args.check:
+        reports, ok = bench.check_scenarios(args.dir, names)
+        payload = {"ok": ok,
+                   "scenarios": [r.as_dict() for r in reports]}
+        if args.report:
+            with open(args.report, "w") as fh:
+                json.dump(payload, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+        if args.json:
+            _print_json(args, payload)
+        else:
+            print(bench.render_report(reports, verbose=args.verbose))
+            print(f"bench gate: "
+                  f"{'ok' if ok else 'REGRESSIONS DETECTED'}")
+            if args.report:
+                print(f"wrote report to {args.report}")
+        return 0 if ok else 1
+
+    results = {}
+    for name in names:
+        metrics = bench.run_scenario(name)
+        path = bench.write_baseline(args.dir, name, metrics)
+        results[name] = {"path": path, "metrics": metrics}
+        if not args.json:
+            print(f"recorded {name}: {len(metrics)} metrics -> {path}")
+    if args.json:
+        return _print_json(args, results)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     from repro.costs.cache import CACHE_DIR_ENV
 
@@ -363,6 +475,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics", action="store_true",
         help="report the metrics summary (under results.metrics with "
              "--json)")
+    obs_flags.add_argument(
+        "--profile", metavar="FILE",
+        help="enable tracing and write the run's cycle-attribution "
+             "profile here as JSON (prints a top-10 table too)")
 
     p = sub.add_parser("characterize", parents=[cache_flags, obs_flags],
                        help="fit leaf-routine macro-models")
@@ -375,7 +491,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="emit the fitted model set as JSON")
     p.set_defaults(func=_cmd_characterize)
 
-    p = sub.add_parser("explore", parents=[cache_flags],
+    p = sub.add_parser("explore", parents=[cache_flags, obs_flags],
                        help="explore the modexp design space")
     p.add_argument("--models", help="JSON macro-models (else characterize)")
     p.add_argument("--bits", type=int, default=512, choices=(512, 1024))
@@ -386,7 +502,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="emit the ranked candidates as JSON")
     p.set_defaults(func=_cmd_explore)
 
-    p = sub.add_parser("speedups", parents=[cache_flags],
+    p = sub.add_parser("speedups", parents=[cache_flags, obs_flags],
                        help="Table 1: per-algorithm speedups")
     p.add_argument("--json", action="store_true",
                    help="emit unit costs and speedups as JSON")
@@ -418,6 +534,42 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("callgraph", help="Figure 4: profile a modexp")
     p.add_argument("--bits", type=int, default=256)
     p.set_defaults(func=_cmd_callgraph)
+
+    p = sub.add_parser("profile",
+                       help="cycle-attribution profile of a trace log")
+    p.add_argument("--trace", required=True, metavar="FILE",
+                   help="JSON-lines trace written by --trace-out")
+    p.add_argument("--top", type=int, default=20,
+                   help="rows in the hot-path table")
+    p.add_argument("--group-by", default="",
+                   help="comma-separated span attrs that split call "
+                        "paths (e.g. scheduler,protocol)")
+    p.add_argument("--folded", metavar="FILE",
+                   help="write folded-stack lines for flamegraph.pl")
+    p.add_argument("--json", action="store_true",
+                   help="emit the profile tree as JSON")
+    p.set_defaults(func=_cmd_profile)
+
+    from repro.obs.bench import DEFAULT_BASELINE_DIR
+    p = sub.add_parser("bench", parents=[cache_flags],
+                       help="record or gate benchmark baselines")
+    p.add_argument("--scenario", action="append", metavar="NAME",
+                   help="run only this scenario (repeatable; default "
+                        "all)")
+    p.add_argument("--dir", default=DEFAULT_BASELINE_DIR,
+                   help="baseline directory holding BENCH_<name>.json")
+    p.add_argument("--check", action="store_true",
+                   help="compare against committed baselines and exit "
+                        "non-zero on regressions")
+    p.add_argument("--report", metavar="FILE",
+                   help="with --check: write the JSON diff report here")
+    p.add_argument("--verbose", action="store_true",
+                   help="with --check: show every metric row, not just "
+                        "regressions")
+    p.add_argument("--json", action="store_true",
+                   help="emit scenario metrics / the gate report as "
+                        "JSON")
+    p.set_defaults(func=_cmd_bench)
 
     return parser
 

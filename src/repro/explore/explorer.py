@@ -14,6 +14,7 @@ from typing import Callable, Iterable, List, Optional
 from repro.crypto.modexp import ModExpConfig, ModExpEngine, iter_configs
 from repro.crypto.rsa import RsaKeyPair
 from repro.macromodel import MacroModelSet, estimate_cycles
+from repro.obs import get_registry, get_tracer
 from repro.ssl import fixtures
 
 
@@ -89,13 +90,23 @@ class AlgorithmExplorer:
                 progress: Optional[Callable[[int, ExplorationResult], None]]
                 = None) -> List[ExplorationResult]:
         """Evaluate candidates (the full 450 by default); best first."""
+        tracer = get_tracer()
+        registry = get_registry()
         results = []
-        for index, config in enumerate(configs or iter_configs()):
-            result = self.evaluate(config)
-            results.append(result)
-            if progress is not None:
-                progress(index, result)
+        with tracer.span("explore.run"):
+            for index, config in enumerate(configs or iter_configs()):
+                with tracer.span("explore.candidate",
+                                 label=config.label()):
+                    result = self.evaluate(config)
+                registry.counter("explore.candidates").inc()
+                if result.correct:
+                    registry.counter("explore.candidates_correct").inc()
+                results.append(result)
+                if progress is not None:
+                    progress(index, result)
         results.sort(key=lambda r: r.estimated_cycles)
+        registry.gauge("explore.best_cycles").set(
+            results[0].estimated_cycles if results else 0.0)
         return results
 
     @staticmethod

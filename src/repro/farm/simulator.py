@@ -144,8 +144,13 @@ class FarmSimulator:
     """Event-driven farm simulator (arrivals in, completions out).
 
     Observability is opt-in: pass a :class:`repro.obs.Tracer` to get a
-    ``farm.request`` span per completion (enqueue/start/finish stamped
-    on the farm's cycle clock) plus ``farm.core.queue_depth`` events
+    span *tree* on the farm's cycle clock -- one ``farm.run`` root per
+    simulation covering ``[0, makespan]``, a ``farm.request`` child
+    per completion (enqueue/start/finish stamped on the cycle clock),
+    and ``farm.wait`` / ``farm.service`` grandchildren splitting each
+    request's latency into queueing and service time, which is what
+    the :class:`repro.obs.CycleProfile` profiler attributes cycles
+    over -- plus ``farm.core.queue_depth`` events
     whenever a run queue changes length, and a
     :class:`repro.obs.MetricsRegistry` for cache hit/miss counters,
     latency histograms, and per-core utilization gauges.  With neither
@@ -176,6 +181,12 @@ class FarmSimulator:
         # comparison per run, not per event (regression-tested).
         trace = tracer is not NULL_TRACER
         sched_name = getattr(self.scheduler, "name", "?")
+        # The run's root span: opened now so request spans can parent
+        # to it, closed at the makespan once the heap drains.
+        root = (tracer.open_virtual("farm.run", 0.0,
+                                    scheduler=sched_name)
+                if trace else None)
+        root_id = root.span_id if trace else None
         heap: List[Tuple[float, int, int, int]] = []
         for request in requests:
             # (time, kind, seq, core): arrivals sort before completions
@@ -218,9 +229,10 @@ class FarmSimulator:
                     core.cache.store(farm_session(request.client_id))
                 core.current = None
                 if trace:
-                    tracer.record(
+                    span = tracer.record(
                         "farm.request", start=request.arrival_cycle,
-                        end=now, scheduler=sched_name, seq=request.seq,
+                        end=now, parent_id=root_id,
+                        scheduler=sched_name, seq=request.seq,
                         protocol=request.protocol,
                         client_id=request.client_id, core=core_index,
                         resumed=request.resumed, cache_hit=hit,
@@ -229,9 +241,24 @@ class FarmSimulator:
                         service_cycles=service,
                         queue_cycles=start - request.arrival_cycle,
                         size_bytes=request.size_bytes)
+                    # Wait/service children tile the request span
+                    # exactly, so the profiler attributes every
+                    # latency cycle to queueing or service.
+                    tracer.record("farm.wait",
+                                  start=request.arrival_cycle,
+                                  end=start, parent_id=span.span_id,
+                                  core=core_index,
+                                  protocol=request.protocol)
+                    tracer.record("farm.service", start=start, end=now,
+                                  parent_id=span.span_id,
+                                  core=core_index,
+                                  protocol=request.protocol,
+                                  cache_hit=hit)
                 if core.queue:
                     self._start_next(core, now, heap, starts, tracer,
                                      trace)
+        if trace:
+            tracer.close_virtual(root, makespan)
         result = FarmResult(completions=completions, cores=cores,
                             makespan_cycles=makespan,
                             clock_hz=self.clock_hz,

@@ -16,8 +16,17 @@ justify itself:
   elsewhere), and the process-global tracer is a shared
   :data:`NULL_TRACER` no-op when disabled so hot loops pay one
   identity check;
-- :mod:`repro.obs.export`  -- JSON-lines event logs and the text/JSON
-  summaries the CLI's ``--trace-out``/``--metrics`` flags emit.
+- :mod:`repro.obs.export`  -- JSON-lines event logs (write *and*
+  read) and the text / JSON / Prometheus summaries the CLI's
+  ``--trace-out``/``--metrics`` flags emit;
+- :mod:`repro.obs.profile` -- the hierarchical cycle-attribution
+  profiler: :class:`CycleProfile` merges any tracer's span tree by
+  call path into exact self/cumulative cycle accounting, also
+  buildable from annotated call graphs and raw ISS profiles, with
+  top-N tables, JSON, and folded-stack (flamegraph) exports;
+- :mod:`repro.obs.bench`   -- deterministic benchmark scenarios and
+  the ``BENCH_<scenario>.json`` baseline / regression gate behind
+  ``python -m repro bench [--check]``.
 
 Instrumented layers: :mod:`repro.farm.simulator` (per-request spans,
 queue-depth timelines, session-cache counters), :mod:`repro.costs`
@@ -35,14 +44,16 @@ from repro.obs.metrics import (Counter, DEFAULT_LATENCY_MS_EDGES, Gauge,
 from repro.obs.trace import (NULL_TRACER, NullTracer, Span, Tracer,
                              configure_tracing, get_tracer,
                              reset_tracing, tracing_enabled)
-from repro.obs.export import (metrics_summary, render_metrics,
-                              write_events_jsonl)
+from repro.obs.export import (metrics_summary, read_events_jsonl,
+                              render_metrics, write_events_jsonl)
+from repro.obs.profile import CycleProfile, ProfileNode
 
 __all__ = [
-    "Counter", "DEFAULT_LATENCY_MS_EDGES", "Gauge", "Histogram",
-    "MetricsRegistry", "NULL_TRACER", "NullTracer", "Span", "Tracer",
-    "configure_tracing", "get_registry", "get_tracer",
-    "metrics_summary", "render_metrics", "reset_metrics",
+    "Counter", "CycleProfile", "DEFAULT_LATENCY_MS_EDGES", "Gauge",
+    "Histogram", "MetricsRegistry", "NULL_TRACER", "NullTracer",
+    "ProfileNode", "Span", "Tracer", "configure_tracing",
+    "get_registry", "get_tracer", "metrics_summary",
+    "read_events_jsonl", "render_metrics", "reset_metrics",
     "reset_tracing", "set_registry", "tracing_enabled",
     "write_events_jsonl",
 ]

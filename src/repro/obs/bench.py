@@ -1,0 +1,465 @@
+"""Deterministic benchmark scenarios and the regression gate.
+
+A :class:`Scenario` is a named, zero-argument callable producing a
+flat metrics dict from the existing estimators and simulators -- cycle
+counts and model outputs only, never wall-clock or unseeded
+randomness, so a scenario's metrics are **byte-stable across machines
+and runs**.  Baselines are committed as ``BENCH_<scenario>.json``
+files; ``python -m repro bench --check`` re-runs the scenarios,
+compares each gated metric against its committed baseline with a
+per-metric :class:`Gate` (relative tolerance + which direction is
+better), and exits non-zero on any regression.  That is what lets
+every later performance PR be justified -- and gated -- by numbers.
+
+The framework here (registry, baseline I/O, comparison) imports
+nothing outside :mod:`repro.obs`; the built-in scenarios lazily import
+the layers they measure inside their run functions, so ``repro.obs``
+stays cycle-free.
+"""
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+__all__ = ["BASELINE_SCHEMA", "DEFAULT_BASELINE_DIR", "Gate",
+           "MetricDiff", "Scenario", "ScenarioReport", "baseline_filename",
+           "baseline_path", "check_scenarios", "compare_metrics",
+           "get_scenario", "load_baseline", "register_scenario",
+           "render_report", "run_scenario", "scenario_names",
+           "write_baseline"]
+
+BASELINE_SCHEMA = 1
+
+#: Where the committed baselines live, relative to the repo root (the
+#: CLI's ``--dir`` default).
+DEFAULT_BASELINE_DIR = os.path.join("benchmarks", "baselines")
+
+
+@dataclass(frozen=True)
+class Gate:
+    """Pass/fail policy for one metric.
+
+    ``direction`` says which way is better; a current value that is
+    worse than ``baseline * (1 +/- tolerance)`` is a regression.
+    ``tolerance`` is relative (0.10 == 10%); 0.0 demands exactness,
+    which deterministic metrics can honestly promise.
+    """
+
+    tolerance: float = 0.0
+    direction: str = "lower"     # "lower" or "higher" is better
+
+    def __post_init__(self):
+        if self.direction not in ("lower", "higher"):
+            raise ValueError("direction must be 'lower' or 'higher'")
+        if self.tolerance < 0:
+            raise ValueError("tolerance must be non-negative")
+
+    def regressed(self, baseline: float, current: float) -> bool:
+        if self.direction == "lower":
+            return current > baseline * (1.0 + self.tolerance) + 1e-12
+        return current < baseline * (1.0 - self.tolerance) - 1e-12
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One named benchmark: a deterministic metrics producer + gates."""
+
+    name: str
+    description: str
+    run: Callable[[], Dict[str, object]]
+    gates: Mapping[str, Gate] = field(default_factory=dict)
+
+
+_SCENARIOS: Dict[str, Scenario] = {}
+
+
+def register_scenario(scenario: Scenario) -> Scenario:
+    """Add (or replace) a scenario in the process-global registry."""
+    _SCENARIOS[scenario.name] = scenario
+    return scenario
+
+
+def scenario_names() -> List[str]:
+    return sorted(_SCENARIOS)
+
+
+def get_scenario(name: str) -> Scenario:
+    if name not in _SCENARIOS:
+        raise KeyError(f"unknown bench scenario {name!r}; "
+                       f"known: {', '.join(scenario_names())}")
+    return _SCENARIOS[name]
+
+
+def run_scenario(name: str) -> Dict[str, object]:
+    """Run one scenario and return its (sorted) metrics dict."""
+    metrics = get_scenario(name).run()
+    return {key: metrics[key] for key in sorted(metrics)}
+
+
+# -- baseline I/O ------------------------------------------------------------
+
+def baseline_filename(name: str) -> str:
+    return f"BENCH_{name}.json"
+
+
+def baseline_path(directory: str, name: str) -> str:
+    return os.path.join(directory, baseline_filename(name))
+
+
+def write_baseline(directory: str, name: str,
+                   metrics: Dict[str, object]) -> str:
+    """Persist one scenario's metrics; the payload is serialized with
+    sorted keys and no timestamps, so identical runs write identical
+    bytes (the property the determinism test asserts)."""
+    os.makedirs(directory, exist_ok=True)
+    path = baseline_path(directory, name)
+    payload = {"schema": BASELINE_SCHEMA, "scenario": name,
+               "description": get_scenario(name).description,
+               "metrics": {key: metrics[key] for key in sorted(metrics)}}
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def load_baseline(directory: str, name: str) -> Optional[Dict[str, object]]:
+    """The committed metrics for ``name``, or ``None`` if absent or
+    unreadable (an unreadable baseline is a gate failure, reported by
+    the caller, never a crash)."""
+    path = baseline_path(directory, name)
+    if not os.path.exists(path):
+        return None
+    try:
+        with open(path) as fh:
+            payload = json.load(fh)
+        if payload.get("schema") != BASELINE_SCHEMA:
+            return None
+        return dict(payload["metrics"])
+    except (OSError, ValueError, KeyError, TypeError):
+        return None
+
+
+# -- comparison --------------------------------------------------------------
+
+@dataclass
+class MetricDiff:
+    """One metric's baseline-vs-current comparison row."""
+
+    metric: str
+    baseline: object
+    current: object
+    status: str                   # ok | regression | improved | changed
+    #                             # | new | missing
+    delta_pct: Optional[float] = None
+    gated: bool = False
+
+    def as_dict(self) -> Dict:
+        return {"metric": self.metric, "baseline": self.baseline,
+                "current": self.current, "status": self.status,
+                "delta_pct": self.delta_pct, "gated": self.gated}
+
+
+@dataclass
+class ScenarioReport:
+    """Every metric row of one scenario, plus the verdict."""
+
+    scenario: str
+    rows: List[MetricDiff]
+    failed: bool
+    error: Optional[str] = None
+
+    def regressions(self) -> List[MetricDiff]:
+        return [row for row in self.rows
+                if row.status in ("regression", "missing") and row.gated]
+
+    def as_dict(self) -> Dict:
+        return {"scenario": self.scenario, "failed": self.failed,
+                "error": self.error,
+                "rows": [row.as_dict() for row in self.rows]}
+
+
+def _numeric(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def compare_metrics(scenario: Scenario, baseline: Dict[str, object],
+                    current: Dict[str, object]) -> ScenarioReport:
+    """Diff two metrics dicts under the scenario's gates.
+
+    Only gated metrics can fail the report: a gated metric that is
+    worse than its tolerance allows, or that vanished from the current
+    run, is a regression.  Ungated metrics are compared informationally
+    (``changed``/``ok``); metrics new in the current run are ``new``.
+    """
+    rows: List[MetricDiff] = []
+    failed = False
+    for metric in sorted(set(baseline) | set(current)):
+        gate = scenario.gates.get(metric)
+        gated = gate is not None
+        if metric not in current:
+            rows.append(MetricDiff(metric, baseline[metric], None,
+                                   "missing", gated=gated))
+            failed = failed or gated
+            continue
+        if metric not in baseline:
+            rows.append(MetricDiff(metric, None, current[metric], "new",
+                                   gated=gated))
+            continue
+        base, cur = baseline[metric], current[metric]
+        if _numeric(base) and _numeric(cur):
+            delta = ((cur - base) / base * 100.0) if base else None
+            if gated and gate.regressed(base, cur):
+                rows.append(MetricDiff(metric, base, cur, "regression",
+                                       delta_pct=delta, gated=True))
+                failed = True
+            elif cur == base:
+                rows.append(MetricDiff(metric, base, cur, "ok",
+                                       delta_pct=0.0, gated=gated))
+            else:
+                better = (gated
+                          and ((gate.direction == "lower" and cur < base)
+                               or (gate.direction == "higher"
+                                   and cur > base)))
+                rows.append(MetricDiff(
+                    metric, base, cur, "improved" if better else "changed",
+                    delta_pct=delta, gated=gated))
+        else:
+            status = "ok" if base == cur else "changed"
+            rows.append(MetricDiff(metric, base, cur, status, gated=gated))
+    return ScenarioReport(scenario=scenario.name, rows=rows, failed=failed)
+
+
+def check_scenarios(directory: str,
+                    names: Optional[List[str]] = None
+                    ) -> Tuple[List[ScenarioReport], bool]:
+    """Run scenarios and gate them against committed baselines.
+
+    Returns the per-scenario reports and an overall ok flag; a missing
+    baseline fails its scenario (there is nothing to gate against).
+    """
+    reports = []
+    ok = True
+    for name in (names or scenario_names()):
+        baseline = load_baseline(directory, name)
+        if baseline is None:
+            reports.append(ScenarioReport(
+                scenario=name, rows=[], failed=True,
+                error=f"no baseline at {baseline_path(directory, name)} "
+                      f"(record one with: python -m repro bench)"))
+            ok = False
+            continue
+        report = compare_metrics(get_scenario(name), baseline,
+                                 run_scenario(name))
+        reports.append(report)
+        ok = ok and not report.failed
+    return reports, ok
+
+
+def render_report(reports: List[ScenarioReport],
+                  verbose: bool = False) -> str:
+    """Human-readable gate report (regressions always shown; every
+    row with ``verbose``)."""
+    lines = []
+    for report in reports:
+        verdict = "FAIL" if report.failed else "ok"
+        lines.append(f"[{verdict}] {report.scenario}")
+        if report.error:
+            lines.append(f"    {report.error}")
+        for row in report.rows:
+            if not verbose and row.status in ("ok", "changed", "new",
+                                              "improved"):
+                continue
+            delta = (f" ({row.delta_pct:+.1f}%)"
+                     if row.delta_pct is not None else "")
+            lines.append(f"    {row.status:10s} {row.metric}: "
+                         f"{row.baseline} -> {row.current}{delta}")
+    return "\n".join(lines)
+
+
+# -- built-in scenarios ------------------------------------------------------
+#
+# Each scenario lazily imports the layers it measures, so importing
+# repro.obs.bench never drags the whole stack in (and obs stays
+# dependency-free).  All of them share one measured cost pair per
+# process through the module memo below -- the ISS kernel runs behind
+# it are the only expensive step.
+
+_pair_memo: List = []
+
+
+def _measured_pair():
+    """Both stock platforms' unit costs, measured once per process."""
+    if not _pair_memo:
+        from repro.costs import PlatformCosts
+        from repro.platform import SecurityPlatform
+        from repro.ssl import fixtures
+        base = PlatformCosts.measure(SecurityPlatform.base(),
+                                     fixtures.SERVER_1024)
+        opt = PlatformCosts.measure(SecurityPlatform.optimized(),
+                                    fixtures.SERVER_1024)
+        _pair_memo.append((base, opt))
+    return _pair_memo[0]
+
+
+def _ssl_transaction_metrics() -> Dict[str, object]:
+    from repro.ssl.transaction import SslWorkloadModel
+    base, opt = _measured_pair()
+    model = SslWorkloadModel(base, opt)
+    metrics: Dict[str, object] = {
+        "asymptotic_speedup": model.asymptotic_speedup(),
+        "resumption_gain_base_1kb": model.resumption_gain(base, 1024),
+    }
+    for kb in (1, 16):
+        size = kb * 1024
+        for label, costs in (("base", base), ("opt", opt)):
+            full = model.breakdown(costs, size)
+            resumed = model.breakdown(costs, size, resumed=True)
+            metrics[f"{label}.full_{kb}kb_cycles"] = full.total
+            metrics[f"{label}.resumed_{kb}kb_cycles"] = resumed.total
+        metrics[f"speedup_{kb}kb"] = model.speedup(size)
+    return metrics
+
+
+def _farm_mixed_metrics() -> Dict[str, object]:
+    from repro.farm import (FarmSimulator, TrafficProfile, build_farm,
+                            generate_requests, make_scheduler, summarize)
+    from repro.farm.scheduler import scheduler_names as farm_schedulers
+    base, opt = _measured_pair()
+    specs = build_farm(4, base, opt, extended_fraction=0.5)
+    requests = generate_requests(
+        TrafficProfile(arrival_rate=60.0, resumption_ratio=0.4),
+        200, seed=1)
+    metrics: Dict[str, object] = {"requests": 200.0, "cores": 4.0}
+    for name in farm_schedulers():
+        sim = FarmSimulator(specs, make_scheduler(name))
+        row = summarize(sim.run(requests))
+        metrics[f"{name}.sessions_per_s"] = row.sessions_per_s
+        metrics[f"{name}.secure_mbps"] = row.secure_mbps
+        metrics[f"{name}.p50_ms"] = row.p50_ms
+        metrics[f"{name}.p95_ms"] = row.p95_ms
+        metrics[f"{name}.p99_ms"] = row.p99_ms
+        metrics[f"{name}.mean_utilization"] = row.mean_utilization
+        metrics[f"{name}.cache_hit_rate"] = row.cache_hit_rate
+    return metrics
+
+
+def _characterize_metrics() -> Dict[str, object]:
+    from repro.costs.cache import (CharacterizationCache,
+                                   CharacterizationKey)
+    # A deliberately fresh, disk-less cache: this scenario measures the
+    # characterization itself, so a warm store must not short-circuit
+    # it (and its metrics stay independent of local cache state).
+    cache = CharacterizationCache(cache_dir=None)
+    metrics: Dict[str, object] = {}
+    for label, key in (("base", CharacterizationKey()),
+                       ("ext", CharacterizationKey(add_width=8,
+                                                   mac_width=8))):
+        models = cache.models_for(key)
+        errors = [m.fit.mean_abs_pct_error for m in models]
+        metrics[f"{label}.n_models"] = float(len(models))
+        metrics[f"{label}.mean_fit_error_pct"] = sum(errors) / len(errors)
+        metrics[f"{label}.max_fit_error_pct"] = max(errors)
+        for model in models:
+            metrics[f"{label}.cycles.{model.routine}@32"] = \
+                models.predict(model.routine, 32)
+    # Warm path: the second lookup must be a pure memo hit.
+    cache.models_for(CharacterizationKey())
+    metrics["cold.characterizations"] = float(
+        cache.stats.characterizations)
+    metrics["warm.memo_hits"] = float(cache.stats.memo_hits)
+    return metrics
+
+
+def _modexp_candidates_metrics() -> Dict[str, object]:
+    from repro.costs import characterize_cached
+    from repro.crypto.modexp import iter_configs
+    from repro.explore import AlgorithmExplorer, RsaDecryptWorkload
+    models = characterize_cached()
+    configs = list(iter_configs())[::90]        # 5 strided candidates
+    explorer = AlgorithmExplorer(models, RsaDecryptWorkload.bits512())
+    results = explorer.explore(configs)
+    cycles = sorted(r.estimated_cycles for r in results)
+    best = results[0]
+    return {
+        "candidates": float(len(results)),
+        "correct_fraction": (sum(1 for r in results if r.correct)
+                             / len(results)),
+        "best_cycles": best.estimated_cycles,
+        "best_label": best.label,
+        "median_cycles": cycles[len(cycles) // 2],
+        "worst_cycles": cycles[-1],
+    }
+
+
+_CYCLES = Gate(tolerance=0.10, direction="lower")
+_SPEEDUP = Gate(tolerance=0.10, direction="higher")
+_EXACT_COUNT = Gate(tolerance=0.0, direction="higher")
+
+register_scenario(Scenario(
+    name="ssl_transaction",
+    description="SSL handshake full/resumed cycle totals and "
+                "speedups (Figure 8 model on measured costs)",
+    run=_ssl_transaction_metrics,
+    gates={
+        "asymptotic_speedup": _SPEEDUP,
+        "resumption_gain_base_1kb": _SPEEDUP,
+        "speedup_1kb": _SPEEDUP,
+        "speedup_16kb": _SPEEDUP,
+        "base.full_1kb_cycles": _CYCLES,
+        "base.full_16kb_cycles": _CYCLES,
+        "base.resumed_1kb_cycles": _CYCLES,
+        "base.resumed_16kb_cycles": _CYCLES,
+        "opt.full_1kb_cycles": _CYCLES,
+        "opt.full_16kb_cycles": _CYCLES,
+        "opt.resumed_1kb_cycles": _CYCLES,
+        "opt.resumed_16kb_cycles": _CYCLES,
+    }))
+
+register_scenario(Scenario(
+    name="farm_mixed",
+    description="4-core heterogeneous farm, 200 mixed-protocol "
+                "requests at 60/s (seed 1), every scheduler",
+    run=_farm_mixed_metrics,
+    gates=dict(
+        {"requests": _EXACT_COUNT, "cores": _EXACT_COUNT},
+        **{f"{sched}.{metric}": gate
+           for sched in ("round-robin", "least-loaded", "preferential")
+           for metric, gate in (
+               ("sessions_per_s", _SPEEDUP),
+               ("secure_mbps", _SPEEDUP),
+               ("p95_ms", Gate(tolerance=0.15, direction="lower")),
+               ("p99_ms", Gate(tolerance=0.15, direction="lower")),
+               ("cache_hit_rate", _SPEEDUP),
+           )})))
+
+register_scenario(Scenario(
+    name="characterize",
+    description="cold + warm characterization: fit quality, "
+                "per-routine predictions at n=32, cache behavior",
+    run=_characterize_metrics,
+    gates={
+        "base.mean_fit_error_pct": Gate(tolerance=0.25,
+                                        direction="lower"),
+        "ext.mean_fit_error_pct": Gate(tolerance=0.25,
+                                       direction="lower"),
+        "base.cycles.mpn_addmul_1@32": _CYCLES,
+        "base.cycles.mpn_mul_1@32": _CYCLES,
+        "ext.cycles.mpn_addmul_1@32": _CYCLES,
+        "ext.cycles.mpn_mul_1@32": _CYCLES,
+        "cold.characterizations": Gate(tolerance=0.0,
+                                       direction="lower"),
+        "warm.memo_hits": _EXACT_COUNT,
+    }))
+
+register_scenario(Scenario(
+    name="modexp_candidates",
+    description="macro-model exploration of 5 strided modexp "
+                "candidates (512-bit RSA decrypt workload)",
+    run=_modexp_candidates_metrics,
+    gates={
+        "candidates": _EXACT_COUNT,
+        "correct_fraction": _EXACT_COUNT,
+        "best_cycles": Gate(tolerance=0.05, direction="lower"),
+        "median_cycles": _CYCLES,
+    }))

@@ -4,13 +4,24 @@ The trace file format is one JSON object per line, in emission order:
 spans as ``{"kind": "span", ...}`` and point events as ``{"kind":
 "event", ...}``.  Keys are sorted and nothing is timestamped with wall
 clock, so a seeded run writes a byte-identical log every time.
+:func:`read_events_jsonl` is the inverse -- it rebuilds a
+:class:`~repro.obs.trace.Tracer` from a log file, which is how the
+``profile`` CLI subcommand analyses traces offline.
+
+:func:`render_metrics` renders a registry as a human-readable table
+(default) or in the Prometheus text exposition format
+(``format="prometheus"``): ``name{label="v"} value`` samples, with
+histograms expanded into cumulative ``_bucket``/``_sum``/``_count``
+series, so external scrapers ingest a metrics dump without custom
+parsing.
 """
 
 import json
-from typing import Dict, Optional, TextIO, Union
+import re
+from typing import Dict, List, Optional, TextIO, Union
 
 from repro.obs.metrics import MetricsRegistry, get_registry
-from repro.obs.trace import Tracer
+from repro.obs.trace import Span, TraceEvent, Tracer
 
 
 def write_events_jsonl(tracer: Tracer,
@@ -31,15 +42,115 @@ def write_events_jsonl(tracer: Tracer,
     return len(records)
 
 
+def read_events_jsonl(source: Union[str, TextIO]) -> Tracer:
+    """Rebuild a :class:`Tracer` from a JSON-lines event log.
+
+    Span ids, parent links, timestamps, and emission order are
+    preserved, so ``write_events_jsonl(read_events_jsonl(path))``
+    round-trips byte-identically and the profiler can reconstruct the
+    span tree from a file exactly as from the live tracer.
+    """
+    if hasattr(source, "read"):
+        lines = source.read().splitlines()
+    else:
+        with open(source) as fh:
+            lines = fh.read().splitlines()
+    tracer = Tracer()
+    max_id = 0
+    for line in lines:
+        if not line.strip():
+            continue
+        payload = json.loads(line)
+        if payload["kind"] == "span":
+            span = Span(span_id=payload["span_id"],
+                        parent_id=payload["parent_id"],
+                        name=payload["name"], start=payload["start"],
+                        end=payload["end"], attrs=dict(payload["attrs"]))
+            tracer.spans.append(span)
+            tracer._records.append(span)
+            max_id = max(max_id, span.span_id)
+        elif payload["kind"] == "event":
+            event = TraceEvent(name=payload["name"],
+                               time=payload["time"],
+                               span_id=payload["span_id"],
+                               attrs=dict(payload["attrs"]))
+            tracer.events.append(event)
+            tracer._records.append(event)
+        else:
+            raise ValueError(f"unknown record kind {payload['kind']!r}")
+    tracer._next_id = max_id + 1
+    return tracer
+
+
 def metrics_summary(registry: Optional[MetricsRegistry] = None) -> Dict:
     """The JSON form of a registry (the CLI's ``--metrics`` payload)."""
     registry = registry if registry is not None else get_registry()
     return registry.as_dict()
 
 
-def render_metrics(registry: Optional[MetricsRegistry] = None) -> str:
-    """Human-readable one-instrument-per-line metrics summary."""
+def _prom_name(name: str) -> str:
+    """A legal Prometheus metric name (dots etc. become underscores)."""
+    sanitized = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _prom_label_str(labels) -> str:
+    """``{k="v",...}`` with value escaping, or '' when unlabelled."""
+    if not labels:
+        return ""
+    rendered = ",".join(
+        '{}="{}"'.format(
+            _prom_name(key),
+            str(value).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+        for key, value in labels)
+    return "{" + rendered + "}"
+
+
+def _render_prometheus(registry: MetricsRegistry) -> str:
+    lines: List[str] = []
+    typed = set()
+    for name, labels, instrument in registry.items():
+        payload = instrument.as_dict()
+        kind = payload["type"]
+        metric = _prom_name(name)
+        if metric not in typed:
+            lines.append(f"# TYPE {metric} {kind}")
+            typed.add(metric)
+        if kind in ("counter", "gauge"):
+            lines.append(f"{metric}{_prom_label_str(labels)} "
+                         f"{payload['value']:g}")
+            continue
+        # Histogram: cumulative buckets, then sum and count.
+        cumulative = 0
+        for edge, count in zip(payload["edges"],
+                               payload["bucket_counts"]):
+            cumulative += count
+            bucket_labels = tuple(labels) + (("le", f"{edge:g}"),)
+            lines.append(f"{metric}_bucket{_prom_label_str(bucket_labels)}"
+                         f" {cumulative}")
+        inf_labels = tuple(labels) + (("le", "+Inf"),)
+        lines.append(f"{metric}_bucket{_prom_label_str(inf_labels)} "
+                     f"{payload['count']}")
+        lines.append(f"{metric}_sum{_prom_label_str(labels)} "
+                     f"{payload['sum']:g}")
+        lines.append(f"{metric}_count{_prom_label_str(labels)} "
+                     f"{payload['count']}")
+    return "\n".join(lines)
+
+
+def render_metrics(registry: Optional[MetricsRegistry] = None,
+                   format: str = "text") -> str:
+    """Render a registry: ``format="text"`` (one instrument per line,
+    human-readable) or ``format="prometheus"`` (text exposition)."""
     registry = registry if registry is not None else get_registry()
+    if format == "prometheus":
+        return _render_prometheus(registry)
+    if format != "text":
+        raise ValueError(f"unknown metrics format {format!r} "
+                         f"(expected 'text' or 'prometheus')")
     lines = []
     for key, payload in registry.as_dict().items():
         kind = payload["type"]

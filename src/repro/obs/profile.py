@@ -1,0 +1,262 @@
+"""Hierarchical cycle-attribution profiling over span trees.
+
+The paper's methodology is cycle *attribution*: the ISS attributes
+cycles to library routines, and custom-instruction selection propagates
+costs bottom-up through the annotated call graph (Figure 4).  This
+module is the same idea applied to every trace the repo can produce --
+a :class:`CycleProfile` reconstructs the span tree from any
+:class:`~repro.obs.trace.Tracer` (farm cycle-clock spans and
+logical-step spans alike), merges spans by call path, and reports
+per-node **self** versus **cumulative** cycles and counts.
+
+Attribution is computed in exact rational arithmetic
+(:class:`fractions.Fraction` over the float span endpoints), so the
+conservation identity
+
+    sum(self cycles over all nodes) == sum(cumulative cycles of roots)
+
+holds *exactly*, never approximately -- it is the tree-shaped analogue
+of "every simulated cycle is accounted for once".  On concurrent trees
+(the farm's parallel cores under one run span) a parent's self cycles
+can be negative: children overlap in virtual time, and self is defined
+as the subtractive residual precisely so conservation survives
+concurrency.  Sequential traces (logical-step spans, call graphs)
+always satisfy ``0 <= self <= cumulative``.
+
+Profiles also build from the paper's annotated call graphs
+(:meth:`CycleProfile.from_callgraph`) and raw ISS execution profiles
+(:meth:`CycleProfile.from_iss_profile`), reusing
+:mod:`repro.tie.callgraph` node names so ISS measurements and
+macro-model estimates land on the same tree.
+
+Exports: top-N hot-routine tables (:meth:`CycleProfile.render_top`), a
+JSON profile (:meth:`CycleProfile.as_dict`), and folded-stack lines
+(:meth:`CycleProfile.folded`) in the ``a;b;c cycles`` format
+flamegraph.pl consumes.
+"""
+
+from fractions import Fraction
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = ["CycleProfile", "ProfileNode"]
+
+
+class ProfileNode:
+    """One call path in a merged profile tree."""
+
+    __slots__ = ("name", "path", "count", "children", "_self", "_cum")
+
+    def __init__(self, name: str, path: Tuple[str, ...], count: int = 0):
+        self.name = name
+        self.path = path
+        self.count = count
+        self.children: Dict[str, "ProfileNode"] = {}
+        self._self = Fraction(0)
+        self._cum = Fraction(0)
+
+    @property
+    def self_cycles(self) -> float:
+        """Cycles attributed to this path alone (no children)."""
+        return float(self._self)
+
+    @property
+    def cum_cycles(self) -> float:
+        """Cycles of this path including everything beneath it."""
+        return float(self._cum)
+
+    def as_dict(self) -> Dict:
+        return {"name": self.name, "path": list(self.path),
+                "count": self.count, "self_cycles": self.self_cycles,
+                "cum_cycles": self.cum_cycles,
+                "children": [self.children[k].as_dict()
+                             for k in sorted(self.children)]}
+
+    def walk(self) -> Iterator["ProfileNode"]:
+        """This node and every descendant, preorder, children sorted."""
+        yield self
+        for key in sorted(self.children):
+            yield from self.children[key].walk()
+
+    def __repr__(self) -> str:
+        return (f"ProfileNode({';'.join(self.path)}: "
+                f"self={self.self_cycles:.0f} cum={self.cum_cycles:.0f} "
+                f"n={self.count})")
+
+
+def _span_key(span, group_by: Tuple[str, ...]) -> str:
+    """Merge key of one span: its name, plus any requested attrs."""
+    extras = [f"{attr}={span.attrs[attr]}" for attr in group_by
+              if attr in span.attrs]
+    if extras:
+        return f"{span.name}{{{','.join(extras)}}}"
+    return span.name
+
+
+class CycleProfile:
+    """A forest of merged-by-path attribution nodes."""
+
+    def __init__(self):
+        self.roots: Dict[str, ProfileNode] = {}
+
+    # -- constructors ----------------------------------------------------
+
+    @classmethod
+    def from_tracer(cls, tracer, group_by: Sequence[str] = ()
+                    ) -> "CycleProfile":
+        """Profile a tracer's finished spans (any clock discipline)."""
+        return cls.from_spans(tracer.spans, group_by=group_by)
+
+    @classmethod
+    def from_spans(cls, spans: Iterable, group_by: Sequence[str] = ()
+                   ) -> "CycleProfile":
+        """Reconstruct the span tree by ``parent_id`` and merge by
+        call path.  Spans whose parent was never recorded (or never
+        finished) become roots; unfinished spans are skipped."""
+        group_by = tuple(group_by)
+        finished = [s for s in spans if s.end is not None]
+        by_id = {s.span_id: s for s in finished}
+        child_spans: Dict[int, List] = {}
+        root_spans: List = []
+        for span in finished:
+            parent = span.parent_id
+            if parent is not None and parent in by_id:
+                child_spans.setdefault(parent, []).append(span)
+            else:
+                root_spans.append(span)
+
+        def merge(level_spans: List, path: Tuple[str, ...]
+                  ) -> Dict[str, ProfileNode]:
+            groups: Dict[str, List] = {}
+            for span in level_spans:
+                groups.setdefault(_span_key(span, group_by),
+                                  []).append(span)
+            nodes: Dict[str, ProfileNode] = {}
+            for key in sorted(groups):
+                group = groups[key]
+                node = ProfileNode(key, path + (key,), count=len(group))
+                node._cum = sum(
+                    (Fraction(s.end) - Fraction(s.start) for s in group),
+                    Fraction(0))
+                beneath = [c for s in group
+                           for c in child_spans.get(s.span_id, ())]
+                node.children = merge(beneath, node.path)
+                node._self = node._cum - sum(
+                    (child._cum for child in node.children.values()),
+                    Fraction(0))
+                nodes[key] = node
+            return nodes
+
+        profile = cls()
+        profile.roots = merge(root_spans, ())
+        return profile
+
+    @classmethod
+    def from_callgraph(cls, graph) -> "CycleProfile":
+        """Profile an annotated call graph (paper Figure 4 shape):
+        node names are the graph's function names, counts multiply
+        along call edges, and self cycles are ``local_cycles`` scaled
+        by the path's invocation count -- so the root's cumulative
+        equals :meth:`repro.tie.callgraph.CallGraph.total_cycles`."""
+        graph.validate_acyclic()
+
+        def build(name: str, calls: int,
+                  path: Tuple[str, ...]) -> ProfileNode:
+            gnode = graph.nodes[name]
+            node = ProfileNode(name, path + (name,), count=calls)
+            node._self = Fraction(gnode.local_cycles) * calls
+            per_callee: Dict[str, int] = {}
+            for callee, per_call in gnode.children:
+                per_callee[callee] = per_callee.get(callee, 0) + per_call
+            for callee in sorted(per_callee):
+                node.children[callee] = build(
+                    callee, calls * per_callee[callee], node.path)
+            node._cum = node._self + sum(
+                (child._cum for child in node.children.values()),
+                Fraction(0))
+            return node
+
+        profile = cls()
+        profile.roots = {graph.root: build(graph.root, 1, ())}
+        return profile
+
+    @classmethod
+    def from_iss_profile(cls, profile, root: str,
+                         truncate_at: Iterable[str] = ()
+                         ) -> "CycleProfile":
+        """Profile a raw ISS :class:`~repro.isa.machine.Profile` via
+        the paper's annotated call graph, so macro-model estimates and
+        ISS measurements share node names."""
+        from repro.tie.callgraph import CallGraph
+        graph = CallGraph.from_profile(profile, root,
+                                       truncate_at=truncate_at)
+        return cls.from_callgraph(graph)
+
+    # -- aggregates ------------------------------------------------------
+
+    def nodes(self) -> Iterator[ProfileNode]:
+        """Every node, preorder, roots and children in sorted order."""
+        for key in sorted(self.roots):
+            yield from self.roots[key].walk()
+
+    def find(self, path: Sequence[str]) -> Optional[ProfileNode]:
+        """The node at an exact path, or ``None``."""
+        path = tuple(path)
+        if not path:
+            return None
+        node = self.roots.get(path[0])
+        for key in path[1:]:
+            if node is None:
+                return None
+            node = node.children.get(key)
+        return node
+
+    def total_cycles(self) -> float:
+        """Sum of the roots' cumulative cycles (exact)."""
+        return float(sum((r._cum for r in self.roots.values()),
+                         Fraction(0)))
+
+    def total_self(self) -> float:
+        """Sum of self cycles over every node -- by conservation,
+        exactly :meth:`total_cycles`."""
+        return float(sum((n._self for n in self.nodes()), Fraction(0)))
+
+    # -- exports ---------------------------------------------------------
+
+    def top(self, n: int = 20, key: str = "self") -> List[ProfileNode]:
+        """The ``n`` hottest nodes by self (default) or cumulative
+        cycles; ties break on path for determinism."""
+        if key not in ("self", "cum"):
+            raise ValueError("key must be 'self' or 'cum'")
+        attr = "_self" if key == "self" else "_cum"
+        return sorted(self.nodes(),
+                      key=lambda node: (-getattr(node, attr), node.path)
+                      )[:n]
+
+    def render_top(self, n: int = 20, key: str = "self") -> str:
+        """The hot-routine table (the paper's per-routine accounting)."""
+        total = self.total_cycles()
+        lines = [f"{'self cyc':>14s} {'cum cyc':>14s} {'count':>8s} "
+                 f"{'self%':>6s}  path"]
+        for node in self.top(n, key=key):
+            pct = (node.self_cycles / total * 100.0) if total else 0.0
+            lines.append(f"{node.self_cycles:14.0f} "
+                         f"{node.cum_cycles:14.0f} {node.count:8d} "
+                         f"{pct:6.1f}  {';'.join(node.path)}")
+        return "\n".join(lines)
+
+    def folded(self) -> List[str]:
+        """Folded-stack lines (``a;b;c cycles``) for flamegraph.pl;
+        nodes whose self cycles round to zero or below are elided."""
+        lines = []
+        for node in self.nodes():
+            cycles = round(node.self_cycles)
+            if cycles > 0:
+                lines.append(f"{';'.join(node.path)} {cycles}")
+        return lines
+
+    def as_dict(self) -> Dict:
+        """JSON-ready profile (sorted, deterministic)."""
+        return {"total_cycles": self.total_cycles(),
+                "total_self_cycles": self.total_self(),
+                "roots": [self.roots[k].as_dict()
+                          for k in sorted(self.roots)]}

@@ -129,6 +129,28 @@ class Tracer:
         self._records.append(span)
         return span
 
+    def open_virtual(self, name: str, start: float,
+                     parent_id: Optional[int] = None, **attrs) -> Span:
+        """Begin a virtual-clock span whose end is not yet known.
+
+        The span gets its id immediately -- so children recorded while
+        it is open can parent to it -- but is only appended to the
+        trace when :meth:`close_virtual` stamps its end.  This is the
+        parenting hook span-tree consumers (the profiler) rely on for
+        explicitly-clocked simulations.
+        """
+        span = Span(span_id=self._next_id, parent_id=parent_id,
+                    name=name, start=float(start), attrs=attrs)
+        self._next_id += 1
+        return span
+
+    def close_virtual(self, span: Span, end: float) -> Span:
+        """Finish a span opened with :meth:`open_virtual`."""
+        span.end = float(end)
+        self.spans.append(span)
+        self._records.append(span)
+        return span
+
     def event(self, name: str, time: float = _MISSING, **attrs) -> None:
         """Record a point event (logical clock unless ``time`` given)."""
         if time is _MISSING:
@@ -181,6 +203,13 @@ class NullTracer(Tracer):
 
     def record(self, name: str, start: float, end: float,
                parent_id: Optional[int] = None, **attrs) -> None:
+        return None
+
+    def open_virtual(self, name: str, start: float,
+                     parent_id: Optional[int] = None, **attrs) -> None:
+        return None
+
+    def close_virtual(self, span, end: float) -> None:
         return None
 
     def event(self, name: str, time: float = _MISSING, **attrs) -> None:

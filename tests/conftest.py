@@ -4,9 +4,17 @@ Hypothesis's default per-example deadline misfires on the slower
 property tests (anything that spins up the instruction-set simulator),
 so the suite runs under a no-deadline profile; example counts are set
 per-test where the default is too heavy.
+
+The :mod:`repro.obs` layer keeps a process-global metrics registry and
+tracer; the autouse fixture below resets both around every test so a
+test that configures tracing (or an instrumented code path that writes
+counters) can never bleed state into a later test's assertions.
 """
 
+import pytest
 from hypothesis import HealthCheck, settings
+
+from repro.obs import reset_metrics, reset_tracing
 
 settings.register_profile(
     "repro",
@@ -14,3 +22,13 @@ settings.register_profile(
     suppress_health_check=[HealthCheck.too_slow],
 )
 settings.load_profile("repro")
+
+
+@pytest.fixture(autouse=True)
+def _isolate_observability():
+    """Fresh global registry and disabled tracer around each test."""
+    reset_metrics()
+    reset_tracing()
+    yield
+    reset_metrics()
+    reset_tracing()

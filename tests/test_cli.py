@@ -34,6 +34,18 @@ class TestParser:
         ["farm", "--cores", "8", "--requests", "100", "--seed", "2",
          "--rate", "40", "--resumption", "0.5",
          "--extended-fraction", "0.25", "--json"],
+        ["explore", "--metrics", "--trace-out", "t.jsonl"],
+        ["explore", "--profile", "prof.json"],
+        ["speedups", "--trace-out", "t.jsonl", "--metrics"],
+        ["speedups", "--profile", "prof.json", "--json"],
+        ["farm", "--profile", "prof.json"],
+        ["profile", "--trace", "t.jsonl"],
+        ["profile", "--trace", "t.jsonl", "--top", "5", "--group-by",
+         "scheduler,core", "--folded", "out.folded", "--json"],
+        ["bench"],
+        ["bench", "--json", "--dir", "/tmp/baselines"],
+        ["bench", "--check", "--scenario", "farm_mixed", "--scenario",
+         "characterize", "--report", "report.json", "--verbose"],
     ])
     def test_valid_invocations_parse(self, argv):
         args = build_parser().parse_args(argv)
@@ -42,6 +54,10 @@ class TestParser:
     def test_explore_bits_restricted(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["explore", "--bits", "2048"])
+
+    def test_profile_requires_trace(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["profile"])
 
 
 class TestExecution:
@@ -173,3 +189,121 @@ class TestExecution:
         assert cache_keys
         total = sum(metrics[k]["value"] for k in cache_keys)
         assert total >= 1   # hit or characterization, depending on state
+
+    def test_farm_profile_writes_attribution_json(self, tmp_path,
+                                                  capsys):
+        import json
+        prof = tmp_path / "prof.json"
+        assert main(["farm", "--cores", "2", "--requests", "30",
+                     "--seed", "3", "--profile", str(prof)]) == 0
+        out = capsys.readouterr().out
+        assert "cycle attribution" in out
+        payload = json.loads(prof.read_text())
+        roots = {r["name"] for r in payload["roots"]}
+        assert "farm.run" in roots
+        # Conservation holds in the exported profile too.
+        assert payload["total_cycles"] == payload["total_self_cycles"]
+
+    def test_speedups_obs_flags_trace_and_metrics(self, tmp_path,
+                                                  capsys):
+        import json
+        trace = tmp_path / "trace.jsonl"
+        prof = tmp_path / "prof.json"
+        assert main(["speedups", "--json", "--metrics",
+                     "--trace-out", str(trace),
+                     "--profile", str(prof)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert sorted(payload) == ["command", "params", "results"]
+        metrics = payload["results"]["metrics"]
+        speedup_keys = [k for k in metrics
+                        if k.startswith("speedups.speedup")]
+        assert speedup_keys
+        spans = [json.loads(line)
+                 for line in trace.read_text().splitlines()]
+        names = {r["name"] for r in spans if r["kind"] == "span"}
+        assert {"speedups.measure", "speedups.cipher"} <= names
+        assert prof.exists()
+
+    def test_explore_metrics_counts_candidates(self, tmp_path, capsys):
+        import json
+        models = tmp_path / "models.json"
+        main(["characterize", "-o", str(models)])
+        capsys.readouterr()
+        assert main(["explore", "--models", str(models), "--stride",
+                     "150", "--top", "2", "--json", "--metrics"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        metrics = payload["results"]["metrics"]
+        assert metrics["explore.candidates"]["value"] == 3
+        assert metrics["explore.best_cycles"]["value"] > 0
+
+    def _write_sample_trace(self, path):
+        from repro.obs import Tracer, write_events_jsonl
+        tracer = Tracer()
+        with tracer.span("main"):
+            with tracer.span("rsa", scheduler="rr"):
+                pass
+            with tracer.span("rsa", scheduler="ll"):
+                pass
+        write_events_jsonl(tracer, str(path))
+
+    def test_profile_subcommand_analyses_a_trace(self, tmp_path,
+                                                 capsys):
+        import json
+        trace = tmp_path / "trace.jsonl"
+        folded = tmp_path / "out.folded"
+        self._write_sample_trace(trace)
+        assert main(["profile", "--trace", str(trace),
+                     "--folded", str(folded)]) == 0
+        out = capsys.readouterr().out
+        assert "cycles attributed" in out and "main;rsa" in out
+        assert any(line.startswith("main ")
+                   for line in folded.read_text().splitlines())
+        # JSON mode keeps the envelope and honours --group-by.
+        assert main(["profile", "--trace", str(trace), "--json",
+                     "--group-by", "scheduler"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert sorted(payload) == ["command", "params", "results"]
+        main_root = payload["results"]["roots"][0]
+        children = {c["name"] for c in main_root["children"]}
+        assert children == {"rsa{scheduler=ll}", "rsa{scheduler=rr}"}
+
+    def test_profile_missing_trace_exits_2(self, tmp_path, capsys):
+        assert main(["profile", "--trace",
+                     str(tmp_path / "absent.jsonl")]) == 2
+        assert "cannot read trace" in capsys.readouterr().err
+
+    def test_bench_cli_record_then_gate_then_regress(self, tmp_path,
+                                                     capsys):
+        import json
+        from repro.obs import bench
+        from repro.obs.bench import Gate, Scenario
+        metrics = {"cycles": 100.0}
+        bench.register_scenario(Scenario(
+            name="clistub", description="cli stub",
+            run=lambda: dict(metrics),
+            gates={"cycles": Gate(tolerance=0.10, direction="lower")}))
+        try:
+            assert main(["bench", "--dir", str(tmp_path),
+                         "--scenario", "clistub"]) == 0
+            assert "recorded clistub" in capsys.readouterr().out
+            assert (tmp_path / "BENCH_clistub.json").exists()
+            assert main(["bench", "--check", "--dir", str(tmp_path),
+                         "--scenario", "clistub"]) == 0
+            assert "bench gate: ok" in capsys.readouterr().out
+            # Inject a +20% cycle regression: the gate must fail.
+            metrics["cycles"] = 120.0
+            report = tmp_path / "report.json"
+            assert main(["bench", "--check", "--dir", str(tmp_path),
+                         "--scenario", "clistub",
+                         "--report", str(report)]) == 1
+            out = capsys.readouterr().out
+            assert "REGRESSIONS DETECTED" in out
+            payload = json.loads(report.read_text())
+            assert payload["ok"] is False
+            assert payload["scenarios"][0]["scenario"] == "clistub"
+        finally:
+            del bench._SCENARIOS["clistub"]
+
+    def test_bench_unknown_scenario_exits_2(self, capsys):
+        assert main(["bench", "--scenario", "nope"]) == 2
+        assert "unknown bench scenario" in capsys.readouterr().err

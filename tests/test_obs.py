@@ -83,6 +83,91 @@ class TestHistogram:
             Histogram(edges=(10.0, 1.0))
 
 
+class TestHistogramQuantileEdges:
+    def test_empty_histogram_quantile_is_zero(self):
+        h = Histogram(edges=(1.0, 10.0))
+        assert h.quantile(0.5) == 0.0
+        assert h.quantile(1.0) == 0.0
+
+    def test_q_zero_and_out_of_range_raise(self):
+        h = Histogram(edges=(1.0, 10.0))
+        h.observe(5.0)
+        for bad in (0.0, -0.1, 1.1):
+            with pytest.raises(ValueError):
+                h.quantile(bad)
+
+    def test_value_exactly_on_edge_lands_in_that_bucket(self):
+        # Edges are inclusive upper bounds: observing exactly 10.0 must
+        # fill the (1, 10] bucket, so its quantile reports edge 10.0,
+        # not the next bucket's 100.0.
+        h = Histogram(edges=(1.0, 10.0, 100.0))
+        h.observe(10.0)
+        assert h.bucket_counts == [0, 1, 0, 0]
+        assert h.quantile(0.5) == 10.0
+        assert h.quantile(1.0) == 10.0
+
+    def test_single_observation_every_quantile_is_its_bucket(self):
+        h = Histogram(edges=(1.0, 10.0, 100.0))
+        h.observe(3.0)
+        for q in (0.01, 0.5, 0.99, 1.0):
+            assert h.quantile(q) == 10.0
+
+    def test_overflow_bucket_reports_observed_max(self):
+        h = Histogram(edges=(1.0, 10.0))
+        h.observe(12345.0)
+        assert h.quantile(1.0) == 12345.0
+
+    def test_q_one_is_max_bucket_even_with_many_observations(self):
+        h = Histogram(edges=(1.0, 10.0, 100.0))
+        for v in (0.5, 0.6, 0.7, 50.0):
+            h.observe(v)
+        assert h.quantile(0.5) == 1.0
+        assert h.quantile(1.0) == 100.0
+
+
+class TestPrometheusExport:
+    def test_counter_and_gauge_samples_with_labels(self):
+        reg = MetricsRegistry()
+        reg.counter("farm.cache.hits", scheduler="rr", core=3).inc(5)
+        reg.gauge("farm.core.utilization", core=0).set(0.75)
+        out = render_metrics(reg, format="prometheus")
+        assert "# TYPE farm_cache_hits counter" in out
+        assert 'farm_cache_hits{core="3",scheduler="rr"} 5' in out
+        assert "# TYPE farm_core_utilization gauge" in out
+        assert 'farm_core_utilization{core="0"} 0.75' in out
+
+    def test_histogram_expands_to_cumulative_buckets(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat_ms", edges=(1.0, 10.0, 100.0))
+        for v in (0.5, 5.0, 50.0, 5000.0):
+            h.observe(v)
+        out = render_metrics(reg, format="prometheus")
+        assert "# TYPE lat_ms histogram" in out
+        assert 'lat_ms_bucket{le="1"} 1' in out
+        assert 'lat_ms_bucket{le="10"} 2' in out       # cumulative
+        assert 'lat_ms_bucket{le="100"} 3' in out
+        assert 'lat_ms_bucket{le="+Inf"} 4' in out
+        assert "lat_ms_sum 5055.5" in out
+        assert "lat_ms_count 4" in out
+
+    def test_type_line_emitted_once_per_metric_name(self):
+        reg = MetricsRegistry()
+        reg.counter("hits", core=0).inc()
+        reg.counter("hits", core=1).inc()
+        out = render_metrics(reg, format="prometheus")
+        assert out.count("# TYPE hits counter") == 1
+
+    def test_names_and_label_values_are_sanitized(self):
+        reg = MetricsRegistry()
+        reg.counter("farm.requests-completed", kind='a"b').inc()
+        out = render_metrics(reg, format="prometheus")
+        assert 'farm_requests_completed{kind="a\\"b"} 1' in out
+
+    def test_unknown_format_raises(self):
+        with pytest.raises(ValueError, match="unknown metrics format"):
+            render_metrics(MetricsRegistry(), format="xml")
+
+
 class TestMetricsRegistry:
     def test_same_name_and_labels_is_one_instrument(self):
         reg = MetricsRegistry()
