@@ -1,9 +1,11 @@
 """Command-line interface to the co-design flows.
 
-    python -m repro characterize [--ext] [-o models.json] [--json]
+    python -m repro characterize [--ext] [-o models.json] [--jobs N]
+                                 [--json]
     python -m repro explore [--models models.json] [--bits 512] [--top 10]
-                            [--stride 9] [--json]
-    python -m repro speedups [--json]
+                            [--stride 9] [--jobs N] [--resume] [--json]
+    python -m repro speedups [--jobs N] [--json]
+    python -m repro adcurves [--limbs 16] [--jobs N] [--json]
     python -m repro ssl [--sizes 1,4,16,32] [--json]
     python -m repro callgraph [--bits 256]
     python -m repro farm [--cores 4] [--requests 200] [--seed 1]
@@ -26,6 +28,13 @@ Every cost-consuming subcommand shares one cost build behind
 the process, and ``--cache-dir DIR`` (or ``$REPRO_COSTS_CACHE_DIR``)
 persists it on disk so repeated runs characterize zero times.
 ``--no-cache`` forces a fresh characterization.
+
+The sweep subcommands (``characterize``, ``explore``, ``speedups``,
+``adcurves``) accept ``--jobs N`` (or ``$REPRO_JOBS``) to fan work
+across cores through :mod:`repro.parallel`; results are identical to
+serial runs for any worker count.  ``explore`` persists evaluated
+candidates beside the characterization cache, so warm re-runs evaluate
+nothing and ``explore --resume`` picks up an interrupted sweep.
 
 Observability (``farm``, ``ssl``, ``characterize``, ``explore``,
 ``speedups``): ``--trace-out FILE`` enables the process-global
@@ -155,7 +164,7 @@ def _cmd_characterize(args) -> int:
         print(f"characterizing {'extended' if args.ext else 'base'} "
               f"platform on the ISS...")
     start = time.perf_counter()
-    models = characterize_cached(*widths)
+    models = characterize_cached(*widths, jobs=args.jobs)
     elapsed = time.perf_counter() - start
     if args.output:
         save_modelset(models, args.output)
@@ -177,33 +186,58 @@ def _cmd_characterize(args) -> int:
 def _cmd_explore(args) -> int:
     from repro.costs import characterize_cached
     from repro.crypto.modexp import iter_configs
-    from repro.explore import AlgorithmExplorer, RsaDecryptWorkload
+    from repro.explore import (AlgorithmExplorer, ExplorationStore,
+                               RsaDecryptWorkload, exploration_digest)
     from repro.macromodel.persist import load_modelset
 
     _configure_cache(args)
     _setup_obs(args)
     models = (load_modelset(args.models) if args.models
-              else characterize_cached())
+              else characterize_cached(jobs=args.jobs))
     workload = (RsaDecryptWorkload.bits1024() if args.bits == 1024
                 else RsaDecryptWorkload.bits512())
     configs = list(iter_configs())[:: args.stride]
+    store = ExplorationStore.from_global_cache()
+    if args.resume:
+        # --resume is an explicit claim that a partial sweep exists; a
+        # plain run silently reuses whatever the store has anyway.
+        if not store.persistent:
+            print("error: --resume needs a persistent store "
+                  "(--cache-dir or $REPRO_COSTS_CACHE_DIR)",
+                  file=sys.stderr)
+            return 2
+        stored = store.rows_for(exploration_digest(models, workload))
+        if not stored:
+            print("error: no stored exploration found to resume "
+                  "(run explore with the same models/workload first)",
+                  file=sys.stderr)
+            return 2
+        if not args.json:
+            print(f"resuming: {len(stored)} candidates already "
+                  f"evaluated")
     if not args.json:
         print(f"exploring {len(configs)} candidates "
               f"({args.bits}-bit RSA decrypt)...")
     explorer = AlgorithmExplorer(models, workload)
-    start = time.perf_counter()
-    results = explorer.explore(configs)
-    elapsed = time.perf_counter() - start
+    results = explorer.explore(configs, jobs=args.jobs, store=store)
+    run = explorer.last_run
     if args.json:
         payload = {
             "bits": args.bits,
-            "candidates_evaluated": len(results),
-            "wall_seconds": elapsed,
+            "candidates_evaluated": run.evaluated,
+            "candidates_cached": run.cached,
+            "wall_seconds": run.wall_seconds,
+            "candidate_wall_seconds": run.candidate_wall_seconds,
+            "parallel_speedup": run.parallel_speedup,
+            "jobs": run.jobs,
+            "executor": run.executor,
             "top": [r.as_dict() for r in results[: args.top]],
         }
         _finish_obs(args, payload)
         return _print_json(args, payload)
-    print(f"done in {elapsed:.0f}s\n")
+    print(f"done in {run.wall_seconds:.0f}s "
+          f"({run.evaluated} evaluated, {run.cached} from cache, "
+          f"jobs={run.jobs}, speedup {run.parallel_speedup:.2f}x)\n")
     for result in results[: args.top]:
         print(f"  {result.estimated_cycles / 1e6:8.2f}M  {result.label}")
     _finish_obs(args)
@@ -211,11 +245,17 @@ def _cmd_explore(args) -> int:
 
 
 def _cmd_speedups(args) -> int:
+    from repro.costs import characterize_cached
     from repro.obs import get_registry, get_tracer
 
     _configure_cache(args)
     _setup_obs(args)
     tracer = get_tracer()
+    if args.jobs is not None:
+        # Pre-warm both platform model sets with the requested fan-out;
+        # the measurement below then hits the memo.
+        characterize_cached(jobs=args.jobs)
+        characterize_cached(8, 8, jobs=args.jobs)
     with tracer.span("speedups.measure"):
         base_p, opt_p, base, opt = _measured_cost_pair(
             announce=not args.json)
@@ -253,6 +293,52 @@ def _cmd_speedups(args) -> int:
     print(f"{'RSA dec':10s} {base.rsa_private_cycles:11.0f}c "
           f"{opt.rsa_private_cycles:11.0f}c "
           f"{base.rsa_private_cycles / opt.rsa_private_cycles:7.1f}x")
+    _finish_obs(args)
+    return 0
+
+
+def _cmd_adcurves(args) -> int:
+    from repro.obs import get_tracer
+    from repro.parallel import executor_scope
+    from repro.tie.formulation import (adcurve_aes_block,
+                                       adcurve_des_block,
+                                       adcurve_mpn_add_n,
+                                       adcurve_mpn_addmul_1)
+
+    _configure_cache(args)
+    _setup_obs(args)
+    if not args.json:
+        print(f"measuring A-D curves ({args.limbs}-limb mpn operands)"
+              f"...")
+    tracer = get_tracer()
+    curves = {}
+    with tracer.span("adcurves.run", limbs=args.limbs), \
+            executor_scope(args.jobs) as pool:
+        for name, build in (
+                ("mpn_add_n", lambda: adcurve_mpn_add_n(
+                    args.limbs, executor=pool)),
+                ("mpn_addmul_1", lambda: adcurve_mpn_addmul_1(
+                    args.limbs, executor=pool)),
+                ("des_block", lambda: adcurve_des_block(executor=pool)),
+                ("aes_block", lambda: adcurve_aes_block(executor=pool))):
+            with tracer.span("adcurves.curve", curve=name):
+                curves[name] = build()
+    if args.json:
+        payload = {name: {"name": curve.name,
+                          "points": [{"cycles": p.cycles,
+                                      "area": p.area,
+                                      "instructions":
+                                          sorted(p.instructions)}
+                                     for p in curve.points]}
+                   for name, curve in curves.items()}
+        _finish_obs(args, payload)
+        return _print_json(args, payload)
+    for name, curve in curves.items():
+        print(f"\n{name}:")
+        for point in curve.points:
+            names = ",".join(sorted(point.instructions)) or "(software)"
+            print(f"  {point.cycles:10.0f}c {point.area:10.0f}A  "
+                  f"{names}")
     _finish_obs(args)
     return 0
 
@@ -466,6 +552,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache", action="store_true",
         help="force re-characterization (bypass memo and disk store)")
 
+    # Worker-count flag shared by the parallel sweep subcommands.
+    from repro.parallel import JOBS_ENV
+    jobs_flags = argparse.ArgumentParser(add_help=False)
+    jobs_flags.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="fan the sweep across N workers (default: $"
+             f"{JOBS_ENV} or serial); results are identical to serial")
+
     # Observability flags shared by the instrumented subcommands.
     obs_flags = argparse.ArgumentParser(add_help=False)
     obs_flags.add_argument(
@@ -480,7 +574,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="enable tracing and write the run's cycle-attribution "
              "profile here as JSON (prints a top-10 table too)")
 
-    p = sub.add_parser("characterize", parents=[cache_flags, obs_flags],
+    p = sub.add_parser("characterize",
+                       parents=[cache_flags, obs_flags, jobs_flags],
                        help="fit leaf-routine macro-models")
     p.add_argument("--ext", action="store_true",
                    help="characterize the extended platform")
@@ -491,22 +586,36 @@ def build_parser() -> argparse.ArgumentParser:
                    help="emit the fitted model set as JSON")
     p.set_defaults(func=_cmd_characterize)
 
-    p = sub.add_parser("explore", parents=[cache_flags, obs_flags],
+    p = sub.add_parser("explore",
+                       parents=[cache_flags, obs_flags, jobs_flags],
                        help="explore the modexp design space")
     p.add_argument("--models", help="JSON macro-models (else characterize)")
     p.add_argument("--bits", type=int, default=512, choices=(512, 1024))
     p.add_argument("--stride", type=int, default=9,
                    help="evaluate every Nth of the 450 candidates (1=all)")
     p.add_argument("--top", type=int, default=10)
+    p.add_argument("--resume", action="store_true",
+                   help="continue an interrupted sweep from the "
+                        "persistent store (error if none exists)")
     p.add_argument("--json", action="store_true",
                    help="emit the ranked candidates as JSON")
     p.set_defaults(func=_cmd_explore)
 
-    p = sub.add_parser("speedups", parents=[cache_flags, obs_flags],
+    p = sub.add_parser("speedups",
+                       parents=[cache_flags, obs_flags, jobs_flags],
                        help="Table 1: per-algorithm speedups")
     p.add_argument("--json", action="store_true",
                    help="emit unit costs and speedups as JSON")
     p.set_defaults(func=_cmd_speedups)
+
+    p = sub.add_parser("adcurves",
+                       parents=[cache_flags, obs_flags, jobs_flags],
+                       help="Figure 5: measured area-delay curves")
+    p.add_argument("--limbs", type=int, default=16,
+                   help="mpn operand size for the add_n/addmul_1 curves")
+    p.add_argument("--json", action="store_true",
+                   help="emit the curves as JSON")
+    p.set_defaults(func=_cmd_adcurves)
 
     p = sub.add_parser("ssl", parents=[cache_flags, obs_flags],
                        help="Figure 8: SSL transaction speedups")

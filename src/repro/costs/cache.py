@@ -45,7 +45,10 @@ DEFAULT_SEED = 0xC0FFEE
 #: carry the characterization cache across runs).
 CACHE_DIR_ENV = "REPRO_COSTS_CACHE_DIR"
 
-_CACHE_SCHEMA = 1
+# Schema 2: characterization stimuli now come from per-routine forked
+# PRNG streams (parallel-safe), which changes sample values and hence
+# fitted coefficients; schema-1 entries are treated as stale.
+_CACHE_SCHEMA = 2
 
 
 @dataclass(frozen=True)
@@ -154,9 +157,14 @@ class CharacterizationCache:
 
     # -- lookup --------------------------------------------------------------
 
-    def models_for(self, key: CharacterizationKey) -> MacroModelSet:
+    def models_for(self, key: CharacterizationKey,
+                   jobs: Optional[int] = None) -> MacroModelSet:
         """The fitted model set for ``key`` -- characterizing at most
-        once per process and zero times with a warm disk store."""
+        once per process and zero times with a warm disk store.
+
+        ``jobs`` fans a cache-miss characterization across workers
+        (see :mod:`repro.parallel`); it never affects the fitted
+        models, so it is deliberately *not* part of the key."""
         obs = get_obs_registry()
         if self.enabled and key in self._memo:
             self.stats.memo_hits += 1
@@ -181,7 +189,7 @@ class CharacterizationCache:
             models = characterize_platform(
                 key.add_width, key.mac_width, sizes=key.sizes,
                 reps=key.reps, prng=DeterministicPrng(key.seed),
-                modmul_overhead=key.modmul_overhead)
+                modmul_overhead=key.modmul_overhead, jobs=jobs)
         self._publish_fit_errors(key, models)
         if self.enabled:
             self._memo[key] = models
@@ -241,8 +249,9 @@ def reset_cache() -> CharacterizationCache:
 
 def characterize_cached(add_width: int = 0, mac_width: int = 0,
                         cache: Optional[CharacterizationCache] = None,
+                        jobs: Optional[int] = None,
                         **key_fields) -> MacroModelSet:
     """Cached drop-in for :func:`characterize_platform`'s common form."""
     key = CharacterizationKey(add_width=add_width, mac_width=mac_width,
                               **key_fields)
-    return (cache or _default_cache).models_for(key)
+    return (cache or _default_cache).models_for(key, jobs=jobs)

@@ -6,7 +6,9 @@ which the paper shows is orders of magnitude cheaper than evaluating
 candidates on the instruction-set simulator.
 """
 
+from repro.explore.cache import ExplorationStore, exploration_digest
 from repro.explore.explorer import (AlgorithmExplorer, ExplorationResult,
-                                    RsaDecryptWorkload)
+                                    ExplorationRun, RsaDecryptWorkload)
 
-__all__ = ["AlgorithmExplorer", "ExplorationResult", "RsaDecryptWorkload"]
+__all__ = ["AlgorithmExplorer", "ExplorationResult", "ExplorationRun",
+           "ExplorationStore", "RsaDecryptWorkload", "exploration_digest"]

@@ -5,16 +5,28 @@ decryption workload with the platform's macro-models charging cycles
 per leaf-routine call; candidates are then ranked by estimated cycles.
 The paper evaluated 450+ candidates in under 4h40m this way, against
 66 hours for only six candidates on the ISS.
+
+Candidates are independent, so :meth:`AlgorithmExplorer.explore` fans
+them across workers through :mod:`repro.parallel`: deterministic
+chunks, each worker building its own :class:`ModExpEngine` per
+candidate, results merged in candidate order -- so any ``jobs`` count
+yields exactly the serial result list.  Evaluated candidates are also
+flushed (per completed chunk) into a persistent
+:class:`~repro.explore.cache.ExplorationStore`, making warm re-runs
+and ``--resume`` after an interruption free.
 """
 
 import time
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Callable, Iterable, List, Optional
 
 from repro.crypto.modexp import ModExpConfig, ModExpEngine, iter_configs
 from repro.crypto.rsa import RsaKeyPair
+from repro.explore.cache import (ExplorationStore, config_key,
+                                 exploration_digest)
 from repro.macromodel import MacroModelSet, estimate_cycles
 from repro.obs import get_registry, get_tracer
+from repro.parallel import chunked, executor_scope
 from repro.ssl import fixtures
 
 
@@ -61,7 +73,67 @@ class ExplorationResult:
         """JSON-ready row (the CLI's shared serialization path)."""
         return {"label": self.label,
                 "estimated_cycles": self.estimated_cycles,
+                "wall_seconds": self.wall_seconds,
                 "correct": self.correct}
+
+
+@dataclass
+class ExplorationRun:
+    """Bookkeeping for the last :meth:`AlgorithmExplorer.explore` call.
+
+    ``wall_seconds`` is end-to-end elapsed time; ``candidate_wall_
+    seconds`` aggregates the per-candidate evaluation walls, so their
+    ratio is the achieved parallel speedup (for a serial run it is
+    slightly below 1.0 -- the sweep's own overhead).
+    """
+
+    candidates: int = 0
+    evaluated: int = 0
+    cached: int = 0
+    chunks: int = 0
+    jobs: int = 1
+    executor: str = "serial"
+    wall_seconds: float = 0.0
+    candidate_wall_seconds: float = 0.0
+
+    @property
+    def parallel_speedup(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.candidate_wall_seconds / self.wall_seconds
+
+    def as_dict(self) -> dict:
+        data = asdict(self)
+        data["parallel_speedup"] = self.parallel_speedup
+        return data
+
+
+def _row_from_result(result: ExplorationResult, spec: dict) -> dict:
+    """Store/transport row for one evaluated candidate."""
+    return {"config": spec, "label": result.label,
+            "estimated_cycles": result.estimated_cycles,
+            "wall_seconds": result.wall_seconds,
+            "correct": result.correct}
+
+
+def _result_from_row(row: dict) -> ExplorationResult:
+    return ExplorationResult(config=ModExpConfig(**row["config"]),
+                             estimated_cycles=row["estimated_cycles"],
+                             wall_seconds=row["wall_seconds"],
+                             correct=row["correct"])
+
+
+def _evaluate_chunk(payload) -> List[dict]:
+    """Evaluate one chunk of candidates; returns store rows.
+
+    Module-level with a picklable ``(models, workload, config dicts)``
+    payload so :class:`repro.parallel.ProcessExecutor` can ship it to a
+    worker, which builds its own explorer (and per-candidate engines).
+    """
+    models, workload, specs = payload
+    explorer = AlgorithmExplorer(models, workload)
+    return [_row_from_result(explorer.evaluate(ModExpConfig(**spec)), spec)
+            for spec in specs]
 
 
 class AlgorithmExplorer:
@@ -74,6 +146,7 @@ class AlgorithmExplorer:
         priv = self.workload.keypair.private
         c = self.workload.ciphertext % int(priv.n)
         self._expected = pow(c, int(priv.d), int(priv.n))
+        self.last_run = ExplorationRun()
 
     def evaluate(self, config: ModExpConfig) -> ExplorationResult:
         """Estimate one candidate's cycles (and check its correctness)."""
@@ -88,25 +161,84 @@ class AlgorithmExplorer:
 
     def explore(self, configs: Optional[Iterable[ModExpConfig]] = None,
                 progress: Optional[Callable[[int, ExplorationResult], None]]
-                = None) -> List[ExplorationResult]:
-        """Evaluate candidates (the full 450 by default); best first."""
+                = None, jobs: Optional[int] = None, executor=None,
+                store: Optional[ExplorationStore] = None
+                ) -> List[ExplorationResult]:
+        """Evaluate candidates (the full 450 by default); best first.
+
+        ``jobs``/``executor`` fan evaluation across workers; results
+        are merged in candidate order, so the returned list is
+        identical for any worker count.  ``store`` (default: one
+        co-located with the global characterization cache) supplies
+        already-evaluated candidates and receives newly evaluated ones
+        chunk-by-chunk; a warm store evaluates nothing.
+        """
         tracer = get_tracer()
         registry = get_registry()
-        results = []
-        with tracer.span("explore.run"):
-            for index, config in enumerate(configs or iter_configs()):
-                with tracer.span("explore.candidate",
-                                 label=config.label()):
-                    result = self.evaluate(config)
-                registry.counter("explore.candidates").inc()
-                if result.correct:
-                    registry.counter("explore.candidates_correct").inc()
-                results.append(result)
-                if progress is not None:
+        configs = list(configs) if configs is not None else list(iter_configs())
+        start = time.perf_counter()
+        if store is None:
+            store = ExplorationStore.from_global_cache()
+        digest = (exploration_digest(self.models, self.workload)
+                  if store.enabled else None)
+        rows = store.rows_for(digest) if digest is not None else {}
+
+        slots: List[Optional[ExplorationResult]] = [None] * len(configs)
+        pending = []
+        for index, config in enumerate(configs):
+            row = rows.get(config_key(config))
+            if row is not None:
+                slots[index] = _result_from_row(row)
+            else:
+                pending.append((index, config))
+        cached = len(configs) - len(pending)
+        if cached:
+            registry.counter("explore.cache.hit").inc(cached)
+        if pending:
+            registry.counter("explore.cache.miss").inc(len(pending))
+
+        with tracer.span("explore.run", candidates=len(configs),
+                         cached=cached), \
+                executor_scope(jobs, executor) as pool:
+            for index, result in enumerate(slots):
+                if result is not None and progress is not None:
                     progress(index, result)
+
+            chunks = chunked(pending, pool.jobs)
+            payloads = [(self.models, self.workload,
+                         [asdict(config) for _, config in chunk])
+                        for chunk in chunks]
+
+            def on_chunk(chunk_index: int, chunk_rows: List[dict]) -> None:
+                for (index, config), row in zip(chunks[chunk_index],
+                                                chunk_rows):
+                    result = _result_from_row(row)
+                    slots[index] = result
+                    rows[config_key(config)] = row
+                    registry.counter("explore.candidates").inc()
+                    if result.correct:
+                        registry.counter("explore.candidates_correct").inc()
+                    if progress is not None:
+                        progress(index, result)
+                if digest is not None:
+                    store.flush(digest)
+
+            pool.map(_evaluate_chunk, payloads, on_result=on_chunk,
+                     label="explore")
+            run = ExplorationRun(
+                candidates=len(configs), evaluated=len(pending),
+                cached=cached, chunks=len(chunks), jobs=pool.jobs,
+                executor=pool.kind,
+                candidate_wall_seconds=sum(
+                    slots[index].wall_seconds for index, _ in pending))
+
+        run.wall_seconds = time.perf_counter() - start
+        self.last_run = run
+        results = [r for r in slots if r is not None]
         results.sort(key=lambda r: r.estimated_cycles)
-        registry.gauge("explore.best_cycles").set(
-            results[0].estimated_cycles if results else 0.0)
+        if results:
+            registry.gauge("explore.best_cycles").set(
+                results[0].estimated_cycles)
         return results
 
     @staticmethod

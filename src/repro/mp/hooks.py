@@ -10,37 +10,44 @@ calls :func:`trace` with its name and size parameters.  When no tracer
 is installed the call is a cheap no-op; the macro-model estimator
 (:mod:`repro.macromodel.estimator`) installs a tracer that looks up the
 routine's fitted macro-model and charges the estimated cycles.
+
+The installed tracer is **thread-local**: a worker thread estimating
+one exploration candidate charges its own ledger, never a sibling's,
+which is what makes :class:`repro.parallel.ThreadExecutor` sweeps
+element-for-element identical to serial runs.
 """
 
+import threading
 from contextlib import contextmanager
 from typing import Callable, Iterator, Optional
 
 #: Tracer signature: (routine_name, params_dict) -> None
 Tracer = Callable[[str, dict], None]
 
-_tracer: Optional[Tracer] = None
+_local = threading.local()
 
 
 def set_tracer(tracer: Optional[Tracer]) -> None:
-    """Install (or clear, with ``None``) the global leaf-routine tracer."""
-    global _tracer
-    _tracer = tracer
+    """Install (or clear, with ``None``) this thread's leaf-routine
+    tracer."""
+    _local.tracer = tracer
 
 
 def get_tracer() -> Optional[Tracer]:
-    return _tracer
+    return getattr(_local, "tracer", None)
 
 
 def trace(name: str, **params) -> None:
     """Report one invocation of leaf routine ``name`` to the tracer."""
-    if _tracer is not None:
-        _tracer(name, params)
+    tracer = getattr(_local, "tracer", None)
+    if tracer is not None:
+        tracer(name, params)
 
 
 @contextmanager
 def traced(tracer: Tracer) -> Iterator[None]:
     """Context manager installing ``tracer`` for the duration of a block."""
-    previous = _tracer
+    previous = getattr(_local, "tracer", None)
     set_tracer(tracer)
     try:
         yield

@@ -203,6 +203,66 @@ def rshift(up: Limbs, count: int, radix: Radix = DEFAULT_RADIX) -> Tuple[Limbs, 
 
 
 # ---------------------------------------------------------------------------
+# In-place leaf variants (hot-path helpers)
+# ---------------------------------------------------------------------------
+# The composite routines below (schoolbook multiply, Knuth division) call
+# the multiply-accumulate leaves once per outer-loop digit on a sliding
+# window of the result vector.  Slicing that window in and out of a list
+# every iteration dominates Python-side cost, so these variants update
+# ``rp[offset:offset+len(up)]`` in place.  They trace exactly like their
+# functional counterparts -- same routine name, same ``n`` -- so charged
+# cycle counts are unchanged.
+
+def _addmul_1_into(rp: Limbs, offset: int, up: Limbs, v: int,
+                   radix: Radix = DEFAULT_RADIX) -> int:
+    """rp[offset:offset+len(up)] += up * v in place; return carry limb."""
+    trace("mpn_addmul_1", n=len(up))
+    bits, mask = radix.bits, radix.mask
+    carry = 0
+    i = offset
+    for u in up:
+        t = rp[i] + u * v + carry
+        rp[i] = t & mask
+        carry = t >> bits
+        i += 1
+    return carry
+
+
+def _submul_1_into(rp: Limbs, offset: int, up: Limbs, v: int,
+                   radix: Radix = DEFAULT_RADIX) -> int:
+    """rp[offset:offset+len(up)] -= up * v in place; return borrow limb."""
+    trace("mpn_submul_1", n=len(up))
+    bits, mask, base = radix.bits, radix.mask, radix.base
+    borrow = 0
+    i = offset
+    for u in up:
+        prod = u * v + borrow
+        t = rp[i] - (prod & mask)
+        borrow = prod >> bits
+        if t < 0:
+            t += base
+            borrow += 1
+        rp[i] = t
+        i += 1
+    return borrow
+
+
+def _add_n_into(rp: Limbs, offset: int, up: Limbs,
+                radix: Radix = DEFAULT_RADIX) -> int:
+    """rp[offset:offset+len(up)] += up in place; return carry out."""
+    trace("mpn_add_n", n=len(up))
+    base = radix.base
+    carry = 0
+    i = offset
+    for u in up:
+        s = rp[i] + u + carry
+        carry = 1 if s >= base else 0
+        rp[i] = s - base if carry else s
+        i += 1
+    return carry
+
+
+# ---------------------------------------------------------------------------
 # Composite routines (built from the leaves)
 # ---------------------------------------------------------------------------
 
@@ -236,15 +296,13 @@ def sub(up: Limbs, vp: Limbs, radix: Radix = DEFAULT_RADIX) -> Limbs:
 
 def mul_basecase(up: Limbs, vp: Limbs, radix: Radix = DEFAULT_RADIX) -> Limbs:
     """Schoolbook product of two vectors (length = len(up)+len(vp))."""
-    rp = [0] * (len(up) + len(vp))
+    un = len(up)
+    rp = [0] * (un + len(vp))
     lo, carry = mul_1(up, vp[0], radix)
-    rp[: len(up)] = lo
-    rp[len(up)] = carry
+    rp[:un] = lo
+    rp[un] = carry
     for i in range(1, len(vp)):
-        window = rp[i: i + len(up)]
-        window, carry = addmul_1(window, up, vp[i], radix)
-        rp[i: i + len(up)] = window
-        rp[i + len(up)] += carry
+        rp[i + un] += _addmul_1_into(rp, i, up, vp[i], radix)
     return rp
 
 
@@ -349,18 +407,13 @@ def divrem(up: Limbs, vp: Limbs, radix: Radix = DEFAULT_RADIX) -> Tuple[Limbs, L
             rhat += vtop
             if rhat >= base:
                 break
-        # D4: multiply and subtract.
-        window = un[j: j + n]
-        window, borrow = submul_1(window, vn, qhat, radix)
-        un[j: j + n] = window
+        # D4: multiply and subtract (in place on the un window).
+        borrow = _submul_1_into(un, j, vn, qhat, radix)
         top = un[j + n] - borrow
         if top < 0:
             # D6: qhat was one too large; add back.
             qhat -= 1
-            window = un[j: j + n]
-            window, carry = add_n(window, vn, radix)
-            un[j: j + n] = window
-            top += carry
+            top += _add_n_into(un, j, vn, radix)
             top += base if top < 0 else 0
         un[j + n] = top & mask
         qp[j] = qhat

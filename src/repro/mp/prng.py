@@ -7,20 +7,45 @@ which is plenty for *stimulus* generation -- it is NOT a cryptographic
 RNG and the crypto layer documents that substitution.
 """
 
+import zlib
 from typing import List
 
 from repro.mp.limb import DEFAULT_RADIX, Radix
 
 _MASK64 = (1 << 64) - 1
+_GOLDEN = 0x9E3779B97F4A7C15
 
 
 class DeterministicPrng:
     """xorshift64* PRNG with convenience draws for the test harnesses."""
 
-    def __init__(self, seed: int = 0x9E3779B97F4A7C15):
+    def __init__(self, seed: int = _GOLDEN):
         if seed == 0:
-            seed = 0x9E3779B97F4A7C15
-        self._state = seed & _MASK64
+            seed = _GOLDEN
+        self._seed = seed & _MASK64
+        self._state = self._seed
+
+    @property
+    def initial_seed(self) -> int:
+        """The seed this stream started from (what :meth:`fork` keys on)."""
+        return self._seed
+
+    def fork(self, label) -> "DeterministicPrng":
+        """An independent stream derived from the *initial* seed and a
+        label.
+
+        Forking ignores how much of this stream has been consumed, so a
+        forked stream's values depend only on ``(initial seed, label)``
+        -- never on draw order or on which parallel job forked first.
+        That is the property that lets per-routine characterization
+        jobs run in any order and still produce identical stimuli.
+        """
+        mixed = (self._seed ^ (zlib.crc32(str(label).encode("utf-8"))
+                               * _GOLDEN)) & _MASK64
+        # One scramble round so labels differing in few bits diverge.
+        mixed ^= (mixed >> 30)
+        mixed = (mixed * 0xBF58476D1CE4E5B9) & _MASK64
+        return DeterministicPrng(mixed or _GOLDEN)
 
     def next_u64(self) -> int:
         x = self._state

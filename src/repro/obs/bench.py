@@ -374,11 +374,15 @@ def _characterize_metrics() -> Dict[str, object]:
 def _modexp_candidates_metrics() -> Dict[str, object]:
     from repro.costs import characterize_cached
     from repro.crypto.modexp import iter_configs
-    from repro.explore import AlgorithmExplorer, RsaDecryptWorkload
+    from repro.explore import (AlgorithmExplorer, ExplorationStore,
+                               RsaDecryptWorkload)
     models = characterize_cached()
     configs = list(iter_configs())[::90]        # 5 strided candidates
     explorer = AlgorithmExplorer(models, RsaDecryptWorkload.bits512())
-    results = explorer.explore(configs)
+    # A disabled store: this scenario measures exploration itself, so
+    # a warm local store must not short-circuit it.
+    results = explorer.explore(configs,
+                               store=ExplorationStore(enabled=False))
     cycles = sorted(r.estimated_cycles for r in results)
     best = results[0]
     return {
@@ -389,6 +393,46 @@ def _modexp_candidates_metrics() -> Dict[str, object]:
         "best_label": best.label,
         "median_cycles": cycles[len(cycles) // 2],
         "worst_cycles": cycles[-1],
+    }
+
+
+def _explore_parallel_metrics() -> Dict[str, object]:
+    import tempfile
+    from repro.costs import characterize_cached
+    from repro.crypto.modexp import iter_configs
+    from repro.explore import (AlgorithmExplorer, ExplorationStore,
+                               RsaDecryptWorkload)
+    from repro.parallel import ThreadExecutor
+    models = characterize_cached()
+    configs = list(iter_configs())[::90]        # 5 strided candidates
+    explorer = AlgorithmExplorer(models, RsaDecryptWorkload.bits512())
+    serial = explorer.explore(configs,
+                              store=ExplorationStore(enabled=False))
+    with tempfile.TemporaryDirectory() as tmp:
+        # Cold: 2 worker threads filling a fresh persistent store.
+        with ThreadExecutor(2) as pool:
+            cold = explorer.explore(configs, executor=pool,
+                                    store=ExplorationStore(cache_dir=tmp))
+        cold_run = explorer.last_run
+        # Warm: a fresh store object over the same directory (a new
+        # process, effectively) must evaluate nothing.
+        warm = explorer.explore(configs,
+                                store=ExplorationStore(cache_dir=tmp))
+        warm_run = explorer.last_run
+    return {
+        "candidates": float(len(serial)),
+        "best_cycles": serial[0].estimated_cycles,
+        "chunks": float(cold_run.chunks),
+        "cold_evaluated": float(cold_run.evaluated),
+        "warm_evaluated": float(warm_run.evaluated),
+        "parallel_max_abs_cycle_diff": max(
+            abs(a.estimated_cycles - b.estimated_cycles)
+            for a, b in zip(serial, cold)),
+        "parallel_label_agreement": float(all(
+            a.label == b.label for a, b in zip(serial, cold))),
+        "warm_max_abs_cycle_diff": max(
+            abs(a.estimated_cycles - b.estimated_cycles)
+            for a, b in zip(serial, warm)),
     }
 
 
@@ -450,6 +494,23 @@ register_scenario(Scenario(
         "cold.characterizations": Gate(tolerance=0.0,
                                        direction="lower"),
         "warm.memo_hits": _EXACT_COUNT,
+    }))
+
+register_scenario(Scenario(
+    name="explore_parallel",
+    description="serial-vs-parallel exploration agreement and "
+                "persistent-store reuse over 5 strided candidates",
+    run=_explore_parallel_metrics,
+    gates={
+        "candidates": _EXACT_COUNT,
+        "best_cycles": Gate(tolerance=0.05, direction="lower"),
+        "cold_evaluated": Gate(tolerance=0.0, direction="lower"),
+        "warm_evaluated": Gate(tolerance=0.0, direction="lower"),
+        "parallel_max_abs_cycle_diff": Gate(tolerance=0.0,
+                                            direction="lower"),
+        "parallel_label_agreement": _EXACT_COUNT,
+        "warm_max_abs_cycle_diff": Gate(tolerance=0.0,
+                                        direction="lower"),
     }))
 
 register_scenario(Scenario(

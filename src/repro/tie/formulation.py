@@ -5,6 +5,15 @@ instructions' hardware resources on the simulator and record the
 (area, cycles) points -- the paper's Figure 5(a)/(b) curves for
 ``mpn_add_n`` and ``mpn_addmul_1``, plus round-granularity curves for
 the DES and AES kernels.
+
+Each resource width's kernel simulation is independent, so every sweep
+fans its width points across workers through :mod:`repro.parallel`
+(``jobs``/``executor`` parameters).  Operand stimuli are drawn *before*
+the fan-out and shipped to workers, and points are merged in width
+order -- so any worker count yields the identical curve.  Workers
+return plain ``(cycles)`` measurements; instruction objects (whose
+semantics are closures, hence unpicklable) are built only in the
+parent.
 """
 
 from typing import Dict, Optional, Sequence
@@ -18,12 +27,50 @@ from repro.isa.kernels.aes_kernels import AesKernel
 from repro.isa.kernels.des_kernels import DesKernel
 from repro.isa.kernels.mpn_kernels import MpnKernels
 from repro.mp.prng import DeterministicPrng
+from repro.parallel import executor_scope
 from repro.tie.adcurve import ADCurve, DesignPoint
+
+_DES_KEY = bytes.fromhex("133457799BBCDFF1")
+_DES_BLOCK = bytes.fromhex("0123456789ABCDEF")
+_AES_KEY = bytes(range(16))
+_AES_BLOCK = bytes.fromhex("00112233445566778899aabbccddeeff")
+
+
+def _addn_point(spec: dict) -> float:
+    """Cycles for add_n at one adder-array width (picklable worker)."""
+    kern = MpnKernels(add_width=spec["width"], mac_width=1)
+    return float(kern.add_n(spec["up"], spec["vp"])[2])
+
+
+def _addmul_point(spec: dict) -> float:
+    """Cycles for addmul_1 at one (adder, MAC) width pair."""
+    kern = MpnKernels(add_width=spec["width"],
+                      mac_width=spec["mac_width"])
+    return float(kern.addmul_1(spec["rp"], spec["up"], spec["v"])[2])
+
+
+def _des_point(units: int) -> float:
+    """Cycles for one DES block with ``units`` S-box units."""
+    _, cycles = DesKernel(extended=True,
+                          sbox_units=units).crypt_block(_DES_BLOCK,
+                                                        _DES_KEY)
+    return float(cycles)
+
+
+def _aes_point(variant) -> float:
+    """Cycles for one AES block at one (sbox, mixcol) unit variant."""
+    sbox_units, mixcol_units = variant
+    _, cycles = AesKernel(extended=True, sbox_units=sbox_units,
+                          mixcol_units=mixcol_units
+                          ).encrypt_block(_AES_BLOCK, _AES_KEY)
+    return float(cycles)
 
 
 def adcurve_mpn_add_n(n: int = 16,
                       widths: Sequence[int] = ADD_WIDTHS,
-                      prng: Optional[DeterministicPrng] = None) -> ADCurve:
+                      prng: Optional[DeterministicPrng] = None,
+                      jobs: Optional[int] = None,
+                      executor=None) -> ADCurve:
     """Measured A-D curve for ``mpn_add_n`` on n-limb operands.
 
     Mirrors paper Figure 5(a): the base software point plus one point
@@ -35,12 +82,13 @@ def adcurve_mpn_add_n(n: int = 16,
     curve = ADCurve(f"mpn_add_n[n={n}]")
     _, _, base_cycles = MpnKernels().add_n(up, vp)
     curve.add(DesignPoint(cycles=float(base_cycles), area=0.0))
-    for width in widths:
+    specs = [{"up": up, "vp": vp, "width": width} for width in widths]
+    with executor_scope(jobs, executor) as pool:
+        points = pool.map(_addn_point, specs, label="adcurve.add_n")
+    for width, cycles in zip(widths, points):
         instr = make_vaddc(width)
         curve.catalogue[instr.name] = instr
-        kern = MpnKernels(add_width=width, mac_width=1)
-        _, _, cycles = kern.add_n(up, vp)
-        curve.add(DesignPoint(cycles=float(cycles), area=instr.area,
+        curve.add(DesignPoint(cycles=cycles, area=instr.area,
                               instructions=frozenset({instr.name})))
     return curve
 
@@ -63,7 +111,9 @@ def _multiplier_unit():
 
 def adcurve_mpn_addmul_1(n: int = 16,
                          widths: Sequence[int] = ADD_WIDTHS,
-                         prng: Optional[DeterministicPrng] = None) -> ADCurve:
+                         prng: Optional[DeterministicPrng] = None,
+                         jobs: Optional[int] = None,
+                         executor=None) -> ADCurve:
     """Measured A-D curve for ``mpn_addmul_1`` (paper Figure 5(b)).
 
     Design points are {add_X adder array + mul_1 multiplier} as in the
@@ -79,70 +129,75 @@ def adcurve_mpn_addmul_1(n: int = 16,
     curve.catalogue[mul_unit.name] = mul_unit
     _, _, base_cycles = MpnKernels().addmul_1(rp, up, v)
     curve.add(DesignPoint(cycles=float(base_cycles), area=0.0))
-    for width in widths:
+    mac_top = max(MAC_WIDTHS)
+    specs = [{"rp": rp, "up": up, "v": v, "width": width,
+              "mac_width": min(width, mac_top)} for width in widths]
+    with executor_scope(jobs, executor) as pool:
+        points = pool.map(_addmul_point, specs, label="adcurve.addmul_1")
+    for width, cycles in zip(widths, points):
         adders = make_vaddc(width)
         curve.catalogue[adders.name] = adders
-        mac_width = min(width, max(MAC_WIDTHS))
-        kern = MpnKernels(add_width=width, mac_width=mac_width)
-        _, _, cycles = kern.addmul_1(rp, up, v)
         curve.add(DesignPoint(
-            cycles=float(cycles), area=adders.area + mul_unit.area,
+            cycles=cycles, area=adders.area + mul_unit.area,
             instructions=frozenset({adders.name, mul_unit.name})))
     return curve
 
 
-def adcurve_des_block(sbox_sweep: Sequence[int] = DES_SBOX_UNITS) -> ADCurve:
+def adcurve_des_block(sbox_sweep: Sequence[int] = DES_SBOX_UNITS,
+                      jobs: Optional[int] = None,
+                      executor=None) -> ADCurve:
     """A-D curve for a DES block: base software vs round-instruction
     variants with 1..8 S-box units (plus the shared load/store perm
     instructions, whose area is included)."""
-    key = bytes.fromhex("133457799BBCDFF1")
-    block = bytes.fromhex("0123456789ABCDEF")
     curve = ADCurve("des_block")
-    _, base_cycles = DesKernel().crypt_block(block, key)
+    _, base_cycles = DesKernel().crypt_block(_DES_BLOCK, _DES_KEY)
     curve.add(DesignPoint(cycles=float(base_cycles), area=0.0))
     ld, st = make_desld(), make_desst()
-    for units in sbox_sweep:
+    with executor_scope(jobs, executor) as pool:
+        points = pool.map(_des_point, list(sbox_sweep),
+                          label="adcurve.des")
+    for units, cycles in zip(sbox_sweep, points):
         rnd = make_desround(units)
         names = frozenset({ld.name, rnd.name, st.name})
         for instr in (ld, rnd, st):
             curve.catalogue[instr.name] = instr
-        _, cycles = DesKernel(extended=True,
-                              sbox_units=units).crypt_block(block, key)
         area = ld.area + rnd.area + st.area
-        curve.add(DesignPoint(cycles=float(cycles), area=area,
+        curve.add(DesignPoint(cycles=cycles, area=area,
                               instructions=names))
     return curve
 
 
-def adcurve_aes_block(variants: Sequence = AES_VARIANTS) -> ADCurve:
+def adcurve_aes_block(variants: Sequence = AES_VARIANTS,
+                      jobs: Optional[int] = None,
+                      executor=None) -> ADCurve:
     """A-D curve for an AES-128 block across round-unit variants."""
-    key = bytes(range(16))
-    block = bytes.fromhex("00112233445566778899aabbccddeeff")
     curve = ADCurve("aes_block")
-    _, base_cycles = AesKernel().encrypt_block(block, key)
+    _, base_cycles = AesKernel().encrypt_block(_AES_BLOCK, _AES_KEY)
     curve.add(DesignPoint(cycles=float(base_cycles), area=0.0))
     ld, ark, st = make_aesld(), make_aesark(), make_aesst()
-    for sbox_units, mixcol_units in variants:
+    with executor_scope(jobs, executor) as pool:
+        points = pool.map(_aes_point, [tuple(v) for v in variants],
+                          label="adcurve.aes")
+    for (sbox_units, mixcol_units), cycles in zip(variants, points):
         rnd = make_aesrnd(sbox_units, mixcol_units)
         lastrnd = make_aesrndl(sbox_units)
         for instr in (ld, ark, rnd, lastrnd, st):
             curve.catalogue[instr.name] = instr
-        _, cycles = AesKernel(extended=True, sbox_units=sbox_units,
-                              mixcol_units=mixcol_units
-                              ).encrypt_block(block, key)
         names = frozenset({ld.name, ark.name, rnd.name, lastrnd.name,
                            st.name})
         area = sum(i.area for i in (ld, ark, rnd, lastrnd, st))
-        curve.add(DesignPoint(cycles=float(cycles), area=area,
+        curve.add(DesignPoint(cycles=cycles, area=area,
                               instructions=names))
     return curve
 
 
-def leaf_curves_for_modexp(n: int = 16) -> Dict[str, ADCurve]:
+def leaf_curves_for_modexp(n: int = 16, jobs: Optional[int] = None,
+                           executor=None) -> Dict[str, ADCurve]:
     """The leaf A-D curves the global selection propagates through the
     modular exponentiation call graph: mpn_add_n-style adds don't
     appear in the Montgomery inner loop, so the hot curve is addmul."""
-    return {
-        "mpn_addmul_1": adcurve_mpn_addmul_1(n),
-        "mpn_add_n": adcurve_mpn_add_n(n),
-    }
+    with executor_scope(jobs, executor) as pool:
+        return {
+            "mpn_addmul_1": adcurve_mpn_addmul_1(n, executor=pool),
+            "mpn_add_n": adcurve_mpn_add_n(n, executor=pool),
+        }

@@ -224,3 +224,90 @@ class TestRadix16:
                           RADIX16)
         assert mpn.to_int(q, RADIX16) == a // b
         assert mpn.to_int(r, RADIX16) == a % b
+
+
+class TestHotPathEquivalence:
+    """The micro-optimized in-place helpers must be bit-identical to
+    int arithmetic AND charge exactly the same traced leaf calls as
+    the functional leaves they replace (so macro-model cycle estimates
+    are unchanged by the optimization)."""
+
+    @staticmethod
+    def _traced_calls(fn):
+        from repro.mp.hooks import traced
+        calls = []
+        with traced(lambda name, params: calls.append((name,
+                                                       params["n"]))):
+            result = fn()
+        return result, calls
+
+    @given(nonneg, nonneg)
+    def test_mul_basecase_matches_int(self, a, b):
+        got = mpn.mul_basecase(limbs_of(a), limbs_of(b))
+        assert mpn.to_int(got) == a * b
+
+    @given(nonneg, positive)
+    def test_divrem_matches_int(self, a, b):
+        q, r = mpn.divrem(limbs_of(a), limbs_of(b))
+        assert mpn.to_int(q) == a // b
+        assert mpn.to_int(r) == a % b
+
+    @given(st.integers(min_value=1, max_value=(1 << 256) - 1),
+           st.integers(min_value=1, max_value=(1 << 256) - 1))
+    def test_mul_basecase_trace_counts(self, a, b):
+        """m x n schoolbook = 1 mul_1 + (m-1) addmul_1, all of width
+        len(up) -- the exact call sequence the macro-models charge."""
+        up, vp = limbs_of(a), limbs_of(b)
+        _, calls = self._traced_calls(
+            lambda: mpn.mul_basecase(up, vp))
+        expected = [("mpn_mul_1", len(up))] + \
+            [("mpn_addmul_1", len(up))] * (len(vp) - 1)
+        assert calls == expected
+
+    def test_divrem_addback_trace_includes_add_n(self):
+        # Crafted Algorithm D add-back trigger: the divisor's zero
+        # middle limb blinds the 3-limb qhat check to the huge low
+        # limb, and the dividend window makes rhat == 0 with qhat at
+        # base-1 -- so D4 underflows and the rare D6 correction runs.
+        # It must still charge exactly one mpn_add_n of width n.
+        a = 0x7FFFFFFF_80000000_00000000_00000000
+        b = 0x80000000_00000000_FFFFFFFF
+        (q, r), calls = self._traced_calls(
+            lambda: mpn.divrem(limbs_of(a), limbs_of(b)))
+        assert mpn.to_int(q) == a // b and mpn.to_int(r) == a % b
+        n = len(limbs_of(b))
+        assert calls.count(("mpn_add_n", n)) == 1
+        assert calls.count(("mpn_divrem_qest", 1)) == \
+            calls.count(("mpn_submul_1", n))
+
+    @given(nonneg, positive)
+    def test_divrem_trace_structure(self, a, b):
+        """Every quotient digit charges one qest + one submul_1 of the
+        divisor's width (plus at most one add_n on the add-back path)."""
+        un, vn = limbs_of(a), limbs_of(b)
+        if len(vn) < 2 or mpn.cmp(un, vn) < 0:
+            return          # single-limb or trivial path
+        (q, _), calls = self._traced_calls(
+            lambda: mpn.divrem(un, vn))
+        qests = calls.count(("mpn_divrem_qest", 1))
+        submuls = [c for c in calls if c[0] == "mpn_submul_1"]
+        assert qests == len(submuls) > 0
+        assert all(n == len(vn) for _, n in submuls)
+
+    def test_inplace_helpers_match_functional_leaves(self):
+        from repro.mp.prng import DeterministicPrng
+        prng = DeterministicPrng(0xFACE)
+        for n in (1, 2, 5, 9):
+            rp = prng.next_limbs(n)
+            up = prng.next_limbs(n)
+            v = prng.next_bits(32)
+            want_add, carry_add = mpn.addmul_1(rp, up, v)
+            got = list(rp)
+            carry = mpn._addmul_1_into(got, 0, up, v)
+            assert (got, carry) == (want_add, carry_add)
+            big = prng.next_limbs(n)    # ensure no borrow underflow
+            base = [x | y for x, y in zip(big, up)]
+            want_sub, borrow_sub = mpn.submul_1(base, up, 1)
+            got = list(base)
+            borrow = mpn._submul_1_into(got, 0, up, 1)
+            assert (got, borrow) == (want_sub, borrow_sub)
