@@ -9,7 +9,13 @@
     python -m repro ssl [--sizes 1,4,16,32] [--json]
     python -m repro callgraph [--bits 256]
     python -m repro farm [--cores 4] [--requests 200] [--seed 1]
-                         [--rate 60] [--extended-fraction 0.5] [--json]
+                         [--rate 60] [--extended-fraction 0.5]
+                         [--shards N] [--jobs N] [--queue heap|calendar]
+                         [--replay trace.jsonl]
+                         [--export-workload trace.jsonl] [--json]
+    python -m repro capacity [--users 100000] [--per-user-kbps 384]
+                             [--autoscale] [--curve diurnal]
+                             [--epochs 24] [--json]
     python -m repro profile --trace trace.jsonl [--top 20]
                             [--group-by scheduler] [--folded out.folded]
     python -m repro bench [--scenario NAME]... [--dir DIR]
@@ -375,12 +381,14 @@ def _cmd_ssl(args) -> int:
 
 
 def _cmd_farm(args) -> int:
-    from repro.farm import (FarmSimulator, TrafficProfile,
-                            build_farm, capacity_table, farm_rate_targets,
-                            generate_requests, make_scheduler,
-                            specs_as_configs, summarize)
+    from repro.farm import (TrafficProfile, build_farm, capacity_table,
+                            farm_rate_targets, import_workload,
+                            export_workload, queue_kinds, run_sharded,
+                            shard_workload, specs_as_configs, summarize)
+    from repro.farm.shard import _merge_queue_stats
     from repro.farm.scheduler import scheduler_names
     from repro.obs import get_registry, get_tracer
+    from repro.ssl.throughput import DEFAULT_CLOCK_HZ
 
     _configure_cache(args)
     _setup_obs(args)
@@ -393,13 +401,43 @@ def _cmd_farm(args) -> int:
             raise ValueError("--extended-fraction must be in [0, 1]")
         if args.requests < 0:
             raise ValueError("--requests must be non-negative")
+        if args.shards < 1:
+            raise ValueError("--shards must be at least 1")
+        if args.shards > args.cores:
+            raise ValueError("--shards cannot exceed --cores")
+        if args.queue not in queue_kinds():
+            raise ValueError(f"--queue must be one of {queue_kinds()}")
         profile = TrafficProfile(arrival_rate=args.rate,
                                  resumption_ratio=args.resumption)
-        requests = generate_requests(profile, args.requests,
-                                     seed=args.seed)
-    except ValueError as exc:
+        clock_hz = DEFAULT_CLOCK_HZ
+        if args.replay:
+            trace = import_workload(args.replay)
+            requests = trace.requests
+            clock_hz = trace.clock_hz
+        else:
+            if args.shards > profile.clients:
+                raise ValueError("--shards cannot exceed the client "
+                                 "population")
+            # One canonical stream (interleaved shard seqs, ordered by
+            # seq) -- what --export-workload writes, and what the
+            # replay path re-partitions into the identical shards.
+            workloads = shard_workload(profile, args.requests,
+                                       args.shards, seed=args.seed)
+            requests = sorted((r for shard in workloads for r in shard),
+                              key=lambda r: r.seq)
+    except (OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+
+    if args.export_workload:
+        export_workload(args.export_workload, requests,
+                        clock_hz=clock_hz, rate=args.rate,
+                        seed=args.seed, shards=args.shards,
+                        resumption=args.resumption,
+                        source=args.replay or "generated")
+        if not args.json:
+            print(f"wrote {len(requests)} requests to "
+                  f"{args.export_workload}")
 
     _, _, base_costs, opt_costs = _measured_cost_pair(
         announce=not args.json)
@@ -409,13 +447,28 @@ def _cmd_farm(args) -> int:
     tracer = get_tracer()
     metrics = get_registry() if args.metrics else None
     rows = []
+    runs = []
     for name in scheduler_names():
-        sim = FarmSimulator(specs, make_scheduler(name), tracer=tracer,
-                            metrics=metrics)
-        rows.append(summarize(sim.run(requests)))
+        run = run_sharded(specs, name, shards=args.shards,
+                          clock_hz=clock_hz, queue=args.queue,
+                          jobs=args.jobs, tracer=tracer,
+                          metrics=metrics, requests=requests)
+        runs.append(run)
+        rows.append(summarize(run.result))
 
     configs = specs_as_configs(specs)
     plans = capacity_table(configs, farm_rate_targets())
+    wall = sum(run.wall_seconds for run in runs)
+    shard_wall = sum(run.shard_wall_seconds for run in runs)
+    sharding = {
+        "shards": args.shards,
+        "jobs": runs[0].jobs,
+        "executor": runs[0].executor,
+        "queue": args.queue,
+        "parallel_speedup": (shard_wall / wall if wall > 0 else 0.0),
+        "queue_stats": _merge_queue_stats([run.queue_stats
+                                           for run in runs]),
+    }
 
     if args.json:
         results = {
@@ -423,6 +476,10 @@ def _cmd_farm(args) -> int:
                        "gates": s.gates} for s in specs],
             "schedulers": [m.as_dict() for m in rows],
             "capacity": [p.as_dict() for p in plans],
+            "sharding": sharding,
+            "parallel_speedup": sharding["parallel_speedup"],
+            "jobs": sharding["jobs"],
+            "executor": sharding["executor"],
         }
         _finish_obs(args, results)
         return _print_json(args, results)
@@ -430,7 +487,12 @@ def _cmd_farm(args) -> int:
     print(f"\nfarm: {args.cores} cores "
           f"({sum(s.extended for s in specs)} extended / "
           f"{sum(not s.extended for s in specs)} base), "
-          f"{args.requests} requests @ {args.rate:.0f}/s, seed {args.seed}")
+          f"{len(requests)} requests @ {args.rate:.0f}/s, "
+          f"seed {args.seed}")
+    if args.shards > 1 or args.queue != "heap":
+        print(f"sharded: {args.shards} shards, queue={args.queue}, "
+              f"jobs={sharding['jobs']} ({sharding['executor']}), "
+              f"speedup {sharding['parallel_speedup']:.2f}x")
     print(f"\n{'scheduler':14s} {'sess/s':>8s} {'Mbps':>7s} "
           f"{'p50 ms':>8s} {'p95 ms':>9s} {'p99 ms':>9s} "
           f"{'util':>5s} {'hit':>5s} {'/s/Mgate':>9s}")
@@ -448,6 +510,96 @@ def _cmd_farm(args) -> int:
         print(f"{p.target_name:38s} {p.config_name:>10s} "
               f"{p.cores:7d} {p.farm_gates / 1e6:12.2f}")
     _finish_obs(args)
+    return 0
+
+
+def _cmd_capacity(args) -> int:
+    from repro.farm import (AutoscalePolicy, SloTarget, TrafficProfile,
+                            build_farm, capacity_table, curve_names,
+                            plan_farm, simulate_autoscale,
+                            specs_as_configs)
+    from repro.ssl.throughput import RATE_TARGETS
+
+    _configure_cache(args)
+    try:
+        if args.users < 1:
+            raise ValueError("--users must be at least 1")
+        if args.per_user_kbps <= 0:
+            raise ValueError("--per-user-kbps must be positive")
+        if args.curve not in curve_names():
+            raise ValueError(f"--curve must be one of {curve_names()}")
+        policy = AutoscalePolicy(
+            min_cores=args.min_cores, max_cores=args.max_cores,
+            target_utilization=args.target_utilization,
+            warmup_epochs=args.warmup_epochs,
+            cooldown_epochs=args.cooldown_epochs)
+        slo = SloTarget(p99_ms=args.slo_p99_ms,
+                        secure_mbps=args.slo_mbps)
+        profile = TrafficProfile(arrival_rate=args.rate)
+        if args.epochs < 1:
+            raise ValueError("--epochs must be at least 1")
+        if args.epoch_seconds <= 0:
+            raise ValueError("--epoch-seconds must be positive")
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    _, _, base_costs, opt_costs = _measured_cost_pair(
+        announce=not args.json)
+    # A two-core heterogeneous farm yields exactly the base and
+    # extended configurations with their gate costs.
+    configs = specs_as_configs(build_farm(2, base_costs, opt_costs, 0.5))
+    plan = plan_farm(args.users, args.per_user_kbps * 1e3, configs)
+    targets = {name: args.users * 0.02 * rate
+               for name, rate in RATE_TARGETS.items()}
+    table = capacity_table(configs, targets)
+
+    report = None
+    if args.autoscale:
+        pool = build_farm(args.max_cores, base_costs, opt_costs,
+                          extended_fraction=args.extended_fraction)
+        report = simulate_autoscale(
+            pool, args.scheduler, profile, policy=policy, slo=slo,
+            n_epochs=args.epochs, epoch_seconds=args.epoch_seconds,
+            curve=args.curve, seed=args.seed)
+
+    if args.json:
+        results = {
+            "plan": plan.as_dict(),
+            "table": [p.as_dict() for p in table],
+        }
+        if report is not None:
+            results["autoscale"] = report.as_dict()
+        return _print_json(args, results)
+
+    print(f"\ncheapest plan for {args.users:,} users @ "
+          f"{args.per_user_kbps:.0f} kbps each:")
+    print(f"  {plan.cores} x {plan.config_name} cores "
+          f"({plan.farm_gates / 1e6:.2f} Mgates, "
+          f"{plan.per_core_bps / 1e6:.2f} Mbps/core)")
+    print(f"\n{'target':38s} {'config':>10s} {'cores':>7s} "
+          f"{'farm Mgates':>12s}")
+    for p in table:
+        print(f"{p.target_name:38s} {p.config_name:>10s} "
+              f"{p.cores:7d} {p.farm_gates / 1e6:12.2f}")
+    if report is not None:
+        print(f"\nautoscale ({args.curve} curve, {args.epochs} epochs "
+              f"x {args.epoch_seconds:.1f}s, scheduler "
+              f"{args.scheduler}):")
+        print(f"{'epoch':>5s} {'rate/s':>8s} {'cores':>6s} "
+              f"{'warm':>5s} {'util':>5s} {'p99 ms':>9s} "
+              f"{'Mbps':>7s} {'slo':>4s} action")
+        for e in report.epochs:
+            print(f"{e.epoch:5d} {e.offered_rate:8.1f} "
+                  f"{e.active_cores:6d} {e.warming_cores:5d} "
+                  f"{e.utilization:5.2f} {e.p99_ms:9.2f} "
+                  f"{e.secure_mbps:7.2f} "
+                  f"{'ok' if e.slo_met else 'MISS':>4s} {e.action}")
+        print(f"\npeak {report.peak_cores} cores, mean "
+              f"{report.mean_cores:.1f}, {report.core_epochs} "
+              f"core-epochs, {report.slo_violations} SLO misses, "
+              f"{report.scale_outs} scale-outs / "
+              f"{report.scale_ins} scale-ins")
     return 0
 
 
@@ -625,7 +777,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="emit machine-readable JSON instead of the table")
     p.set_defaults(func=_cmd_ssl)
 
-    p = sub.add_parser("farm", parents=[cache_flags, obs_flags],
+    p = sub.add_parser("farm",
+                       parents=[cache_flags, obs_flags, jobs_flags],
                        help="multi-core farm: schedulers + capacity plan")
     p.add_argument("--cores", type=int, default=4)
     p.add_argument("--requests", type=int, default=200)
@@ -636,9 +789,55 @@ def build_parser() -> argparse.ArgumentParser:
                    help="SSL session-resumption ratio")
     p.add_argument("--extended-fraction", type=float, default=0.5,
                    help="fraction of cores with TIE extensions")
+    p.add_argument("--shards", type=int, default=1,
+                   help="partition the population across N independent "
+                        "shard simulations (1 = the plain simulator, "
+                        "bit-identical)")
+    p.add_argument("--queue", default="heap",
+                   help="pending-event structure: heap or calendar "
+                        "(identical results either way)")
+    p.add_argument("--replay", metavar="FILE",
+                   help="replay a JSONL workload trace instead of "
+                        "generating traffic")
+    p.add_argument("--export-workload", metavar="FILE",
+                   help="write the offered request stream as a JSONL "
+                        "trace for later --replay")
     p.add_argument("--json", action="store_true",
                    help="emit machine-readable JSON instead of tables")
     p.set_defaults(func=_cmd_farm)
+
+    p = sub.add_parser("capacity", parents=[cache_flags],
+                       help="capacity planner: static sizing + "
+                            "autoscaling simulation")
+    p.add_argument("--users", type=int, default=100_000,
+                   help="subscriber population to size for")
+    p.add_argument("--per-user-kbps", type=float, default=384.0,
+                   help="per-user secure rate target (kbps)")
+    p.add_argument("--autoscale", action="store_true",
+                   help="additionally simulate the autoscaling control "
+                        "loop")
+    p.add_argument("--curve", default="diurnal",
+                   help="arrival curve: constant, diurnal, or bursty")
+    p.add_argument("--epochs", type=int, default=24)
+    p.add_argument("--epoch-seconds", type=float, default=2.0)
+    p.add_argument("--rate", type=float, default=400.0,
+                   help="base offered load in sessions/second")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--scheduler", default="preferential")
+    p.add_argument("--min-cores", type=int, default=2)
+    p.add_argument("--max-cores", type=int, default=16)
+    p.add_argument("--target-utilization", type=float, default=0.7)
+    p.add_argument("--warmup-epochs", type=int, default=1,
+                   help="epochs a scaled-out core takes to come online")
+    p.add_argument("--cooldown-epochs", type=int, default=2)
+    p.add_argument("--extended-fraction", type=float, default=0.5)
+    p.add_argument("--slo-p99-ms", type=float, default=None,
+                   help="per-epoch p99 latency SLO (ms)")
+    p.add_argument("--slo-mbps", type=float, default=None,
+                   help="per-epoch secure-throughput SLO (Mbps)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the plan/table/autoscale report as JSON")
+    p.set_defaults(func=_cmd_capacity)
 
     p = sub.add_parser("callgraph", help="Figure 4: profile a modexp")
     p.add_argument("--bits", type=int, default=256)

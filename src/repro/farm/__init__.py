@@ -18,34 +18,64 @@ preferential algorithm.  This package models exactly that step:
   utilization, and area-normalized throughput (an A-D style
   cores-vs-delay trade-off at the farm level);
 - :mod:`repro.farm.capacity`  -- the capacity planner: how many cores
-  of which configuration serve N users at rate R.
+  of which configuration serve N users at rate R;
+- :mod:`repro.farm.events`    -- pluggable pending-event structures
+  (binary heap, Brown's calendar queue) behind one ``EventQueue``
+  surface with identical pop order;
+- :mod:`repro.farm.shard`     -- population sharding: independent
+  per-shard PRNG streams, parallel per-shard simulations, an
+  order-preserving merge (``shards=1`` is bit-identical to the plain
+  simulator);
+- :mod:`repro.farm.replay`    -- JSONL workload traces (export /
+  import round-trips the exact request stream);
+- :mod:`repro.farm.autoscale` -- the autoscaling capacity service:
+  arrival curves, scale-out/in policies with warm-up costs, per-epoch
+  SLO attainment.
 
 Drive it from the command line with ``python -m repro farm``.
 """
 
+from repro.farm.autoscale import (ARRIVAL_CURVES, AutoscalePolicy,
+                                  AutoscaleReport, EpochReport,
+                                  SloTarget, arrival_multiplier,
+                                  curve_names, simulate_autoscale)
 from repro.farm.capacity import (CapacityPlan, capacity_table,
                                  cores_for_rate, farm_rate_targets,
                                  plan_farm, specs_as_configs)
+from repro.farm.events import (EVENT_QUEUES, CalendarEventQueue,
+                               EventQueue, HeapEventQueue,
+                               make_event_queue, queue_kinds)
 from repro.farm.metrics import FarmMetrics, percentile, summarize
+from repro.farm.replay import (WorkloadTrace, export_workload,
+                               import_workload)
 from repro.farm.scheduler import (SCHEDULERS, LeastLoadedScheduler,
                                   PreferentialScheduler,
                                   RoundRobinScheduler, Scheduler,
                                   make_scheduler)
+from repro.farm.shard import (ShardedRun, merge_results, run_sharded,
+                              shard_workload)
 from repro.farm.simulator import (BASE_CORE_GATES, Completion, Core,
                                   CoreSpec, FarmResult, FarmSimulator,
-                                  build_farm)
+                                  build_farm, publish_metrics)
 from repro.farm.workload import (RequestCost, SessionRequest,
                                  TrafficProfile, cost_of,
                                  generate_requests, is_public_key_heavy,
                                  session_id_for_client)
 
 __all__ = [
-    "BASE_CORE_GATES", "CapacityPlan", "Completion", "Core", "CoreSpec",
-    "FarmMetrics", "FarmResult", "FarmSimulator", "LeastLoadedScheduler",
-    "PreferentialScheduler", "RequestCost", "RoundRobinScheduler",
-    "SCHEDULERS", "Scheduler", "SessionRequest", "TrafficProfile",
-    "build_farm", "capacity_table", "cores_for_rate", "cost_of",
-    "farm_rate_targets", "generate_requests", "is_public_key_heavy",
-    "make_scheduler", "percentile", "plan_farm",
-    "session_id_for_client", "specs_as_configs", "summarize",
+    "ARRIVAL_CURVES", "BASE_CORE_GATES", "AutoscalePolicy",
+    "AutoscaleReport", "CalendarEventQueue", "CapacityPlan",
+    "Completion", "Core", "CoreSpec", "EVENT_QUEUES", "EpochReport",
+    "EventQueue", "FarmMetrics", "FarmResult", "FarmSimulator",
+    "HeapEventQueue", "LeastLoadedScheduler", "PreferentialScheduler",
+    "RequestCost", "RoundRobinScheduler", "SCHEDULERS", "Scheduler",
+    "SessionRequest", "ShardedRun", "SloTarget", "TrafficProfile",
+    "WorkloadTrace", "arrival_multiplier", "build_farm",
+    "capacity_table", "cores_for_rate", "cost_of", "curve_names",
+    "export_workload", "farm_rate_targets", "generate_requests",
+    "import_workload", "is_public_key_heavy", "make_event_queue",
+    "make_scheduler", "merge_results", "percentile", "plan_farm",
+    "publish_metrics", "queue_kinds", "run_sharded",
+    "session_id_for_client", "shard_workload", "specs_as_configs",
+    "summarize",
 ]

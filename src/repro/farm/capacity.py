@@ -84,6 +84,16 @@ class CapacityPlan:
             "farm_gates": self.farm_gates,
         }
 
+    @classmethod
+    def from_dict(cls, data: Dict) -> "CapacityPlan":
+        """Inverse of :meth:`as_dict` (round-trip tested)."""
+        return cls(target_name=data["target"],
+                   target_bps=float(data["target_bps"]),
+                   config_name=data["config"],
+                   cores=int(data["cores"]),
+                   per_core_bps=float(data["per_core_bps"]),
+                   farm_gates=float(data["farm_gates"]))
+
 
 def capacity_table(configs: Sequence[Tuple[str, PlatformCosts, float]],
                    targets: Dict[str, float] = None,

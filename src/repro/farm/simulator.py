@@ -15,16 +15,16 @@ the client's session, which is what makes scheduler affinity a
 measurable performance lever rather than a flag.
 """
 
-import heapq
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, List, Optional, Sequence, Tuple
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.costs import PlatformCosts
 from repro.explore.codesign import HardwareConfig
 from repro.obs import NULL_TRACER, MetricsRegistry, Tracer
 from repro.ssl.session_cache import SessionCache
 from repro.ssl.throughput import DEFAULT_CLOCK_HZ
+from repro.farm.events import make_event_queue
 from repro.farm.workload import (SessionRequest, cost_of, farm_session,
                                  session_id_for_client)
 
@@ -163,7 +163,8 @@ class FarmSimulator:
                  clock_hz: float = DEFAULT_CLOCK_HZ,
                  cache_capacity: int = 128,
                  tracer: Optional[Tracer] = None,
-                 metrics: Optional[MetricsRegistry] = None):
+                 metrics: Optional[MetricsRegistry] = None,
+                 queue: str = "heap"):
         if not specs:
             raise ValueError("farm needs at least one core")
         self.specs = list(specs)
@@ -172,6 +173,10 @@ class FarmSimulator:
         self.cache_capacity = cache_capacity
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics
+        self.queue = queue
+        #: Operation counters of the last run's event queue (see
+        #: :meth:`repro.farm.events.EventQueue.stats`).
+        self.last_queue_stats: Dict[str, float] = {}
 
     def run(self, requests: Sequence[SessionRequest]) -> FarmResult:
         cores = [Core(i, spec, self.cache_capacity)
@@ -187,19 +192,18 @@ class FarmSimulator:
                                     scheduler=sched_name)
                 if trace else None)
         root_id = root.span_id if trace else None
-        heap: List[Tuple[float, int, int, int]] = []
+        heap = make_event_queue(self.queue)
         for request in requests:
             # (time, kind, seq, core): arrivals sort before completions
             # at equal times so a freed core sees new work immediately.
-            heapq.heappush(heap, (request.arrival_cycle, _ARRIVAL,
-                                  request.seq, -1))
+            heap.push((request.arrival_cycle, _ARRIVAL, request.seq, -1))
         by_seq = {r.seq: r for r in requests}
         completions: List[Completion] = []
         starts = {}
         events = 0
         makespan = 0.0
         while heap:
-            now, kind, seq, core_index = heapq.heappop(heap)
+            now, kind, seq, core_index = heap.pop()
             events += 1
             makespan = max(makespan, now)
             if kind == _ARRIVAL:
@@ -259,6 +263,7 @@ class FarmSimulator:
                                      trace)
         if trace:
             tracer.close_virtual(root, makespan)
+        self.last_queue_stats = heap.stats()
         result = FarmResult(completions=completions, cores=cores,
                             makespan_cycles=makespan,
                             clock_hz=self.clock_hz,
@@ -271,30 +276,7 @@ class FarmSimulator:
 
     def _publish_metrics(self, result: FarmResult) -> None:
         """End-of-run reduction into the supplied registry."""
-        registry = self.metrics
-        sched = result.scheduler_name
-        clock = result.clock_hz
-        registry.counter("farm.requests.offered",
-                         scheduler=sched).inc(result.offered)
-        registry.counter("farm.requests.completed",
-                         scheduler=sched).inc(len(result.completions))
-        registry.counter("farm.events.processed",
-                         scheduler=sched).inc(result.events_processed)
-        latency = registry.histogram("farm.request.latency_ms",
-                                     scheduler=sched)
-        for completion in result.completions:
-            latency.observe(completion.latency_cycles / clock * 1e3)
-        for core in result.cores:
-            registry.counter("farm.cache.hits", scheduler=sched,
-                             core=core.index).inc(core.cache.hits)
-            registry.counter("farm.cache.misses", scheduler=sched,
-                             core=core.index).inc(core.cache.misses)
-            registry.gauge("farm.core.utilization", scheduler=sched,
-                           core=core.index).set(
-                core.busy_cycles / result.makespan_cycles
-                if result.makespan_cycles else 0.0)
-            registry.counter("farm.core.served", scheduler=sched,
-                             core=core.index).inc(core.served)
+        publish_metrics(result, self.metrics)
 
     @staticmethod
     def _start_next(core: Core, now: float, heap, starts,
@@ -311,5 +293,35 @@ class FarmSimulator:
         if trace:
             tracer.event("farm.core.queue_depth", time=now,
                          core=core.index, depth=len(core.queue))
-        heapq.heappush(heap, (now + service, _COMPLETE, request.seq,
-                              core.index))
+        heap.push((now + service, _COMPLETE, request.seq, core.index))
+
+
+def publish_metrics(result: FarmResult, registry: MetricsRegistry) -> None:
+    """End-of-run reduction of a :class:`FarmResult` into a registry.
+
+    Module-level so merged (sharded) results can publish in the parent
+    process, where per-shard registries from pool workers never land.
+    """
+    sched = result.scheduler_name
+    clock = result.clock_hz
+    registry.counter("farm.requests.offered",
+                     scheduler=sched).inc(result.offered)
+    registry.counter("farm.requests.completed",
+                     scheduler=sched).inc(len(result.completions))
+    registry.counter("farm.events.processed",
+                     scheduler=sched).inc(result.events_processed)
+    latency = registry.histogram("farm.request.latency_ms",
+                                 scheduler=sched)
+    for completion in result.completions:
+        latency.observe(completion.latency_cycles / clock * 1e3)
+    for core in result.cores:
+        registry.counter("farm.cache.hits", scheduler=sched,
+                         core=core.index).inc(core.cache.hits)
+        registry.counter("farm.cache.misses", scheduler=sched,
+                         core=core.index).inc(core.cache.misses)
+        registry.gauge("farm.core.utilization", scheduler=sched,
+                       core=core.index).set(
+            core.busy_cycles / result.makespan_cycles
+            if result.makespan_cycles else 0.0)
+        registry.counter("farm.core.served", scheduler=sched,
+                         core=core.index).inc(core.served)

@@ -197,6 +197,56 @@ def _weighted_choice(prng: DeterministicPrng,
     return items[-1]
 
 
+def _generate_stream(profile: TrafficProfile, n_requests: int,
+                     prng: DeterministicPrng, arrival_rate: float,
+                     clock_hz: float, seq_base: int = 0,
+                     seq_stride: int = 1, client_base: int = 0,
+                     client_stride: int = 1,
+                     client_space: int = None) -> List[SessionRequest]:
+    """Draw ``n_requests`` from an explicit PRNG stream.
+
+    The draw *order* per request (inter-arrival, protocol, size,
+    client, resumption) is the module's compatibility contract: with
+    the default ``seq``/``client`` mapping this is exactly the
+    :func:`generate_requests` stream.  Sharded generation re-maps the
+    drawn client into the shard's residue class
+    (``client_base + client_stride * draw``) and interleaves global
+    sequence numbers (``seq_base + seq_stride * k``) so shards stay
+    disjoint in both keys without consuming extra draws.
+    """
+    if n_requests < 0:
+        raise ValueError("n_requests must be non-negative")
+    if client_space is None:
+        client_space = profile.clients
+    if client_space < 1:
+        raise ValueError("client_space must be positive")
+    protocols: Tuple[str, ...] = tuple(profile.mix)
+    weights = tuple(profile.mix[p] for p in protocols)
+    requests: List[SessionRequest] = []
+    handshaken = set()      # clients with a completed-full-SSL history
+    arrival_s = 0.0
+    for k in range(n_requests):
+        arrival_s += -math.log(_uniform(prng)) / arrival_rate
+        protocol = _weighted_choice(prng, protocols, weights)
+        size_kb = _weighted_choice(prng, profile.sizes_kb,
+                                   profile.size_weights)
+        client = client_base + client_stride * (prng.next_u64()
+                                                % client_space)
+        resumed = False
+        if protocol == "ssl":
+            if (client in handshaken
+                    and _uniform(prng) <= profile.resumption_ratio):
+                resumed = True
+            else:
+                handshaken.add(client)
+        requests.append(SessionRequest(
+            seq=seq_base + seq_stride * k,
+            arrival_cycle=arrival_s * clock_hz,
+            protocol=protocol, size_bytes=size_kb * 1024,
+            resumed=resumed, client_id=client))
+    return requests
+
+
 def generate_requests(profile: TrafficProfile, n_requests: int,
                       seed: int = 1,
                       clock_hz: float = DEFAULT_CLOCK_HZ
@@ -207,29 +257,5 @@ def generate_requests(profile: TrafficProfile, n_requests: int,
     client already issued a full SSL handshake earlier in the stream,
     so every resumed request has a session some core may have cached.
     """
-    if n_requests < 0:
-        raise ValueError("n_requests must be non-negative")
-    prng = DeterministicPrng(seed)
-    protocols: Tuple[str, ...] = tuple(profile.mix)
-    weights = tuple(profile.mix[p] for p in protocols)
-    requests: List[SessionRequest] = []
-    handshaken = set()      # clients with a completed-full-SSL history
-    arrival_s = 0.0
-    for seq in range(n_requests):
-        arrival_s += -math.log(_uniform(prng)) / profile.arrival_rate
-        protocol = _weighted_choice(prng, protocols, weights)
-        size_kb = _weighted_choice(prng, profile.sizes_kb,
-                                   profile.size_weights)
-        client = prng.next_u64() % profile.clients
-        resumed = False
-        if protocol == "ssl":
-            if (client in handshaken
-                    and _uniform(prng) <= profile.resumption_ratio):
-                resumed = True
-            else:
-                handshaken.add(client)
-        requests.append(SessionRequest(
-            seq=seq, arrival_cycle=arrival_s * clock_hz,
-            protocol=protocol, size_bytes=size_kb * 1024,
-            resumed=resumed, client_id=client))
-    return requests
+    return _generate_stream(profile, n_requests, DeterministicPrng(seed),
+                            profile.arrival_rate, clock_hz)

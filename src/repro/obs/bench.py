@@ -436,6 +436,88 @@ def _explore_parallel_metrics() -> Dict[str, object]:
     }
 
 
+def _farm_sharded_metrics() -> Dict[str, object]:
+    from repro.farm import (FarmSimulator, TrafficProfile, build_farm,
+                            generate_requests, make_scheduler,
+                            run_sharded, summarize)
+    from repro.parallel import ThreadExecutor
+    base, opt = _measured_pair()
+    specs = build_farm(64, base, opt, extended_fraction=0.5)
+    profile = TrafficProfile(arrival_rate=400.0, clients=256)
+    n = 640
+    keys = ("completed", "sessions_per_s", "secure_mbps", "p50_ms",
+            "p95_ms", "p99_ms", "mean_utilization", "cache_hit_rate")
+    requests = generate_requests(profile, n, seed=1)
+    plain = summarize(FarmSimulator(
+        specs, make_scheduler("preferential")).run(requests))
+    one = summarize(run_sharded(specs, "preferential", profile, n,
+                                shards=1, seed=1).result)
+    # shards=1 must be *bit*-identical to the plain simulator.
+    shards1_diff = max(abs(getattr(plain, key) - getattr(one, key))
+                       for key in keys)
+    serial8 = summarize(run_sharded(specs, "preferential", profile, n,
+                                    shards=8, seed=1).result)
+    with ThreadExecutor(4) as pool:
+        par8 = summarize(run_sharded(specs, "preferential", profile, n,
+                                     shards=8, seed=1,
+                                     executor=pool).result)
+    # ...and a sharded run must not depend on the executor.
+    jobs_diff = max(abs(getattr(serial8, key) - getattr(par8, key))
+                    for key in keys)
+    return {
+        "cores": 64.0,
+        "requests": float(n),
+        "shards1.max_abs_metric_diff": shards1_diff,
+        "shard8.jobs_metric_diff": jobs_diff,
+        "shard8.completed": float(serial8.completed),
+        "shard8.sessions_per_s": serial8.sessions_per_s,
+        "shard8.p99_ms": serial8.p99_ms,
+        "shard8.mean_utilization": serial8.mean_utilization,
+        "shard8.cache_hit_rate": serial8.cache_hit_rate,
+        # Sharding skew: per-shard PRNG streams differ from the global
+        # one, so aggregate rates drift a little -- the ratios are
+        # deterministic and the gates keep the drift bounded.
+        "shard8.sessions_per_s_skew": (serial8.sessions_per_s
+                                       / plain.sessions_per_s),
+        "shard8.p99_ms_skew": (serial8.p99_ms / plain.p99_ms
+                               if plain.p99_ms else 0.0),
+    }
+
+
+def _farm_events_metrics() -> Dict[str, object]:
+    from repro.farm import (FarmSimulator, TrafficProfile, build_farm,
+                            generate_requests, make_scheduler)
+    base, opt = _measured_pair()
+    metrics: Dict[str, object] = {}
+    for cores, n, rate in ((16, 320, 150.0), (64, 640, 500.0)):
+        specs = build_farm(cores, base, opt, extended_fraction=0.5)
+        requests = generate_requests(
+            TrafficProfile(arrival_rate=rate, clients=4 * cores), n,
+            seed=1)
+        runs = {}
+        for kind in ("heap", "calendar"):
+            sim = FarmSimulator(specs, make_scheduler("least-loaded"),
+                                queue=kind)
+            runs[kind] = (sim.run(requests), sim.last_queue_stats)
+        heap_result, _ = runs["heap"]
+        cal_result, cal_stats = runs["calendar"]
+        prefix = f"c{cores}"
+        metrics[f"{prefix}.identical"] = float(
+            heap_result.completions == cal_result.completions
+            and heap_result.makespan_cycles == cal_result.makespan_cycles)
+        metrics[f"{prefix}.events"] = float(
+            heap_result.events_processed)
+        # The calendar queue's cost model: bucket scans per pop is the
+        # amortized-O(1) claim, direct searches are its failure mode.
+        metrics[f"{prefix}.calendar.scans_per_pop"] = (
+            cal_stats["scans"] / cal_stats["pops"])
+        metrics[f"{prefix}.calendar.resizes"] = cal_stats["resizes"]
+        metrics[f"{prefix}.calendar.direct_searches"] = \
+            cal_stats["direct_searches"]
+        metrics[f"{prefix}.calendar.buckets"] = cal_stats["buckets"]
+    return metrics
+
+
 _CYCLES = Gate(tolerance=0.10, direction="lower")
 _SPEEDUP = Gate(tolerance=0.10, direction="higher")
 _EXACT_COUNT = Gate(tolerance=0.0, direction="higher")
@@ -511,6 +593,47 @@ register_scenario(Scenario(
         "parallel_label_agreement": _EXACT_COUNT,
         "warm_max_abs_cycle_diff": Gate(tolerance=0.0,
                                         direction="lower"),
+    }))
+
+register_scenario(Scenario(
+    name="farm_sharded",
+    description="64-core sharded farm: shards=1 bit-equivalence, "
+                "executor independence at shards=8, bounded shard skew",
+    run=_farm_sharded_metrics,
+    gates={
+        "cores": _EXACT_COUNT,
+        "requests": _EXACT_COUNT,
+        # Hard zero: sharding with one shard IS the plain simulator.
+        "shards1.max_abs_metric_diff": Gate(tolerance=0.0,
+                                            direction="lower"),
+        "shard8.jobs_metric_diff": Gate(tolerance=0.0,
+                                        direction="lower"),
+        "shard8.completed": _EXACT_COUNT,
+        "shard8.sessions_per_s": _SPEEDUP,
+        "shard8.p99_ms": Gate(tolerance=0.15, direction="lower"),
+        "shard8.sessions_per_s_skew": Gate(tolerance=0.10,
+                                           direction="higher"),
+        "shard8.p99_ms_skew": Gate(tolerance=0.25, direction="lower"),
+    }))
+
+register_scenario(Scenario(
+    name="farm_events",
+    description="heap vs calendar event queue at 16/64 cores: "
+                "pop-order equivalence and calendar scan cost",
+    run=_farm_events_metrics,
+    gates={
+        "c16.identical": _EXACT_COUNT,
+        "c64.identical": _EXACT_COUNT,
+        "c16.events": _EXACT_COUNT,
+        "c64.events": _EXACT_COUNT,
+        "c16.calendar.scans_per_pop": Gate(tolerance=0.25,
+                                           direction="lower"),
+        "c64.calendar.scans_per_pop": Gate(tolerance=0.25,
+                                           direction="lower"),
+        "c16.calendar.direct_searches": Gate(tolerance=0.0,
+                                             direction="lower"),
+        "c64.calendar.direct_searches": Gate(tolerance=0.0,
+                                             direction="lower"),
     }))
 
 register_scenario(Scenario(

@@ -46,6 +46,14 @@ class TestParser:
         ["bench", "--json", "--dir", "/tmp/baselines"],
         ["bench", "--check", "--scenario", "farm_mixed", "--scenario",
          "characterize", "--report", "report.json", "--verbose"],
+        ["farm", "--shards", "4", "--jobs", "2", "--queue", "calendar"],
+        ["farm", "--replay", "trace.jsonl"],
+        ["farm", "--export-workload", "w.jsonl", "--shards", "2",
+         "--json"],
+        ["capacity"],
+        ["capacity", "--users", "50000", "--per-user-kbps", "128"],
+        ["capacity", "--autoscale", "--curve", "bursty", "--epochs",
+         "8", "--max-cores", "8", "--json"],
     ])
     def test_valid_invocations_parse(self, argv):
         args = build_parser().parse_args(argv)
@@ -307,3 +315,116 @@ class TestExecution:
     def test_bench_unknown_scenario_exits_2(self, capsys):
         assert main(["bench", "--scenario", "nope"]) == 2
         assert "unknown bench scenario" in capsys.readouterr().err
+
+    def test_farm_json_surfaces_parallel_speedup(self, capsys):
+        import json
+        assert main(["farm", "--cores", "2", "--requests", "30",
+                     "--seed", "1", "--json"]) == 0
+        results = json.loads(capsys.readouterr().out)["results"]
+        # Same envelope keys the explore command reports.
+        assert results["parallel_speedup"] > 0
+        assert results["jobs"] == 1
+        assert results["executor"] == "serial"
+        sharding = results["sharding"]
+        assert sharding["shards"] == 1
+        assert sharding["queue"] == "heap"
+        assert sharding["queue_stats"]["kind"] == "heap"
+
+    def test_farm_sharded_with_calendar_queue(self, capsys):
+        import json
+        assert main(["farm", "--cores", "4", "--requests", "40",
+                     "--seed", "2", "--shards", "2", "--jobs", "1",
+                     "--queue", "calendar", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["params"]["shards"] == 2
+        results = payload["results"]
+        assert len(results["schedulers"]) == 3
+        assert results["sharding"]["shards"] == 2
+        assert results["sharding"]["queue"] == "calendar"
+        assert results["sharding"]["queue_stats"]["pops"] > 0
+
+    def test_farm_sharded_matches_unsharded_metrics(self, capsys):
+        import json
+
+        def run(extra):
+            assert main(["farm", "--cores", "4", "--requests", "60",
+                         "--seed", "5", "--json"] + extra) == 0
+            results = json.loads(capsys.readouterr().out)["results"]
+            return {m["scheduler"]: m["completed"]
+                    for m in results["schedulers"]}
+        # Sharding repartitions work but conserves every request.
+        assert run([]) == run(["--shards", "2"])
+
+    def test_farm_rejects_bad_shard_args(self, capsys):
+        assert main(["farm", "--cores", "2", "--shards", "4"]) == 2
+        assert "--shards cannot exceed --cores" in \
+            capsys.readouterr().err
+        assert main(["farm", "--queue", "wheelbarrow"]) == 2
+        assert "--queue must be one of" in capsys.readouterr().err
+
+    def test_farm_export_then_replay_round_trip(self, tmp_path,
+                                                capsys):
+        import json
+        trace = tmp_path / "workload.jsonl"
+        argv = ["farm", "--cores", "2", "--requests", "30",
+                "--seed", "7", "--json"]
+        assert main(argv + ["--export-workload", str(trace)]) == 0
+        exported = json.loads(capsys.readouterr().out)["results"]
+        header = json.loads(trace.read_text().splitlines()[0])
+        assert header["format"] == "repro.farm.workload"
+        assert header["count"] == 30
+        assert main(["farm", "--cores", "2", "--json",
+                     "--replay", str(trace)]) == 0
+        replayed = json.loads(capsys.readouterr().out)["results"]
+        assert replayed["schedulers"] == exported["schedulers"]
+
+    def test_farm_replay_missing_file_exits_2(self, tmp_path, capsys):
+        assert main(["farm", "--replay",
+                     str(tmp_path / "absent.jsonl")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_capacity_json_envelope(self, capsys):
+        import json
+        assert main(["capacity", "--users", "50000",
+                     "--per-user-kbps", "128", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert sorted(payload) == ["command", "params", "results"]
+        assert payload["command"] == "capacity"
+        assert payload["params"]["users"] == 50000
+        results = payload["results"]
+        assert results["plan"]["cores"] >= 1
+        assert results["table"]
+        assert "autoscale" not in results
+
+    def test_capacity_plan_round_trips_through_envelope(self, capsys):
+        import json
+        from repro.farm import CapacityPlan
+        assert main(["capacity", "--json"]) == 0
+        results = json.loads(capsys.readouterr().out)["results"]
+        plan = CapacityPlan.from_dict(results["plan"])
+        assert plan.as_dict() == results["plan"]
+
+    def test_capacity_autoscale_reports_epochs(self, capsys):
+        import json
+        assert main(["capacity", "--autoscale", "--curve", "bursty",
+                     "--epochs", "8", "--max-cores", "8",
+                     "--rate", "400", "--json"]) == 0
+        results = json.loads(capsys.readouterr().out)["results"]
+        report = results["autoscale"]
+        assert report["curve"] == "bursty"
+        assert len(report["epochs"]) == 8
+        assert report["peak_cores"] <= 8
+        assert report["policy"]["max_cores"] == 8
+
+    def test_capacity_text_mode_prints_plan(self, capsys):
+        assert main(["capacity", "--users", "50000",
+                     "--per-user-kbps", "128"]) == 0
+        out = capsys.readouterr().out
+        assert "cheapest plan for 50,000 users" in out
+        assert "farm Mgates" in out
+
+    def test_capacity_rejects_bad_args(self, capsys):
+        assert main(["capacity", "--users", "0"]) == 2
+        assert "--users" in capsys.readouterr().err
+        assert main(["capacity", "--curve", "square"]) == 2
+        assert "--curve must be one of" in capsys.readouterr().err

@@ -1,0 +1,350 @@
+"""Tests for sharded farm simulation, event queues, and trace replay.
+
+Same frozen measured unit costs as ``test_farm.py`` -- the shard layer
+is a pure function of these numbers, so no ISS characterization runs.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.costs import PlatformCosts
+from repro.farm import (FarmSimulator, TrafficProfile, build_farm,
+                        export_workload, generate_requests,
+                        import_workload, make_event_queue,
+                        make_scheduler, merge_results, queue_kinds,
+                        run_sharded, shard_workload, summarize)
+from repro.farm.events import CalendarEventQueue, HeapEventQueue
+from repro.farm.shard import partition_requests
+from repro.mp import DeterministicPrng
+from repro.parallel import SerialExecutor, ThreadExecutor
+
+BASE_COSTS = PlatformCosts(
+    name="base", rsa_public_cycles=631103.0,
+    rsa_private_cycles=61433705.5, cipher_cycles_per_byte=703.5,
+    hash_cycles_per_byte=50.84375, ecdh_cycles=4451571.0)
+OPT_COSTS = PlatformCosts(
+    name="optimized", rsa_public_cycles=124890.5,
+    rsa_private_cycles=2139136.0, cipher_cycles_per_byte=21.375,
+    hash_cycles_per_byte=50.84375, ecdh_cycles=2903293.8)
+
+
+def _farm(n_cores=8, fraction=0.5):
+    return build_farm(n_cores, BASE_COSTS, OPT_COSTS, fraction)
+
+
+_events = st.lists(
+    st.tuples(
+        # Coarse-grained times force plenty of exact ties, so the
+        # (kind, seq, core) tie-break actually gets exercised.
+        st.integers(min_value=0, max_value=50).map(lambda t: t / 2.0),
+        st.integers(min_value=0, max_value=1),
+        st.integers(min_value=0, max_value=999),
+        st.integers(min_value=-1, max_value=63)),
+    max_size=80)
+
+
+class TestEventQueues:
+    def test_registry(self):
+        assert queue_kinds() == ["heap", "calendar"]
+        assert isinstance(make_event_queue("heap"), HeapEventQueue)
+        assert isinstance(make_event_queue("calendar"),
+                          CalendarEventQueue)
+        with pytest.raises(ValueError, match="unknown event queue"):
+            make_event_queue("wheel")
+
+    def test_empty_pop_raises(self):
+        for kind in queue_kinds():
+            with pytest.raises(IndexError):
+                make_event_queue(kind).pop()
+
+    def test_invalid_calendar_parameters(self):
+        with pytest.raises(ValueError):
+            CalendarEventQueue(bucket_count=0)
+        with pytest.raises(ValueError):
+            CalendarEventQueue(bucket_width=0.0)
+
+    @given(events=_events)
+    @settings(max_examples=200)
+    def test_drain_matches_sorted(self, events):
+        for kind in queue_kinds():
+            queue = make_event_queue(kind)
+            for event in events:
+                queue.push(event)
+            drained = [queue.pop() for _ in range(len(events))]
+            assert drained == sorted(events)
+            assert len(queue) == 0 and not queue
+
+    @given(events=_events, data=st.data())
+    @settings(max_examples=200)
+    def test_interleaved_pop_order_equivalence(self, events, data):
+        """Heap and calendar pop identically under arbitrary push/pop
+        interleavings -- including pushes into the calendar's past."""
+        heap, cal = make_event_queue("heap"), make_event_queue("calendar")
+        pending = list(events)
+        while pending or heap:
+            push = pending and (not heap
+                                or data.draw(st.booleans(), label="push"))
+            if push:
+                event = pending.pop()
+                heap.push(event)
+                cal.push(event)
+            else:
+                assert heap.pop() == cal.pop()
+        assert len(cal) == 0
+
+    def test_stats_are_deterministic_counters(self):
+        events = [(float(t % 7), t % 2, t, -1) for t in range(40)]
+
+        def drain(kind):
+            queue = make_event_queue(kind)
+            for event in events:
+                queue.push(event)
+            while queue:
+                queue.pop()
+            return queue.stats()
+
+        first, second = drain("calendar"), drain("calendar")
+        assert first == second
+        assert first["pushes"] == first["pops"] == 40.0
+        heap_stats = drain("heap")
+        assert heap_stats["kind"] == "heap"
+        assert heap_stats["pushes"] == 40.0
+
+    def test_simulator_queue_kinds_agree(self):
+        requests = generate_requests(
+            TrafficProfile(arrival_rate=120.0), 150, seed=3)
+        results = {}
+        for kind in queue_kinds():
+            sim = FarmSimulator(_farm(), make_scheduler("preferential"),
+                                queue=kind)
+            results[kind] = sim.run(requests)
+            assert sim.last_queue_stats["kind"] == kind
+        assert (results["heap"].completions
+                == results["calendar"].completions)
+        assert (results["heap"].makespan_cycles
+                == results["calendar"].makespan_cycles)
+
+
+class TestForkHygiene:
+    def test_distinct_shard_labels_are_independent(self):
+        root = DeterministicPrng(11)
+        streams = {label: root.fork(label)
+                   for label in ("shard[1]", "shard[10]", "shard[0]")}
+        draws = {label: [prng.next_u64() for _ in range(32)]
+                 for label, prng in streams.items()}
+        values = list(draws.values())
+        assert values[0] != values[1]
+        assert values[0] != values[2]
+        assert values[1] != values[2]
+
+    def test_nested_forks_are_independent(self):
+        root = DeterministicPrng(11)
+        inner_a = root.fork("shard[1]").fork("epoch[0]")
+        inner_b = root.fork("shard[1]").fork("epoch[1]")
+        outer = root.fork("epoch[0]")
+        a = [inner_a.next_u64() for _ in range(16)]
+        b = [inner_b.next_u64() for _ in range(16)]
+        c = [outer.next_u64() for _ in range(16)]
+        assert a != b and a != c
+
+    def test_fork_ignores_draw_position(self):
+        fresh = DeterministicPrng(11).fork("shard[3]")
+        consumed = DeterministicPrng(11)
+        for _ in range(100):
+            consumed.next_u64()
+        late_fork = consumed.fork("shard[3]")
+        assert ([fresh.next_u64() for _ in range(8)]
+                == [late_fork.next_u64() for _ in range(8)])
+
+
+class TestShardWorkload:
+    def test_one_shard_is_the_plain_stream(self):
+        profile = TrafficProfile(arrival_rate=80.0)
+        assert shard_workload(profile, 120, 1, seed=5) == \
+            [generate_requests(profile, 120, seed=5)]
+
+    def test_shards_are_disjoint_and_complete(self):
+        profile = TrafficProfile(arrival_rate=80.0, clients=64)
+        workloads = shard_workload(profile, 100, 4, seed=5)
+        assert len(workloads) == 4
+        assert sum(len(w) for w in workloads) == 100
+        seqs = [r.seq for shard in workloads for r in shard]
+        assert sorted(seqs) == list(range(100))
+        for i, shard in enumerate(workloads):
+            assert all(r.seq % 4 == i for r in shard)
+            assert all(r.client_id % 4 == i for r in shard)
+            assert all(r.client_id < profile.clients for r in shard)
+
+    def test_sharded_workload_is_deterministic(self):
+        profile = TrafficProfile(arrival_rate=80.0)
+        assert shard_workload(profile, 100, 4, seed=5) == \
+            shard_workload(profile, 100, 4, seed=5)
+
+    def test_validation(self):
+        profile = TrafficProfile(clients=4)
+        with pytest.raises(ValueError):
+            shard_workload(profile, 10, 0)
+        with pytest.raises(ValueError):
+            shard_workload(profile, 10, 8)    # more shards than clients
+        with pytest.raises(ValueError):
+            shard_workload(profile, -1, 2)
+
+    def test_partition_requests_recovers_generated_shards(self):
+        profile = TrafficProfile(arrival_rate=80.0)
+        workloads = shard_workload(profile, 100, 4, seed=5)
+        flat = sorted((r for shard in workloads for r in shard),
+                      key=lambda r: r.seq)
+        assert partition_requests(flat, 4) == workloads
+        assert partition_requests(flat, 1) == [flat]
+
+
+class TestShardedRun:
+    def test_shards1_bit_identical_to_simulator(self):
+        profile = TrafficProfile(arrival_rate=80.0)
+        requests = generate_requests(profile, 150, seed=3)
+        specs = _farm()
+        plain = FarmSimulator(specs,
+                              make_scheduler("preferential")).run(requests)
+        run = run_sharded(specs, "preferential", profile, 150, shards=1,
+                          seed=3)
+        assert run.result.completions == plain.completions
+        assert run.result.makespan_cycles == plain.makespan_cycles
+        assert run.result.offered == plain.offered
+        assert run.result.events_processed == plain.events_processed
+        assert run.shards == 1 and run.executor == "serial"
+
+    def test_merged_metrics_independent_of_executor(self):
+        profile = TrafficProfile(arrival_rate=200.0, clients=128)
+        specs = _farm(16)
+        rows = []
+        for executor in (SerialExecutor(), ThreadExecutor(4)):
+            with executor:
+                run = run_sharded(specs, "preferential", profile, 160,
+                                  shards=8, seed=3, executor=executor)
+            assert run.result.offered == 160
+            rows.append(summarize(run.result).as_dict())
+        assert rows[0] == rows[1]
+
+    def test_repeated_runs_reproduce(self):
+        profile = TrafficProfile(arrival_rate=200.0, clients=128)
+        specs = _farm(16)
+        a = run_sharded(specs, "preferential", profile, 120, shards=8,
+                        seed=9)
+        b = run_sharded(specs, "preferential", profile, 120, shards=8,
+                        seed=9)
+        assert summarize(a.result).as_dict() == \
+            summarize(b.result).as_dict()
+        assert a.queue_stats == b.queue_stats
+
+    def test_merge_order_does_not_change_metrics(self):
+        profile = TrafficProfile(arrival_rate=200.0, clients=128)
+        specs = _farm(8)
+        workloads = shard_workload(profile, 120, 4, seed=9)
+
+        def shard_results(order):
+            results = []
+            for i in order:
+                sim = FarmSimulator(list(specs[i::4]),
+                                    make_scheduler("preferential"))
+                results.append(sim.run(workloads[i]))
+            return results
+
+        forward = summarize(
+            merge_results(shard_results([0, 1, 2, 3]))).as_dict()
+        reversed_ = summarize(
+            merge_results(shard_results([3, 2, 1, 0]))).as_dict()
+        # Scalar metrics are permutation-invariant; the per-core
+        # utilization vector is only defined up to shard order.
+        forward_util = sorted(forward.pop("core_utilization"))
+        reversed_util = sorted(reversed_.pop("core_utilization"))
+        assert forward == reversed_
+        assert forward_util == reversed_util
+
+    def test_merged_core_indices_are_consistent(self):
+        profile = TrafficProfile(arrival_rate=200.0, clients=128)
+        run = run_sharded(_farm(8), "least-loaded", profile, 100,
+                          shards=4, seed=2)
+        result = run.result
+        assert len(result.cores) == 8
+        assert [core.index for core in result.cores] == list(range(8))
+        for completion in result.completions:
+            assert result.cores[completion.core_index].index == \
+                completion.core_index
+        finishes = [c.finish_cycle for c in result.completions]
+        assert finishes == sorted(finishes)
+
+    def test_calendar_queue_matches_heap_when_sharded(self):
+        profile = TrafficProfile(arrival_rate=200.0, clients=128)
+        specs = _farm(16)
+        by_queue = {
+            kind: summarize(run_sharded(specs, "preferential", profile,
+                                        160, shards=8, seed=3,
+                                        queue=kind).result).as_dict()
+            for kind in queue_kinds()}
+        assert by_queue["heap"] == by_queue["calendar"]
+
+    def test_more_shards_than_cores_rejected(self):
+        with pytest.raises(ValueError, match="cores"):
+            run_sharded(_farm(4), "preferential",
+                        TrafficProfile(clients=64), 50, shards=8)
+
+    def test_requires_workload_or_profile(self):
+        with pytest.raises(ValueError, match="requests"):
+            run_sharded(_farm(4), "preferential")
+
+    def test_replay_partition_equals_generated(self):
+        profile = TrafficProfile(arrival_rate=200.0, clients=128)
+        specs = _farm(8)
+        generated = run_sharded(specs, "preferential", profile, 120,
+                                shards=4, seed=9)
+        flat = sorted((r for shard in
+                       shard_workload(profile, 120, 4, seed=9)
+                       for r in shard), key=lambda r: r.seq)
+        replayed = run_sharded(specs, "preferential", shards=4,
+                               requests=flat)
+        assert summarize(generated.result).as_dict() == \
+            summarize(replayed.result).as_dict()
+
+
+class TestReplay:
+    def test_round_trip_is_exact(self, tmp_path):
+        profile = TrafficProfile(arrival_rate=80.0)
+        requests = generate_requests(profile, 120, seed=3)
+        path = tmp_path / "trace.jsonl"
+        assert export_workload(path, requests, seed=3,
+                               profile="default") == 120
+        trace = import_workload(path)
+        assert trace.requests == requests
+        assert trace.meta == {"seed": 3, "profile": "default"}
+
+    def test_replayed_run_is_identical(self, tmp_path):
+        profile = TrafficProfile(arrival_rate=80.0)
+        requests = generate_requests(profile, 120, seed=3)
+        path = tmp_path / "trace.jsonl"
+        export_workload(path, requests)
+        specs = _farm()
+        original = FarmSimulator(
+            specs, make_scheduler("preferential")).run(requests)
+        replayed = FarmSimulator(
+            specs, make_scheduler("preferential")).run(
+                import_workload(path).requests)
+        assert replayed.completions == original.completions
+        assert replayed.makespan_cycles == original.makespan_cycles
+
+    def test_rejects_foreign_and_truncated_files(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"format": "something-else"}\n')
+        with pytest.raises(ValueError, match="not a"):
+            import_workload(bad)
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            import_workload(empty)
+        requests = generate_requests(TrafficProfile(), 10, seed=1)
+        full = tmp_path / "full.jsonl"
+        export_workload(full, requests)
+        lines = full.read_text().splitlines()
+        truncated = tmp_path / "truncated.jsonl"
+        truncated.write_text("\n".join(lines[:-2]) + "\n")
+        with pytest.raises(ValueError, match="truncated"):
+            import_workload(truncated)
