@@ -380,6 +380,25 @@ def _cmd_ssl(args) -> int:
     return 0
 
 
+def _parse_mix(spec: str) -> dict:
+    """Parse a ``--mix`` flag (``name=weight,name=weight``) into the
+    mapping :class:`repro.farm.TrafficProfile` takes.  Unknown names
+    are the profile's job to reject (with the registered choices)."""
+    mix = {}
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        name, sep, weight = part.partition("=")
+        if not sep:
+            raise ValueError(f"--mix entries are NAME=WEIGHT "
+                             f"(got {part!r})")
+        mix[name.strip()] = float(weight)
+    if not mix:
+        raise ValueError("--mix needs at least one NAME=WEIGHT entry")
+    return mix
+
+
 def _cmd_farm(args) -> int:
     from repro.farm import (TrafficProfile, build_farm, capacity_table,
                             farm_rate_targets, import_workload,
@@ -389,6 +408,20 @@ def _cmd_farm(args) -> int:
     from repro.farm.scheduler import scheduler_names
     from repro.obs import get_registry, get_tracer
     from repro.ssl.throughput import DEFAULT_CLOCK_HZ
+
+    if args.list_protocols:
+        from repro.protocols import get_protocol, protocol_names
+        models = [get_protocol(name) for name in protocol_names()]
+        if args.json:
+            return _print_json(args, {"protocols": [
+                {"name": m.name, "resumable": m.resumable,
+                 "default_mix_weight": m.default_mix_weight}
+                for m in models]})
+        print(f"{'protocol':10s} {'resumable':>9s} {'weight':>7s}")
+        for m in models:
+            print(f"{m.name:10s} {('yes' if m.resumable else 'no'):>9s} "
+                  f"{m.default_mix_weight:7.2f}")
+        return 0
 
     _configure_cache(args)
     _setup_obs(args)
@@ -407,8 +440,13 @@ def _cmd_farm(args) -> int:
             raise ValueError("--shards cannot exceed --cores")
         if args.queue not in queue_kinds():
             raise ValueError(f"--queue must be one of {queue_kinds()}")
-        profile = TrafficProfile(arrival_rate=args.rate,
-                                 resumption_ratio=args.resumption)
+        profile_kwargs = dict(arrival_rate=args.rate,
+                              resumption_ratio=args.resumption)
+        if args.mix:
+            # Unknown names raise UnknownProtocolError (a ValueError)
+            # from the profile, naming the registered choices.
+            profile_kwargs["mix"] = _parse_mix(args.mix)
+        profile = TrafficProfile(**profile_kwargs)
         clock_hz = DEFAULT_CLOCK_HZ
         if args.replay:
             trace = import_workload(args.replay)
@@ -786,7 +824,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--rate", type=float, default=60.0,
                    help="offered load in sessions/second")
     p.add_argument("--resumption", type=float, default=0.4,
-                   help="SSL session-resumption ratio")
+                   help="session-resumption ratio (resumable "
+                        "protocols: ssl, tls13, ...)")
+    p.add_argument("--mix", metavar="NAME=W[,NAME=W...]",
+                   help="traffic mix over registered protocols, e.g. "
+                        "tls13=0.7,wep=0.3 (default: each protocol's "
+                        "default weight)")
+    p.add_argument("--list-protocols", action="store_true",
+                   help="list the registered protocol models and exit")
     p.add_argument("--extended-fraction", type=float, default=0.5,
                    help="fraction of cores with TIE extensions")
     p.add_argument("--shards", type=int, default=1,

@@ -27,6 +27,8 @@ re-exports.
 from repro.costs.model import (CRC32_CYCLES_PER_BYTE,
                                ECDH_RSA_PUBLIC_EQUIV,
                                ESP_PACKET_FIXED_CYCLES,
+                               KASUMI_CYCLES_PER_BYTE,
+                               KASUMI_FRAME_FIXED_CYCLES,
                                PROTOCOL_CYCLES_PER_BYTE,
                                PROTOCOL_FIXED_CYCLES, PlatformCosts,
                                RC4_CYCLES_PER_BYTE,
@@ -43,6 +45,7 @@ __all__ = [
     "CRC32_CYCLES_PER_BYTE", "CacheStats", "CharacterizationCache",
     "CharacterizationKey", "CostBackend", "CrossValidation",
     "ECDH_RSA_PUBLIC_EQUIV", "ESP_PACKET_FIXED_CYCLES", "IssBackend",
+    "KASUMI_CYCLES_PER_BYTE", "KASUMI_FRAME_FIXED_CYCLES",
     "MPN_LEAF_ROUTINES", "MacroModelBackend", "PROTOCOL_CYCLES_PER_BYTE",
     "PROTOCOL_FIXED_CYCLES", "PlatformCosts", "RC4_CYCLES_PER_BYTE",
     "RoutineValidation", "WEP_FRAME_FIXED_CYCLES", "characterize_cached",

@@ -100,6 +100,18 @@ class CostBackend:
     def hash_cycles_per_byte(self, platform) -> float:
         return platform.hash_cycles_per_byte()
 
+    def protocol_overheads(self, platform) -> Dict[str, float]:
+        """Kernel-measured per-protocol overheads (registered protocol
+        models resolve these through ``PlatformCosts.overhead``).  A
+        platform facade without a given kernel simply omits the key."""
+        overheads: Dict[str, float] = {}
+        try:
+            overheads["kasumi_cycles_per_byte"] = (
+                self.cipher_cycles_per_byte(platform, "kasumi"))
+        except (NotImplementedError, ValueError):
+            pass
+        return overheads
+
     def platform_costs(self, platform, keypair=None, cipher: str = "3des",
                        cls=PlatformCosts) -> PlatformCosts:
         """Assemble the full unit-cost vocabulary for ``platform``."""
@@ -115,7 +127,8 @@ class CostBackend:
             cipher_cycles_per_byte=self.cipher_cycles_per_byte(platform,
                                                                cipher),
             hash_cycles_per_byte=self.hash_cycles_per_byte(platform),
-            ecdh_cycles=ecdh)
+            ecdh_cycles=ecdh,
+            protocol_overheads=self.protocol_overheads(platform))
 
 
 class MacroModelBackend(CostBackend):

@@ -12,7 +12,7 @@ IPSec ESP, SSL, WTLS): RSA and ECDH public-key operations, bulk cipher
 and hash per-byte rates, and the per-protocol framing overheads.
 """
 
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, field
 from typing import Dict, Optional
 
 #: Per-byte protocol processing (framing, buffer copies) -- identical
@@ -30,6 +30,14 @@ CRC32_CYCLES_PER_BYTE = 6.0
 #: Fixed per-packet cycles (header build, SA lookup, replay window).
 ESP_PACKET_FIXED_CYCLES = 2_000.0
 WEP_FRAME_FIXED_CYCLES = 800.0
+
+#: KASUMI (3GPP f8/f9) per-byte fallback when no kernel measurement is
+#: in the ``protocol_overheads`` map -- calibrated to the XT32 KASUMI
+#: kernel's base-ISA rate.  Like RC4, KASUMI is not TIE-accelerated,
+#: so both platforms pay the same price.
+KASUMI_CYCLES_PER_BYTE = 135.0
+#: Fixed per-frame cycles for f8/f9 COUNT/BEARER/FRESH block setup.
+KASUMI_FRAME_FIXED_CYCLES = 1_200.0
 
 #: Documented fallback when a :class:`PlatformCosts` carries no
 #: measured ECDH figure (hand-built costs, unknown configuration
@@ -63,6 +71,15 @@ class PlatformCosts:
     crc32_cycles_per_byte: float = CRC32_CYCLES_PER_BYTE
     esp_packet_fixed_cycles: float = ESP_PACKET_FIXED_CYCLES
     wep_frame_fixed_cycles: float = WEP_FRAME_FIXED_CYCLES
+    # -- Registered-protocol overheads (e.g. the kernel-measured KASUMI
+    # per-byte rate) keyed by a model-chosen name; models resolve them
+    # through :meth:`overhead` with a documented constant fallback.
+    protocol_overheads: Dict[str, float] = field(default_factory=dict)
+
+    def overhead(self, key: str, default: float) -> float:
+        """A per-protocol overhead by name, or ``default`` when the
+        characterization did not measure it (hand-built costs)."""
+        return self.protocol_overheads.get(key, default)
 
     def ecdh_handshake_cycles(self) -> float:
         """The WTLS handshake's public-key cost on this platform.

@@ -23,13 +23,14 @@ data (no constant-time guarantees, deterministic stimulus PRNG).
 
 from repro.crypto.aes import Aes
 from repro.crypto.des import Des, TripleDes
+from repro.crypto.kasumi import Kasumi
 from repro.crypto.rsa import RsaKeyPair, RsaPrivateKey, RsaPublicKey, generate_rsa_keypair
 from repro.crypto.elgamal import ElGamalKeyPair, generate_elgamal_keypair
 from repro.crypto.api import (SecurityApi, UnknownAlgorithmError,
                               register_algorithm, registered_algorithms)
 
 __all__ = [
-    "Aes", "Des", "TripleDes",
+    "Aes", "Des", "Kasumi", "TripleDes",
     "RsaKeyPair", "RsaPrivateKey", "RsaPublicKey", "generate_rsa_keypair",
     "ElGamalKeyPair", "generate_elgamal_keypair",
     "SecurityApi", "UnknownAlgorithmError", "register_algorithm",

@@ -31,6 +31,7 @@ from repro.crypto.elgamal import (ElGamal, ElGamalKeyPair,
                                   ElGamalPrivateKey, ElGamalPublicKey,
                                   generate_elgamal_keypair)
 from repro.crypto.hmac import hmac as _hmac
+from repro.crypto.kasumi import Kasumi
 from repro.crypto.md5 import md5
 from repro.crypto.modexp import ModExpConfig
 from repro.crypto.rc4 import Rc4
@@ -103,6 +104,7 @@ register_algorithm("cipher", "aes", Aes, key_size=16, block=True)
 register_algorithm("cipher", "aes-192", Aes, key_size=24, block=True)
 register_algorithm("cipher", "aes-256", Aes, key_size=32, block=True)
 register_algorithm("cipher", "rc4", Rc4, key_size=16)
+register_algorithm("cipher", "kasumi", Kasumi, key_size=16, block=True)
 
 register_algorithm("hash", "sha1", sha1)
 register_algorithm("hash", "md5", md5)

@@ -1,0 +1,214 @@
+"""KASUMI block cipher (3GPP TS 35.202), the UMTS f8/f9 primitive.
+
+The 3G successor to the paper's protocol menu: a 64-bit-block,
+128-bit-key, 8-round Feistel cipher built from 16-bit FL/FO round
+functions and two S-boxes (S7, S9).  The S-boxes are *generated* from
+the specification's combinational logic equations rather than
+transcribed as tables -- the generator doubles as a self-check, since
+each must come out a permutation of its domain.
+
+The pure-Python class here is the reference model; the XT32 assembly
+kernel in :mod:`repro.isa.kernels.kasumi_kernels` is validated against
+it block for block, and the registered ``kasumi`` link-layer protocol
+model (:mod:`repro.protocols.kasumi_link`) prices traffic with the
+kernel's measured cycles/byte.
+"""
+
+from typing import List, Tuple
+
+BLOCK_SIZE = 8   # bytes
+KEY_SIZE = 16    # bytes
+
+#: Key-schedule constants C1..C8 (TS 35.202 clause 2.4).
+_C = (0x0123, 0x4567, 0x89AB, 0xCDEF, 0xFEDC, 0xBA98, 0x7654, 0x3210)
+
+
+def _build_s7() -> Tuple[int, ...]:
+    """S7 from the spec's GF(2) logic equations (bit i of y from bits
+    of x, LSB-first)."""
+    table = []
+    for v in range(128):
+        x = [(v >> i) & 1 for i in range(7)]
+        y = [0] * 7
+        y[0] = ((x[1] & x[3]) ^ x[4] ^ (x[0] & x[1] & x[4]) ^ x[5]
+                ^ (x[2] & x[5]) ^ (x[3] & x[4] & x[5]) ^ x[6]
+                ^ (x[0] & x[6]) ^ (x[1] & x[6]) ^ (x[3] & x[6])
+                ^ (x[2] & x[4] & x[6]) ^ (x[1] & x[5] & x[6])
+                ^ (x[4] & x[5] & x[6]))
+        y[1] = ((x[0] & x[1]) ^ (x[0] & x[4]) ^ (x[2] & x[4]) ^ x[5]
+                ^ (x[1] & x[2] & x[5]) ^ (x[0] & x[3] & x[5]) ^ x[6]
+                ^ (x[0] & x[2] & x[6]) ^ (x[3] & x[6])
+                ^ (x[4] & x[5] & x[6]) ^ 1)
+        y[2] = (x[0] ^ (x[0] & x[3]) ^ (x[2] & x[3])
+                ^ (x[1] & x[2] & x[4]) ^ (x[0] & x[3] & x[4])
+                ^ (x[1] & x[5]) ^ (x[0] & x[2] & x[5]) ^ (x[0] & x[6])
+                ^ (x[0] & x[1] & x[6]) ^ (x[2] & x[6]) ^ (x[4] & x[6])
+                ^ 1)
+        y[3] = (x[1] ^ (x[0] & x[1] & x[2]) ^ (x[1] & x[4])
+                ^ (x[3] & x[4]) ^ (x[0] & x[5]) ^ (x[0] & x[1] & x[5])
+                ^ (x[2] & x[3] & x[5]) ^ (x[1] & x[4] & x[5])
+                ^ (x[2] & x[6]) ^ (x[1] & x[3] & x[6]))
+        y[4] = ((x[0] & x[2]) ^ x[3] ^ (x[1] & x[3]) ^ (x[1] & x[4])
+                ^ (x[0] & x[1] & x[4]) ^ (x[2] & x[3] & x[4])
+                ^ (x[0] & x[5]) ^ (x[1] & x[3] & x[5])
+                ^ (x[0] & x[4] & x[5]) ^ (x[1] & x[6]) ^ (x[3] & x[6])
+                ^ (x[0] & x[3] & x[6]) ^ (x[5] & x[6]) ^ 1)
+        y[5] = (x[2] ^ (x[0] & x[2]) ^ (x[0] & x[3])
+                ^ (x[1] & x[2] & x[3]) ^ (x[0] & x[2] & x[4])
+                ^ (x[0] & x[5]) ^ (x[2] & x[5]) ^ (x[4] & x[5])
+                ^ (x[1] & x[6]) ^ (x[1] & x[2] & x[6])
+                ^ (x[0] & x[3] & x[6]) ^ (x[3] & x[4] & x[6])
+                ^ (x[2] & x[5] & x[6]) ^ 1)
+        y[6] = ((x[1] & x[2]) ^ (x[0] & x[1] & x[3]) ^ (x[0] & x[4])
+                ^ (x[1] & x[5]) ^ (x[3] & x[5]) ^ x[6]
+                ^ (x[0] & x[1] & x[6]) ^ (x[2] & x[3] & x[6])
+                ^ (x[1] & x[4] & x[6]) ^ (x[0] & x[5] & x[6]))
+        table.append(sum(b << i for i, b in enumerate(y)))
+    if sorted(table) != list(range(128)):
+        raise AssertionError("S7 generator is not a permutation")
+    return tuple(table)
+
+
+def _build_s9() -> Tuple[int, ...]:
+    """S9 from the spec's GF(2) logic equations."""
+    table = []
+    for v in range(512):
+        x = [(v >> i) & 1 for i in range(9)]
+        y = [0] * 9
+        y[0] = ((x[0] & x[2]) ^ x[3] ^ (x[2] & x[5]) ^ (x[5] & x[6])
+                ^ (x[0] & x[7]) ^ (x[1] & x[7]) ^ (x[2] & x[7])
+                ^ (x[4] & x[8]) ^ (x[5] & x[8]) ^ (x[7] & x[8]) ^ 1)
+        y[1] = (x[1] ^ (x[0] & x[1]) ^ (x[2] & x[3]) ^ (x[0] & x[4])
+                ^ (x[1] & x[4]) ^ (x[0] & x[5]) ^ (x[3] & x[5]) ^ x[6]
+                ^ (x[1] & x[7]) ^ (x[2] & x[7]) ^ (x[5] & x[8]) ^ 1)
+        y[2] = (x[1] ^ (x[0] & x[3]) ^ (x[3] & x[4]) ^ (x[0] & x[5])
+                ^ (x[2] & x[6]) ^ (x[3] & x[6]) ^ (x[5] & x[6])
+                ^ (x[4] & x[7]) ^ (x[5] & x[7]) ^ (x[6] & x[7]) ^ x[8]
+                ^ (x[0] & x[8]) ^ 1)
+        y[3] = (x[0] ^ (x[1] & x[2]) ^ (x[0] & x[3]) ^ (x[2] & x[4])
+                ^ x[5] ^ (x[0] & x[6]) ^ (x[1] & x[6]) ^ (x[4] & x[7])
+                ^ (x[0] & x[8]) ^ (x[1] & x[8]) ^ (x[7] & x[8]))
+        y[4] = ((x[0] & x[1]) ^ (x[1] & x[3]) ^ x[4] ^ (x[0] & x[5])
+                ^ (x[3] & x[6]) ^ (x[0] & x[7]) ^ (x[6] & x[7])
+                ^ (x[1] & x[8]) ^ (x[2] & x[8]) ^ (x[3] & x[8]))
+        y[5] = (x[2] ^ (x[1] & x[4]) ^ (x[4] & x[5]) ^ (x[0] & x[6])
+                ^ (x[1] & x[6]) ^ (x[3] & x[7]) ^ (x[4] & x[7])
+                ^ (x[6] & x[7]) ^ (x[5] & x[8]) ^ (x[6] & x[8])
+                ^ (x[7] & x[8]) ^ 1)
+        y[6] = (x[0] ^ (x[2] & x[3]) ^ (x[1] & x[5]) ^ (x[2] & x[5])
+                ^ (x[4] & x[5]) ^ (x[3] & x[6]) ^ (x[4] & x[6])
+                ^ (x[5] & x[6]) ^ x[7] ^ (x[1] & x[8]) ^ (x[3] & x[8])
+                ^ (x[5] & x[8]) ^ (x[7] & x[8]))
+        y[7] = ((x[0] & x[1]) ^ (x[0] & x[2]) ^ (x[1] & x[2]) ^ x[3]
+                ^ (x[0] & x[3]) ^ (x[2] & x[3]) ^ (x[4] & x[5])
+                ^ (x[2] & x[6]) ^ (x[3] & x[6]) ^ (x[2] & x[7])
+                ^ (x[5] & x[7]) ^ x[8] ^ 1)
+        y[8] = ((x[0] & x[1]) ^ x[2] ^ (x[1] & x[2]) ^ (x[3] & x[4])
+                ^ (x[1] & x[5]) ^ (x[2] & x[5]) ^ (x[1] & x[6])
+                ^ (x[4] & x[6]) ^ x[7] ^ (x[2] & x[8]) ^ (x[3] & x[8]))
+        table.append(sum(b << i for i, b in enumerate(y)))
+    if sorted(table) != list(range(512)):
+        raise AssertionError("S9 generator is not a permutation")
+    return tuple(table)
+
+
+S7 = _build_s7()
+S9 = _build_s9()
+
+
+def _rol16(value: int, bits: int) -> int:
+    return ((value << bits) | (value >> (16 - bits))) & 0xFFFF
+
+
+class Kasumi:
+    """KASUMI with the standard 8-round encrypt/decrypt schedule."""
+
+    block_size = BLOCK_SIZE
+
+    def __init__(self, key: bytes):
+        if len(key) != KEY_SIZE:
+            raise ValueError("KASUMI key must be 16 bytes")
+        self._subkeys = self.key_schedule(key)
+
+    # -- key schedule (TS 35.202 clause 2.4) ------------------------------
+
+    @staticmethod
+    def key_schedule(key: bytes) -> List[dict]:
+        """Per-round subkeys, one dict per round ``n`` in 0..7."""
+        k = [(key[2 * n] << 8) | key[2 * n + 1] for n in range(8)]
+        kprime = [k[n] ^ _C[n] for n in range(8)]
+        rounds = []
+        for n in range(8):
+            rounds.append({
+                "KL1": _rol16(k[n], 1),
+                "KL2": kprime[(n + 2) & 7],
+                "KO1": _rol16(k[(n + 1) & 7], 5),
+                "KO2": _rol16(k[(n + 5) & 7], 8),
+                "KO3": _rol16(k[(n + 6) & 7], 13),
+                "KI1": kprime[(n + 4) & 7],
+                "KI2": kprime[(n + 3) & 7],
+                "KI3": kprime[(n + 7) & 7],
+            })
+        return rounds
+
+    # -- round functions ---------------------------------------------------
+
+    @staticmethod
+    def _fi(value: int, subkey: int) -> int:
+        """The 16-bit FI keyed permutation (two S9/S7 stages)."""
+        nine = value >> 7
+        seven = value & 0x7F
+        nine = S9[nine] ^ seven
+        seven = S7[seven] ^ (nine & 0x7F)
+        seven ^= subkey >> 9
+        nine ^= subkey & 0x1FF
+        nine = S9[nine] ^ seven
+        seven = S7[seven] ^ (nine & 0x7F)
+        return (seven << 9) | nine
+
+    @classmethod
+    def _fo(cls, value: int, keys: dict) -> int:
+        """The 32-bit FO function: a 3-round 16-bit Feistel of FI."""
+        left = value >> 16
+        right = value & 0xFFFF
+        left = cls._fi(left ^ keys["KO1"], keys["KI1"]) ^ right
+        right = cls._fi(right ^ keys["KO2"], keys["KI2"]) ^ left
+        left = cls._fi(left ^ keys["KO3"], keys["KI3"]) ^ right
+        return (right << 16) | left
+
+    @staticmethod
+    def _fl(value: int, keys: dict) -> int:
+        """The 32-bit FL mixing function (AND/OR with one-bit rotates)."""
+        left = value >> 16
+        right = value & 0xFFFF
+        right ^= _rol16(left & keys["KL1"], 1)
+        left ^= _rol16(right | keys["KL2"], 1)
+        return (left << 16) | right
+
+    # -- block operations --------------------------------------------------
+
+    def encrypt_block(self, block: bytes) -> bytes:
+        if len(block) != BLOCK_SIZE:
+            raise ValueError("KASUMI block must be 8 bytes")
+        left = int.from_bytes(block[:4], "big")
+        right = int.from_bytes(block[4:], "big")
+        for n in range(0, 8, 2):
+            # Odd round (1-based): FL then FO into the right half.
+            right ^= self._fo(self._fl(left, self._subkeys[n]),
+                              self._subkeys[n])
+            # Even round: FO then FL into the left half.
+            left ^= self._fl(self._fo(right, self._subkeys[n + 1]),
+                             self._subkeys[n + 1])
+        return left.to_bytes(4, "big") + right.to_bytes(4, "big")
+
+    def decrypt_block(self, block: bytes) -> bytes:
+        if len(block) != BLOCK_SIZE:
+            raise ValueError("KASUMI block must be 8 bytes")
+        left = int.from_bytes(block[:4], "big")
+        right = int.from_bytes(block[4:], "big")
+        for n in range(6, -1, -2):
+            left ^= self._fl(self._fo(right, self._subkeys[n + 1]),
+                             self._subkeys[n + 1])
+            right ^= self._fo(self._fl(left, self._subkeys[n]),
+                              self._subkeys[n])
+        return left.to_bytes(4, "big") + right.to_bytes(4, "big")

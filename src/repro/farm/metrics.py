@@ -10,7 +10,7 @@ gate cost, exactly as wider datapaths buy cycles).
 """
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
 
 from repro.farm.simulator import FarmResult
@@ -45,6 +45,11 @@ class FarmMetrics:
     cache_hit_rate: float
     total_gates: float
     sessions_per_s_per_mgate: float
+    #: Per-protocol session-cache traffic, keyed by protocol name:
+    #: ``{"ssl": {"hits": ..., "misses": ..., "hit_rate": ...}}``.
+    #: Only protocols that touched a cache appear.
+    session_cache: Dict[str, Dict[str, float]] = field(
+        default_factory=dict)
 
     def as_dict(self) -> Dict:
         return {
@@ -62,6 +67,7 @@ class FarmMetrics:
             "cache_hit_rate": self.cache_hit_rate,
             "total_gates": self.total_gates,
             "sessions_per_s_per_mgate": self.sessions_per_s_per_mgate,
+            "session_cache": self.session_cache,
         }
 
 
@@ -78,8 +84,18 @@ def summarize(result: FarmResult) -> FarmMetrics:
         (core.busy_cycles / result.makespan_cycles
          if result.makespan_cycles else 0.0)
         for core in result.cores]
-    hits = sum(core.cache.hits for core in result.cores)
-    misses = sum(core.cache.misses for core in result.cores)
+    per_protocol: Dict[str, List[int]] = {}
+    for core in result.cores:
+        for protocol, cache in core.caches.items():
+            totals = per_protocol.setdefault(protocol, [0, 0])
+            totals[0] += cache.hits
+            totals[1] += cache.misses
+    session_cache = {
+        protocol: {"hits": float(h), "misses": float(m),
+                   "hit_rate": h / (h + m) if h + m else 0.0}
+        for protocol, (h, m) in sorted(per_protocol.items())}
+    hits = sum(h for h, _ in per_protocol.values())
+    misses = sum(m for _, m in per_protocol.values())
     gates = sum(core.spec.gates for core in result.cores)
     sessions_per_s = (len(result.completions) / elapsed_s
                       if elapsed_s else 0.0)
@@ -100,4 +116,5 @@ def summarize(result: FarmResult) -> FarmMetrics:
         total_gates=gates,
         sessions_per_s_per_mgate=(sessions_per_s / (gates / 1e6)
                                   if gates else 0.0),
+        session_cache=session_cache,
     )

@@ -16,6 +16,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
 
+from repro.protocols import protocol_names
 from repro.ssl.throughput import DEFAULT_CLOCK_HZ
 from repro.farm.workload import SessionRequest
 
@@ -62,9 +63,10 @@ def export_workload(path, requests: Sequence[SessionRequest],
 def import_workload(path) -> WorkloadTrace:
     """Read a JSONL trace back into a :class:`WorkloadTrace`.
 
-    Validates the header (format marker, version, record count) so a
-    truncated or foreign file fails loudly instead of replaying a
-    partial population.
+    Validates the header (format marker, version, record count) and
+    every record's protocol against the registry, so a truncated or
+    foreign file fails loudly instead of replaying a partial or
+    unpriceable population.
     """
     path = str(path)
     with open(path, "r", encoding="utf-8") as handle:
@@ -83,9 +85,14 @@ def import_workload(path) -> WorkloadTrace:
     if len(records) != expected:
         raise ValueError(f"{path}: header promises {expected} records, "
                          f"found {len(records)} (truncated trace?)")
+    known = protocol_names()
     requests = []
     for line in records:
         data = json.loads(line)
+        if data["protocol"] not in known:
+            raise ValueError(
+                f"{path}: trace names unregistered protocol "
+                f"{data['protocol']!r}; registered: {list(known)}")
         requests.append(SessionRequest(
             seq=int(data["seq"]),
             arrival_cycle=float(data["arrival_cycle"]),

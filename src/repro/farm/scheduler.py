@@ -11,15 +11,16 @@ scheduling algorithm, arXiv:1410.7560):
 - **preferential** -- class-aware: public-key-heavy jobs (full SSL and
   WTLS handshakes) go to TIE-extended cores, bulk-symmetric jobs (ESP,
   WEP, resumed SSL) to base cores, each class least-loaded within its
-  preferred pool; resumed SSL requests are first routed to the core
-  whose session cache holds the client's session (cache affinity), so
-  the abbreviated-handshake price is actually realized.
+  preferred pool; resumed requests of any resumable registered
+  protocol are first routed to the core whose session cache holds the
+  client's key (cache affinity), so the abbreviated-handshake price is
+  actually realized.
 """
 
 from typing import Dict, List, Optional, Sequence, Type
 
-from repro.farm.workload import (SessionRequest, is_public_key_heavy,
-                                 session_id_for_client)
+from repro.farm.workload import SessionRequest, is_public_key_heavy
+from repro.protocols import get_protocol
 
 
 class Scheduler:
@@ -43,11 +44,14 @@ class Scheduler:
     def _affine_core(request: SessionRequest,
                      cores: Sequence) -> Optional[int]:
         """The core whose session cache can resume this request."""
-        if request.protocol != "ssl" or not request.resumed:
+        if not request.resumed:
             return None
-        sid = session_id_for_client(request.client_id)
+        model = get_protocol(request.protocol)
+        if not model.resumable:
+            return None
+        key = model.cache_key(request.client_id)
         for core in cores:
-            if core.knows_session(sid):
+            if core.knows_session(key, request.protocol):
                 return core.index
         return None
 

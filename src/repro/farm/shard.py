@@ -41,6 +41,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.mp import DeterministicPrng
 from repro.obs import NULL_TRACER, MetricsRegistry, Tracer
 from repro.parallel import Executor, executor_scope
+from repro.protocols import UnknownProtocolError, protocol_names
 from repro.ssl.throughput import DEFAULT_CLOCK_HZ
 from repro.farm.scheduler import make_scheduler
 from repro.farm.simulator import (CoreSpec, FarmResult, FarmSimulator,
@@ -101,6 +102,10 @@ def partition_requests(requests: Sequence[SessionRequest],
     """
     if shards < 1:
         raise ValueError("shards must be >= 1")
+    unknown = ({request.protocol for request in requests}
+               - set(protocol_names()))
+    if unknown:
+        raise UnknownProtocolError(sorted(unknown), protocol_names())
     if shards == 1:
         return [list(requests)]
     buckets: List[List[SessionRequest]] = [[] for _ in range(shards)]

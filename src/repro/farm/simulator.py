@@ -8,11 +8,13 @@ over the same request stream and scheduler produce byte-identical
 results -- the property every benchmark and test in this package leans
 on.
 
-Each core carries its own run queue, busy-cycle accounting, and an SSL
-:class:`~repro.ssl.session_cache.SessionCache`: a resumed request only
-gets the abbreviated-handshake price if it lands on a core that cached
-the client's session, which is what makes scheduler affinity a
-measurable performance lever rather than a flag.
+Each core carries its own run queue, busy-cycle accounting, and one
+:class:`~repro.ssl.session_cache.SessionCache` per *resumable*
+registered protocol (SSL sessions, TLS 1.3 tickets, ...): a resumed
+request only gets the abbreviated-handshake price if it lands on a
+core that cached the client's session under the protocol model's
+cache key, which is what makes scheduler affinity a measurable
+performance lever rather than a flag.
 """
 
 from collections import deque
@@ -22,11 +24,11 @@ from typing import Deque, Dict, List, Optional, Sequence, Tuple
 from repro.costs import PlatformCosts
 from repro.explore.codesign import HardwareConfig
 from repro.obs import NULL_TRACER, MetricsRegistry, Tracer
+from repro.protocols import get_protocol
 from repro.ssl.session_cache import SessionCache
 from repro.ssl.throughput import DEFAULT_CLOCK_HZ
 from repro.farm.events import make_event_queue
-from repro.farm.workload import (SessionRequest, cost_of, farm_session,
-                                 session_id_for_client)
+from repro.farm.workload import SessionRequest, cost_of
 
 #: Representative gate-equivalent area of one base XT32 core (an
 #: Xtensa-T1040-class embedded core is on the order of 1e5 NAND2
@@ -108,12 +110,29 @@ class Core:
                  cache_capacity: int = 128):
         self.index = index
         self.spec = spec
-        self.cache = SessionCache(cache_capacity)
+        self.cache_capacity = cache_capacity
+        #: One session cache per resumable protocol, created on first
+        #: touch, so protocols never compete for cache slots and their
+        #: hit/miss counters stay separable.
+        self.caches: Dict[str, SessionCache] = {}
         self.queue: Deque[Tuple[SessionRequest, float]] = deque()
         self.current: Optional[SessionRequest] = None
         self.busy_until = 0.0
         self.busy_cycles = 0.0
         self.served = 0
+
+    def cache_for(self, protocol: str) -> SessionCache:
+        """The per-protocol session cache (created on first touch)."""
+        cache = self.caches.get(protocol)
+        if cache is None:
+            cache = self.caches[protocol] = SessionCache(
+                self.cache_capacity)
+        return cache
+
+    @property
+    def cache(self) -> SessionCache:
+        """The SSL session cache (the historical single-cache surface)."""
+        return self.cache_for("ssl")
 
     def backlog_cycles(self, now: float) -> float:
         """Estimated outstanding work: remainder of the in-flight
@@ -121,10 +140,12 @@ class Core:
         remaining = max(0.0, self.busy_until - now)
         return remaining + sum(est for _, est in self.queue)
 
-    def knows_session(self, session_id: bytes) -> bool:
+    def knows_session(self, session_id: bytes,
+                      protocol: str = "ssl") -> bool:
         """Non-mutating cache membership probe (no hit/miss counting);
         the real, counted lookup happens when service starts."""
-        return session_id in self.cache
+        cache = self.caches.get(protocol)
+        return cache is not None and session_id in cache
 
 
 @dataclass
@@ -228,9 +249,11 @@ class FarmSimulator:
                     service_cycles=service, cache_hit=hit))
                 core.busy_cycles += service
                 core.served += 1
-                if request.protocol == "ssl" and not (request.resumed
-                                                      and hit):
-                    core.cache.store(farm_session(request.client_id))
+                model = get_protocol(request.protocol)
+                if model.resumable and not (request.resumed and hit):
+                    core.cache_for(request.protocol).store_entry(
+                        model.cache_key(request.client_id),
+                        model.session_record(request.client_id))
                 core.current = None
                 if trace:
                     span = tracer.record(
@@ -283,9 +306,11 @@ class FarmSimulator:
                     tracer=NULL_TRACER, trace: bool = False) -> None:
         request, _ = core.queue.popleft()
         hit = False
-        if request.protocol == "ssl" and request.resumed:
-            sid = session_id_for_client(request.client_id)
-            hit = core.cache.lookup(sid) is not None
+        if request.resumed:
+            model = get_protocol(request.protocol)
+            if model.resumable:
+                hit = core.cache_for(request.protocol).lookup(
+                    model.cache_key(request.client_id)) is not None
         service = cost_of(request, core.spec.costs, cache_hit=hit).cycles
         core.current = request
         core.busy_until = now + service
@@ -316,12 +341,27 @@ def publish_metrics(result: FarmResult, registry: MetricsRegistry) -> None:
         latency.observe(completion.latency_cycles / clock * 1e3)
     for core in result.cores:
         registry.counter("farm.cache.hits", scheduler=sched,
-                         core=core.index).inc(core.cache.hits)
+                         core=core.index).inc(
+            sum(c.hits for c in core.caches.values()))
         registry.counter("farm.cache.misses", scheduler=sched,
-                         core=core.index).inc(core.cache.misses)
+                         core=core.index).inc(
+            sum(c.misses for c in core.caches.values()))
         registry.gauge("farm.core.utilization", scheduler=sched,
                        core=core.index).set(
             core.busy_cycles / result.makespan_cycles
             if result.makespan_cycles else 0.0)
         registry.counter("farm.core.served", scheduler=sched,
                          core=core.index).inc(core.served)
+    # Farm-wide per-protocol session-cache counters: one pair per
+    # protocol that touched a cache anywhere in the farm.
+    per_protocol: Dict[str, Tuple[int, int]] = {}
+    for core in result.cores:
+        for protocol, cache in core.caches.items():
+            hits, misses = per_protocol.get(protocol, (0, 0))
+            per_protocol[protocol] = (hits + cache.hits,
+                                      misses + cache.misses)
+    for protocol, (hits, misses) in sorted(per_protocol.items()):
+        registry.counter("farm.session_cache.hits", scheduler=sched,
+                         protocol=protocol).inc(hits)
+        registry.counter("farm.session_cache.misses", scheduler=sched,
+                         protocol=protocol).inc(misses)

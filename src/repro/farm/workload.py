@@ -3,17 +3,27 @@
 A *session request* is one unit of secure work a handset population
 offers the farm: an SSL transaction (full or resumed handshake plus
 record transfer), a WTLS browsing session (ECDH handshake), an IPSec
-ESP bulk transfer, or a burst of WEP frames.  Requests are generated
+ESP bulk transfer, a burst of WEP frames -- or any other protocol
+registered through :mod:`repro.protocols`.  Requests are generated
 from a :class:`~repro.mp.DeterministicPrng` stream so a (profile,
 seed) pair always produces the identical request list, and they are
-costed in cycles through the same vocabulary the single-transaction
-evaluation uses: :class:`repro.costs.PlatformCosts` and
-:meth:`repro.ssl.transaction.SslWorkloadModel.breakdown`.
+costed in cycles by the registered
+:class:`~repro.protocols.ProtocolModel` over the same
+:class:`repro.costs.PlatformCosts` vocabulary the single-transaction
+evaluation uses.
+
+This module is protocol-agnostic: protocol names, mix weights, cycle
+arithmetic, and resumption semantics all resolve through the registry.
+The historical surface (``cost_of``, ``is_public_key_heavy``,
+``ecdh_cycles``, ``farm_session``, ``session_id_for_client``,
+``RequestCost``, ``MTU_BYTES``) is preserved as re-exports; the old
+``PROTOCOLS`` tuple survives as a deprecation shim.
 """
 
 import math
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Sequence, Set, Tuple
 
 # WEP/ESP per-byte and framing rates live in the unified cost
 # vocabulary now; re-exported here because they are part of this
@@ -22,17 +32,10 @@ from repro.costs import (CRC32_CYCLES_PER_BYTE, ESP_PACKET_FIXED_CYCLES,
                          PlatformCosts, RC4_CYCLES_PER_BYTE,
                          WEP_FRAME_FIXED_CYCLES)
 from repro.mp import DeterministicPrng
-from repro.ssl.session_cache import SessionCache
+from repro.protocols import (MTU_BYTES, RequestCost, UnknownProtocolError,
+                             default_mix, get_protocol, protocol_names)
+from repro.protocols.builtin import farm_session, session_id_for_client
 from repro.ssl.throughput import DEFAULT_CLOCK_HZ
-from repro.ssl.transaction import (HANDSHAKE_TRANSCRIPT_BYTES,
-                                   SslWorkloadModel)
-
-#: Link-layer MTU used to charge per-packet/per-frame fixed overheads.
-MTU_BYTES = 1500
-
-PROTOCOLS = ("ssl", "wtls", "esp", "wep")
-
-_SERVER_RANDOM = b"farm-server-random".ljust(32, b"\0")
 
 
 @dataclass(frozen=True)
@@ -41,53 +44,21 @@ class SessionRequest:
 
     seq: int                 # generation order; breaks event-time ties
     arrival_cycle: float     # virtual arrival time, in core cycles
-    protocol: str            # one of PROTOCOLS
+    protocol: str            # a registered protocol name
     size_bytes: int          # protected payload size
-    resumed: bool            # SSL only: client presents a session id
+    resumed: bool            # resumable protocols: client presents a key
     client_id: int           # originating handset (affinity key)
-
-
-@dataclass(frozen=True)
-class RequestCost:
-    """Cycle price of serving one request on one core configuration."""
-
-    cycles: float
-    public_key_cycles: float
-    payload_bytes: int
-
-    @property
-    def public_key_fraction(self) -> float:
-        return self.public_key_cycles / self.cycles if self.cycles else 0.0
-
-
-@dataclass(frozen=True)
-class _FarmSession:
-    """Shim handshake result so cores can reuse the SSL session cache."""
-
-    client_random: bytes
-    server_random: bytes
-
-
-def farm_session(client_id: int) -> _FarmSession:
-    """The cacheable session record for a client's full handshake."""
-    return _FarmSession(
-        client_random=client_id.to_bytes(32, "big"),
-        server_random=_SERVER_RANDOM)
-
-
-def session_id_for_client(client_id: int) -> bytes:
-    """The session id a resuming client presents (affinity key)."""
-    return SessionCache.session_id(farm_session(client_id))
 
 
 def is_public_key_heavy(request: SessionRequest) -> bool:
     """Does this request's cost concentrate in public-key work?
 
-    Full SSL and WTLS handshakes are public-key bound; resumed SSL,
-    ESP, and WEP are bulk-symmetric/misc bound.  The preferential
-    scheduler uses this split to route work onto TIE-extended cores.
+    Full SSL/WTLS/TLS-1.3 handshakes are public-key bound; resumed
+    handshakes and bulk link-layer traffic are symmetric/misc bound.
+    The preferential scheduler uses this split (answered by the
+    registered protocol model) to route work onto TIE-extended cores.
     """
-    return request.protocol in ("ssl", "wtls") and not request.resumed
+    return get_protocol(request.protocol).public_key_heavy(request)
 
 
 def ecdh_cycles(costs: PlatformCosts) -> float:
@@ -105,43 +76,13 @@ def cost_of(request: SessionRequest, costs: PlatformCosts,
             cache_hit: bool = False) -> RequestCost:
     """Cycles to serve ``request`` on a core with unit costs ``costs``.
 
-    ``cache_hit`` applies to resumed SSL requests only: a hit serves
-    the abbreviated handshake, a miss falls back to the full one (the
-    client's session id is unknown to this core's cache).
+    Delegates to the registered protocol model.  ``cache_hit`` applies
+    to resumed requests only: a hit serves the abbreviated handshake, a
+    miss falls back to the full one (the client's session key is
+    unknown to this core's cache).
     """
-    size = request.size_bytes
-    if request.protocol == "ssl":
-        resumed = request.resumed and cache_hit
-        b = SslWorkloadModel.breakdown(costs, size, resumed=resumed)
-        return RequestCost(cycles=b.total, public_key_cycles=b.public_key,
-                           payload_bytes=size)
-    if request.protocol == "wtls":
-        public_key = ecdh_cycles(costs)
-        hashed = HANDSHAKE_TRANSCRIPT_BYTES // 4 + size
-        bulk = (size * costs.cipher_cycles_per_byte
-                + hashed * costs.hash_cycles_per_byte
-                + size * costs.protocol_cycles_per_byte
-                + costs.protocol_fixed_cycles)
-        return RequestCost(cycles=public_key + bulk,
-                           public_key_cycles=public_key,
-                           payload_bytes=size)
-    if request.protocol == "esp":
-        packets = max(1, math.ceil(size / MTU_BYTES))
-        cycles = (size * (costs.cipher_cycles_per_byte
-                          + costs.hash_cycles_per_byte
-                          + costs.protocol_cycles_per_byte)
-                  + packets * costs.esp_packet_fixed_cycles)
-        return RequestCost(cycles=cycles, public_key_cycles=0.0,
-                           payload_bytes=size)
-    if request.protocol == "wep":
-        frames = max(1, math.ceil(size / MTU_BYTES))
-        cycles = (size * (costs.rc4_cycles_per_byte
-                          + costs.crc32_cycles_per_byte
-                          + costs.protocol_cycles_per_byte)
-                  + frames * costs.wep_frame_fixed_cycles)
-        return RequestCost(cycles=cycles, public_key_cycles=0.0,
-                           payload_bytes=size)
-    raise ValueError(f"unknown protocol {request.protocol!r}")
+    return get_protocol(request.protocol).request_cost(
+        request, costs, cache_hit=cache_hit)
 
 
 @dataclass
@@ -149,16 +90,16 @@ class TrafficProfile:
     """Shape of the offered traffic (all draws are seed-deterministic).
 
     ``arrival_rate`` is in sessions/second of virtual time; inter-
-    arrivals are exponential (Poisson arrivals).  ``mix`` weights the
-    protocols; ``resumption_ratio`` is the probability an SSL client
-    that already completed a full handshake asks to resume.  Session
-    sizes are drawn from ``sizes_kb`` with ``size_weights`` (defaults
-    favour small transactions, matching Figure 8's emphasis).
+    arrivals are exponential (Poisson arrivals).  ``mix`` weights any
+    registered protocols (defaulting to the registry's stock mix);
+    ``resumption_ratio`` is the probability a client of a *resumable*
+    protocol that already completed a full handshake asks to resume.
+    Session sizes are drawn from ``sizes_kb`` with ``size_weights``
+    (defaults favour small transactions, matching Figure 8's emphasis).
     """
 
     arrival_rate: float = 50.0
-    mix: Dict[str, float] = field(default_factory=lambda: {
-        "ssl": 0.5, "wtls": 0.2, "esp": 0.2, "wep": 0.1})
+    mix: Dict[str, float] = field(default_factory=default_mix)
     resumption_ratio: float = 0.4
     sizes_kb: Sequence[int] = (1, 2, 4, 8, 16, 32)
     size_weights: Sequence[float] = (8, 6, 4, 2, 1, 1)
@@ -171,9 +112,9 @@ class TrafficProfile:
             raise ValueError("resumption_ratio must be in [0, 1]")
         if self.clients < 1:
             raise ValueError("need at least one client")
-        unknown = set(self.mix) - set(PROTOCOLS)
+        unknown = set(self.mix) - set(protocol_names())
         if unknown:
-            raise ValueError(f"unknown protocols in mix: {sorted(unknown)}")
+            raise UnknownProtocolError(sorted(unknown), protocol_names())
         if not self.mix or sum(self.mix.values()) <= 0:
             raise ValueError("mix must have positive total weight")
         if len(self.sizes_kb) != len(self.size_weights):
@@ -206,10 +147,11 @@ def _generate_stream(profile: TrafficProfile, n_requests: int,
     """Draw ``n_requests`` from an explicit PRNG stream.
 
     The draw *order* per request (inter-arrival, protocol, size,
-    client, resumption) is the module's compatibility contract: with
-    the default ``seq``/``client`` mapping this is exactly the
-    :func:`generate_requests` stream.  Sharded generation re-maps the
-    drawn client into the shard's residue class
+    client, resumption -- the last consumed only by resumable
+    protocols with a handshaken client) is the module's compatibility
+    contract: with the default ``seq``/``client`` mapping this is
+    exactly the :func:`generate_requests` stream.  Sharded generation
+    re-maps the drawn client into the shard's residue class
     (``client_base + client_stride * draw``) and interleaves global
     sequence numbers (``seq_base + seq_stride * k``) so shards stay
     disjoint in both keys without consuming extra draws.
@@ -223,7 +165,11 @@ def _generate_stream(profile: TrafficProfile, n_requests: int,
     protocols: Tuple[str, ...] = tuple(profile.mix)
     weights = tuple(profile.mix[p] for p in protocols)
     requests: List[SessionRequest] = []
-    handshaken = set()      # clients with a completed-full-SSL history
+    # Per-protocol completed-full-handshake histories: only resumable
+    # protocols keep one, so non-resumable traffic consumes no
+    # resumption draws (the legacy SSL-only draw pattern, generalized).
+    handshaken: Dict[str, Set[int]] = {
+        name: set() for name in protocols if get_protocol(name).resumable}
     arrival_s = 0.0
     for k in range(n_requests):
         arrival_s += -math.log(_uniform(prng)) / arrival_rate
@@ -233,12 +179,13 @@ def _generate_stream(profile: TrafficProfile, n_requests: int,
         client = client_base + client_stride * (prng.next_u64()
                                                 % client_space)
         resumed = False
-        if protocol == "ssl":
-            if (client in handshaken
+        history = handshaken.get(protocol)
+        if history is not None:
+            if (client in history
                     and _uniform(prng) <= profile.resumption_ratio):
                 resumed = True
             else:
-                handshaken.add(client)
+                history.add(client)
         requests.append(SessionRequest(
             seq=seq_base + seq_stride * k,
             arrival_cycle=arrival_s * clock_hz,
@@ -254,8 +201,20 @@ def generate_requests(profile: TrafficProfile, n_requests: int,
     """Generate a deterministic stream of ``n_requests`` requests.
 
     Resumption is *causal*: a request is marked resumed only if its
-    client already issued a full SSL handshake earlier in the stream,
-    so every resumed request has a session some core may have cached.
+    client already issued a full handshake of the same protocol
+    earlier in the stream, so every resumed request has a session some
+    core may have cached.
     """
     return _generate_stream(profile, n_requests, DeterministicPrng(seed),
                             profile.arrival_rate, clock_hz)
+
+
+def __getattr__(name):
+    if name == "PROTOCOLS":
+        warnings.warn(
+            "repro.farm.workload.PROTOCOLS is deprecated; use "
+            "repro.protocols.protocol_names() (the registry now "
+            "defines the protocol menu)", DeprecationWarning,
+            stacklevel=2)
+        return protocol_names()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,207 @@
+"""XT32 KASUMI block kernel (base ISA).
+
+A well-optimized software KASUMI in the style the paper benchmarks
+against: the S7/S9 S-boxes as word lookup tables, the FI/FL/FO round
+functions emitted inline with the 8 rounds fully unrolled, and the key
+schedule precomputed on the host (as a compiler's static data section
+would).  Like RC4, KASUMI has no TIE-accelerated variant -- the
+kernel's measured cycles/byte is what the registered ``kasumi``
+link-layer protocol model charges on *both* platforms.
+
+Block-for-block identity against the pure-Python reference
+(:class:`repro.crypto.kasumi.Kasumi`) is asserted in the test suite.
+"""
+
+from typing import List, Tuple
+
+from repro.crypto.kasumi import S7, S9, Kasumi
+from repro.isa.kernels import KernelRunner
+
+# Per-round subkey words, 8 per round, at these offsets from the
+# round's base (= 32 * round_index) in the staged schedule.
+_KL1, _KL2, _KO1, _KO2, _KO3, _KI1, _KI2, _KI3 = (
+    0, 4, 8, 12, 16, 20, 24, 28)
+
+
+def schedule_words(key: bytes) -> List[int]:
+    """The 64-word staged key schedule (8 rounds x 8 subkey words)."""
+    words = []
+    for rk in Kasumi.key_schedule(key):
+        words.extend([rk["KL1"], rk["KL2"], rk["KO1"], rk["KO2"],
+                      rk["KO3"], rk["KI1"], rk["KI2"], rk["KI3"]])
+    return words
+
+
+# ---------------------------------------------------------------------------
+# Assembly emitters.  Register plan: r1=in r2=out r3=schedule r4=S7
+# r5=S9 r6=left r7=right r9/r10=working halves r11-r13,r15=scratch.
+# ---------------------------------------------------------------------------
+
+def _fi_block(ki_off: int) -> str:
+    """FI over the 16-bit value in r11 with KI at ``ki_off``(r3).
+
+    Two S9/S7 stages with the key mix between; clobbers r12/r13/r15
+    only, leaving the FO halves in r9/r10 untouched.
+    """
+    return f"""
+    lw   r12, {ki_off}(r3)
+    srli r13, r11, 7
+    andi r11, r11, 127
+    slli r13, r13, 2
+    add  r13, r13, r5
+    lw   r13, 0(r13)
+    xor  r13, r13, r11      # nine = S9[nine] ^ seven
+    slli r15, r11, 2
+    add  r15, r15, r4
+    lw   r11, 0(r15)
+    andi r15, r13, 127
+    xor  r11, r11, r15      # seven = S7[seven] ^ (nine & 127)
+    srli r15, r12, 9
+    xor  r11, r11, r15      # seven ^= KI >> 9
+    andi r15, r12, 511
+    xor  r13, r13, r15      # nine ^= KI & 511
+    slli r15, r13, 2
+    add  r15, r15, r5
+    lw   r13, 0(r15)
+    xor  r13, r13, r11      # nine = S9[nine] ^ seven
+    slli r15, r11, 2
+    add  r15, r15, r4
+    lw   r11, 0(r15)
+    andi r15, r13, 127
+    xor  r11, r11, r15      # seven = S7[seven] ^ (nine & 127)
+    slli r11, r11, 9
+    or   r11, r11, r13      # (seven << 9) | nine
+"""
+
+
+def _fo_block(base: int) -> str:
+    """FO over the halves (r9 hi, r10 lo) for the round at ``base``.
+
+    Leaves the result halves as r10 (hi) / r9 (lo) -- FO swaps them.
+    """
+    return f"""
+    lw   r12, {base + _KO1}(r3)
+    xor  r11, r9, r12
+{_fi_block(base + _KI1)}
+    xor  r9, r11, r10       # left = FI(left ^ KO1, KI1) ^ right
+    lw   r12, {base + _KO2}(r3)
+    xor  r11, r10, r12
+{_fi_block(base + _KI2)}
+    xor  r10, r11, r9       # right = FI(right ^ KO2, KI2) ^ left
+    lw   r12, {base + _KO3}(r3)
+    xor  r11, r9, r12
+{_fi_block(base + _KI3)}
+    xor  r9, r11, r10       # left = FI(left ^ KO3, KI3) ^ right
+"""
+
+
+def _fl_block(l_reg: str, r_reg: str, base: int) -> str:
+    """FL in place on (``l_reg`` hi, ``r_reg`` lo) for the round at
+    ``base`` (one-bit rotates of AND/OR key mixes)."""
+    return f"""
+    lw   r12, {base + _KL1}(r3)
+    and  r11, {l_reg}, r12
+    slli r13, r11, 1
+    srli r11, r11, 15
+    or   r11, r11, r13
+    andi r11, r11, 65535
+    xor  {r_reg}, {r_reg}, r11     # right ^= ROL1(left & KL1)
+    lw   r12, {base + _KL2}(r3)
+    or   r11, {r_reg}, r12
+    slli r13, r11, 1
+    srli r11, r11, 15
+    or   r11, r11, r13
+    andi r11, r11, 65535
+    xor  {l_reg}, {l_reg}, r11     # left ^= ROL1(right | KL2)
+"""
+
+
+def _round_pair(n: int) -> str:
+    """Rounds ``n`` (odd, FL then FO) and ``n+1`` (even, FO then FL)."""
+    odd, even = 32 * n, 32 * (n + 1)
+    return f"""
+    # ---- round {n + 1}: right ^= FO(FL(left)) ----
+    srli r9, r6, 16
+    andi r10, r6, 65535
+{_fl_block("r9", "r10", odd)}
+{_fo_block(odd)}
+    slli r11, r10, 16
+    or   r11, r11, r9
+    xor  r7, r7, r11
+    # ---- round {n + 2}: left ^= FL(FO(right)) ----
+    srli r9, r7, 16
+    andi r10, r7, 65535
+{_fo_block(even)}
+{_fl_block("r10", "r9", even)}
+    slli r11, r10, 16
+    or   r11, r11, r9
+    xor  r6, r6, r11
+"""
+
+
+def base_source() -> str:
+    """kasumi_encrypt: r1=in r2=out r3=schedule(64 words) r4=S7 r5=S9."""
+    load = "".join(
+        f"    lb   r11, {b}(r1)\n"
+        f"    slli {reg}, {reg}, 8\n"
+        f"    or   {reg}, {reg}, r11\n"
+        for reg, byte_range in (("r6", range(4)), ("r7", range(4, 8)))
+        for b in byte_range)
+    rounds = "".join(_round_pair(n) for n in (0, 2, 4, 6))
+    store = "".join(
+        f"    srli r11, {reg}, {shift}\n"
+        f"    sb   r11, {b}(r2)\n" if shift else
+        f"    sb   {reg}, {b}(r2)\n"
+        for reg, base_b in (("r6", 0), ("r7", 4))
+        for b, shift in ((base_b, 24), (base_b + 1, 16),
+                         (base_b + 2, 8), (base_b + 3, 0)))
+    return f"""
+kasumi_encrypt:
+    li   r6, 0
+    li   r7, 0
+{load}
+{rounds}
+{store}
+    jr   r14
+"""
+
+
+# ---------------------------------------------------------------------------
+# Host runner
+# ---------------------------------------------------------------------------
+
+class KasumiKernel:
+    """KASUMI block encryption on the simulator (base ISA only)."""
+
+    def __init__(self):
+        self.runner = KernelRunner(base_source())
+
+    def _stage_tables(self, machine) -> Tuple[int, int]:
+        s7 = machine.alloc(4 * len(S7))
+        machine.write_words(s7, list(S7))
+        s9 = machine.alloc(4 * len(S9))
+        machine.write_words(s9, list(S9))
+        return s7, s9
+
+    def crypt_block(self, block: bytes, key: bytes) -> Tuple[bytes, int]:
+        """Encrypt one 8-byte block; returns (ciphertext, cycles)."""
+        machine = self.runner.machine()
+        ks = machine.alloc(4 * 64)
+        machine.write_words(ks, schedule_words(key))
+        s7, s9 = self._stage_tables(machine)
+        in_addr = machine.alloc(8)
+        out_addr = machine.alloc(8)
+        machine.write_bytes(in_addr, block)
+        machine.run("kasumi_encrypt", [in_addr, out_addr, ks, s7, s9])
+        return machine.read_bytes(out_addr, 8), machine.cycles
+
+    def cycles_per_byte(self, blocks: int = 4) -> float:
+        """Steady-state cycles/byte over a few blocks."""
+        key = bytes.fromhex("2BD6459F82C5B300952C49104881FF48")
+        data = bytes(range(8))
+        total = 0
+        for i in range(blocks):
+            block = bytes((b + i) & 0xFF for b in data)
+            _, cycles = self.crypt_block(block, key)
+            total += cycles
+        return total / (8 * blocks)

@@ -344,6 +344,70 @@ def _farm_mixed_metrics() -> Dict[str, object]:
     return metrics
 
 
+def _farm_tls13_metrics() -> Dict[str, object]:
+    from repro.farm import (FarmSimulator, TrafficProfile, build_farm,
+                            generate_requests, make_scheduler, summarize)
+    from repro.farm.scheduler import scheduler_names as farm_schedulers
+    base, opt = _measured_pair()
+    specs = build_farm(4, base, opt, extended_fraction=0.5)
+    requests = generate_requests(
+        TrafficProfile(arrival_rate=60.0, resumption_ratio=0.5,
+                       mix={"tls13": 0.7, "wep": 0.3}),
+        200, seed=1)
+    metrics: Dict[str, object] = {
+        "requests": 200.0, "cores": 4.0,
+        "tls13_requests": float(sum(1 for r in requests
+                                    if r.protocol == "tls13")),
+        "tls13_resumed": float(sum(1 for r in requests
+                                   if r.protocol == "tls13"
+                                   and r.resumed)),
+    }
+    for name in farm_schedulers():
+        sim = FarmSimulator(specs, make_scheduler(name))
+        row = summarize(sim.run(requests))
+        metrics[f"{name}.sessions_per_s"] = row.sessions_per_s
+        metrics[f"{name}.secure_mbps"] = row.secure_mbps
+        metrics[f"{name}.p95_ms"] = row.p95_ms
+        metrics[f"{name}.p99_ms"] = row.p99_ms
+        # The generic session-cache seam: tls13 resumption rides the
+        # same per-protocol caches and affinity path SSL uses.
+        tls13 = row.session_cache.get("tls13", {})
+        metrics[f"{name}.tls13_cache_hits"] = tls13.get("hits", 0.0)
+        metrics[f"{name}.tls13_cache_hit_rate"] = tls13.get("hit_rate",
+                                                            0.0)
+    return metrics
+
+
+def _farm_kasumi_metrics() -> Dict[str, object]:
+    from repro.farm import (FarmSimulator, TrafficProfile, build_farm,
+                            generate_requests, make_scheduler, summarize)
+    from repro.farm.scheduler import scheduler_names as farm_schedulers
+    base, opt = _measured_pair()
+    specs = build_farm(4, base, opt, extended_fraction=0.5)
+    requests = generate_requests(
+        TrafficProfile(arrival_rate=80.0,
+                       mix={"kasumi": 0.6, "wep": 0.4}),
+        200, seed=1)
+    metrics: Dict[str, object] = {
+        "requests": 200.0, "cores": 4.0,
+        "kasumi_requests": float(sum(1 for r in requests
+                                     if r.protocol == "kasumi")),
+        # The kernel-measured per-byte rate the registered model
+        # charges (both platforms: KASUMI is not TIE-accelerated).
+        "kasumi_cycles_per_byte": base.overhead(
+            "kasumi_cycles_per_byte", 0.0),
+    }
+    for name in farm_schedulers():
+        sim = FarmSimulator(specs, make_scheduler(name))
+        row = summarize(sim.run(requests))
+        metrics[f"{name}.sessions_per_s"] = row.sessions_per_s
+        metrics[f"{name}.secure_mbps"] = row.secure_mbps
+        metrics[f"{name}.p95_ms"] = row.p95_ms
+        metrics[f"{name}.p99_ms"] = row.p99_ms
+        metrics[f"{name}.mean_utilization"] = row.mean_utilization
+    return metrics
+
+
 def _characterize_metrics() -> Dict[str, object]:
     from repro.costs.cache import (CharacterizationCache,
                                    CharacterizationKey)
@@ -557,6 +621,45 @@ register_scenario(Scenario(
                ("p95_ms", Gate(tolerance=0.15, direction="lower")),
                ("p99_ms", Gate(tolerance=0.15, direction="lower")),
                ("cache_hit_rate", _SPEEDUP),
+           )})))
+
+register_scenario(Scenario(
+    name="farm_tls13",
+    description="4-core heterogeneous farm, 200 tls13-dominant "
+                "requests at 60/s (seed 1): the registered TLS-1.3 "
+                "model through the generic session-cache seam",
+    run=_farm_tls13_metrics,
+    gates=dict(
+        {"requests": _EXACT_COUNT, "cores": _EXACT_COUNT,
+         "tls13_requests": _EXACT_COUNT, "tls13_resumed": _EXACT_COUNT},
+        **{f"{sched}.{metric}": gate
+           for sched in ("round-robin", "least-loaded", "preferential")
+           for metric, gate in (
+               ("sessions_per_s", _SPEEDUP),
+               ("secure_mbps", _SPEEDUP),
+               ("p95_ms", Gate(tolerance=0.15, direction="lower")),
+               ("p99_ms", Gate(tolerance=0.15, direction="lower")),
+               ("tls13_cache_hits", _EXACT_COUNT),
+               ("tls13_cache_hit_rate", _SPEEDUP),
+           )})))
+
+register_scenario(Scenario(
+    name="farm_kasumi",
+    description="4-core heterogeneous farm, 200 kasumi/wep link-layer "
+                "requests at 80/s (seed 1): the registered KASUMI "
+                "model priced by the kernel-measured per-byte rate",
+    run=_farm_kasumi_metrics,
+    gates=dict(
+        {"requests": _EXACT_COUNT, "cores": _EXACT_COUNT,
+         "kasumi_requests": _EXACT_COUNT,
+         "kasumi_cycles_per_byte": _CYCLES},
+        **{f"{sched}.{metric}": gate
+           for sched in ("round-robin", "least-loaded", "preferential")
+           for metric, gate in (
+               ("sessions_per_s", _SPEEDUP),
+               ("secure_mbps", _SPEEDUP),
+               ("p95_ms", Gate(tolerance=0.15, direction="lower")),
+               ("p99_ms", Gate(tolerance=0.15, direction="lower")),
            )})))
 
 register_scenario(Scenario(

@@ -26,6 +26,7 @@ from repro.crypto.rsa import Rsa, RsaKeyPair
 from repro.isa.kernels.aes_kernels import AesKernel
 from repro.isa.kernels.des_kernels import DesKernel
 from repro.isa.kernels.hash_kernels import Sha1Kernel
+from repro.isa.kernels.kasumi_kernels import KasumiKernel
 from repro.macromodel import MacroModelSet
 from repro.mp import DeterministicPrng
 
@@ -102,6 +103,12 @@ class SecurityPlatform:
     def sha1_kernel(self) -> Sha1Kernel:
         return Sha1Kernel()
 
+    @functools.cached_property
+    def kasumi_kernel(self) -> KasumiKernel:
+        # Base-ISA only (no TIE variant), so like SHA-1 and RC4 the
+        # rate is identical on both platforms.
+        return KasumiKernel()
+
     def api(self, prng: Optional[DeterministicPrng] = None) -> SecurityApi:
         """A Layer-3 security API bound to this platform's SW config."""
         return SecurityApi(self.modexp_config, prng)
@@ -120,6 +127,8 @@ class SecurityPlatform:
             return self.des_kernel.cycles_per_byte(blocks=2, triple=True)
         if algorithm == "aes":
             return self.aes_kernel.cycles_per_byte(blocks=2)
+        if algorithm == "kasumi":
+            return self.kasumi_kernel.cycles_per_byte(blocks=2)
         raise ValueError(f"unknown bulk cipher {algorithm!r}")
 
     def hash_cycles_per_byte(self) -> float:

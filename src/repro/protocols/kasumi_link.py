@@ -1,0 +1,48 @@
+"""KASUMI 3G/WPA-era link-layer protocol model: a pure registration.
+
+Like :mod:`repro.protocols.tls13`, this module proves the registry
+seam: one file, one registration, zero farm-engine edits.
+
+The model prices UMTS-style link-layer protection: every payload byte
+passes through KASUMI twice -- once for f8 confidentiality (OFB-like
+keystream) and once for f9 integrity (CBC-MAC) -- plus a fixed
+per-frame charge for COUNT/BEARER/FRESH block setup.  The per-byte
+KASUMI rate comes from the kernel-backed measurement when the platform
+characterization provides one (``costs.overhead("kasumi_cycles_per_byte")``,
+populated by :mod:`repro.costs.backends` from the XT32 KASUMI kernel)
+and falls back to the calibrated
+:data:`~repro.costs.KASUMI_CYCLES_PER_BYTE` constant otherwise.
+
+There is no handshake and no session state: the model is not
+resumable and never touches the session-cache/affinity machinery.
+"""
+
+import math
+
+from repro.costs import KASUMI_CYCLES_PER_BYTE, KASUMI_FRAME_FIXED_CYCLES
+from repro.protocols.registry import (MTU_BYTES, ProtocolModel,
+                                      RequestCost, register_protocol)
+
+__all__ = ["KasumiLinkProtocolModel"]
+
+
+class KasumiLinkProtocolModel(ProtocolModel):
+    name = "kasumi"
+    # Opt-in only; legacy default mix stays untouched.
+    default_mix_weight = 0.0
+
+    def request_cost(self, request, costs, cache_hit=False):
+        size = request.size_bytes
+        rate = costs.overhead("kasumi_cycles_per_byte",
+                              KASUMI_CYCLES_PER_BYTE)
+        fixed = costs.overhead("kasumi_frame_fixed_cycles",
+                               KASUMI_FRAME_FIXED_CYCLES)
+        frames = max(1, math.ceil(size / MTU_BYTES))
+        # f8 keystream + f9 MAC: two KASUMI passes over every byte.
+        cycles = (size * (2.0 * rate + costs.protocol_cycles_per_byte)
+                  + frames * fixed)
+        return RequestCost(cycles=cycles, public_key_cycles=0.0,
+                           payload_bytes=size)
+
+
+register_protocol(KasumiLinkProtocolModel())

@@ -33,12 +33,20 @@ class SessionCache:
 
     def store(self, result: HandshakeResult) -> bytes:
         """Cache a completed handshake; returns its session id."""
-        sid = self.session_id(result)
-        self._entries[sid] = result
-        self._entries.move_to_end(sid)
+        return self.store_entry(self.session_id(result), result)
+
+    def store_entry(self, session_id: bytes, entry) -> bytes:
+        """Cache ``entry`` under an externally derived key.
+
+        Protocol models that are not SSL handshakes (TLS 1.3 tickets,
+        plugin protocols) derive their own cache keys; the LRU
+        mechanics are identical to :meth:`store`.
+        """
+        self._entries[session_id] = entry
+        self._entries.move_to_end(session_id)
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
-        return sid
+        return session_id
 
     def lookup(self, session_id: bytes) -> Optional[HandshakeResult]:
         """Fetch a resumable session (refreshing its LRU position)."""

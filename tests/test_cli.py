@@ -48,6 +48,8 @@ class TestParser:
          "characterize", "--report", "report.json", "--verbose"],
         ["farm", "--shards", "4", "--jobs", "2", "--queue", "calendar"],
         ["farm", "--replay", "trace.jsonl"],
+        ["farm", "--list-protocols"],
+        ["farm", "--mix", "tls13=0.7,wep=0.3", "--json"],
         ["farm", "--export-workload", "w.jsonl", "--shards", "2",
          "--json"],
         ["capacity"],
@@ -94,6 +96,38 @@ class TestExecution:
             {"round-robin", "least-loaded", "preferential"}
         assert len(results["cores"]) == 2
         assert results["capacity"]
+
+    def test_farm_list_protocols(self, capsys):
+        import json
+        assert main(["farm", "--list-protocols", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        names = [p["name"] for p in payload["results"]["protocols"]]
+        assert names[:4] == ["ssl", "wtls", "esp", "wep"]
+        assert "tls13" in names and "kasumi" in names
+        assert main(["farm", "--list-protocols"]) == 0
+        assert "tls13" in capsys.readouterr().out
+
+    def test_farm_mix_selects_protocols(self, capsys):
+        import json
+        assert main(["farm", "--cores", "2", "--requests", "40",
+                     "--mix", "tls13=0.7,kasumi=0.3", "--seed", "1",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["params"]["mix"] == "tls13=0.7,kasumi=0.3"
+        rows = payload["results"]["schedulers"]
+        # The resumable half of the mix shows up in the per-protocol
+        # session-cache report; the link-layer half cannot.
+        assert all(set(m["session_cache"]) <= {"tls13"} for m in rows)
+
+    def test_farm_mix_unknown_protocol_exits_2(self, capsys):
+        assert main(["farm", "--mix", "bogus=1.0"]) == 2
+        err = capsys.readouterr().err
+        assert "bogus" in err and "registered" in err and "tls13" in err
+
+    def test_farm_mix_malformed_exits_2(self, capsys):
+        assert main(["farm", "--mix", "ssl"]) == 2
+        assert "NAME=WEIGHT" in capsys.readouterr().err
+        assert main(["farm", "--mix", "ssl=lots"]) == 2
 
     def test_explore_with_saved_models(self, tmp_path, capsys):
         out = tmp_path / "models.json"
