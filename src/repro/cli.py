@@ -12,10 +12,13 @@
                          [--rate 60] [--extended-fraction 0.5]
                          [--shards N] [--jobs N] [--queue heap|calendar]
                          [--replay trace.jsonl]
-                         [--export-workload trace.jsonl] [--json]
+                         [--export-workload trace.jsonl]
+                         [--faults SEED|plan.json] [--slo p99_ms=5,...]
+                         [--json]
     python -m repro capacity [--users 100000] [--per-user-kbps 384]
                              [--autoscale] [--curve diurnal]
-                             [--epochs 24] [--json]
+                             [--epochs 24] [--faults SEED|plan.json]
+                             [--json]
     python -m repro profile --trace trace.jsonl [--top 20]
                             [--group-by scheduler] [--folded out.folded]
     python -m repro bench [--scenario NAME]... [--dir DIR]
@@ -399,14 +402,49 @@ def _parse_mix(spec: str) -> dict:
     return mix
 
 
+def _parse_fault_spec(spec: str):
+    """Pre-validate a ``--faults`` flag: an integer seed (seeded
+    chaos) or a JSON plan file.  Returns ``("seed", int)`` or
+    ``("plan", payload)``; the actual :class:`FaultPlan` is built once
+    the farm's size, horizon, and degraded cost table are known."""
+    import json
+    try:
+        return "seed", int(spec)
+    except ValueError:
+        pass
+    try:
+        with open(spec) as handle:
+            return "plan", json.load(handle)
+    except OSError as exc:
+        raise ValueError(
+            f"--faults wants an integer seed or a JSON plan file: "
+            f"{exc}") from None
+    except ValueError as exc:
+        raise ValueError(f"bad JSON in fault plan {spec!r}: {exc}") \
+            from None
+
+
+def _build_fault_plan(parsed, n_cores: int, horizon_cycles: float,
+                      episodes: int, degraded_costs):
+    """Turn a pre-validated ``--faults`` spec into a FaultPlan."""
+    from repro.farm import FaultPlan, generate_fault_plan
+    kind, value = parsed
+    if kind == "seed":
+        return generate_fault_plan(value, n_cores, horizon_cycles,
+                                   episodes=episodes,
+                                   degraded_costs=degraded_costs)
+    return FaultPlan.from_dict(value, degraded_costs=degraded_costs)
+
+
 def _cmd_farm(args) -> int:
-    from repro.farm import (TrafficProfile, build_farm, capacity_table,
-                            farm_rate_targets, import_workload,
-                            export_workload, queue_kinds, run_sharded,
-                            shard_workload, specs_as_configs, summarize)
+    from repro.farm import (FarmConfig, TrafficProfile, build_farm,
+                            capacity_table, farm_rate_targets,
+                            import_workload, export_workload,
+                            queue_kinds, run_farm, shard_workload,
+                            specs_as_configs)
     from repro.farm.shard import _merge_queue_stats
     from repro.farm.scheduler import scheduler_names
-    from repro.obs import get_registry, get_tracer
+    from repro.obs import get_registry, get_tracer, parse_slo
     from repro.ssl.throughput import DEFAULT_CLOCK_HZ
 
     if args.list_protocols:
@@ -440,6 +478,13 @@ def _cmd_farm(args) -> int:
             raise ValueError("--shards cannot exceed --cores")
         if args.queue not in queue_kinds():
             raise ValueError(f"--queue must be one of {queue_kinds()}")
+        if args.fault_episodes < 0:
+            raise ValueError("--fault-episodes must be non-negative")
+        fault_spec = (_parse_fault_spec(args.faults)
+                      if args.faults else None)
+        slo = parse_slo(args.slo) if args.slo else None
+        if args.slo_window <= 0:
+            raise ValueError("--slo-window must be positive")
         profile_kwargs = dict(arrival_rate=args.rate,
                               resumption_ratio=args.resumption)
         if args.mix:
@@ -481,18 +526,32 @@ def _cmd_farm(args) -> int:
         announce=not args.json)
     specs = build_farm(args.cores, base_costs, opt_costs,
                        extended_fraction=args.extended_fraction)
+    plan = None
+    if fault_spec is not None:
+        # The chaos horizon is the offered-traffic window: strikes
+        # land while there is load to disturb.  A degraded extended
+        # core falls back to the measured base-ISA cost table.
+        horizon = max((r.arrival_cycle for r in requests),
+                      default=0.0) or clock_hz
+        plan = _build_fault_plan(fault_spec, args.cores, horizon,
+                                 args.fault_episodes, base_costs)
 
     tracer = get_tracer()
     metrics = get_registry() if args.metrics else None
     rows = []
     runs = []
+    farm_runs = []
+    config = FarmConfig(specs=tuple(specs), requests=tuple(requests),
+                        shards=args.shards, seed=args.seed,
+                        clock_hz=clock_hz, queue=args.queue,
+                        jobs=args.jobs, faults=plan, slo=slo,
+                        slo_window_seconds=args.slo_window)
     for name in scheduler_names():
-        run = run_sharded(specs, name, shards=args.shards,
-                          clock_hz=clock_hz, queue=args.queue,
-                          jobs=args.jobs, tracer=tracer,
-                          metrics=metrics, requests=requests)
-        runs.append(run)
-        rows.append(summarize(run.result))
+        farm_run = run_farm(config.with_scheduler(name), tracer=tracer,
+                            metrics=metrics)
+        farm_runs.append((name, farm_run))
+        runs.append(farm_run.sharded)
+        rows.append(farm_run.metrics)
 
     configs = specs_as_configs(specs)
     plans = capacity_table(configs, farm_rate_targets())
@@ -519,6 +578,19 @@ def _cmd_farm(args) -> int:
             "jobs": sharding["jobs"],
             "executor": sharding["executor"],
         }
+        if plan is not None:
+            results["faults"] = {
+                "plan": plan.as_dict(),
+                "by_scheduler": {name: run.faults.as_dict()
+                                 for name, run in farm_runs},
+            }
+        if slo is not None:
+            results["slo"] = {
+                "target": slo.as_dict(),
+                "window_seconds": args.slo_window,
+                "by_scheduler": {name: run.slo.as_dict()
+                                 for name, run in farm_runs},
+            }
         _finish_obs(args, results)
         return _print_json(args, results)
 
@@ -540,6 +612,26 @@ def _cmd_farm(args) -> int:
               f"{m.p99_ms:9.2f} {m.mean_utilization:5.2f} "
               f"{m.cache_hit_rate:5.2f} "
               f"{m.sessions_per_s_per_mgate:9.1f}")
+    if plan is not None:
+        print(f"\nchaos: {len(plan.events)} planned fault events, "
+              f"re-dispatch penalty "
+              f"{plan.redispatch_penalty_cycles:.0f} cycles")
+        print(f"{'scheduler':14s} {'applied':>8s} {'redisp':>7s} "
+              f"{'flushed':>8s} {'down Mcyc':>10s}")
+        for name, run in farm_runs:
+            fr = run.faults
+            print(f"{name:14s} {fr.events_injected:8d} "
+                  f"{fr.redispatches:7d} {fr.sessions_flushed:8d} "
+                  f"{fr.downtime_cycles / 1e6:10.2f}")
+    if slo is not None:
+        print(f"\nslo ({args.slo}, {args.slo_window:.1f}s windows):")
+        print(f"{'scheduler':14s} {'windows':>8s} {'violated':>9s} "
+              f"{'breaches':>9s} {'attain':>7s}")
+        for name, run in farm_runs:
+            sr = run.slo
+            print(f"{name:14s} {len(sr.windows):8d} "
+                  f"{sr.windows_violated:9d} {sr.violations:9d} "
+                  f"{sr.attainment:7.2f}")
     print("\ncapacity plan (aggregate targets, "
           "2% busy-instant activity):")
     print(f"{'target':38s} {'config':>10s} {'cores':>7s} "
@@ -552,11 +644,11 @@ def _cmd_farm(args) -> int:
 
 
 def _cmd_capacity(args) -> int:
-    from repro.farm import (AutoscalePolicy, SloTarget, TrafficProfile,
-                            build_farm, capacity_table, curve_names,
-                            plan_farm, simulate_autoscale,
+    from repro.farm import (AutoscalePolicy, FarmConfig, SloTarget,
+                            TrafficProfile, build_farm, capacity_table,
+                            curve_names, plan_farm, run_autoscale,
                             specs_as_configs)
-    from repro.ssl.throughput import RATE_TARGETS
+    from repro.ssl.throughput import DEFAULT_CLOCK_HZ, RATE_TARGETS
 
     _configure_cache(args)
     try:
@@ -578,6 +670,10 @@ def _cmd_capacity(args) -> int:
             raise ValueError("--epochs must be at least 1")
         if args.epoch_seconds <= 0:
             raise ValueError("--epoch-seconds must be positive")
+        if args.fault_episodes < 0:
+            raise ValueError("--fault-episodes must be non-negative")
+        fault_spec = (_parse_fault_spec(args.faults)
+                      if args.faults else None)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -596,10 +692,21 @@ def _cmd_capacity(args) -> int:
     if args.autoscale:
         pool = build_farm(args.max_cores, base_costs, opt_costs,
                           extended_fraction=args.extended_fraction)
-        report = simulate_autoscale(
-            pool, args.scheduler, profile, policy=policy, slo=slo,
-            n_epochs=args.epochs, epoch_seconds=args.epoch_seconds,
-            curve=args.curve, seed=args.seed)
+        fault_plan = None
+        if fault_spec is not None:
+            # The chaos horizon spans the whole autoscale run; each
+            # epoch injects its own window of the plan.
+            horizon = args.epochs * args.epoch_seconds * DEFAULT_CLOCK_HZ
+            fault_plan = _build_fault_plan(
+                fault_spec, args.max_cores, horizon,
+                args.fault_episodes, base_costs)
+        config = FarmConfig(specs=tuple(pool), scheduler=args.scheduler,
+                            profile=profile, seed=args.seed,
+                            faults=fault_plan, slo=slo)
+        report = run_autoscale(config, policy=policy,
+                               n_epochs=args.epochs,
+                               epoch_seconds=args.epoch_seconds,
+                               curve=args.curve)
 
     if args.json:
         results = {
@@ -626,16 +733,20 @@ def _cmd_capacity(args) -> int:
               f"{args.scheduler}):")
         print(f"{'epoch':>5s} {'rate/s':>8s} {'cores':>6s} "
               f"{'warm':>5s} {'util':>5s} {'p99 ms':>9s} "
-              f"{'Mbps':>7s} {'slo':>4s} action")
+              f"{'Mbps':>7s} {'slo':>4s} {'viol':>5s} {'fail':>5s} "
+              f"action")
         for e in report.epochs:
             print(f"{e.epoch:5d} {e.offered_rate:8.1f} "
                   f"{e.active_cores:6d} {e.warming_cores:5d} "
                   f"{e.utilization:5.2f} {e.p99_ms:9.2f} "
                   f"{e.secure_mbps:7.2f} "
-                  f"{'ok' if e.slo_met else 'MISS':>4s} {e.action}")
+                  f"{'ok' if e.slo_met else 'MISS':>4s} "
+                  f"{e.slo_violations:5d} {e.failed_cores:5d} "
+                  f"{e.action}")
         print(f"\npeak {report.peak_cores} cores, mean "
               f"{report.mean_cores:.1f}, {report.core_epochs} "
               f"core-epochs, {report.slo_violations} SLO misses, "
+              f"{report.core_failures} core failures, "
               f"{report.scale_outs} scale-outs / "
               f"{report.scale_ins} scale-ins")
     return 0
@@ -847,6 +958,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--export-workload", metavar="FILE",
                    help="write the offered request stream as a JSONL "
                         "trace for later --replay")
+    p.add_argument("--faults", metavar="SEED|FILE",
+                   help="deterministic chaos: an integer seed draws a "
+                        "fault schedule from the 'faults' PRNG fork, a "
+                        "path replays an explicit JSON FaultPlan")
+    p.add_argument("--fault-episodes", type=int, default=3,
+                   help="fault episodes a seeded --faults plan draws")
+    p.add_argument("--slo", metavar="NAME=V[,NAME=V...]",
+                   help="runtime SLO gate evaluated per window, e.g. "
+                        "p99_ms=5,secure_mbps=10,cache_hit_rate=0.3,"
+                        "utilization=0.2")
+    p.add_argument("--slo-window", type=float, default=1.0,
+                   help="SLO evaluation window in (virtual) seconds")
     p.add_argument("--json", action="store_true",
                    help="emit machine-readable JSON instead of tables")
     p.set_defaults(func=_cmd_farm)
@@ -880,6 +1003,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-epoch p99 latency SLO (ms)")
     p.add_argument("--slo-mbps", type=float, default=None,
                    help="per-epoch secure-throughput SLO (Mbps)")
+    p.add_argument("--faults", metavar="SEED|FILE",
+                   help="deterministic chaos over the autoscale run: "
+                        "an integer seed or a JSON FaultPlan file; "
+                        "failed cores leave the fleet and the policy "
+                        "must scale the capacity back")
+    p.add_argument("--fault-episodes", type=int, default=3,
+                   help="fault episodes a seeded --faults plan draws")
     p.add_argument("--json", action="store_true",
                    help="emit the plan/table/autoscale report as JSON")
     p.set_defaults(func=_cmd_capacity)

@@ -35,17 +35,25 @@ preferential algorithm.  This package models exactly that step:
 Drive it from the command line with ``python -m repro farm``.
 """
 
+from repro.obs.slo import (SloMonitor, SloObjective, SloReport,
+                           SloTarget)
 from repro.farm.autoscale import (ARRIVAL_CURVES, AutoscalePolicy,
                                   AutoscaleReport, EpochReport,
-                                  SloTarget, arrival_multiplier,
-                                  curve_names, simulate_autoscale)
+                                  arrival_multiplier, curve_names,
+                                  run_autoscale, simulate_autoscale)
 from repro.farm.capacity import (CapacityPlan, capacity_table,
                                  cores_for_rate, farm_rate_targets,
                                  plan_farm, specs_as_configs)
+from repro.farm.config import FarmConfig, FarmRun, run_farm
+from repro.farm.faults import (DEFAULT_REDISPATCH_PENALTY_CYCLES,
+                               FAULT_KINDS, FaultEvent, FaultPlan,
+                               FaultReport, generate_fault_plan,
+                               summarize_faults)
 from repro.farm.events import (EVENT_QUEUES, CalendarEventQueue,
                                EventQueue, HeapEventQueue,
                                make_event_queue, queue_kinds)
-from repro.farm.metrics import FarmMetrics, percentile, summarize
+from repro.farm.metrics import (FarmMetrics, percentile, summarize,
+                                window_metrics)
 from repro.farm.replay import (WorkloadTrace, export_workload,
                                import_workload)
 from repro.farm.scheduler import (SCHEDULERS, LeastLoadedScheduler,
@@ -65,17 +73,22 @@ from repro.farm.workload import (RequestCost, SessionRequest,
 __all__ = [
     "ARRIVAL_CURVES", "BASE_CORE_GATES", "AutoscalePolicy",
     "AutoscaleReport", "CalendarEventQueue", "CapacityPlan",
-    "Completion", "Core", "CoreSpec", "EVENT_QUEUES", "EpochReport",
-    "EventQueue", "FarmMetrics", "FarmResult", "FarmSimulator",
-    "HeapEventQueue", "LeastLoadedScheduler", "PreferentialScheduler",
-    "RequestCost", "RoundRobinScheduler", "SCHEDULERS", "Scheduler",
-    "SessionRequest", "ShardedRun", "SloTarget", "TrafficProfile",
-    "WorkloadTrace", "arrival_multiplier", "build_farm",
-    "capacity_table", "cores_for_rate", "cost_of", "curve_names",
-    "export_workload", "farm_rate_targets", "generate_requests",
+    "Completion", "Core", "CoreSpec",
+    "DEFAULT_REDISPATCH_PENALTY_CYCLES", "EVENT_QUEUES", "EpochReport",
+    "EventQueue", "FAULT_KINDS", "FarmConfig", "FarmMetrics",
+    "FarmResult", "FarmRun", "FarmSimulator", "FaultEvent",
+    "FaultPlan", "FaultReport", "HeapEventQueue",
+    "LeastLoadedScheduler", "PreferentialScheduler", "RequestCost",
+    "RoundRobinScheduler", "SCHEDULERS", "Scheduler", "SessionRequest",
+    "ShardedRun", "SloMonitor", "SloObjective", "SloReport",
+    "SloTarget", "TrafficProfile", "WorkloadTrace",
+    "arrival_multiplier", "build_farm", "capacity_table",
+    "cores_for_rate", "cost_of", "curve_names", "export_workload",
+    "farm_rate_targets", "generate_fault_plan", "generate_requests",
     "import_workload", "is_public_key_heavy", "make_event_queue",
     "make_scheduler", "merge_results", "percentile", "plan_farm",
-    "publish_metrics", "queue_kinds", "run_sharded",
-    "session_id_for_client", "shard_workload", "specs_as_configs",
-    "summarize",
+    "publish_metrics", "queue_kinds", "run_autoscale", "run_farm",
+    "run_sharded", "session_id_for_client", "shard_workload",
+    "specs_as_configs", "summarize", "summarize_faults",
+    "window_metrics",
 ]

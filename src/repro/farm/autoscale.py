@@ -19,19 +19,35 @@ functions of ``(profile, policy, slo, curve, epochs, seed)``.
 """
 
 import math
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence
 
 from repro.mp import DeterministicPrng
+from repro.obs.slo import SloTarget as _SloTarget
 from repro.ssl.throughput import DEFAULT_CLOCK_HZ
+from repro.farm.faults import FaultPlan
 from repro.farm.metrics import percentile
-from repro.farm.scheduler import make_scheduler
-from repro.farm.simulator import CoreSpec, FarmSimulator
+from repro.farm.simulator import CoreSpec
 from repro.farm.workload import TrafficProfile, _generate_stream
 
 __all__ = ["ARRIVAL_CURVES", "AutoscalePolicy", "AutoscaleReport",
            "EpochReport", "SloTarget", "arrival_multiplier",
-           "curve_names", "simulate_autoscale"]
+           "curve_names", "run_autoscale", "simulate_autoscale"]
+
+
+def __getattr__(name: str):
+    if name == "SloTarget":
+        # Promoted to the shared SLO vocabulary in repro.obs.slo; the
+        # old import path keeps working with a nudge.
+        warnings.warn(
+            "repro.farm.autoscale.SloTarget moved to "
+            "repro.obs.slo.SloTarget; import it from repro.obs.slo "
+            "(or repro.farm) instead",
+            DeprecationWarning, stacklevel=2)
+        return _SloTarget
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}")
 
 
 def _constant(epoch: int, n_epochs: int) -> float:
@@ -68,25 +84,6 @@ def arrival_multiplier(curve: str, epoch: int, n_epochs: int) -> float:
         raise ValueError(f"unknown arrival curve {curve!r}; "
                          f"known: {sorted(ARRIVAL_CURVES)}") from None
     return fn(epoch, n_epochs)
-
-
-@dataclass(frozen=True)
-class SloTarget:
-    """Service-level objectives evaluated every epoch (None = don't
-    care)."""
-
-    p99_ms: Optional[float] = None
-    secure_mbps: Optional[float] = None
-
-    def met_by(self, p99_ms: float, secure_mbps: float) -> bool:
-        if self.p99_ms is not None and p99_ms > self.p99_ms:
-            return False
-        if self.secure_mbps is not None and secure_mbps < self.secure_mbps:
-            return False
-        return True
-
-    def as_dict(self) -> Dict:
-        return {"p99_ms": self.p99_ms, "secure_mbps": self.secure_mbps}
 
 
 @dataclass(frozen=True)
@@ -153,6 +150,11 @@ class EpochReport:
     secure_mbps: float
     slo_met: bool
     action: str                  # scale_out | scale_in | hold
+    #: Objectives breached this epoch (0 when the SLO was met).
+    slo_violations: int = 0
+    #: Cores the epoch's fault plan left dead at the epoch boundary;
+    #: they leave the active set and the policy must replace them.
+    failed_cores: int = 0
 
     def as_dict(self) -> Dict:
         return {
@@ -167,6 +169,8 @@ class EpochReport:
             "p99_ms": self.p99_ms,
             "secure_mbps": self.secure_mbps,
             "slo_met": self.slo_met,
+            "slo_violations": self.slo_violations,
+            "failed_cores": self.failed_cores,
             "action": self.action,
         }
 
@@ -178,7 +182,7 @@ class AutoscaleReport:
     curve: str
     scheduler: str
     policy: AutoscalePolicy
-    slo: SloTarget
+    slo: _SloTarget
     epoch_seconds: float
     epochs: List[EpochReport] = field(default_factory=list)
 
@@ -202,6 +206,11 @@ class AutoscaleReport:
         return sum(1 for e in self.epochs if not e.slo_met)
 
     @property
+    def core_failures(self) -> int:
+        """Cores lost to faults across the run (replaced by scaling)."""
+        return sum(e.failed_cores for e in self.epochs)
+
+    @property
     def scale_outs(self) -> int:
         return sum(1 for e in self.epochs if e.action == "scale_out")
 
@@ -220,48 +229,57 @@ class AutoscaleReport:
             "mean_cores": self.mean_cores,
             "core_epochs": self.core_epochs,
             "slo_violations": self.slo_violations,
+            "core_failures": self.core_failures,
             "scale_outs": self.scale_outs,
             "scale_ins": self.scale_ins,
             "epochs": [e.as_dict() for e in self.epochs],
         }
 
 
-def simulate_autoscale(specs: Sequence[CoreSpec], scheduler_name: str,
-                       profile: TrafficProfile,
-                       policy: AutoscalePolicy = None,
-                       slo: SloTarget = None,
-                       n_epochs: int = 24, epoch_seconds: float = 2.0,
-                       curve: str = "diurnal", seed: int = 1,
-                       clock_hz: float = DEFAULT_CLOCK_HZ,
-                       queue: str = "heap") -> AutoscaleReport:
+def run_autoscale(config, policy: AutoscalePolicy = None,
+                  n_epochs: int = 24, epoch_seconds: float = 2.0,
+                  curve: str = "diurnal") -> AutoscaleReport:
     """Run the autoscaling control loop over ``n_epochs`` epochs.
 
-    ``specs`` is the *pool* the policy may draw from (``max_cores`` is
-    clamped to its size); each epoch simulates the first
-    ``active_cores`` specs against that epoch's traffic, measured
-    utilization and SLO attainment drive the policy, and scale-outs
-    land after the warm-up lag.  Epoch workloads come from
+    ``config`` is a :class:`repro.farm.config.FarmConfig` whose
+    ``specs`` are the *pool* the policy may draw from (``max_cores``
+    is clamped to its size) and whose ``profile``/``seed``/``queue``
+    shape the traffic; each epoch routes the first ``active_cores``
+    specs and that epoch's stream through
+    :func:`repro.farm.config.run_farm`.  Measured utilization and SLO
+    attainment (``config.slo``) drive the policy, and scale-outs land
+    after the warm-up lag.  Epoch workloads come from
     ``DeterministicPrng(seed).fork(f"epoch[{e}]")``, so any epoch's
     traffic is independent of every other's and of the policy's
     decisions.
+
+    With a fault plan on the config, each epoch injects the plan's
+    ``[epoch * epoch_cycles, (epoch+1) * epoch_cycles)`` window
+    (rebased to the epoch clock); cores the window leaves dead at the
+    epoch boundary are *removed* from the active set -- failures
+    consume capacity, and replacing it costs the policy a scale-out
+    plus the warm-up lag, exactly like absorbing a burst.
     """
+    from repro.farm.config import run_farm
     if policy is None:
         policy = AutoscalePolicy()
-    if slo is None:
-        slo = SloTarget()
+    slo = config.slo if config.slo is not None else _SloTarget()
     if n_epochs < 1:
         raise ValueError("n_epochs must be >= 1")
     if epoch_seconds <= 0:
         raise ValueError("epoch_seconds must be positive")
-    if not specs:
-        raise ValueError("need a non-empty core pool")
+    if config.profile is None:
+        raise ValueError("autoscale needs a config with a profile")
+    specs = config.specs
+    profile = config.profile
+    clock_hz = config.clock_hz
     max_cores = min(policy.max_cores, len(specs))
     active = min(policy.min_cores, max_cores)
     warming: List[List[int]] = []    # [ready_epoch, count] pairs
     cooldown = 0
-    root = DeterministicPrng(seed)
+    root = DeterministicPrng(config.seed)
     epoch_cycles = epoch_seconds * clock_hz
-    report = AutoscaleReport(curve=curve, scheduler=scheduler_name,
+    report = AutoscaleReport(curve=curve, scheduler=config.scheduler,
                              policy=policy, slo=slo,
                              epoch_seconds=epoch_seconds)
     for epoch in range(n_epochs):
@@ -276,10 +294,14 @@ def simulate_autoscale(specs: Sequence[CoreSpec], scheduler_name: str,
         requests = _generate_stream(profile, offered,
                                     root.fork(f"epoch[{epoch}]"), rate,
                                     clock_hz)
-        simulator = FarmSimulator(list(specs[:active]),
-                                  make_scheduler(scheduler_name),
-                                  clock_hz=clock_hz, queue=queue)
-        result = simulator.run(requests)
+        epoch_faults = (config.faults.window(epoch * epoch_cycles,
+                                             (epoch + 1) * epoch_cycles)
+                        if config.faults is not None else None)
+        run = run_farm(replace(
+            config, specs=tuple(specs[:active]),
+            requests=tuple(requests), shards=1, jobs=None,
+            faults=epoch_faults, slo=None))
+        result = run.result
         busy = sum(core.busy_cycles for core in result.cores)
         utilization = busy / (active * epoch_cycles)
         latencies_ms = [c.latency_cycles / clock_hz * 1e3
@@ -291,7 +313,17 @@ def simulate_autoscale(specs: Sequence[CoreSpec], scheduler_name: str,
         # farm that needs longer than the epoch to drain its traffic
         # is failing to keep up, and the Mbps figure should say so.
         secure_mbps = payload_bits / epoch_seconds / 1e6
-        slo_met = slo.met_by(p99_ms, secure_mbps)
+        sample = {"p99_ms": p99_ms, "secure_mbps": secure_mbps,
+                  "utilization": utilization}
+        hits = sum(c.hits for core in result.cores
+                   for c in core.caches.values())
+        misses = sum(c.misses for core in result.cores
+                     for c in core.caches.values())
+        if hits + misses:
+            sample["cache_hit_rate"] = hits / (hits + misses)
+        violated = slo.violations(sample)
+        slo_met = not violated
+        failed = sum(1 for core in result.cores if not core.up)
         committed = active + sum(count for _, count in warming)
         action = "hold"
         if ((utilization > policy.target_utilization or not slo_met)
@@ -309,11 +341,40 @@ def simulate_autoscale(specs: Sequence[CoreSpec], scheduler_name: str,
             action = "scale_in"
         else:
             cooldown = max(0, cooldown - 1)
+        if failed:
+            # Dead hardware leaves the fleet; the policy has to win
+            # the capacity back through the normal scale-out path.
+            active = max(1, active - failed)
         report.epochs.append(EpochReport(
             epoch=epoch, rate_multiplier=multiplier, offered_rate=rate,
             offered=offered, completed=len(result.completions),
             active_cores=active,
             warming_cores=sum(count for _, count in warming),
             utilization=utilization, p99_ms=p99_ms,
-            secure_mbps=secure_mbps, slo_met=slo_met, action=action))
+            secure_mbps=secure_mbps, slo_met=slo_met, action=action,
+            slo_violations=len(violated), failed_cores=failed))
     return report
+
+
+def simulate_autoscale(specs: Sequence[CoreSpec], scheduler_name: str,
+                       profile: TrafficProfile,
+                       policy: AutoscalePolicy = None,
+                       slo: Optional[_SloTarget] = None,
+                       n_epochs: int = 24, epoch_seconds: float = 2.0,
+                       curve: str = "diurnal", seed: int = 1,
+                       clock_hz: float = DEFAULT_CLOCK_HZ,
+                       queue: str = "heap",
+                       faults: Optional[FaultPlan] = None
+                       ) -> AutoscaleReport:
+    """Deprecated: build a :class:`repro.farm.config.FarmConfig` and
+    call :func:`run_autoscale` instead (same report, bit for bit)."""
+    warnings.warn(
+        "simulate_autoscale(...) is deprecated; build a FarmConfig "
+        "and call repro.farm.run_autoscale(config, ...) instead",
+        DeprecationWarning, stacklevel=2)
+    from repro.farm.config import FarmConfig
+    config = FarmConfig(specs=tuple(specs), scheduler=scheduler_name,
+                        profile=profile, seed=seed, clock_hz=clock_hz,
+                        queue=queue, faults=faults, slo=slo)
+    return run_autoscale(config, policy=policy, n_epochs=n_epochs,
+                         epoch_seconds=epoch_seconds, curve=curve)

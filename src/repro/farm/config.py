@@ -1,0 +1,163 @@
+"""One config object, one entry point for every farm simulation.
+
+The farm's knobs accreted across four surfaces --
+:class:`~repro.farm.simulator.FarmSimulator` construction,
+``run_sharded(...)``'s dozen keywords, the autoscale loop, and the CLI
+flags -- and every new capability (fault plans, SLO targets) would
+have widened all four.  :class:`FarmConfig` freezes the *description*
+of a run (cores, scheduler, workload, sharding, faults, SLOs) into one
+validated dataclass, and :func:`run_farm` is the single execution path
+the CLI, the shard layer, the autoscale epochs, and the benchmark
+scenarios all route through.  Runtime resources that are not part of
+the run's identity (tracers, metric registries, executors) stay out of
+the config and ride as keyword arguments.
+
+The legacy entry points (``run_sharded``, ``simulate_autoscale``)
+survive as deprecation shims that build a config and delegate here
+bit-identically.
+"""
+
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple
+
+from repro.obs import MetricsRegistry, Tracer
+from repro.obs.slo import SloMonitor, SloReport, SloTarget
+from repro.parallel import Executor
+from repro.ssl.throughput import DEFAULT_CLOCK_HZ
+from repro.costs import PlatformCosts
+from repro.farm.faults import FaultPlan, FaultReport, summarize_faults
+from repro.farm.metrics import FarmMetrics, summarize, window_metrics
+from repro.farm.scheduler import SCHEDULERS
+from repro.farm.shard import ShardedRun, _run_sharded
+from repro.farm.simulator import CoreSpec, FarmResult, build_farm
+from repro.farm.workload import SessionRequest, TrafficProfile
+
+__all__ = ["FarmConfig", "FarmRun", "run_farm"]
+
+
+@dataclass(frozen=True)
+class FarmConfig:
+    """Everything that shapes a farm run's results.
+
+    Workload comes either from ``requests`` (an explicit or replayed
+    stream) or from ``profile`` + ``n_requests`` (seeded generation);
+    exactly the same choice ``run_sharded`` offered, now validated at
+    construction instead of failing mid-run.  ``faults`` and ``slo``
+    are both optional: a config without them describes exactly the
+    pre-chaos simulation (and reproduces it byte for byte).
+    """
+
+    specs: Tuple[CoreSpec, ...]
+    scheduler: str = "preferential"
+    profile: Optional[TrafficProfile] = None
+    n_requests: Optional[int] = None
+    requests: Optional[Tuple[SessionRequest, ...]] = None
+    shards: int = 1
+    seed: int = 1
+    jobs: Optional[int] = None
+    clock_hz: float = DEFAULT_CLOCK_HZ
+    cache_capacity: int = 128
+    queue: str = "heap"
+    faults: Optional[FaultPlan] = None
+    slo: Optional[SloTarget] = None
+    slo_window_seconds: float = 1.0
+
+    def __post_init__(self):
+        object.__setattr__(self, "specs", tuple(self.specs))
+        if self.requests is not None:
+            object.__setattr__(self, "requests", tuple(self.requests))
+        if not self.specs:
+            raise ValueError("farm needs at least one core")
+        if self.scheduler not in SCHEDULERS:
+            raise ValueError(
+                f"unknown scheduler {self.scheduler!r}; "
+                f"known: {sorted(SCHEDULERS)}")
+        # A config needs a workload source: an explicit stream, or a
+        # profile to draw from.  n_requests may stay None for configs
+        # consumed per-epoch (run_autoscale sizes each epoch itself);
+        # run_farm requires it when generating.
+        if self.requests is None and self.profile is None:
+            raise ValueError(
+                "need either requests= or profile= (+ n_requests=)")
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
+        if self.shards > len(self.specs):
+            raise ValueError(
+                f"cannot split {len(self.specs)} cores into "
+                f"{self.shards} shards")
+        if self.cache_capacity < 1:
+            raise ValueError("cache_capacity must be positive")
+        if self.clock_hz <= 0:
+            raise ValueError("clock_hz must be positive")
+        if self.slo_window_seconds <= 0:
+            raise ValueError("slo_window_seconds must be positive")
+
+    @classmethod
+    def build(cls, cores: int, base_costs: PlatformCosts,
+              optimized_costs: PlatformCosts,
+              extended_fraction: float = 0.5, **kwargs) -> "FarmConfig":
+        """Construct a config over a freshly built heterogeneous farm
+        (the :func:`~repro.farm.simulator.build_farm` shorthand)."""
+        return cls(specs=tuple(build_farm(cores, base_costs,
+                                          optimized_costs,
+                                          extended_fraction)), **kwargs)
+
+    def with_scheduler(self, scheduler: str) -> "FarmConfig":
+        """The same run under a different policy (scheduler sweeps)."""
+        return replace(self, scheduler=scheduler)
+
+
+@dataclass
+class FarmRun:
+    """Everything :func:`run_farm` produced for one config."""
+
+    config: FarmConfig
+    sharded: ShardedRun
+    metrics: FarmMetrics
+    faults: Optional[FaultReport] = None
+    slo: Optional[SloReport] = None
+
+    @property
+    def result(self) -> FarmResult:
+        """The merged simulation result."""
+        return self.sharded.result
+
+
+def run_farm(config: FarmConfig, *, tracer: Optional[Tracer] = None,
+             metrics: Optional[MetricsRegistry] = None,
+             executor: Optional[Executor] = None) -> FarmRun:
+    """Execute one described run: simulate, summarize, judge.
+
+    The simulation itself is the shard engine (``shards=1`` is the
+    plain in-process simulator, bit-identical to pre-config behavior).
+    When the config carries a :class:`~repro.farm.faults.FaultPlan`
+    the run is chaos-injected and the :class:`FarmRun` gains a fault
+    report; when it carries an :class:`~repro.obs.slo.SloTarget` an
+    :class:`~repro.obs.slo.SloMonitor` evaluates every
+    ``slo_window_seconds`` window of the finished run and publishes
+    ``farm.slo_*`` counters into ``metrics``.
+    """
+    sharded = _run_sharded(
+        list(config.specs), config.scheduler, profile=config.profile,
+        n_requests=config.n_requests, shards=config.shards,
+        seed=config.seed, clock_hz=config.clock_hz,
+        cache_capacity=config.cache_capacity, queue=config.queue,
+        jobs=config.jobs, executor=executor, tracer=tracer,
+        metrics=metrics,
+        requests=(list(config.requests)
+                  if config.requests is not None else None),
+        faults=config.faults)
+    result = sharded.result
+    fault_report = (summarize_faults(result, config.faults)
+                    if config.faults is not None else None)
+    slo_report: Optional[SloReport] = None
+    if config.slo is not None:
+        monitor = SloMonitor(config.slo,
+                             window_seconds=config.slo_window_seconds,
+                             registry=metrics,
+                             scheduler=result.scheduler_name)
+        slo_report = monitor.observe_all(
+            window_metrics(result, config.slo_window_seconds))
+    return FarmRun(config=config, sharded=sharded,
+                   metrics=summarize(result), faults=fault_report,
+                   slo=slo_report)

@@ -71,6 +71,59 @@ class FarmMetrics:
         }
 
 
+def window_metrics(result: FarmResult,
+                   window_seconds: float = 1.0) -> List[Dict[str, float]]:
+    """Per-window SLO samples over a run's virtual timeline.
+
+    Splits ``[0, makespan]`` into ``window_seconds`` windows on the
+    farm's cycle clock and reduces each to the sample dict a
+    :class:`repro.obs.slo.SloMonitor` evaluates: ``p99_ms`` and
+    ``cache_hit_rate`` over the completions that *finish* in the
+    window (omitted when none did -- unmeasured, not zero),
+    ``secure_mbps`` of the payload those completions delivered against
+    the window wall, and ``utilization`` as the served cycles
+    overlapping the window over the farm's window capacity.
+    """
+    if window_seconds <= 0:
+        raise ValueError("window_seconds must be positive")
+    clock = result.clock_hz
+    window_cycles = window_seconds * clock
+    if result.makespan_cycles <= 0:
+        return []
+    n_windows = max(1, math.ceil(result.makespan_cycles / window_cycles))
+    buckets: List[List] = [[] for _ in range(n_windows)]
+    for completion in result.completions:
+        index = min(n_windows - 1,
+                    int(completion.finish_cycle // window_cycles))
+        buckets[index].append(completion)
+    n_cores = len(result.cores)
+    samples: List[Dict[str, float]] = []
+    for index, bucket in enumerate(buckets):
+        start = index * window_cycles
+        end = start + window_cycles
+        sample: Dict[str, float] = {}
+        if bucket:
+            sample["p99_ms"] = percentile(
+                [c.latency_cycles / clock * 1e3 for c in bucket], 99)
+            sample["secure_mbps"] = (
+                sum(c.request.size_bytes * 8 for c in bucket)
+                / window_seconds / 1e6)
+            lookups = sum(1 for c in bucket if c.request.resumed)
+            if lookups:
+                sample["cache_hit_rate"] = (
+                    sum(1 for c in bucket if c.cache_hit) / lookups)
+        else:
+            sample["secure_mbps"] = 0.0
+        busy = sum(
+            max(0.0, min(c.finish_cycle, end) - max(c.start_cycle, start))
+            for c in result.completions
+            if c.start_cycle < end and c.finish_cycle > start)
+        sample["utilization"] = (busy / (n_cores * window_cycles)
+                                 if n_cores else 0.0)
+        samples.append(sample)
+    return samples
+
+
 def summarize(result: FarmResult) -> FarmMetrics:
     """Reduce a simulation run to its metrics row."""
     clock = result.clock_hz

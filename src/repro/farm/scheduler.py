@@ -35,15 +35,20 @@ class Scheduler:
     @staticmethod
     def _least_loaded(cores: Sequence, now: float,
                       indices: Optional[Sequence[int]] = None) -> int:
-        """Smallest estimated backlog; lowest index breaks ties."""
+        """Smallest estimated backlog among the *live* candidates;
+        lowest index breaks ties.  The simulator never dispatches with
+        zero live cores, so the filtered pool is never empty when at
+        least one candidate is up."""
         if indices is None:
             indices = range(len(cores))
+        indices = [i for i in indices if cores[i].up]
         return min(indices, key=lambda i: (cores[i].backlog_cycles(now), i))
 
     @staticmethod
     def _affine_core(request: SessionRequest,
                      cores: Sequence) -> Optional[int]:
-        """The core whose session cache can resume this request."""
+        """The *live* core whose session cache can resume this request
+        (a failed core's cache is gone; affinity must fall back)."""
         if not request.resumed:
             return None
         model = get_protocol(request.protocol)
@@ -51,7 +56,7 @@ class Scheduler:
             return None
         key = model.cache_key(request.client_id)
         for core in cores:
-            if core.knows_session(key, request.protocol):
+            if core.up and core.knows_session(key, request.protocol):
                 return core.index
         return None
 
@@ -66,9 +71,15 @@ class RoundRobinScheduler(Scheduler):
 
     def select(self, request: SessionRequest, cores: Sequence,
                now: float) -> int:
-        index = self._next % len(cores)
-        self._next += 1
-        return index
+        # Scan forward from the rotation pointer to the first live
+        # core; with every core up this is exactly the historical
+        # one-step rotation (same pointer advance, same picks).
+        for offset in range(len(cores)):
+            index = (self._next + offset) % len(cores)
+            if cores[index].up:
+                self._next += offset + 1
+                return index
+        raise RuntimeError("no live core to dispatch to")
 
 
 class LeastLoadedScheduler(Scheduler):
@@ -99,8 +110,12 @@ class PreferentialScheduler(Scheduler):
             affine = self._affine_core(request, cores)
             if affine is not None:
                 return affine
-        extended = [c.index for c in cores if c.spec.extended]
-        base = [c.index for c in cores if not c.spec.extended]
+        # A degraded extended core prices like a base core, so it
+        # routes like one until it recovers.
+        extended = [c.index for c in cores
+                    if c.up and c.spec.extended and not c.degraded]
+        base = [c.index for c in cores
+                if c.up and not (c.spec.extended and not c.degraded)]
         preferred = extended if is_public_key_heavy(request) else base
         if not preferred:
             preferred = base or extended

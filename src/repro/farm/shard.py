@@ -35,6 +35,7 @@ once, in the parent, through
 """
 
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -43,6 +44,7 @@ from repro.obs import NULL_TRACER, MetricsRegistry, Tracer
 from repro.parallel import Executor, executor_scope
 from repro.protocols import UnknownProtocolError, protocol_names
 from repro.ssl.throughput import DEFAULT_CLOCK_HZ
+from repro.farm.faults import FaultPlan
 from repro.farm.scheduler import make_scheduler
 from repro.farm.simulator import (CoreSpec, FarmResult, FarmSimulator,
                                   publish_metrics)
@@ -146,7 +148,9 @@ def merge_results(shard_results: Sequence[FarmResult]) -> FarmResult:
         clock_hz=first.clock_hz,
         scheduler_name=first.scheduler_name,
         offered=sum(r.offered for r in shard_results),
-        events_processed=sum(r.events_processed for r in shard_results))
+        events_processed=sum(r.events_processed for r in shard_results),
+        redispatches=sum(r.redispatches for r in shard_results),
+        fault_events=sum(r.fault_events for r in shard_results))
 
 
 def _merge_queue_stats(stats: Sequence[Dict[str, float]]
@@ -165,10 +169,11 @@ def _merge_queue_stats(stats: Sequence[Dict[str, float]]
 def _simulate_shard(task):
     """Run one shard (module-level so process pools can pickle it)."""
     (specs, scheduler_name, requests, clock_hz, cache_capacity,
-     queue) = task
+     queue, faults) = task
     simulator = FarmSimulator(specs, make_scheduler(scheduler_name),
                               clock_hz=clock_hz,
-                              cache_capacity=cache_capacity, queue=queue)
+                              cache_capacity=cache_capacity, queue=queue,
+                              faults=faults)
     start = time.perf_counter()
     result = simulator.run(requests)
     wall = time.perf_counter() - start
@@ -197,18 +202,19 @@ class ShardedRun:
         return self.shard_wall_seconds / self.wall_seconds
 
 
-def run_sharded(specs: Sequence[CoreSpec], scheduler_name: str,
-                profile: TrafficProfile = None, n_requests: int = None,
-                shards: int = 1, seed: int = 1,
-                clock_hz: float = DEFAULT_CLOCK_HZ,
-                cache_capacity: int = 128, queue: str = "heap",
-                jobs: Optional[int] = None,
-                executor: Optional[Executor] = None,
-                tracer: Optional[Tracer] = None,
-                metrics: Optional[MetricsRegistry] = None,
-                requests: Optional[Sequence[SessionRequest]] = None
-                ) -> ShardedRun:
-    """Generate (or replay), shard, simulate, and merge in one call.
+def _run_sharded(specs: Sequence[CoreSpec], scheduler_name: str,
+                 profile: TrafficProfile = None, n_requests: int = None,
+                 shards: int = 1, seed: int = 1,
+                 clock_hz: float = DEFAULT_CLOCK_HZ,
+                 cache_capacity: int = 128, queue: str = "heap",
+                 jobs: Optional[int] = None,
+                 executor: Optional[Executor] = None,
+                 tracer: Optional[Tracer] = None,
+                 metrics: Optional[MetricsRegistry] = None,
+                 requests: Optional[Sequence[SessionRequest]] = None,
+                 faults: Optional[FaultPlan] = None) -> ShardedRun:
+    """Generate (or replay), shard, simulate, and merge in one call
+    (the engine behind :func:`repro.farm.config.run_farm`).
 
     With ``requests`` given (the replay path) the stream is
     partitioned by :func:`partition_requests` instead of generated;
@@ -216,11 +222,13 @@ def run_sharded(specs: Sequence[CoreSpec], scheduler_name: str,
 
     Each shard gets a *fresh* scheduler (``make_scheduler(name)``) over
     its own strided slice of the farm (``specs[i::shards]``, so the
-    merged farm keeps the original core count and extended/base mix),
-    and shard count -- not jobs count --
+    merged farm keeps the original core count and extended/base mix)
+    and the matching strided sub-plan of ``faults``
+    (:meth:`~repro.farm.faults.FaultPlan.subplan_strided` follows the
+    same core ownership), and shard count -- not jobs count --
     is the only thing that shapes results: the same ``(profile,
-    n_requests, shards, seed, queue)`` tuple reproduces identical
-    merged metrics under any executor.
+    n_requests, shards, seed, queue, faults)`` tuple reproduces
+    identical merged metrics under any executor.
 
     ``shards=1`` short-circuits to one in-process simulator run with
     the caller's tracer and metrics attached -- byte-identical
@@ -245,7 +253,7 @@ def run_sharded(specs: Sequence[CoreSpec], scheduler_name: str,
                                   clock_hz=clock_hz,
                                   cache_capacity=cache_capacity,
                                   tracer=tracer, metrics=metrics,
-                                  queue=queue)
+                                  queue=queue, faults=faults)
         result = simulator.run(workloads[0])
         wall = time.perf_counter() - start
         return ShardedRun(result=result, shards=1, jobs=1,
@@ -255,8 +263,10 @@ def run_sharded(specs: Sequence[CoreSpec], scheduler_name: str,
     # Shard i owns the cores at stride `shards` (specs[i::shards]), so
     # a heterogeneous farm's extended/base mix spreads evenly across
     # shards and the merged farm has exactly the original core count.
+    # The fault plan shards under the same ownership map.
     tasks = [(list(specs[i::shards]), scheduler_name, workloads[i],
-              clock_hz, cache_capacity, queue)
+              clock_hz, cache_capacity, queue,
+              faults.subplan_strided(shards, i) if faults else None)
              for i in range(shards)]
     root = (tracer.open_virtual("farm.sharded", 0.0,
                                 scheduler=scheduler_name, shards=shards,
@@ -288,3 +298,36 @@ def run_sharded(specs: Sequence[CoreSpec], scheduler_name: str,
         wall_seconds=wall,
         shard_wall_seconds=sum(shard_wall for _, _, shard_wall
                                in outcomes))
+
+
+def run_sharded(specs: Sequence[CoreSpec], scheduler_name: str,
+                profile: TrafficProfile = None, n_requests: int = None,
+                shards: int = 1, seed: int = 1,
+                clock_hz: float = DEFAULT_CLOCK_HZ,
+                cache_capacity: int = 128, queue: str = "heap",
+                jobs: Optional[int] = None,
+                executor: Optional[Executor] = None,
+                tracer: Optional[Tracer] = None,
+                metrics: Optional[MetricsRegistry] = None,
+                requests: Optional[Sequence[SessionRequest]] = None
+                ) -> ShardedRun:
+    """Deprecated: build a :class:`repro.farm.config.FarmConfig` and
+    call :func:`repro.farm.config.run_farm` instead.
+
+    This shim delegates through the facade bit-identically (gated by
+    a regression test), so existing callers keep their exact results
+    while the knobs live in one config object.
+    """
+    warnings.warn(
+        "run_sharded(...) is deprecated; build a FarmConfig and call "
+        "repro.farm.run_farm(config) instead",
+        DeprecationWarning, stacklevel=2)
+    from repro.farm.config import FarmConfig, run_farm
+    config = FarmConfig(
+        specs=tuple(specs), scheduler=scheduler_name, profile=profile,
+        n_requests=n_requests,
+        requests=tuple(requests) if requests is not None else None,
+        shards=shards, seed=seed, jobs=jobs, clock_hz=clock_hz,
+        cache_capacity=cache_capacity, queue=queue)
+    return run_farm(config, tracer=tracer, metrics=metrics,
+                    executor=executor).sharded

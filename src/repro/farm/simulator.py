@@ -28,6 +28,7 @@ from repro.protocols import get_protocol
 from repro.ssl.session_cache import SessionCache
 from repro.ssl.throughput import DEFAULT_CLOCK_HZ
 from repro.farm.events import make_event_queue
+from repro.farm.faults import FaultPlan
 from repro.farm.workload import SessionRequest, cost_of
 
 #: Representative gate-equivalent area of one base XT32 core (an
@@ -36,7 +37,13 @@ from repro.farm.workload import SessionRequest, cost_of
 #: the A-D curves.
 BASE_CORE_GATES = 100_000.0
 
-_ARRIVAL, _COMPLETE = 0, 1
+# Event kinds on the heap: faults sort before arrivals, arrivals
+# before completions at equal times (a recovered core sees the work
+# that lands on its recovery cycle; a freed core sees new work
+# immediately).  _FAULT events only exist when a plan is injected, so
+# the fault-free event order -- and with it every recorded baseline --
+# is untouched.
+_FAULT, _ARRIVAL, _COMPLETE = -1, 0, 1
 
 
 @dataclass(frozen=True)
@@ -120,6 +127,18 @@ class Core:
         self.busy_until = 0.0
         self.busy_cycles = 0.0
         self.served = 0
+        # -- fault-injection state (inert without a FaultPlan) --
+        self.up = True
+        self.degraded = False
+        #: The cost table requests are priced with *right now*: the
+        #: spec's table normally, the plan's degraded table while a
+        #: ``degrade`` fault is in force.
+        self.active_costs: PlatformCosts = spec.costs
+        self.down_since: Optional[float] = None
+        self.down_cycles = 0.0
+        self.sessions_flushed = 0
+        #: Fault kinds applied to this core, in injection order.
+        self.fault_kinds: List[str] = []
 
     def cache_for(self, protocol: str) -> SessionCache:
         """The per-protocol session cache (created on first touch)."""
@@ -159,6 +178,11 @@ class FarmResult:
     scheduler_name: str
     offered: int = 0
     events_processed: int = 0
+    #: Requests displaced by a core failure and re-entered into the
+    #: farm (each pays the plan's re-dispatch penalty).
+    redispatches: int = 0
+    #: Fault events that actually applied to a core this run.
+    fault_events: int = 0
 
 
 class FarmSimulator:
@@ -185,7 +209,8 @@ class FarmSimulator:
                  cache_capacity: int = 128,
                  tracer: Optional[Tracer] = None,
                  metrics: Optional[MetricsRegistry] = None,
-                 queue: str = "heap"):
+                 queue: str = "heap",
+                 faults: Optional[FaultPlan] = None):
         if not specs:
             raise ValueError("farm needs at least one core")
         self.specs = list(specs)
@@ -195,6 +220,7 @@ class FarmSimulator:
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics
         self.queue = queue
+        self.faults = faults
         #: Operation counters of the last run's event queue (see
         #: :meth:`repro.farm.events.EventQueue.stats`).
         self.last_queue_stats: Dict[str, float] = {}
@@ -214,6 +240,13 @@ class FarmSimulator:
                 if trace else None)
         root_id = root.span_id if trace else None
         heap = make_event_queue(self.queue)
+        plan = self.faults
+        if plan is not None:
+            for order, event in enumerate(plan.events):
+                # Fault events ride the same heap as traffic, keyed
+                # (cycle, _FAULT, plan order, core): same-cycle faults
+                # fire in plan order, before any same-cycle arrival.
+                heap.push((event.cycle, _FAULT, order, event.core))
         for request in requests:
             # (time, kind, seq, core): arrivals sort before completions
             # at equal times so a freed core sees new work immediately.
@@ -221,17 +254,48 @@ class FarmSimulator:
         by_seq = {r.seq: r for r in requests}
         completions: List[Completion] = []
         starts = {}
+        #: (core, seq, finish_cycle) tombstones of completion events
+        #: voided by a core failure -- the heap has no remove, so we
+        #: skip them.  The scheduled finish time is part of the key:
+        #: a displaced request re-dispatched to the same core may
+        #: legitimately finish *before* the voided event's time, and
+        #: only the old event must be swallowed.
+        cancelled = set()
+        #: Requests that arrived while *no* core was alive; they
+        #: re-enter the farm on the next recovery.
+        stalled: List[SessionRequest] = []
+        alive = len(cores)
+        redispatches = 0
+        fault_count = 0
         events = 0
         makespan = 0.0
         while heap:
             now, kind, seq, core_index = heap.pop()
             events += 1
+            if kind == _FAULT:
+                event = plan.events[seq]
+                if event.core < len(cores):
+                    applied, displaced, woken = self._apply_fault(
+                        cores[event.core], event, plan, now, heap,
+                        starts, cancelled, stalled)
+                    fault_count += applied
+                    redispatches += displaced
+                    alive += woken
+                    if event.kind == "core_down" and applied:
+                        alive -= 1
+                continue
             makespan = max(makespan, now)
             if kind == _ARRIVAL:
                 request = by_seq[seq]
+                if alive == 0:
+                    # Nobody to dispatch to: hold the request until a
+                    # core recovers (its arrival stamp is unchanged,
+                    # so the outage shows up as latency).
+                    stalled.append(request)
+                    continue
                 target = self.scheduler.select(request, cores, now)
                 core = cores[target]
-                estimate = cost_of(request, core.spec.costs).cycles
+                estimate = cost_of(request, core.active_costs).cycles
                 core.queue.append((request, estimate))
                 if trace:
                     tracer.event("farm.core.queue_depth", time=now,
@@ -240,6 +304,9 @@ class FarmSimulator:
                     self._start_next(core, now, heap, starts, tracer,
                                      trace)
             else:
+                if (core_index, seq, now) in cancelled:
+                    cancelled.discard((core_index, seq, now))
+                    continue
                 core = cores[core_index]
                 request = core.current
                 start, service, hit = starts.pop((core_index, seq))
@@ -286,13 +353,19 @@ class FarmSimulator:
                                      trace)
         if trace:
             tracer.close_virtual(root, makespan)
+        for core in cores:
+            if not core.up and core.down_since is not None:
+                core.down_cycles += max(0.0, makespan - core.down_since)
+                core.down_since = makespan
         self.last_queue_stats = heap.stats()
         result = FarmResult(completions=completions, cores=cores,
                             makespan_cycles=makespan,
                             clock_hz=self.clock_hz,
                             scheduler_name=getattr(self.scheduler, "name",
                                                    "?"),
-                            offered=len(requests), events_processed=events)
+                            offered=len(requests), events_processed=events,
+                            redispatches=redispatches,
+                            fault_events=fault_count)
         if self.metrics is not None:
             self._publish_metrics(result)
         return result
@@ -300,6 +373,83 @@ class FarmSimulator:
     def _publish_metrics(self, result: FarmResult) -> None:
         """End-of-run reduction into the supplied registry."""
         publish_metrics(result, self.metrics)
+
+    @staticmethod
+    def _apply_fault(core: Core, event, plan: FaultPlan, now: float,
+                     heap, starts, cancelled, stalled):
+        """Apply one fault event to ``core`` at ``now``.
+
+        Returns ``(applied, displaced, woken)``: whether the event
+        took effect (no-ops like downing a dead core don't count),
+        how many requests it displaced back into the farm, and how
+        many cores it brought back up.
+        """
+        kind = event.kind
+        if kind == "core_down":
+            if not core.up:
+                return 0, 0, 0
+            core.up = False
+            core.down_since = now
+            core.fault_kinds.append(kind)
+            core.sessions_flushed += sum(
+                cache.flush() for cache in core.caches.values())
+            displaced: List[SessionRequest] = []
+            if core.current is not None:
+                request = core.current
+                start, _, _ = starts.pop((core.index, request.seq))
+                # The work done before the crash is real (and wasted):
+                # it counts as busy cycles, and the already-scheduled
+                # completion is voided by a tombstone.
+                core.busy_cycles += now - start
+                cancelled.add((core.index, request.seq,
+                               core.busy_until))
+                core.current = None
+                displaced.append(request)
+            displaced.extend(request for request, _ in core.queue)
+            core.queue.clear()
+            core.busy_until = now
+            retry = now + plan.redispatch_penalty_cycles
+            for request in displaced:
+                heap.push((retry, _ARRIVAL, request.seq, -1))
+            return 1, len(displaced), 0
+        if kind == "core_up":
+            recovered = 0
+            applied = 0
+            if not core.up:
+                core.up = True
+                if core.down_since is not None:
+                    core.down_cycles += now - core.down_since
+                    core.down_since = None
+                recovered = 1
+                applied = 1
+            if core.degraded:
+                core.degraded = False
+                core.active_costs = core.spec.costs
+                applied = 1
+            if applied:
+                core.fault_kinds.append(kind)
+                # Requests stranded by a farm-wide outage re-arrive
+                # now that a core is back.
+                for request in stalled:
+                    heap.push((now, _ARRIVAL, request.seq, -1))
+                del stalled[:]
+            return applied, 0, recovered
+        if kind == "cache_flush":
+            if not core.up:
+                return 0, 0, 0
+            core.fault_kinds.append(kind)
+            core.sessions_flushed += sum(
+                cache.flush() for cache in core.caches.values())
+            return 1, 0, 0
+        # degrade: the extension is fenced off; pricing falls back to
+        # the plan's degraded table (when it has one) until core_up.
+        if not core.up or core.degraded:
+            return 0, 0, 0
+        core.degraded = True
+        core.fault_kinds.append(kind)
+        if plan.degraded_costs is not None and core.spec.extended:
+            core.active_costs = plan.degraded_costs
+        return 1, 0, 0
 
     @staticmethod
     def _start_next(core: Core, now: float, heap, starts,
@@ -311,7 +461,7 @@ class FarmSimulator:
             if model.resumable:
                 hit = core.cache_for(request.protocol).lookup(
                     model.cache_key(request.client_id)) is not None
-        service = cost_of(request, core.spec.costs, cache_hit=hit).cycles
+        service = cost_of(request, core.active_costs, cache_hit=hit).cycles
         core.current = request
         core.busy_until = now + service
         starts[(core.index, request.seq)] = (now, service, hit)
@@ -365,3 +515,17 @@ def publish_metrics(result: FarmResult, registry: MetricsRegistry) -> None:
                          protocol=protocol).inc(hits)
         registry.counter("farm.session_cache.misses", scheduler=sched,
                          protocol=protocol).inc(misses)
+    # Fault counters only exist when a plan actually struck: a
+    # fault-free run's metrics payload stays byte-identical to the
+    # pre-fault-injection engine.
+    if result.fault_events or result.redispatches:
+        registry.counter("farm.fault.events",
+                         scheduler=sched).inc(result.fault_events)
+        registry.counter("farm.fault.redispatches",
+                         scheduler=sched).inc(result.redispatches)
+        registry.counter("farm.fault.sessions_flushed",
+                         scheduler=sched).inc(
+            sum(core.sessions_flushed for core in result.cores))
+        registry.gauge("farm.fault.downtime_cycles",
+                       scheduler=sched).set(
+            sum(core.down_cycles for core in result.cores))

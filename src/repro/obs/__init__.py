@@ -26,7 +26,11 @@ justify itself:
   top-N tables, JSON, and folded-stack (flamegraph) exports;
 - :mod:`repro.obs.bench`   -- deterministic benchmark scenarios and
   the ``BENCH_<scenario>.json`` baseline / regression gate behind
-  ``python -m repro bench [--check]``.
+  ``python -m repro bench [--check]``;
+- :mod:`repro.obs.slo`     -- the shared service-level-objective
+  vocabulary (:class:`SloObjective`, :class:`SloTarget`) and the
+  runtime :class:`SloMonitor` that grades epoch windows and publishes
+  ``farm.slo_*`` counters.
 
 Instrumented layers: :mod:`repro.farm.simulator` (per-request spans,
 queue-depth timelines, session-cache counters), :mod:`repro.costs`
@@ -47,12 +51,15 @@ from repro.obs.trace import (NULL_TRACER, NullTracer, Span, Tracer,
 from repro.obs.export import (metrics_summary, read_events_jsonl,
                               render_metrics, write_events_jsonl)
 from repro.obs.profile import CycleProfile, ProfileNode
+from repro.obs.slo import (SloMonitor, SloObjective, SloReport,
+                           SloTarget, SloWindow, parse_slo)
 
 __all__ = [
     "Counter", "CycleProfile", "DEFAULT_LATENCY_MS_EDGES", "Gauge",
     "Histogram", "MetricsRegistry", "NULL_TRACER", "NullTracer",
-    "ProfileNode", "Span", "Tracer", "configure_tracing",
-    "get_registry", "get_tracer", "metrics_summary",
+    "ProfileNode", "SloMonitor", "SloObjective", "SloReport",
+    "SloTarget", "SloWindow", "Span", "Tracer", "configure_tracing",
+    "get_registry", "get_tracer", "metrics_summary", "parse_slo",
     "read_events_jsonl", "render_metrics", "reset_metrics",
     "reset_tracing", "set_registry", "tracing_enabled",
     "write_events_jsonl",

@@ -322,18 +322,21 @@ def _ssl_transaction_metrics() -> Dict[str, object]:
 
 
 def _farm_mixed_metrics() -> Dict[str, object]:
-    from repro.farm import (FarmSimulator, TrafficProfile, build_farm,
-                            generate_requests, make_scheduler, summarize)
+    from repro.farm import (FarmConfig, TrafficProfile, build_farm,
+                            generate_requests, run_farm)
     from repro.farm.scheduler import scheduler_names as farm_schedulers
     base, opt = _measured_pair()
     specs = build_farm(4, base, opt, extended_fraction=0.5)
     requests = generate_requests(
         TrafficProfile(arrival_rate=60.0, resumption_ratio=0.4),
         200, seed=1)
+    # The unified facade: every scenario drives the same FarmConfig /
+    # run_farm path the CLI and shard layer use (shards=1 is the
+    # plain simulator, bit for bit -- these baselines prove it).
+    config = FarmConfig(specs=tuple(specs), requests=tuple(requests))
     metrics: Dict[str, object] = {"requests": 200.0, "cores": 4.0}
     for name in farm_schedulers():
-        sim = FarmSimulator(specs, make_scheduler(name))
-        row = summarize(sim.run(requests))
+        row = run_farm(config.with_scheduler(name)).metrics
         metrics[f"{name}.sessions_per_s"] = row.sessions_per_s
         metrics[f"{name}.secure_mbps"] = row.secure_mbps
         metrics[f"{name}.p50_ms"] = row.p50_ms
@@ -345,8 +348,8 @@ def _farm_mixed_metrics() -> Dict[str, object]:
 
 
 def _farm_tls13_metrics() -> Dict[str, object]:
-    from repro.farm import (FarmSimulator, TrafficProfile, build_farm,
-                            generate_requests, make_scheduler, summarize)
+    from repro.farm import (FarmConfig, TrafficProfile, build_farm,
+                            generate_requests, run_farm)
     from repro.farm.scheduler import scheduler_names as farm_schedulers
     base, opt = _measured_pair()
     specs = build_farm(4, base, opt, extended_fraction=0.5)
@@ -354,6 +357,7 @@ def _farm_tls13_metrics() -> Dict[str, object]:
         TrafficProfile(arrival_rate=60.0, resumption_ratio=0.5,
                        mix={"tls13": 0.7, "wep": 0.3}),
         200, seed=1)
+    config = FarmConfig(specs=tuple(specs), requests=tuple(requests))
     metrics: Dict[str, object] = {
         "requests": 200.0, "cores": 4.0,
         "tls13_requests": float(sum(1 for r in requests
@@ -363,8 +367,7 @@ def _farm_tls13_metrics() -> Dict[str, object]:
                                    and r.resumed)),
     }
     for name in farm_schedulers():
-        sim = FarmSimulator(specs, make_scheduler(name))
-        row = summarize(sim.run(requests))
+        row = run_farm(config.with_scheduler(name)).metrics
         metrics[f"{name}.sessions_per_s"] = row.sessions_per_s
         metrics[f"{name}.secure_mbps"] = row.secure_mbps
         metrics[f"{name}.p95_ms"] = row.p95_ms
@@ -379,8 +382,8 @@ def _farm_tls13_metrics() -> Dict[str, object]:
 
 
 def _farm_kasumi_metrics() -> Dict[str, object]:
-    from repro.farm import (FarmSimulator, TrafficProfile, build_farm,
-                            generate_requests, make_scheduler, summarize)
+    from repro.farm import (FarmConfig, TrafficProfile, build_farm,
+                            generate_requests, run_farm)
     from repro.farm.scheduler import scheduler_names as farm_schedulers
     base, opt = _measured_pair()
     specs = build_farm(4, base, opt, extended_fraction=0.5)
@@ -388,6 +391,7 @@ def _farm_kasumi_metrics() -> Dict[str, object]:
         TrafficProfile(arrival_rate=80.0,
                        mix={"kasumi": 0.6, "wep": 0.4}),
         200, seed=1)
+    config = FarmConfig(specs=tuple(specs), requests=tuple(requests))
     metrics: Dict[str, object] = {
         "requests": 200.0, "cores": 4.0,
         "kasumi_requests": float(sum(1 for r in requests
@@ -398,8 +402,7 @@ def _farm_kasumi_metrics() -> Dict[str, object]:
             "kasumi_cycles_per_byte", 0.0),
     }
     for name in farm_schedulers():
-        sim = FarmSimulator(specs, make_scheduler(name))
-        row = summarize(sim.run(requests))
+        row = run_farm(config.with_scheduler(name)).metrics
         metrics[f"{name}.sessions_per_s"] = row.sessions_per_s
         metrics[f"{name}.secure_mbps"] = row.secure_mbps
         metrics[f"{name}.p95_ms"] = row.p95_ms
@@ -501,9 +504,10 @@ def _explore_parallel_metrics() -> Dict[str, object]:
 
 
 def _farm_sharded_metrics() -> Dict[str, object]:
-    from repro.farm import (FarmSimulator, TrafficProfile, build_farm,
-                            generate_requests, make_scheduler,
-                            run_sharded, summarize)
+    from dataclasses import replace
+    from repro.farm import (FarmConfig, FarmSimulator, TrafficProfile,
+                            build_farm, generate_requests,
+                            make_scheduler, run_farm, summarize)
     from repro.parallel import ThreadExecutor
     base, opt = _measured_pair()
     specs = build_farm(64, base, opt, extended_fraction=0.5)
@@ -514,17 +518,16 @@ def _farm_sharded_metrics() -> Dict[str, object]:
     requests = generate_requests(profile, n, seed=1)
     plain = summarize(FarmSimulator(
         specs, make_scheduler("preferential")).run(requests))
-    one = summarize(run_sharded(specs, "preferential", profile, n,
-                                shards=1, seed=1).result)
+    config = FarmConfig(specs=tuple(specs), scheduler="preferential",
+                        profile=profile, n_requests=n, seed=1)
+    one = run_farm(config).metrics
     # shards=1 must be *bit*-identical to the plain simulator.
     shards1_diff = max(abs(getattr(plain, key) - getattr(one, key))
                        for key in keys)
-    serial8 = summarize(run_sharded(specs, "preferential", profile, n,
-                                    shards=8, seed=1).result)
+    config8 = replace(config, shards=8)
+    serial8 = run_farm(config8).metrics
     with ThreadExecutor(4) as pool:
-        par8 = summarize(run_sharded(specs, "preferential", profile, n,
-                                     shards=8, seed=1,
-                                     executor=pool).result)
+        par8 = run_farm(config8, executor=pool).metrics
     # ...and a sharded run must not depend on the executor.
     jobs_diff = max(abs(getattr(serial8, key) - getattr(par8, key))
                     for key in keys)
@@ -549,8 +552,8 @@ def _farm_sharded_metrics() -> Dict[str, object]:
 
 
 def _farm_events_metrics() -> Dict[str, object]:
-    from repro.farm import (FarmSimulator, TrafficProfile, build_farm,
-                            generate_requests, make_scheduler)
+    from repro.farm import (FarmConfig, TrafficProfile, build_farm,
+                            generate_requests, run_farm)
     base, opt = _measured_pair()
     metrics: Dict[str, object] = {}
     for cores, n, rate in ((16, 320, 150.0), (64, 640, 500.0)):
@@ -560,9 +563,11 @@ def _farm_events_metrics() -> Dict[str, object]:
             seed=1)
         runs = {}
         for kind in ("heap", "calendar"):
-            sim = FarmSimulator(specs, make_scheduler("least-loaded"),
-                                queue=kind)
-            runs[kind] = (sim.run(requests), sim.last_queue_stats)
+            run = run_farm(FarmConfig(specs=tuple(specs),
+                                      scheduler="least-loaded",
+                                      requests=tuple(requests),
+                                      queue=kind))
+            runs[kind] = (run.result, run.sharded.queue_stats)
         heap_result, _ = runs["heap"]
         cal_result, cal_stats = runs["calendar"]
         prefix = f"c{cores}"
@@ -579,6 +584,77 @@ def _farm_events_metrics() -> Dict[str, object]:
         metrics[f"{prefix}.calendar.direct_searches"] = \
             cal_stats["direct_searches"]
         metrics[f"{prefix}.calendar.buckets"] = cal_stats["buckets"]
+    return metrics
+
+
+def _farm_chaos_metrics() -> Dict[str, object]:
+    from dataclasses import replace
+    from repro.farm import (FarmConfig, FaultEvent, FaultPlan,
+                            TrafficProfile, build_farm,
+                            generate_fault_plan, generate_requests,
+                            run_farm)
+    from repro.obs.slo import SloTarget
+    from repro.parallel import ThreadExecutor
+    from repro.ssl.throughput import DEFAULT_CLOCK_HZ
+    base, opt = _measured_pair()
+    specs = build_farm(8, base, opt, extended_fraction=0.5)
+    profile = TrafficProfile(arrival_rate=150.0, clients=64)
+    n = 400
+    second = DEFAULT_CLOCK_HZ
+    # An explicit, committed plan: an extended core dies mid-run and
+    # recovers, a second core loses its session cache, another
+    # extended core degrades to base-ISA pricing until recovery.
+    plan = FaultPlan(events=(
+        FaultEvent(cycle=0.5 * second, kind="core_down", core=1),
+        FaultEvent(cycle=1.5 * second, kind="core_up", core=1),
+        FaultEvent(cycle=0.8 * second, kind="cache_flush", core=4),
+        FaultEvent(cycle=0.6 * second, kind="degrade", core=2),
+        FaultEvent(cycle=1.8 * second, kind="core_up", core=2),
+    ), degraded_costs=base)
+    slo = SloTarget(p99_ms=20.0, secure_mbps=1.0)
+    config = FarmConfig(specs=tuple(specs), scheduler="preferential",
+                        profile=profile, n_requests=n, seed=1,
+                        faults=plan, slo=slo)
+    chaos = run_farm(config)
+    again = run_farm(config)
+    keys = ("completed", "sessions_per_s", "secure_mbps", "p50_ms",
+            "p95_ms", "p99_ms", "mean_utilization", "cache_hit_rate")
+    repeat_diff = max(abs(getattr(chaos.metrics, k)
+                          - getattr(again.metrics, k)) for k in keys)
+    # The same plan under shards must stay deterministic: a sharded
+    # chaos run is executor-independent and repeatable.
+    config4 = replace(config, shards=4)
+    serial4 = run_farm(config4)
+    with ThreadExecutor(2) as pool:
+        par4 = run_farm(config4, executor=pool)
+    shard_jobs_diff = max(abs(getattr(serial4.metrics, k)
+                              - getattr(par4.metrics, k)) for k in keys)
+    healthy = run_farm(replace(config, faults=None))
+    # Chaos must cost something: the wounded farm completes the same
+    # offered load strictly slower at the tail.
+    metrics: Dict[str, object] = {
+        "cores": 8.0, "requests": float(n),
+        "plan_events": float(len(plan.events)),
+        "fault_events": float(chaos.result.fault_events),
+        "redispatches": float(chaos.result.redispatches),
+        "sessions_flushed": float(chaos.faults.sessions_flushed),
+        "downtime_megacycles": chaos.faults.downtime_cycles / 1e6,
+        "repeat_metric_diff": repeat_diff,
+        "shard4.jobs_metric_diff": shard_jobs_diff,
+        "shard4.fault_events": float(serial4.result.fault_events),
+        "completed": float(chaos.metrics.completed),
+        "p99_ms": chaos.metrics.p99_ms,
+        "p99_slowdown": (chaos.metrics.p99_ms / healthy.metrics.p99_ms
+                         if healthy.metrics.p99_ms else 0.0),
+        "slo_windows": float(len(chaos.slo.windows)),
+        "slo_windows_violated": float(chaos.slo.windows_violated),
+        "slo_violations": float(chaos.slo.violations),
+        "slo_attainment": chaos.slo.attainment,
+        # The seeded-generation path: the drawn schedule is a pure
+        # function of (seed, cores, horizon, episodes).
+        "gen.events": float(len(generate_fault_plan(
+            7, 8, 3.0 * second, episodes=4).events)),
+    }
     return metrics
 
 
@@ -737,6 +813,34 @@ register_scenario(Scenario(
                                              direction="lower"),
         "c64.calendar.direct_searches": Gate(tolerance=0.0,
                                              direction="lower"),
+    }))
+
+register_scenario(Scenario(
+    name="farm_chaos",
+    description="8-core farm under a committed FaultPlan (core loss, "
+                "cache flush, degradation): deterministic chaos, "
+                "sharded repeatability, and runtime SLO gating",
+    run=_farm_chaos_metrics,
+    gates={
+        "cores": _EXACT_COUNT,
+        "requests": _EXACT_COUNT,
+        "plan_events": _EXACT_COUNT,
+        "fault_events": _EXACT_COUNT,
+        "sessions_flushed": _EXACT_COUNT,
+        # Hard zeros: chaos runs are as reproducible as healthy ones.
+        "repeat_metric_diff": Gate(tolerance=0.0, direction="lower"),
+        "shard4.jobs_metric_diff": Gate(tolerance=0.0,
+                                        direction="lower"),
+        "shard4.fault_events": _EXACT_COUNT,
+        "completed": _EXACT_COUNT,
+        "p99_ms": Gate(tolerance=0.15, direction="lower"),
+        # The outage must be *visible* in the tail (>1x slowdown) --
+        # a chaos layer that does not hurt is not injecting anything.
+        "p99_slowdown": Gate(tolerance=0.15, direction="higher"),
+        "slo_windows": _EXACT_COUNT,
+        "slo_windows_violated": _EXACT_COUNT,
+        "slo_violations": _EXACT_COUNT,
+        "gen.events": _EXACT_COUNT,
     }))
 
 register_scenario(Scenario(

@@ -62,6 +62,18 @@ class SessionCache:
         """Drop a session (e.g. on a fatal alert)."""
         return self._entries.pop(session_id, None) is not None
 
+    def flush(self) -> int:
+        """Drop every cached session, keeping the hit/miss counters.
+
+        Models a cache wiped by a core failure or an operational flush:
+        the sessions are gone (future resumptions miss and re-handshake)
+        but the traffic history already counted stays counted.  Returns
+        the number of entries dropped.
+        """
+        dropped = len(self._entries)
+        self._entries.clear()
+        return dropped
+
     def __len__(self) -> int:
         return len(self._entries)
 

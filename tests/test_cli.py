@@ -56,6 +56,11 @@ class TestParser:
         ["capacity", "--users", "50000", "--per-user-kbps", "128"],
         ["capacity", "--autoscale", "--curve", "bursty", "--epochs",
          "8", "--max-cores", "8", "--json"],
+        ["farm", "--faults", "7", "--fault-episodes", "2",
+         "--slo", "p99_ms=5", "--slo-window", "0.5"],
+        ["farm", "--faults", "plan.json", "--json"],
+        ["capacity", "--autoscale", "--faults", "3",
+         "--fault-episodes", "4"],
     ])
     def test_valid_invocations_parse(self, argv):
         args = build_parser().parse_args(argv)
@@ -462,3 +467,84 @@ class TestExecution:
         assert "--users" in capsys.readouterr().err
         assert main(["capacity", "--curve", "square"]) == 2
         assert "--curve must be one of" in capsys.readouterr().err
+
+
+class TestChaosCli:
+    def test_farm_faults_json_blocks(self, capsys):
+        import json
+        assert main(["farm", "--cores", "4", "--requests", "80",
+                     "--seed", "1", "--rate", "150", "--faults", "7",
+                     "--slo", "p99_ms=5,secure_mbps=1",
+                     "--slo-window", "0.5", "--json"]) == 0
+        results = json.loads(capsys.readouterr().out)["results"]
+        faults = results["faults"]
+        assert faults["plan"]["events"]
+        assert set(faults["by_scheduler"]) == \
+            {m["scheduler"] for m in results["schedulers"]}
+        for report in faults["by_scheduler"].values():
+            assert report["events_injected"] >= 1
+            assert sum(report["by_kind"].values()) == \
+                report["events_injected"]
+        slo = results["slo"]
+        assert slo["target"]["p99_ms"] == 5.0
+        assert slo["window_seconds"] == 0.5
+        for report in slo["by_scheduler"].values():
+            assert report["windows_evaluated"] >= 1
+            assert 0.0 <= report["attainment"] <= 1.0
+
+    def test_farm_without_faults_omits_blocks(self, capsys):
+        import json
+        assert main(["farm", "--cores", "2", "--requests", "30",
+                     "--seed", "1", "--json"]) == 0
+        results = json.loads(capsys.readouterr().out)["results"]
+        assert "faults" not in results
+        assert "slo" not in results
+
+    def test_farm_fault_plan_file_round_trip(self, tmp_path, capsys):
+        import json
+        from repro.farm import generate_fault_plan
+        plan = generate_fault_plan(9, 4, 2e9, episodes=2)
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(plan.as_dict()))
+        assert main(["farm", "--cores", "4", "--requests", "60",
+                     "--seed", "1", "--faults", str(path),
+                     "--json"]) == 0
+        results = json.loads(capsys.readouterr().out)["results"]
+        assert results["faults"]["plan"]["events"] == \
+            plan.as_dict()["events"]
+
+    def test_farm_text_mode_prints_chaos_and_slo_tables(self, capsys):
+        assert main(["farm", "--cores", "4", "--requests", "60",
+                     "--seed", "1", "--rate", "150", "--faults", "7",
+                     "--slo", "p99_ms=5"]) == 0
+        out = capsys.readouterr().out
+        assert "chaos:" in out
+        assert "slo (p99_ms=5" in out
+
+    def test_farm_rejects_bad_chaos_args(self, capsys):
+        assert main(["farm", "--faults", "not-a-seed.txt"]) == 2
+        assert "--faults" in capsys.readouterr().err
+        assert main(["farm", "--slo", "latency=5"]) == 2
+        assert "unknown SLO metric" in capsys.readouterr().err
+        assert main(["farm", "--slo-window", "0",
+                     "--slo", "p99_ms=5"]) == 2
+        assert "--slo-window" in capsys.readouterr().err
+        assert main(["farm", "--fault-episodes", "-1",
+                     "--faults", "1"]) == 2
+        assert "--fault-episodes" in capsys.readouterr().err
+
+    def test_capacity_autoscale_reports_chaos_columns(self, capsys):
+        import json
+        argv = ["capacity", "--autoscale", "--curve", "constant",
+                "--epochs", "6", "--max-cores", "8", "--rate", "300",
+                "--faults", "3", "--json"]
+        assert main(argv) == 0
+        report = json.loads(capsys.readouterr().out)["results"][
+            "autoscale"]
+        for epoch in report["epochs"]:
+            assert "slo_violations" in epoch
+            assert "failed_cores" in epoch
+        assert main(argv[:-1]) == 0   # text mode
+        out = capsys.readouterr().out
+        assert "viol" in out and "fail" in out
+        assert "core failures" in out

@@ -1,0 +1,512 @@
+"""Deterministic fault injection: plans, failure-aware scheduling,
+sharded chaos identity, and the FarmConfig/run_farm facade.
+
+Same frozen measured unit costs as ``test_farm.py`` -- fault handling
+is a pure function of these numbers, so no ISS characterization runs.
+"""
+
+import warnings
+from dataclasses import replace
+
+import pytest
+
+from repro.costs import PlatformCosts
+from repro.farm import (AutoscalePolicy, FarmConfig, FarmSimulator,
+                        FaultEvent, FaultPlan, TrafficProfile,
+                        build_farm, generate_fault_plan,
+                        generate_requests, make_scheduler,
+                        run_autoscale, run_farm, run_sharded,
+                        simulate_autoscale, summarize)
+from repro.farm.faults import summarize_faults
+from repro.farm.workload import SessionRequest
+from repro.obs.slo import SloTarget
+from repro.parallel import ThreadExecutor
+from repro.ssl.throughput import DEFAULT_CLOCK_HZ
+
+BASE_COSTS = PlatformCosts(
+    name="base", rsa_public_cycles=631103.0,
+    rsa_private_cycles=61433705.5, cipher_cycles_per_byte=703.5,
+    hash_cycles_per_byte=50.84375, ecdh_cycles=4451571.0)
+OPT_COSTS = PlatformCosts(
+    name="optimized", rsa_public_cycles=124890.5,
+    rsa_private_cycles=2139136.0, cipher_cycles_per_byte=21.375,
+    hash_cycles_per_byte=50.84375, ecdh_cycles=2903293.8)
+
+#: Comfortably longer than any single handshake at these costs.
+GAP = 100e6
+
+
+def _farm(n_cores=8, fraction=0.5):
+    return build_farm(n_cores, BASE_COSTS, OPT_COSTS, fraction)
+
+
+def _req(seq, arrival, client=0, resumed=False, protocol="ssl"):
+    return SessionRequest(seq=seq, arrival_cycle=arrival,
+                          protocol=protocol, size_bytes=1024,
+                          resumed=resumed, client_id=client)
+
+
+def _run_with_plan(specs, scheduler, requests, plan):
+    sim = FarmSimulator(list(specs), make_scheduler(scheduler),
+                        faults=plan)
+    return sim.run(list(requests))
+
+
+class TestFaultEvents:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultEvent(cycle=0.0, kind="meteor", core=0)
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(cycle=-1.0, kind="core_down", core=0),
+        dict(cycle=0.0, kind="core_down", core=-1),
+    ])
+    def test_negative_fields_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            FaultEvent(**kwargs)
+
+    def test_round_trip(self):
+        event = FaultEvent(cycle=12.5, kind="cache_flush", core=3)
+        assert FaultEvent.from_dict(event.as_dict()) == event
+
+
+class TestFaultPlan:
+    def test_events_sorted_with_declaration_tiebreak(self):
+        plan = FaultPlan(events=(
+            FaultEvent(cycle=5.0, kind="core_up", core=1),
+            FaultEvent(cycle=1.0, kind="core_down", core=1),
+            FaultEvent(cycle=5.0, kind="cache_flush", core=0),
+        ))
+        assert [e.cycle for e in plan.events] == [1.0, 5.0, 5.0]
+        # Same-cycle events keep declaration order.
+        assert plan.events[1].kind == "core_up"
+        assert plan.events[2].kind == "cache_flush"
+
+    def test_bool_and_penalty_validation(self):
+        assert not FaultPlan()
+        assert FaultPlan(events=(
+            FaultEvent(cycle=0.0, kind="core_down", core=0),))
+        with pytest.raises(ValueError, match="penalty"):
+            FaultPlan(redispatch_penalty_cycles=-1.0)
+
+    def test_subplan_strided_partitions_events(self):
+        plan = generate_fault_plan(3, 8, 1e9, episodes=6)
+        shards = 4
+        recovered = []
+        for shard in range(shards):
+            sub = plan.subplan_strided(shards, shard)
+            assert sub.redispatch_penalty_cycles == \
+                plan.redispatch_penalty_cycles
+            for event in sub.events:
+                # Local core g//shards on shard g%shards is global
+                # core g under the specs[i::shards] ownership.
+                recovered.append(replace(
+                    event, core=event.core * shards + shard))
+        key = lambda e: (e.cycle, e.kind, e.core)
+        assert sorted(recovered, key=key) == \
+            sorted(plan.events, key=key)
+
+    def test_subplan_validation_and_identity(self):
+        plan = FaultPlan(events=(
+            FaultEvent(cycle=1.0, kind="core_down", core=2),))
+        assert plan.subplan_strided(1, 0) is plan
+        with pytest.raises(ValueError):
+            plan.subplan_strided(0, 0)
+        with pytest.raises(ValueError):
+            plan.subplan_strided(2, 2)
+
+    def test_window_filters_and_rebases(self):
+        plan = FaultPlan(events=(
+            FaultEvent(cycle=10.0, kind="core_down", core=0),
+            FaultEvent(cycle=25.0, kind="core_up", core=0),
+            FaultEvent(cycle=40.0, kind="cache_flush", core=1),
+        ))
+        window = plan.window(20.0, 40.0)
+        assert [(e.cycle, e.kind) for e in window.events] == \
+            [(5.0, "core_up")]
+        with pytest.raises(ValueError):
+            plan.window(10.0, 5.0)
+
+    def test_round_trip(self):
+        plan = generate_fault_plan(9, 4, 1e8, episodes=2,
+                                   degraded_costs=BASE_COSTS)
+        rebuilt = FaultPlan.from_dict(plan.as_dict(),
+                                      degraded_costs=BASE_COSTS)
+        assert rebuilt.events == plan.events
+        assert rebuilt.redispatch_penalty_cycles == \
+            plan.redispatch_penalty_cycles
+        assert rebuilt.degraded_costs is BASE_COSTS
+
+
+class TestGenerateFaultPlan:
+    def test_deterministic(self):
+        a = generate_fault_plan(7, 8, 1e9, episodes=5)
+        b = generate_fault_plan(7, 8, 1e9, episodes=5)
+        assert a.events == b.events
+
+    def test_seed_changes_schedule(self):
+        a = generate_fault_plan(7, 8, 1e9, episodes=5)
+        b = generate_fault_plan(8, 8, 1e9, episodes=5)
+        assert a.events != b.events
+
+    def test_events_target_known_cores_within_horizon(self):
+        plan = generate_fault_plan(1, 4, 1e9, episodes=10)
+        assert plan.events
+        for event in plan.events:
+            assert 0 <= event.core < 4
+            assert event.cycle >= 0.0
+            assert event.kind in ("core_down", "core_up",
+                                  "cache_flush", "degrade")
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(seed=1, n_cores=0, horizon_cycles=1e9),
+        dict(seed=1, n_cores=4, horizon_cycles=0.0),
+        dict(seed=1, n_cores=4, horizon_cycles=1e9, episodes=-1),
+        dict(seed=1, n_cores=4, horizon_cycles=1e9,
+             mean_outage_fraction=0.0),
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            generate_fault_plan(**kwargs)
+
+
+class TestSimulatorUnderFaults:
+    def test_no_dispatch_to_dead_core(self):
+        # Kill core 0 before traffic; everything must land on core 1.
+        specs = _farm(2, 0.0)
+        plan = FaultPlan(events=(
+            FaultEvent(cycle=0.0, kind="core_down", core=0),))
+        requests = [_req(i, (i + 1) * GAP, client=i) for i in range(6)]
+        result = _run_with_plan(specs, "round-robin", requests, plan)
+        assert len(result.completions) == 6
+        assert all(c.core_index == 1 for c in result.completions)
+
+    def test_no_dispatch_during_downtime_window(self):
+        specs = _farm(4, 0.5)
+        down, up = 2 * GAP, 6 * GAP
+        plan = FaultPlan(events=(
+            FaultEvent(cycle=down, kind="core_down", core=1),
+            FaultEvent(cycle=up, kind="core_up", core=1),))
+        requests = generate_requests(
+            TrafficProfile(arrival_rate=60.0), 200, seed=3)
+        result = _run_with_plan(specs, "least-loaded", requests, plan)
+        assert len(result.completions) == 200
+        for c in result.completions:
+            if c.core_index == 1:
+                assert c.start_cycle < down or c.start_cycle >= up
+
+    def test_in_flight_request_redispatched_with_penalty(self):
+        specs = _farm(2, 0.0)
+        # seq 0 starts on core 0 at cycle 0; the core dies mid-service.
+        plan = FaultPlan(events=(
+            FaultEvent(cycle=1000.0, kind="core_down", core=0),))
+        requests = [_req(0, 0.0)]
+        result = _run_with_plan(specs, "round-robin", requests, plan)
+        assert result.redispatches == 1
+        (completion,) = result.completions
+        assert completion.core_index == 1
+        # Re-arrival at crash + penalty, so latency covers both.
+        assert completion.start_cycle >= \
+            1000.0 + plan.redispatch_penalty_cycles
+
+    def test_queued_requests_displaced_too(self):
+        specs = _farm(1, 0.0)
+        # Three arrivals stack on the only core; it dies mid-first,
+        # recovers later, and every request still completes.
+        plan = FaultPlan(events=(
+            FaultEvent(cycle=1000.0, kind="core_down", core=0),
+            FaultEvent(cycle=5 * GAP, kind="core_up", core=0),))
+        requests = [_req(i, float(i)) for i in range(3)]
+        result = _run_with_plan(specs, "round-robin", requests, plan)
+        assert len(result.completions) == 3
+        assert result.redispatches == 3
+        assert all(c.start_cycle >= 5 * GAP for c in result.completions)
+
+    def test_farm_wide_outage_stalls_arrivals(self):
+        specs = _farm(1, 0.0)
+        plan = FaultPlan(events=(
+            FaultEvent(cycle=0.0, kind="core_down", core=0),
+            FaultEvent(cycle=3 * GAP, kind="core_up", core=0),))
+        requests = [_req(0, GAP)]
+        result = _run_with_plan(specs, "round-robin", requests, plan)
+        (completion,) = result.completions
+        # Arrival stamp is unchanged; the outage shows up as latency.
+        assert completion.start_cycle >= 3 * GAP
+        assert completion.latency_cycles >= 2 * GAP
+        assert result.cores[0].down_cycles == pytest.approx(3 * GAP)
+
+    def test_cache_flush_forces_rehandshake(self):
+        specs = _farm(2, 0.0)
+        requests = [_req(0, 0.0, client=1),
+                    _req(1, GAP, client=1, resumed=True),
+                    _req(2, 2 * GAP, client=1, resumed=True)]
+        flush = FaultPlan(events=(
+            FaultEvent(cycle=1.5 * GAP, kind="cache_flush", core=0),))
+        warm = _run_with_plan(specs, "preferential", requests, None)
+        flushed = _run_with_plan(specs, "preferential", requests, flush)
+        by_seq = lambda result: {c.request.seq: c
+                                 for c in result.completions}
+        assert by_seq(warm)[1].cache_hit and by_seq(warm)[2].cache_hit
+        assert by_seq(flushed)[1].cache_hit
+        assert not by_seq(flushed)[2].cache_hit
+        assert flushed.cores[0].sessions_flushed == 1
+
+    def test_degrade_reprices_extended_core(self):
+        specs = _farm(1, 1.0)
+        requests = [_req(0, 0.0)]
+        degrade = FaultPlan(events=(
+            FaultEvent(cycle=0.0, kind="degrade", core=0),),
+            degraded_costs=BASE_COSTS)
+        healthy = _run_with_plan(specs, "round-robin", requests, None)
+        degraded = _run_with_plan(specs, "round-robin", requests,
+                                  degrade)
+        assert degraded.completions[0].service_cycles > \
+            healthy.completions[0].service_cycles
+        # Without a degraded cost table the event is recorded but the
+        # pricing is untouched.
+        recorded = _run_with_plan(
+            specs, "round-robin", requests,
+            FaultPlan(events=degrade.events))
+        assert recorded.completions[0].service_cycles == \
+            healthy.completions[0].service_cycles
+        assert recorded.fault_events == 1
+
+    def test_degrade_recovers_on_core_up(self):
+        specs = _farm(1, 1.0)
+        plan = FaultPlan(events=(
+            FaultEvent(cycle=0.0, kind="degrade", core=0),
+            FaultEvent(cycle=GAP, kind="core_up", core=0),),
+            degraded_costs=BASE_COSTS)
+        requests = [_req(0, 0.0), _req(1, 2 * GAP)]
+        result = _run_with_plan(specs, "round-robin", requests, plan)
+        by_seq = {c.request.seq: c for c in result.completions}
+        assert by_seq[0].service_cycles > by_seq[1].service_cycles
+
+    def test_preferential_affinity_falls_back_and_rewarms(self):
+        specs = _farm(4, 0.5)
+        requests = [_req(0, 0.0, client=1),
+                    _req(1, GAP, client=1, resumed=True),
+                    _req(2, 3 * GAP, client=1, resumed=True),
+                    _req(3, 5 * GAP, client=1, resumed=True)]
+        warm = _run_with_plan(specs, "preferential", requests, None)
+        home = {c.request.seq: c.core_index
+                for c in warm.completions}[1]
+        plan = FaultPlan(events=(
+            FaultEvent(cycle=2 * GAP, kind="core_down", core=home),
+            FaultEvent(cycle=4 * GAP, kind="core_up", core=home),))
+        result = _run_with_plan(specs, "preferential", requests, plan)
+        by_seq = {c.request.seq: c for c in result.completions}
+        # While the affine core is down, resumption falls back to a
+        # live core and misses (the cache died with the core).
+        assert by_seq[2].core_index != home
+        assert not by_seq[2].cache_hit
+        # The fallback core's cache re-warmed: the next resumed
+        # request is affine to it and hits.
+        assert by_seq[3].core_index == by_seq[2].core_index
+        assert by_seq[3].cache_hit
+
+    def test_double_down_and_double_up_are_noops(self):
+        specs = _farm(2, 0.0)
+        plan = FaultPlan(events=(
+            FaultEvent(cycle=0.0, kind="core_down", core=0),
+            FaultEvent(cycle=1.0, kind="core_down", core=0),
+            FaultEvent(cycle=2.0, kind="cache_flush", core=0),
+            FaultEvent(cycle=GAP, kind="core_up", core=0),
+            FaultEvent(cycle=GAP + 1, kind="core_up", core=0),))
+        requests = [_req(0, 2 * GAP)]
+        result = _run_with_plan(specs, "round-robin", requests, plan)
+        # down, up: the duplicates and the flush-while-dead don't count.
+        assert result.fault_events == 2
+        assert result.cores[0].fault_kinds == ["core_down", "core_up"]
+
+    def test_fault_metrics_summary(self):
+        specs = _farm(4, 0.5)
+        plan = generate_fault_plan(5, 4, 2e9, episodes=3)
+        requests = generate_requests(
+            TrafficProfile(arrival_rate=100.0), 150, seed=2)
+        result = _run_with_plan(specs, "preferential", requests, plan)
+        report = summarize_faults(result, plan)
+        assert report.events_injected == result.fault_events
+        assert report.redispatches == result.redispatches
+        assert report.as_dict()["by_kind"] == report.by_kind
+        assert sum(report.by_kind.values()) == report.events_injected
+
+
+class TestFaultFreeIdentity:
+    def test_empty_plan_bit_identical_to_no_plan(self):
+        specs = _farm(4, 0.5)
+        requests = generate_requests(
+            TrafficProfile(arrival_rate=60.0), 200, seed=1)
+        bare = _run_with_plan(specs, "preferential", requests, None)
+        empty = _run_with_plan(specs, "preferential", requests,
+                               FaultPlan())
+        assert bare.completions == empty.completions
+        assert bare.makespan_cycles == empty.makespan_cycles
+        assert bare.events_processed == empty.events_processed
+
+    def test_run_farm_without_faults_matches_plain_simulator(self):
+        specs = _farm(4, 0.5)
+        requests = generate_requests(
+            TrafficProfile(arrival_rate=60.0), 200, seed=1)
+        plain = FarmSimulator(
+            list(specs), make_scheduler("preferential")).run(
+            list(requests))
+        run = run_farm(FarmConfig(specs=tuple(specs),
+                                  requests=tuple(requests)))
+        assert run.result.completions == plain.completions
+        assert run.result.makespan_cycles == plain.makespan_cycles
+        assert run.faults is None and run.slo is None
+
+
+class TestShardedChaosIdentity:
+    def test_shards1_matches_plain_simulator_with_plan(self):
+        specs = _farm(8, 0.5)
+        plan = generate_fault_plan(11, 8, 2e9, episodes=4)
+        requests = generate_requests(
+            TrafficProfile(arrival_rate=120.0, clients=64), 300,
+            seed=1)
+        plain = FarmSimulator(list(specs),
+                              make_scheduler("preferential"),
+                              faults=plan).run(list(requests))
+        run = run_farm(FarmConfig(specs=tuple(specs),
+                                  requests=tuple(requests),
+                                  faults=plan))
+        assert run.result.completions == plain.completions
+        assert run.result.fault_events == plain.fault_events
+        assert run.result.redispatches == plain.redispatches
+
+    def test_sharded_chaos_repeatable_and_executor_independent(self):
+        config = FarmConfig(
+            specs=tuple(_farm(8, 0.5)),
+            profile=TrafficProfile(arrival_rate=120.0, clients=64),
+            n_requests=300, shards=4, seed=1,
+            faults=generate_fault_plan(11, 8, 2e9, episodes=4))
+        serial = run_farm(config)
+        again = run_farm(config)
+        with ThreadExecutor(2) as pool:
+            threaded = run_farm(config, executor=pool)
+        assert serial.result.completions == again.result.completions
+        assert serial.result.completions == \
+            threaded.result.completions
+        assert serial.result.fault_events == \
+            threaded.result.fault_events
+        assert serial.faults.as_dict() == threaded.faults.as_dict()
+
+
+class TestFarmConfig:
+    def test_validation(self):
+        specs = tuple(_farm(4, 0.5))
+        profile = TrafficProfile()
+        with pytest.raises(ValueError, match="at least one core"):
+            FarmConfig(specs=(), profile=profile)
+        with pytest.raises(ValueError, match="unknown scheduler"):
+            FarmConfig(specs=specs, profile=profile, scheduler="fifo")
+        with pytest.raises(ValueError, match="requests= or profile="):
+            FarmConfig(specs=specs)
+        with pytest.raises(ValueError, match="shards"):
+            FarmConfig(specs=specs, profile=profile, shards=5)
+        with pytest.raises(ValueError, match="slo_window_seconds"):
+            FarmConfig(specs=specs, profile=profile,
+                       slo_window_seconds=0.0)
+
+    def test_build_and_with_scheduler(self):
+        config = FarmConfig.build(4, BASE_COSTS, OPT_COSTS,
+                                  profile=TrafficProfile())
+        assert len(config.specs) == 4
+        assert config.scheduler == "preferential"
+        swept = config.with_scheduler("round-robin")
+        assert swept.scheduler == "round-robin"
+        assert swept.specs == config.specs
+
+    def test_run_farm_slo_report(self):
+        config = FarmConfig(
+            specs=tuple(_farm(4, 0.5)),
+            profile=TrafficProfile(arrival_rate=60.0),
+            n_requests=150, seed=1,
+            slo=SloTarget(p99_ms=1e-6))   # unmeetably tight
+        run = run_farm(config)
+        assert run.slo is not None
+        assert run.slo.windows_violated > 0
+        assert run.slo.attainment < 1.0
+
+
+class TestDeprecatedShims:
+    def test_run_sharded_delegates_bit_identically(self):
+        specs = _farm(8, 0.5)
+        profile = TrafficProfile(arrival_rate=120.0, clients=64)
+        with pytest.deprecated_call():
+            legacy = run_sharded(specs, "preferential", profile, 200,
+                                 shards=4, seed=1)
+        direct = run_farm(FarmConfig(
+            specs=tuple(specs), scheduler="preferential",
+            profile=profile, n_requests=200, shards=4,
+            seed=1)).sharded
+        assert legacy.result.completions == direct.result.completions
+        assert legacy.result.makespan_cycles == \
+            direct.result.makespan_cycles
+        assert summarize(legacy.result).as_dict() == \
+            summarize(direct.result).as_dict()
+
+    def test_simulate_autoscale_delegates_bit_identically(self):
+        specs = _farm(8, 0.5)
+        profile = TrafficProfile(arrival_rate=150.0)
+        slo = SloTarget(p99_ms=50.0)
+        with pytest.deprecated_call():
+            legacy = simulate_autoscale(specs, "preferential", profile,
+                                        slo=slo, n_epochs=6,
+                                        curve="bursty", seed=2)
+        direct = run_autoscale(
+            FarmConfig(specs=tuple(specs), scheduler="preferential",
+                       profile=profile, seed=2, slo=slo),
+            n_epochs=6, curve="bursty")
+        assert legacy.as_dict() == direct.as_dict()
+
+    def test_slo_target_import_shim_warns(self):
+        from repro.farm import autoscale
+        with pytest.deprecated_call():
+            shimmed = autoscale.SloTarget
+        assert shimmed is SloTarget
+        with pytest.raises(AttributeError):
+            autoscale.no_such_name
+
+
+class TestAutoscaleUnderFaults:
+    def test_failures_consume_capacity(self):
+        second = DEFAULT_CLOCK_HZ
+        # Kill two pool cores early, permanently: the active set
+        # shrinks and the policy has to scale the capacity back.
+        plan = FaultPlan(events=(
+            FaultEvent(cycle=0.5 * second, kind="core_down", core=0),
+            FaultEvent(cycle=2.5 * second, kind="core_down", core=1),))
+        config = FarmConfig(
+            specs=tuple(_farm(8, 0.5)),
+            profile=TrafficProfile(arrival_rate=150.0), seed=1,
+            faults=plan, slo=SloTarget(p99_ms=100.0))
+        policy = AutoscalePolicy(min_cores=4, max_cores=8,
+                                 warmup_epochs=1)
+        report = run_autoscale(config, policy=policy, n_epochs=8,
+                               epoch_seconds=1.0, curve="constant")
+        assert report.core_failures == 2
+        assert any(e.failed_cores for e in report.epochs)
+        healthy = run_autoscale(replace(config, faults=None),
+                                policy=policy, n_epochs=8,
+                                epoch_seconds=1.0, curve="constant")
+        assert healthy.core_failures == 0
+        # Deterministic: the same config reproduces the same report.
+        assert run_autoscale(config, policy=policy, n_epochs=8,
+                             epoch_seconds=1.0,
+                             curve="constant").as_dict() == \
+            report.as_dict()
+
+    def test_epoch_reports_carry_violation_counts(self):
+        config = FarmConfig(
+            specs=tuple(_farm(4, 0.5)),
+            profile=TrafficProfile(arrival_rate=200.0), seed=1,
+            slo=SloTarget(p99_ms=1e-6))   # every epoch violates
+        report = run_autoscale(config, n_epochs=4, epoch_seconds=1.0,
+                               curve="constant")
+        assert all(e.slo_violations >= 1 for e in report.epochs)
+        assert all(not e.slo_met for e in report.epochs)
+        payload = report.as_dict()
+        assert all("slo_violations" in e and "failed_cores" in e
+                   for e in payload["epochs"])

@@ -1,0 +1,191 @@
+"""SLO vocabulary (`repro.obs.slo`) and its per-window plumbing."""
+
+import pytest
+
+from repro.costs import PlatformCosts
+from repro.farm import (FarmConfig, TrafficProfile, build_farm,
+                        run_farm, window_metrics)
+from repro.obs import MetricsRegistry
+from repro.obs.slo import (SloMonitor, SloObjective, SloReport,
+                           SloTarget, SloWindow, parse_slo)
+
+BASE_COSTS = PlatformCosts(
+    name="base", rsa_public_cycles=631103.0,
+    rsa_private_cycles=61433705.5, cipher_cycles_per_byte=703.5,
+    hash_cycles_per_byte=50.84375, ecdh_cycles=4451571.0)
+OPT_COSTS = PlatformCosts(
+    name="optimized", rsa_public_cycles=124890.5,
+    rsa_private_cycles=2139136.0, cipher_cycles_per_byte=21.375,
+    hash_cycles_per_byte=50.84375, ecdh_cycles=2903293.8)
+
+
+class TestSloObjective:
+    def test_lower_direction(self):
+        latency = SloObjective(metric="p99_ms", target=5.0)
+        assert latency.violated_by(5.1)
+        assert not latency.violated_by(5.0)
+        assert not latency.violated_by(1.0)
+
+    def test_higher_direction(self):
+        rate = SloObjective(metric="secure_mbps", target=10.0,
+                            direction="higher")
+        assert rate.violated_by(9.9)
+        assert not rate.violated_by(10.0)
+
+    def test_bad_direction(self):
+        with pytest.raises(ValueError, match="direction"):
+            SloObjective(metric="p99_ms", target=5.0,
+                         direction="sideways")
+
+    def test_as_gate_shares_direction(self):
+        gate = SloObjective(metric="secure_mbps", target=1.0,
+                            direction="higher").as_gate()
+        assert gate.direction == "higher"
+        assert gate.tolerance == 0.0
+
+
+class TestSloTarget:
+    def test_objectives_in_declaration_order(self):
+        target = SloTarget(p99_ms=5.0, secure_mbps=10.0,
+                           cache_hit_rate=0.8, utilization=0.3)
+        objectives = target.objectives()
+        assert [o.metric for o in objectives] == \
+            ["p99_ms", "secure_mbps", "cache_hit_rate", "utilization"]
+        assert [o.direction for o in objectives] == \
+            ["lower", "higher", "higher", "higher"]
+
+    def test_none_fields_skipped(self):
+        assert SloTarget().objectives() == ()
+        assert [o.metric
+                for o in SloTarget(utilization=0.5).objectives()] == \
+            ["utilization"]
+
+    def test_violations_ignore_unmeasured_metrics(self):
+        target = SloTarget(p99_ms=5.0, cache_hit_rate=0.9)
+        # No cache lookups this window: hit rate unmeasured, not zero.
+        assert target.violations({"p99_ms": 9.0}) == ["p99_ms"]
+        assert target.violations(
+            {"p99_ms": 1.0, "cache_hit_rate": 0.5}) == \
+            ["cache_hit_rate"]
+        assert target.violations({"p99_ms": 1.0}) == []
+
+    def test_met_by_legacy_surface(self):
+        target = SloTarget(p99_ms=5.0, secure_mbps=10.0)
+        assert target.met_by(p99_ms=4.0, secure_mbps=11.0)
+        assert not target.met_by(p99_ms=6.0, secure_mbps=11.0)
+        assert not target.met_by(p99_ms=4.0, secure_mbps=9.0)
+
+    def test_round_trip(self):
+        target = SloTarget(p99_ms=5.0, utilization=0.25)
+        assert SloTarget.from_dict(target.as_dict()) == target
+
+
+class TestParseSlo:
+    def test_parses_multiple_metrics(self):
+        target = parse_slo("p99_ms=5, secure_mbps=10.5")
+        assert target == SloTarget(p99_ms=5.0, secure_mbps=10.5)
+
+    @pytest.mark.parametrize("spec", [
+        "", "p99_ms", "p99_ms=fast", "latency=5"])
+    def test_rejects_malformed_specs(self, spec):
+        with pytest.raises(ValueError):
+            parse_slo(spec)
+
+
+class TestSloMonitor:
+    def test_report_accumulates_windows(self):
+        monitor = SloMonitor(SloTarget(p99_ms=5.0), window_seconds=0.5)
+        good = monitor.observe({"p99_ms": 2.0})
+        bad = monitor.observe({"p99_ms": 7.0})
+        assert good.met and not bad.met
+        assert (bad.start_s, bad.end_s) == (0.5, 1.0)
+        report = monitor.finish()
+        assert len(report.windows) == 2
+        assert report.windows_violated == 1
+        assert report.violations == 1
+        assert report.attainment == pytest.approx(0.5)
+
+    def test_empty_report_attains_fully(self):
+        report = SloReport(target=SloTarget(p99_ms=5.0),
+                           window_seconds=1.0)
+        assert report.attainment == 1.0
+        assert report.as_dict()["windows_evaluated"] == 0
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError, match="window_seconds"):
+            SloMonitor(SloTarget(p99_ms=5.0), window_seconds=0.0)
+
+    def test_publishes_farm_slo_metrics(self):
+        registry = MetricsRegistry()
+        monitor = SloMonitor(
+            SloTarget(p99_ms=5.0, secure_mbps=10.0),
+            registry=registry, scheduler="preferential")
+        monitor.observe_all([
+            {"p99_ms": 1.0, "secure_mbps": 20.0},
+            {"p99_ms": 9.0, "secure_mbps": 20.0},
+            {"p99_ms": 9.0, "secure_mbps": 1.0},
+        ])
+        tag = dict(scheduler="preferential")
+        assert registry.counter("farm.slo_windows", **tag).value == 3
+        assert registry.counter("farm.slo_violations", **tag).value == 3
+        assert registry.counter("farm.slo_alerts", metric="p99_ms",
+                                **tag).value == 2
+        assert registry.counter("farm.slo_alerts",
+                                metric="secure_mbps", **tag).value == 1
+        assert registry.gauge("farm.slo_attainment", **tag).value == \
+            pytest.approx(1 / 3)
+
+    def test_no_registry_is_fine(self):
+        monitor = SloMonitor(SloTarget(p99_ms=5.0))
+        report = monitor.observe_all([{"p99_ms": 9.0}])
+        assert report.windows_violated == 1
+
+    def test_window_as_dict(self):
+        window = SloWindow(index=0, start_s=0.0, end_s=1.0,
+                           sample={"p99_ms": 9.0},
+                           violations=["p99_ms"])
+        payload = window.as_dict()
+        assert payload["met"] is False
+        assert payload["violations"] == ["p99_ms"]
+
+
+class TestWindowMetrics:
+    @staticmethod
+    def _result(n_requests=200, rate=60.0):
+        config = FarmConfig(
+            specs=tuple(build_farm(4, BASE_COSTS, OPT_COSTS, 0.5)),
+            profile=TrafficProfile(arrival_rate=rate),
+            n_requests=n_requests, seed=1)
+        return run_farm(config).result
+
+    def test_windows_cover_makespan(self):
+        result = self._result()
+        window_seconds = 0.5
+        samples = window_metrics(result, window_seconds)
+        expected = result.makespan_cycles / result.clock_hz
+        assert len(samples) * window_seconds >= expected
+        assert (len(samples) - 1) * window_seconds < expected
+
+    def test_every_completion_counted_once(self):
+        result = self._result()
+        samples = window_metrics(result, 0.5)
+        total_bits = sum(s.get("secure_mbps", 0.0) * 0.5 * 1e6
+                        for s in samples)
+        assert total_bits == pytest.approx(
+            sum(c.request.size_bytes * 8 for c in result.completions))
+
+    def test_samples_feed_the_monitor(self):
+        result = self._result()
+        samples = window_metrics(result, 1.0)
+        report = SloMonitor(
+            SloTarget(utilization=0.0),
+            window_seconds=1.0).observe_all(samples)
+        assert len(report.windows) == len(samples)
+        assert all("utilization" in w.sample for w in report.windows)
+        assert all(0.0 <= w.sample["utilization"] <= 1.0
+                   for w in report.windows)
+
+    def test_validation(self):
+        result = self._result(n_requests=10)
+        with pytest.raises(ValueError):
+            window_metrics(result, 0.0)
