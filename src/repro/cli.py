@@ -14,13 +14,20 @@
                          [--replay trace.jsonl]
                          [--export-workload trace.jsonl]
                          [--faults SEED|plan.json] [--slo p99_ms=5,...]
+                         [--series-out series.jsonl]
+                         [--series-interval 0.05]
+                         [--serve] [--port 0] [--max-epochs N]
+                         [--epoch-seconds 2.0] [--serve-grace SEC]
                          [--json]
     python -m repro capacity [--users 100000] [--per-user-kbps 384]
                              [--autoscale] [--curve diurnal]
                              [--epochs 24] [--faults SEED|plan.json]
-                             [--json]
+                             [--series-out series.jsonl] [--json]
     python -m repro profile --trace trace.jsonl [--top 20]
                             [--group-by scheduler] [--folded out.folded]
+    python -m repro timeseries --series series.jsonl [--key NAME]...
+                               [--html dashboard.html] [--width 64]
+                               [--json]
     python -m repro bench [--scenario NAME]... [--dir DIR]
                           [--check] [--report FILE]
 
@@ -49,12 +56,22 @@ Observability (``farm``, ``ssl``, ``characterize``, ``explore``,
 ``speedups``): ``--trace-out FILE`` enables the process-global
 :mod:`repro.obs` tracer and writes a deterministic JSON-lines event
 log; ``--metrics`` adds the metrics summary to the report (under
-``results.metrics`` with ``--json``); ``--profile FILE`` additionally
-reduces the run's span tree to a cycle-attribution profile
+``results.metrics`` with ``--json``) and ``--metrics-out FILE`` writes
+the rendered registry to a file (``--metrics-format text`` or
+``prometheus``); ``--profile FILE`` additionally reduces the run's
+span tree to a cycle-attribution profile
 (:class:`repro.obs.CycleProfile`), written as JSON with a top-10 table
 on stdout.  ``profile`` analyses a saved trace log offline; ``bench``
 records ``BENCH_<scenario>.json`` baselines and ``bench --check``
 gates the current tree against them.
+
+Time series: ``farm --series-out FILE`` exports the run as a
+virtual-time metrics series (JSONL; fault and SLO-alert events
+annotated), ``capacity --autoscale --series-out`` does the same per
+epoch, ``timeseries`` renders a saved series as sparklines or a
+self-contained HTML dashboard, and ``farm --serve`` soaks the farm
+continuously while exposing ``/metrics`` (Prometheus text format on
+virtual timestamps), ``/healthz``, and ``/slo`` over HTTP.
 """
 
 import argparse
@@ -130,6 +147,14 @@ def _finish_obs(args, results=None):
             print("\ncycle attribution (top 10 by self cycles):")
             print(profile.render_top(10))
             print(f"wrote profile to {profile_out}")
+    metrics_out = getattr(args, "metrics_out", None)
+    metrics_format = getattr(args, "metrics_format", "text")
+    if metrics_out:
+        with open(metrics_out, "w") as fh:
+            fh.write(render_metrics(get_registry(),
+                                    format=metrics_format) + "\n")
+        if not args.json:
+            print(f"wrote {metrics_format} metrics to {metrics_out}")
     if not getattr(args, "metrics", False):
         return None
     summary = metrics_summary(get_registry())
@@ -137,7 +162,7 @@ def _finish_obs(args, results=None):
         results["metrics"] = summary
     elif not args.json:
         print("\nmetrics:")
-        print(render_metrics(get_registry()))
+        print(render_metrics(get_registry(), format=metrics_format))
     return summary
 
 
@@ -485,6 +510,24 @@ def _cmd_farm(args) -> int:
         slo = parse_slo(args.slo) if args.slo else None
         if args.slo_window <= 0:
             raise ValueError("--slo-window must be positive")
+        if args.scheduler not in scheduler_names():
+            raise ValueError(f"--scheduler must be one of "
+                             f"{scheduler_names()}")
+        if args.series_interval <= 0:
+            raise ValueError("--series-interval must be positive")
+        if args.serve:
+            if args.replay:
+                raise ValueError("--serve generates its own epoch "
+                                 "traffic; --replay is one-shot")
+            if args.export_workload:
+                raise ValueError("--serve does not take "
+                                 "--export-workload")
+            if args.epoch_seconds <= 0:
+                raise ValueError("--epoch-seconds must be positive")
+            if args.max_epochs is not None and args.max_epochs < 1:
+                raise ValueError("--max-epochs must be at least 1")
+            if args.serve_grace < 0:
+                raise ValueError("--serve-grace must be non-negative")
         profile_kwargs = dict(arrival_rate=args.rate,
                               resumption_ratio=args.resumption)
         if args.mix:
@@ -526,6 +569,24 @@ def _cmd_farm(args) -> int:
         announce=not args.json)
     specs = build_farm(args.cores, base_costs, opt_costs,
                        extended_fraction=args.extended_fraction)
+
+    if args.serve:
+        plan = None
+        if fault_spec is not None:
+            # The soak horizon is the (bounded) epoch timeline; an
+            # unbounded soak gets a generous default so seeded chaos
+            # still lands somewhere observable.
+            horizon = ((args.max_epochs if args.max_epochs else 64)
+                       * args.epoch_seconds * clock_hz)
+            plan = _build_fault_plan(fault_spec, args.cores, horizon,
+                                     args.fault_episodes, base_costs)
+        config = FarmConfig(specs=tuple(specs),
+                            scheduler=args.scheduler, profile=profile,
+                            seed=args.seed, clock_hz=clock_hz,
+                            queue=args.queue, faults=plan, slo=slo,
+                            slo_window_seconds=args.slo_window)
+        return _run_soak(args, config)
+
     plan = None
     if fault_spec is not None:
         # The chaos horizon is the offered-traffic window: strikes
@@ -537,7 +598,8 @@ def _cmd_farm(args) -> int:
                                  args.fault_episodes, base_costs)
 
     tracer = get_tracer()
-    metrics = get_registry() if args.metrics else None
+    metrics = (get_registry() if args.metrics or args.metrics_out
+               else None)
     rows = []
     runs = []
     farm_runs = []
@@ -545,13 +607,26 @@ def _cmd_farm(args) -> int:
                         shards=args.shards, seed=args.seed,
                         clock_hz=clock_hz, queue=args.queue,
                         jobs=args.jobs, faults=plan, slo=slo,
-                        slo_window_seconds=args.slo_window)
+                        slo_window_seconds=args.slo_window,
+                        series_interval_seconds=(
+                            args.series_interval if args.series_out
+                            else None))
     for name in scheduler_names():
         farm_run = run_farm(config.with_scheduler(name), tracer=tracer,
                             metrics=metrics)
         farm_runs.append((name, farm_run))
         runs.append(farm_run.sharded)
         rows.append(farm_run.metrics)
+
+    if args.series_out:
+        from repro.obs import write_series_jsonl
+        series = dict(farm_runs)[args.scheduler].series
+        written = write_series_jsonl(series, args.series_out)
+        if not args.json:
+            print(f"wrote {written} series records "
+                  f"({len(series.samples)} samples, "
+                  f"{len(series.events)} events, scheduler "
+                  f"{args.scheduler}) to {args.series_out}")
 
     configs = specs_as_configs(specs)
     plans = capacity_table(configs, farm_rate_targets())
@@ -643,6 +718,75 @@ def _cmd_farm(args) -> int:
     return 0
 
 
+def _run_soak(args, config) -> int:
+    """The ``farm --serve`` path: soak epochs + scrape endpoints."""
+    from repro.farm.serve import FarmSoakService
+    from repro.obs import write_series_jsonl
+
+    service = FarmSoakService(config, epoch_seconds=args.epoch_seconds,
+                              series_interval_seconds=args.series_interval)
+    port = service.serve(host=args.host, port=args.port)
+    # One parseable line: CI greps the bound port out of it.
+    print(f"soak: listening on port {port} "
+          f"(http://{args.host}:{port}/metrics /healthz /slo; "
+          f"POST /quit stops)", flush=True)
+    try:
+        epochs = service.run(max_epochs=args.max_epochs,
+                             grace_seconds=args.serve_grace)
+    except KeyboardInterrupt:
+        service.stop()
+        epochs = service.epochs
+    finally:
+        service.shutdown()
+    if args.series_out:
+        written = write_series_jsonl(service.series, args.series_out)
+        print(f"wrote {written} series records "
+              f"({len(service.series.samples)} samples, "
+              f"{len(service.series.events)} events) to "
+              f"{args.series_out}")
+    print(f"soak: served {epochs} epochs, "
+          f"{service.virtual_seconds:.1f}s virtual")
+    _finish_obs(args)
+    return 0
+
+
+def _cmd_timeseries(args) -> int:
+    from repro.obs import (read_series_jsonl, render_dashboard_html,
+                           render_series)
+
+    try:
+        series = read_series_jsonl(args.series)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"error: cannot read series {args.series}: {exc}",
+              file=sys.stderr)
+        return 2
+    keys = args.key or None
+    if keys:
+        known = set(series.keys())
+        missing = [k for k in keys if k not in known]
+        if missing:
+            print(f"error: unknown series key(s) {missing}; "
+                  f"known: {series.keys()}", file=sys.stderr)
+            return 2
+    if args.html:
+        html = render_dashboard_html(series, keys=keys)
+        with open(args.html, "w", encoding="utf-8") as fh:
+            fh.write(html)
+    if args.json:
+        payload = series.as_dict()
+        if keys:
+            payload["samples"] = [
+                {"kind": "sample", "t_cycles": s.t_cycles,
+                 "values": {k: v for k, v in s.values.items()
+                            if k in keys}}
+                for s in series.samples]
+        return _print_json(args, payload)
+    print(render_series(series, keys=keys, width=args.width))
+    if args.html:
+        print(f"wrote dashboard to {args.html}")
+    return 0
+
+
 def _cmd_capacity(args) -> int:
     from repro.farm import (AutoscalePolicy, FarmConfig, SloTarget,
                             TrafficProfile, build_farm, capacity_table,
@@ -674,6 +818,9 @@ def _cmd_capacity(args) -> int:
             raise ValueError("--fault-episodes must be non-negative")
         fault_spec = (_parse_fault_spec(args.faults)
                       if args.faults else None)
+        if args.series_out and not args.autoscale:
+            raise ValueError("--series-out needs --autoscale (the "
+                             "static plan has no timeline)")
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -707,6 +854,15 @@ def _cmd_capacity(args) -> int:
                                n_epochs=args.epochs,
                                epoch_seconds=args.epoch_seconds,
                                curve=args.curve)
+        if args.series_out:
+            from repro.obs import write_series_jsonl
+            written = write_series_jsonl(report.series,
+                                         args.series_out)
+            if not args.json:
+                print(f"wrote {written} series records "
+                      f"({len(report.series.samples)} samples, "
+                      f"{len(report.series.events)} events) to "
+                      f"{args.series_out}")
 
     if args.json:
         results = {
@@ -871,6 +1027,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="report the metrics summary (under results.metrics with "
              "--json)")
     obs_flags.add_argument(
+        "--metrics-out", metavar="FILE",
+        help="write the rendered metrics registry to this file")
+    obs_flags.add_argument(
+        "--metrics-format", choices=("text", "prometheus"),
+        default="text",
+        help="rendering for --metrics-out and the --metrics table "
+             "(default: text)")
+    obs_flags.add_argument(
         "--profile", metavar="FILE",
         help="enable tracing and write the run's cycle-attribution "
              "profile here as JSON (prints a top-10 table too)")
@@ -970,6 +1134,31 @@ def build_parser() -> argparse.ArgumentParser:
                         "utilization=0.2")
     p.add_argument("--slo-window", type=float, default=1.0,
                    help="SLO evaluation window in (virtual) seconds")
+    p.add_argument("--scheduler", default="preferential",
+                   help="scheduler the --serve soak loop runs and the "
+                        "--series-out export follows (the offline "
+                        "table still sweeps every policy)")
+    p.add_argument("--series-out", metavar="FILE",
+                   help="export the run as a virtual-time metrics "
+                        "series (JSONL; fault/SLO events annotated)")
+    p.add_argument("--series-interval", type=float, default=0.05,
+                   help="series sampling interval in virtual seconds")
+    p.add_argument("--serve", action="store_true",
+                   help="soak mode: replay traffic epochs continuously "
+                        "and expose /metrics, /healthz, /slo over HTTP")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="--serve bind address")
+    p.add_argument("--port", type=int, default=0,
+                   help="--serve port (0 picks a free one; the bound "
+                        "port is printed)")
+    p.add_argument("--max-epochs", type=int, default=None,
+                   help="--serve: stop after N epochs (default: run "
+                        "until POST /quit or Ctrl-C)")
+    p.add_argument("--epoch-seconds", type=float, default=2.0,
+                   help="--serve epoch length in virtual seconds")
+    p.add_argument("--serve-grace", type=float, default=0.0,
+                   help="--serve: linger this many wall seconds after "
+                        "the last epoch for late scrapers")
     p.add_argument("--json", action="store_true",
                    help="emit machine-readable JSON instead of tables")
     p.set_defaults(func=_cmd_farm)
@@ -1010,6 +1199,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "must scale the capacity back")
     p.add_argument("--fault-episodes", type=int, default=3,
                    help="fault episodes a seeded --faults plan draws")
+    p.add_argument("--series-out", metavar="FILE",
+                   help="with --autoscale: export the per-epoch "
+                        "series (JSONL; scale/failure events "
+                        "annotated)")
     p.add_argument("--json", action="store_true",
                    help="emit the plan/table/autoscale report as JSON")
     p.set_defaults(func=_cmd_capacity)
@@ -1032,6 +1225,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="emit the profile tree as JSON")
     p.set_defaults(func=_cmd_profile)
+
+    p = sub.add_parser("timeseries",
+                       help="render a saved virtual-time metrics "
+                            "series (sparklines / HTML dashboard)")
+    p.add_argument("--series", required=True, metavar="FILE",
+                   help="JSONL series written by --series-out")
+    p.add_argument("--key", action="append", metavar="NAME",
+                   help="only these series keys (repeatable; default "
+                        "all)")
+    p.add_argument("--html", metavar="FILE",
+                   help="write a self-contained HTML dashboard here")
+    p.add_argument("--width", type=int, default=64,
+                   help="sparkline width in columns")
+    p.add_argument("--json", action="store_true",
+                   help="emit the series as JSON")
+    p.set_defaults(func=_cmd_timeseries)
 
     from repro.obs.bench import DEFAULT_BASELINE_DIR
     p = sub.add_parser("bench", parents=[cache_flags],

@@ -30,7 +30,16 @@ preferential algorithm.  This package models exactly that step:
   import round-trips the exact request stream);
 - :mod:`repro.farm.autoscale` -- the autoscaling capacity service:
   arrival curves, scale-out/in policies with warm-up costs, per-epoch
-  SLO attainment.
+  SLO attainment;
+- :mod:`repro.farm.timeseries` -- virtual-time metrics series of a
+  run: a :class:`FarmSeriesRecorder` samples completion counters,
+  windowed p99 / secure-throughput gauges, and latency histograms on
+  a fixed cycle interval (live, or derived post hoc from any merged
+  result), with fault and SLO-alert event annotations;
+- :mod:`repro.farm.serve`     -- the soak service behind
+  ``python -m repro farm --serve``: replays traffic epochs
+  continuously and exposes ``/metrics`` (Prometheus text exposition,
+  virtual-time timestamps), ``/healthz``, and ``/slo`` over HTTP.
 
 Drive it from the command line with ``python -m repro farm``.
 """
@@ -65,6 +74,10 @@ from repro.farm.shard import (ShardedRun, merge_results, run_sharded,
 from repro.farm.simulator import (BASE_CORE_GATES, Completion, Core,
                                   CoreSpec, FarmResult, FarmSimulator,
                                   build_farm, publish_metrics)
+from repro.farm.serve import FarmSoakService
+from repro.farm.timeseries import (DEFAULT_SERIES_INTERVAL_SECONDS,
+                                   FarmSeriesRecorder, annotate_faults,
+                                   annotate_slo, series_of)
 from repro.farm.workload import (RequestCost, SessionRequest,
                                  TrafficProfile, cost_of,
                                  generate_requests, is_public_key_heavy,
@@ -74,21 +87,25 @@ __all__ = [
     "ARRIVAL_CURVES", "BASE_CORE_GATES", "AutoscalePolicy",
     "AutoscaleReport", "CalendarEventQueue", "CapacityPlan",
     "Completion", "Core", "CoreSpec",
-    "DEFAULT_REDISPATCH_PENALTY_CYCLES", "EVENT_QUEUES", "EpochReport",
+    "DEFAULT_REDISPATCH_PENALTY_CYCLES",
+    "DEFAULT_SERIES_INTERVAL_SECONDS", "EVENT_QUEUES", "EpochReport",
     "EventQueue", "FAULT_KINDS", "FarmConfig", "FarmMetrics",
-    "FarmResult", "FarmRun", "FarmSimulator", "FaultEvent",
-    "FaultPlan", "FaultReport", "HeapEventQueue",
+    "FarmResult", "FarmRun", "FarmSeriesRecorder", "FarmSimulator",
+    "FarmSoakService", "FaultEvent", "FaultPlan", "FaultReport",
+    "HeapEventQueue",
     "LeastLoadedScheduler", "PreferentialScheduler", "RequestCost",
     "RoundRobinScheduler", "SCHEDULERS", "Scheduler", "SessionRequest",
     "ShardedRun", "SloMonitor", "SloObjective", "SloReport",
     "SloTarget", "TrafficProfile", "WorkloadTrace",
-    "arrival_multiplier", "build_farm", "capacity_table",
+    "annotate_faults", "annotate_slo", "arrival_multiplier",
+    "build_farm", "capacity_table",
     "cores_for_rate", "cost_of", "curve_names", "export_workload",
     "farm_rate_targets", "generate_fault_plan", "generate_requests",
     "import_workload", "is_public_key_heavy", "make_event_queue",
     "make_scheduler", "merge_results", "percentile", "plan_farm",
     "publish_metrics", "queue_kinds", "run_autoscale", "run_farm",
-    "run_sharded", "session_id_for_client", "shard_workload",
+    "run_sharded", "series_of", "session_id_for_client",
+    "shard_workload",
     "specs_as_configs", "summarize", "summarize_faults",
     "window_metrics",
 ]

@@ -25,6 +25,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.mp import DeterministicPrng
 from repro.obs.slo import SloTarget as _SloTarget
+from repro.obs.timeseries import MetricsTimeSeries
 from repro.ssl.throughput import DEFAULT_CLOCK_HZ
 from repro.farm.faults import FaultPlan
 from repro.farm.metrics import percentile
@@ -185,6 +186,12 @@ class AutoscaleReport:
     slo: _SloTarget
     epoch_seconds: float
     epochs: List[EpochReport] = field(default_factory=list)
+    #: Epoch-granularity time series of the control loop (one sample
+    #: per epoch boundary, scale actions and core failures annotated).
+    #: Not serialized by :meth:`as_dict` -- the epoch rows already
+    #: carry the same numbers; export it with
+    #: :func:`repro.obs.timeseries.write_series_jsonl`.
+    series: Optional[MetricsTimeSeries] = None
 
     @property
     def peak_cores(self) -> int:
@@ -281,7 +288,11 @@ def run_autoscale(config, policy: AutoscalePolicy = None,
     epoch_cycles = epoch_seconds * clock_hz
     report = AutoscaleReport(curve=curve, scheduler=config.scheduler,
                              policy=policy, slo=slo,
-                             epoch_seconds=epoch_seconds)
+                             epoch_seconds=epoch_seconds,
+                             series=MetricsTimeSeries(
+                                 clock_hz=clock_hz,
+                                 interval_cycles=epoch_cycles,
+                                 capacity=max(1, n_epochs)))
     for epoch in range(n_epochs):
         # Warm cores ordered before this epoch come online now.
         ready = sum(count for ready_epoch, count in warming
@@ -353,6 +364,27 @@ def run_autoscale(config, policy: AutoscalePolicy = None,
             utilization=utilization, p99_ms=p99_ms,
             secure_mbps=secure_mbps, slo_met=slo_met, action=action,
             slo_violations=len(violated), failed_cores=failed))
+        # One sample per epoch boundary on the virtual clock: the
+        # over-time view of the warm-up lag the epoch table tabulates.
+        boundary = (epoch + 1) * epoch_cycles
+        report.series.append(boundary, {
+            "autoscale.active_cores": float(active),
+            "autoscale.warming_cores": float(
+                sum(count for _, count in warming)),
+            "autoscale.offered_rate": rate,
+            "autoscale.offered": float(offered),
+            "autoscale.completed": float(len(result.completions)),
+            "autoscale.utilization": utilization,
+            "autoscale.p99_ms": p99_ms,
+            "autoscale.secure_mbps": secure_mbps,
+            "autoscale.slo_met": float(slo_met),
+        })
+        if action != "hold":
+            report.series.annotate(boundary, f"autoscale.{action}",
+                                   epoch=epoch, active_cores=active)
+        if failed:
+            report.series.annotate(boundary, "autoscale.core_failure",
+                                   epoch=epoch, failed=failed)
     return report
 
 

@@ -22,6 +22,8 @@ from typing import Optional, Tuple
 
 from repro.obs import MetricsRegistry, Tracer
 from repro.obs.slo import SloMonitor, SloReport, SloTarget
+from repro.obs.timeseries import (DEFAULT_SERIES_CAPACITY,
+                                  MetricsTimeSeries)
 from repro.parallel import Executor
 from repro.ssl.throughput import DEFAULT_CLOCK_HZ
 from repro.costs import PlatformCosts
@@ -61,6 +63,11 @@ class FarmConfig:
     faults: Optional[FaultPlan] = None
     slo: Optional[SloTarget] = None
     slo_window_seconds: float = 1.0
+    #: Sample the run as a virtual-time series every this many
+    #: (virtual) seconds; ``None`` (the default) records no series, so
+    #: pre-series configs reproduce byte for byte.
+    series_interval_seconds: Optional[float] = None
+    series_capacity: int = DEFAULT_SERIES_CAPACITY
 
     def __post_init__(self):
         object.__setattr__(self, "specs", tuple(self.specs))
@@ -91,6 +98,11 @@ class FarmConfig:
             raise ValueError("clock_hz must be positive")
         if self.slo_window_seconds <= 0:
             raise ValueError("slo_window_seconds must be positive")
+        if (self.series_interval_seconds is not None
+                and self.series_interval_seconds <= 0):
+            raise ValueError("series_interval_seconds must be positive")
+        if self.series_capacity < 1:
+            raise ValueError("series_capacity must be >= 1")
 
     @classmethod
     def build(cls, cores: int, base_costs: PlatformCosts,
@@ -116,6 +128,10 @@ class FarmRun:
     metrics: FarmMetrics
     faults: Optional[FaultReport] = None
     slo: Optional[SloReport] = None
+    #: The run's virtual-time series (only when the config asked for
+    #: one via ``series_interval_seconds``), fault and SLO-alert
+    #: events annotated.
+    series: Optional[MetricsTimeSeries] = None
 
     @property
     def result(self) -> FarmResult:
@@ -156,8 +172,19 @@ def run_farm(config: FarmConfig, *, tracer: Optional[Tracer] = None,
                              window_seconds=config.slo_window_seconds,
                              registry=metrics,
                              scheduler=result.scheduler_name)
-        slo_report = monitor.observe_all(
+        monitor.observe_all(
             window_metrics(result, config.slo_window_seconds))
+        slo_report = monitor.finish()
+    series: Optional[MetricsTimeSeries] = None
+    if config.series_interval_seconds is not None:
+        # Derived post hoc from the merged completion stream, so the
+        # series is byte-identical for any worker count (and, at
+        # shards=1, to live in-simulator sampling).
+        from repro.farm.timeseries import series_of
+        series = series_of(
+            result, faults=config.faults, slo_report=slo_report,
+            interval_seconds=config.series_interval_seconds,
+            capacity=config.series_capacity)
     return FarmRun(config=config, sharded=sharded,
                    metrics=summarize(result), faults=fault_report,
-                   slo=slo_report)
+                   slo=slo_report, series=series)

@@ -82,7 +82,11 @@ def window_metrics(result: FarmResult,
     window (omitted when none did -- unmeasured, not zero),
     ``secure_mbps`` of the payload those completions delivered against
     the window wall, and ``utilization`` as the served cycles
-    overlapping the window over the farm's window capacity.
+    overlapping the window over the farm's window capacity.  Every
+    sample also carries ``completed`` (the window's completion count);
+    :class:`~repro.obs.slo.SloTarget` ignores metrics it has no
+    objective for, and the count lets conservation checks assert that
+    windowing neither drops nor double-counts completions.
     """
     if window_seconds <= 0:
         raise ValueError("window_seconds must be positive")
@@ -101,7 +105,7 @@ def window_metrics(result: FarmResult,
     for index, bucket in enumerate(buckets):
         start = index * window_cycles
         end = start + window_cycles
-        sample: Dict[str, float] = {}
+        sample: Dict[str, float] = {"completed": float(len(bucket))}
         if bucket:
             sample["p99_ms"] = percentile(
                 [c.latency_cycles / clock * 1e3 for c in bucket], 99)

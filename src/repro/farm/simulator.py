@@ -210,7 +210,8 @@ class FarmSimulator:
                  tracer: Optional[Tracer] = None,
                  metrics: Optional[MetricsRegistry] = None,
                  queue: str = "heap",
-                 faults: Optional[FaultPlan] = None):
+                 faults: Optional[FaultPlan] = None,
+                 sampler=None):
         if not specs:
             raise ValueError("farm needs at least one core")
         self.specs = list(specs)
@@ -221,6 +222,12 @@ class FarmSimulator:
         self.metrics = metrics
         self.queue = queue
         self.faults = faults
+        #: Optional live time-series recorder (e.g. a
+        #: :class:`repro.farm.timeseries.FarmSeriesRecorder`): its
+        #: ``observe(completion)`` runs at each completion event, in
+        #: emission order.  The caller owns ``finish()`` -- the
+        #: simulator never closes the series.
+        self.sampler = sampler
         #: Operation counters of the last run's event queue (see
         #: :meth:`repro.farm.events.EventQueue.stats`).
         self.last_queue_stats: Dict[str, float] = {}
@@ -229,9 +236,10 @@ class FarmSimulator:
         cores = [Core(i, spec, self.cache_capacity)
                  for i, spec in enumerate(self.specs)]
         tracer = self.tracer
-        # Hoisted no-op check: the disabled path costs one identity
-        # comparison per run, not per event (regression-tested).
+        # Hoisted no-op checks: the disabled path costs one identity /
+        # None comparison per run, not per event (regression-tested).
         trace = tracer is not NULL_TRACER
+        sampler = self.sampler
         sched_name = getattr(self.scheduler, "name", "?")
         # The run's root span: opened now so request spans can parent
         # to it, closed at the makespan once the heap drains.
@@ -310,10 +318,13 @@ class FarmSimulator:
                 core = cores[core_index]
                 request = core.current
                 start, service, hit = starts.pop((core_index, seq))
-                completions.append(Completion(
+                completion = Completion(
                     request=request, core_index=core_index,
                     start_cycle=start, finish_cycle=now,
-                    service_cycles=service, cache_hit=hit))
+                    service_cycles=service, cache_hit=hit)
+                completions.append(completion)
+                if sampler is not None:
+                    sampler.observe(completion)
                 core.busy_cycles += service
                 core.served += 1
                 model = get_protocol(request.protocol)

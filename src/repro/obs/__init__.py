@@ -30,7 +30,15 @@ justify itself:
 - :mod:`repro.obs.slo`     -- the shared service-level-objective
   vocabulary (:class:`SloObjective`, :class:`SloTarget`) and the
   runtime :class:`SloMonitor` that grades epoch windows and publishes
-  ``farm.slo_*`` counters.
+  ``farm.slo_*`` counters;
+- :mod:`repro.obs.timeseries` -- virtual-time metrics series: a
+  :class:`TimeSeriesSampler` snapshots a registry every N cycles into
+  a bounded :class:`MetricsTimeSeries` ring (JSONL round-trip,
+  windowed ``rate``/``delta``/``max_over_time``/``quantile_over_time``
+  queries, sparkline rendering);
+- :mod:`repro.obs.dashboard` -- self-contained HTML dashboards of an
+  exported series (inline-SVG charts, event annotations, no external
+  assets).
 
 Instrumented layers: :mod:`repro.farm.simulator` (per-request spans,
 queue-depth timelines, session-cache counters), :mod:`repro.costs`
@@ -53,14 +61,24 @@ from repro.obs.export import (metrics_summary, read_events_jsonl,
 from repro.obs.profile import CycleProfile, ProfileNode
 from repro.obs.slo import (SloMonitor, SloObjective, SloReport,
                            SloTarget, SloWindow, parse_slo)
+from repro.obs.timeseries import (DEFAULT_SERIES_CAPACITY,
+                                  MetricsTimeSeries, SeriesEvent,
+                                  SeriesSample, TimeSeriesSampler,
+                                  read_series_jsonl, render_series,
+                                  snapshot_registry, sparkline,
+                                  write_series_jsonl)
+from repro.obs.dashboard import render_dashboard_html
 
 __all__ = [
-    "Counter", "CycleProfile", "DEFAULT_LATENCY_MS_EDGES", "Gauge",
-    "Histogram", "MetricsRegistry", "NULL_TRACER", "NullTracer",
-    "ProfileNode", "SloMonitor", "SloObjective", "SloReport",
-    "SloTarget", "SloWindow", "Span", "Tracer", "configure_tracing",
+    "Counter", "CycleProfile", "DEFAULT_LATENCY_MS_EDGES",
+    "DEFAULT_SERIES_CAPACITY", "Gauge", "Histogram", "MetricsRegistry",
+    "MetricsTimeSeries", "NULL_TRACER", "NullTracer", "ProfileNode",
+    "SeriesEvent", "SeriesSample", "SloMonitor", "SloObjective",
+    "SloReport", "SloTarget", "SloWindow", "Span",
+    "TimeSeriesSampler", "Tracer", "configure_tracing",
     "get_registry", "get_tracer", "metrics_summary", "parse_slo",
-    "read_events_jsonl", "render_metrics", "reset_metrics",
-    "reset_tracing", "set_registry", "tracing_enabled",
-    "write_events_jsonl",
+    "read_events_jsonl", "read_series_jsonl", "render_dashboard_html",
+    "render_metrics", "render_series", "reset_metrics",
+    "reset_tracing", "set_registry", "snapshot_registry", "sparkline",
+    "tracing_enabled", "write_events_jsonl", "write_series_jsonl",
 ]

@@ -658,6 +658,97 @@ def _farm_chaos_metrics() -> Dict[str, object]:
     return metrics
 
 
+def _farm_timeseries_metrics() -> Dict[str, object]:
+    import io
+    from dataclasses import replace
+    from repro.farm import (FarmConfig, FarmSimulator, FaultEvent,
+                            FaultPlan, TrafficProfile, build_farm,
+                            generate_requests, make_scheduler,
+                            run_farm)
+    from repro.farm.timeseries import FarmSeriesRecorder
+    from repro.obs.slo import SloTarget
+    from repro.obs.timeseries import (read_series_jsonl,
+                                      write_series_jsonl)
+    from repro.parallel import ThreadExecutor
+    from repro.ssl.throughput import DEFAULT_CLOCK_HZ
+    base, opt = _measured_pair()
+    specs = build_farm(8, base, opt, extended_fraction=0.5)
+    profile = TrafficProfile(arrival_rate=150.0, clients=64)
+    n = 400
+    second = DEFAULT_CLOCK_HZ
+    # The farm_chaos plan, re-observed as a time series: the p99 spike
+    # must be visible in the interval gauge while core 1 is down, and
+    # the recovery must be visible after it returns.
+    plan = FaultPlan(events=(
+        FaultEvent(cycle=0.5 * second, kind="core_down", core=1),
+        FaultEvent(cycle=1.5 * second, kind="core_up", core=1),
+        FaultEvent(cycle=0.8 * second, kind="cache_flush", core=4),
+        FaultEvent(cycle=0.6 * second, kind="degrade", core=2),
+        FaultEvent(cycle=1.8 * second, kind="core_up", core=2),
+    ), degraded_costs=base)
+    slo = SloTarget(p99_ms=20.0, secure_mbps=1.0)
+    config = FarmConfig(specs=tuple(specs), scheduler="preferential",
+                        profile=profile, n_requests=n, seed=1,
+                        faults=plan, slo=slo,
+                        series_interval_seconds=0.05)
+
+    def export(series) -> str:
+        buf = io.StringIO()
+        write_series_jsonl(series, buf)
+        return buf.getvalue()
+
+    chaos = run_farm(config)
+    text = export(chaos.series)
+    repeat = export(run_farm(config).series)
+    # The exact round-trip: read back, re-export, byte-compare.
+    reread = export(read_series_jsonl(io.StringIO(text)))
+    # A sharded chaos series must not depend on the worker count.
+    config4 = replace(config, shards=4)
+    serial4 = export(run_farm(config4).series)
+    with ThreadExecutor(2) as pool:
+        par4 = export(run_farm(config4, executor=pool).series)
+    # Live in-simulator sampling at shards=1 equals the post-hoc
+    # derivation bit for bit (healthy run: the plain simulator path).
+    requests = generate_requests(profile, n, seed=1)
+    recorder = FarmSeriesRecorder(scheduler="preferential", n_cores=8,
+                                  clock_hz=DEFAULT_CLOCK_HZ,
+                                  interval_seconds=0.05)
+    live_result = FarmSimulator(specs, make_scheduler("preferential"),
+                                sampler=recorder).run(requests)
+    recorder.finish(live_result.makespan_cycles)
+    live = export(recorder.series)
+    posthoc = export(run_farm(replace(
+        config, faults=None, slo=None)).series)
+
+    series = chaos.series
+    key = "farm.interval.p99_ms{scheduler=preferential}"
+    pre_spike = series.max_over_time(key, end_cycles=0.5 * second)
+    spike = series.max_over_time(key, start_cycles=0.5 * second,
+                                 end_cycles=1.5 * second)
+    recovered = series.max_over_time(key, start_cycles=1.9 * second)
+    return {
+        "cores": 8.0, "requests": float(n),
+        "samples": float(len(series.samples)),
+        "events": float(len(series.events)),
+        "fault_annotations": float(sum(
+            1 for e in series.events if e.name.startswith("fault."))),
+        "slo_alerts": float(sum(
+            1 for e in series.events if e.name == "slo.alert")),
+        # Hard zeros: the determinism contract, byte for byte.
+        "repeat_export_diff": float(text != repeat),
+        "roundtrip_diff": float(text != reread),
+        "shard4.jobs_export_diff": float(serial4 != par4),
+        "live_vs_posthoc_diff": float(live != posthoc),
+        "p99_pre_spike_ms": pre_spike,
+        "p99_spike_ms": spike,
+        "p99_recovered_ms": recovered,
+        # The outage is visible (spike well above the pre-fault tail)
+        # and transient (post-recovery tail back near pre-fault).
+        "p99_spike_ratio": (spike / pre_spike if pre_spike else 0.0),
+        "p99_recovery_ratio": (recovered / spike if spike else 0.0),
+    }
+
+
 _CYCLES = Gate(tolerance=0.10, direction="lower")
 _SPEEDUP = Gate(tolerance=0.10, direction="higher")
 _EXACT_COUNT = Gate(tolerance=0.0, direction="higher")
@@ -841,6 +932,31 @@ register_scenario(Scenario(
         "slo_windows_violated": _EXACT_COUNT,
         "slo_violations": _EXACT_COUNT,
         "gen.events": _EXACT_COUNT,
+    }))
+
+register_scenario(Scenario(
+    name="farm_timeseries",
+    description="virtual-time series of the chaos run: byte-identical "
+                "exports across repeats/jobs, live-vs-posthoc "
+                "equality, JSONL round-trip, and the visible "
+                "p99 spike + recovery around the core outage",
+    run=_farm_timeseries_metrics,
+    gates={
+        "cores": _EXACT_COUNT,
+        "requests": _EXACT_COUNT,
+        "samples": _EXACT_COUNT,
+        "events": _EXACT_COUNT,
+        "fault_annotations": _EXACT_COUNT,
+        "slo_alerts": _EXACT_COUNT,
+        # Hard zeros: determinism is byte-level, not approximate.
+        "repeat_export_diff": Gate(tolerance=0.0, direction="lower"),
+        "roundtrip_diff": Gate(tolerance=0.0, direction="lower"),
+        "shard4.jobs_export_diff": Gate(tolerance=0.0,
+                                        direction="lower"),
+        "live_vs_posthoc_diff": Gate(tolerance=0.0, direction="lower"),
+        "p99_spike_ms": Gate(tolerance=0.15, direction="lower"),
+        "p99_spike_ratio": Gate(tolerance=0.15, direction="higher"),
+        "p99_recovery_ratio": Gate(tolerance=0.25, direction="lower"),
     }))
 
 register_scenario(Scenario(

@@ -1,0 +1,114 @@
+"""Self-contained HTML dashboards for exported time series.
+
+:func:`render_dashboard_html` turns a :class:`~repro.obs.timeseries
+.MetricsTimeSeries` into one HTML file with zero external assets: an
+inline-SVG line chart per metric key, point events drawn as labelled
+vertical rules on every chart, and a summary table.  The output is a
+pure function of the series (no wall-clock timestamps, no random
+ids), so regenerating the dashboard for the same exported series
+writes byte-identical HTML -- the same determinism contract every
+exporter in :mod:`repro.obs` keeps.
+"""
+
+from html import escape
+from typing import Iterable, List, Optional
+
+from repro.obs.timeseries import MetricsTimeSeries
+
+__all__ = ["render_dashboard_html"]
+
+_CHART_W = 640
+_CHART_H = 120
+_PAD = 8
+
+_STYLE = """
+body { font-family: monospace; background: #111; color: #ddd;
+       margin: 2em; }
+h1 { font-size: 1.2em; } h2 { font-size: 1.0em; color: #9cf; }
+svg { background: #1a1a1a; border: 1px solid #333; }
+table { border-collapse: collapse; margin: 1em 0; }
+td, th { border: 1px solid #333; padding: 2px 8px; text-align: right; }
+th { color: #9cf; } .event { color: #fc6; }
+""".strip()
+
+
+def _polyline(points, t_min, t_max, v_min, v_max) -> str:
+    """SVG polyline coordinates for (t, v) pairs in chart space."""
+    t_span = (t_max - t_min) or 1.0
+    v_span = (v_max - v_min) or 1.0
+    coords = []
+    for t, v in points:
+        x = _PAD + (t - t_min) / t_span * (_CHART_W - 2 * _PAD)
+        y = (_CHART_H - _PAD
+             - (v - v_min) / v_span * (_CHART_H - 2 * _PAD))
+        coords.append(f"{x:.1f},{y:.1f}")
+    return " ".join(coords)
+
+
+def _chart(series: MetricsTimeSeries, key: str) -> List[str]:
+    points = series.points(key)
+    if not points:
+        return []
+    values = [v for _, v in points]
+    t_min, t_max = points[0][0], points[-1][0]
+    v_min, v_max = min(values), max(values)
+    clock = series.clock_hz
+    out = [f"<h2>{escape(key)}</h2>",
+           f"<div>min {v_min:g} · max {v_max:g} · "
+           f"last {values[-1]:g}</div>",
+           f'<svg width="{_CHART_W}" height="{_CHART_H}" '
+           f'viewBox="0 0 {_CHART_W} {_CHART_H}">']
+    t_span = (t_max - t_min) or 1.0
+    for event in series.events:
+        if not t_min <= event.t_cycles <= t_max:
+            continue
+        x = _PAD + ((event.t_cycles - t_min) / t_span
+                    * (_CHART_W - 2 * _PAD))
+        out.append(f'<line x1="{x:.1f}" y1="0" x2="{x:.1f}" '
+                   f'y2="{_CHART_H}" stroke="#fc6" '
+                   f'stroke-dasharray="2,3">'
+                   f"<title>{escape(event.name)} @ "
+                   f"{event.t_cycles / clock:.3f}s</title></line>")
+    out.append(f'<polyline fill="none" stroke="#6cf" stroke-width="1.5" '
+               f'points="{_polyline(points, t_min, t_max, v_min, v_max)}"'
+               f" />")
+    out.append("</svg>")
+    return out
+
+
+def render_dashboard_html(series: MetricsTimeSeries,
+                          title: str = "repro soak dashboard",
+                          keys: Optional[Iterable[str]] = None) -> str:
+    """One self-contained HTML page: a chart per key plus the event
+    table.  ``keys`` restricts (and orders) the charted metrics;
+    the default charts every key the series carries."""
+    chosen = list(keys) if keys is not None else series.keys()
+    clock = series.clock_hz
+    span_s = (series.samples[-1].t_cycles / clock
+              if series.samples else 0.0)
+    parts = ["<!DOCTYPE html>", "<html><head>",
+             '<meta charset="utf-8">',
+             f"<title>{escape(title)}</title>",
+             f"<style>{_STYLE}</style>", "</head><body>",
+             f"<h1>{escape(title)}</h1>",
+             f"<div>{len(series.samples)} samples over "
+             f"{span_s:.3f}s virtual · {len(series.events)} events"
+             + (f" · {series.dropped} dropped" if series.dropped
+                else "") + "</div>"]
+    for key in chosen:
+        parts.extend(_chart(series, key))
+    if series.events:
+        parts.append("<h2>events</h2><table>")
+        parts.append("<tr><th>t (s)</th><th>event</th>"
+                     "<th>attributes</th></tr>")
+        for event in sorted(series.events,
+                            key=lambda e: (e.t_cycles, e.name)):
+            attrs = ", ".join(f"{k}={event.attrs[k]}"
+                              for k in sorted(event.attrs))
+            parts.append(
+                f'<tr><td>{event.t_cycles / clock:.3f}</td>'
+                f'<td class="event">{escape(event.name)}</td>'
+                f"<td>{escape(attrs)}</td></tr>")
+        parts.append("</table>")
+    parts.append("</body></html>")
+    return "\n".join(parts) + "\n"

@@ -96,20 +96,29 @@ def _prom_name(name: str) -> str:
     return sanitized
 
 
+def _prom_escape(value) -> str:
+    """Escape a label value per the text exposition format: backslash
+    first (so the other escapes survive), then quote, then newline."""
+    return (str(value).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
 def _prom_label_str(labels) -> str:
     """``{k="v",...}`` with value escaping, or '' when unlabelled."""
     if not labels:
         return ""
     rendered = ",".join(
-        '{}="{}"'.format(
-            _prom_name(key),
-            str(value).replace("\\", "\\\\").replace('"', '\\"')
-            .replace("\n", "\\n"))
+        '{}="{}"'.format(_prom_name(key), _prom_escape(value))
         for key, value in labels)
     return "{" + rendered + "}"
 
 
-def _render_prometheus(registry: MetricsRegistry) -> str:
+def _render_prometheus(registry: MetricsRegistry,
+                       timestamp_ms: Optional[int] = None) -> str:
+    # Explicit timestamps (milliseconds, appended per sample line) let
+    # the /metrics soak endpoint expose *virtual* time to a scraper
+    # instead of the scrape wall clock.
+    stamp = "" if timestamp_ms is None else f" {int(timestamp_ms)}"
     lines: List[str] = []
     typed = set()
     for name, labels, instrument in registry.items():
@@ -121,7 +130,7 @@ def _render_prometheus(registry: MetricsRegistry) -> str:
             typed.add(metric)
         if kind in ("counter", "gauge"):
             lines.append(f"{metric}{_prom_label_str(labels)} "
-                         f"{payload['value']:g}")
+                         f"{payload['value']:g}{stamp}")
             continue
         # Histogram: cumulative buckets, then sum and count.
         cumulative = 0
@@ -130,24 +139,29 @@ def _render_prometheus(registry: MetricsRegistry) -> str:
             cumulative += count
             bucket_labels = tuple(labels) + (("le", f"{edge:g}"),)
             lines.append(f"{metric}_bucket{_prom_label_str(bucket_labels)}"
-                         f" {cumulative}")
+                         f" {cumulative}{stamp}")
         inf_labels = tuple(labels) + (("le", "+Inf"),)
         lines.append(f"{metric}_bucket{_prom_label_str(inf_labels)} "
-                     f"{payload['count']}")
+                     f"{payload['count']}{stamp}")
         lines.append(f"{metric}_sum{_prom_label_str(labels)} "
-                     f"{payload['sum']:g}")
+                     f"{payload['sum']:g}{stamp}")
         lines.append(f"{metric}_count{_prom_label_str(labels)} "
-                     f"{payload['count']}")
+                     f"{payload['count']}{stamp}")
     return "\n".join(lines)
 
 
 def render_metrics(registry: Optional[MetricsRegistry] = None,
-                   format: str = "text") -> str:
+                   format: str = "text",
+                   timestamp_ms: Optional[int] = None) -> str:
     """Render a registry: ``format="text"`` (one instrument per line,
-    human-readable) or ``format="prometheus"`` (text exposition)."""
+    human-readable) or ``format="prometheus"`` (text exposition;
+    ``timestamp_ms`` stamps every sample line with an explicit
+    millisecond timestamp -- virtual time, for the soak endpoint)."""
     registry = registry if registry is not None else get_registry()
     if format == "prometheus":
-        return _render_prometheus(registry)
+        return _render_prometheus(registry, timestamp_ms=timestamp_ms)
+    if timestamp_ms is not None:
+        raise ValueError("timestamp_ms requires format='prometheus'")
     if format != "text":
         raise ValueError(f"unknown metrics format {format!r} "
                          f"(expected 'text' or 'prometheus')")

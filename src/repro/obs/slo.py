@@ -150,13 +150,20 @@ def parse_slo(spec: str) -> SloTarget:
 
 @dataclass
 class SloWindow:
-    """One evaluated window: the measured sample and what it breached."""
+    """One evaluated window: the measured sample and what it breached.
+
+    ``attainment`` is the *cumulative* attainment through this window
+    (fraction of windows up to and including it with every objective
+    met) -- the running health figure a live dashboard plots.  The
+    monitor fills it in; hand-built windows may leave it ``None``.
+    """
 
     index: int
     start_s: float
     end_s: float
     sample: Dict[str, float]
     violations: List[str] = field(default_factory=list)
+    attainment: Optional[float] = None
 
     @property
     def met(self) -> bool:
@@ -165,7 +172,8 @@ class SloWindow:
     def as_dict(self) -> Dict:
         return {"index": self.index, "start_s": self.start_s,
                 "end_s": self.end_s, "sample": dict(self.sample),
-                "violations": list(self.violations), "met": self.met}
+                "violations": list(self.violations), "met": self.met,
+                "attainment": self.attainment}
 
 
 @dataclass
@@ -236,6 +244,7 @@ class SloMonitor:
             sample=dict(sample),
             violations=self.target.violations(sample))
         self.report.windows.append(window)
+        window.attainment = self.report.attainment
         if self.registry is not None:
             self.registry.counter("farm.slo_windows",
                                   scheduler=self.scheduler).inc()
@@ -250,11 +259,15 @@ class SloMonitor:
         return window
 
     def observe_all(self, samples: Sequence[Dict[str, float]]
-                    ) -> SloReport:
-        """Evaluate a run's windows in order and :meth:`finish`."""
-        for sample in samples:
-            self.observe(sample)
-        return self.finish()
+                    ) -> List[SloWindow]:
+        """Evaluate a run's windows in order; returns their verdicts.
+
+        Historically this sealed the run and returned the
+        :class:`SloReport`, silently discarding the per-window
+        verdicts it had just computed; now the windows come back and
+        the caller seals with :meth:`finish` (which still returns the
+        full report)."""
+        return [self.observe(sample) for sample in samples]
 
     def finish(self) -> SloReport:
         """Seal the run: publish the attainment gauge, return the

@@ -61,6 +61,16 @@ class TestParser:
         ["farm", "--faults", "plan.json", "--json"],
         ["capacity", "--autoscale", "--faults", "3",
          "--fault-episodes", "4"],
+        ["farm", "--series-out", "s.jsonl", "--series-interval",
+         "0.1", "--scheduler", "least-loaded"],
+        ["farm", "--serve", "--port", "0", "--max-epochs", "3",
+         "--epoch-seconds", "1.0", "--serve-grace", "0.5"],
+        ["farm", "--metrics-out", "m.prom", "--metrics-format",
+         "prometheus"],
+        ["capacity", "--autoscale", "--series-out", "s.jsonl"],
+        ["timeseries", "--series", "s.jsonl", "--key", "a",
+         "--key", "b", "--html", "d.html", "--width", "40"],
+        ["timeseries", "--series", "s.jsonl", "--json"],
     ])
     def test_valid_invocations_parse(self, argv):
         args = build_parser().parse_args(argv)
@@ -548,3 +558,80 @@ class TestChaosCli:
         out = capsys.readouterr().out
         assert "viol" in out and "fail" in out
         assert "core failures" in out
+
+
+class TestSeriesCli:
+    def test_farm_series_out_round_trips(self, tmp_path, capsys):
+        from repro.obs import read_series_jsonl
+        path = tmp_path / "series.jsonl"
+        assert main(["farm", "--cores", "4", "--requests", "80",
+                     "--seed", "1", "--rate", "150", "--faults", "7",
+                     "--slo", "p99_ms=5",
+                     "--series-out", str(path)]) == 0
+        assert "wrote" in capsys.readouterr().out
+        series = read_series_jsonl(str(path))
+        assert series.samples
+        tag = "{scheduler=preferential}"
+        assert f"farm.requests.completed{tag}" in series.keys()
+        names = {e.name for e in series.events}
+        assert any(n.startswith("fault.") for n in names)
+
+    def test_farm_slo_json_reports_per_window_attainment(self, capsys):
+        import json
+        assert main(["farm", "--cores", "2", "--requests", "40",
+                     "--seed", "1", "--rate", "150",
+                     "--slo", "p99_ms=0.001", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        slo = payload["results"]["slo"]["by_scheduler"]["preferential"]
+        assert slo["windows"], "expected per-window entries"
+        for window in slo["windows"]:
+            assert 0.0 <= window["attainment"] <= 1.0
+        assert slo["windows"][-1]["attainment"] == \
+            pytest.approx(slo["attainment"])
+
+    def test_metrics_out_writes_prometheus(self, tmp_path, capsys):
+        path = tmp_path / "metrics.prom"
+        assert main(["farm", "--cores", "2", "--requests", "40",
+                     "--seed", "1", "--metrics-out", str(path),
+                     "--metrics-format", "prometheus"]) == 0
+        assert "wrote prometheus metrics" in capsys.readouterr().out
+        text = path.read_text()
+        assert "# TYPE farm_requests_completed counter" in text
+        assert 'scheduler="preferential"' in text
+
+    def test_serve_smoke_bounded_epochs(self, tmp_path, capsys):
+        path = tmp_path / "soak.jsonl"
+        assert main(["farm", "--cores", "2", "--rate", "40",
+                     "--seed", "3", "--serve", "--port", "0",
+                     "--max-epochs", "2", "--epoch-seconds", "0.5",
+                     "--series-out", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "soak: listening on port" in out
+        assert "soak: served 2 epochs, 1.0s virtual" in out
+        assert path.exists()
+
+    def test_capacity_series_out_needs_autoscale(self, tmp_path,
+                                                 capsys):
+        assert main(["capacity", "--series-out", "s.jsonl"]) == 2
+        assert "--autoscale" in capsys.readouterr().err
+
+    def test_capacity_autoscale_series_out(self, tmp_path, capsys):
+        from repro.obs import read_series_jsonl
+        path = tmp_path / "autoscale.jsonl"
+        assert main(["capacity", "--autoscale", "--curve", "constant",
+                     "--epochs", "4", "--max-cores", "8",
+                     "--series-out", str(path)]) == 0
+        series = read_series_jsonl(str(path))
+        assert len(series.samples) == 4
+        assert "autoscale.active_cores" in series.keys()
+
+    def test_farm_rejects_bad_series_args(self, capsys):
+        assert main(["farm", "--scheduler", "fifo"]) == 2
+        assert "--scheduler" in capsys.readouterr().err
+        assert main(["farm", "--series-out", "s.jsonl",
+                     "--series-interval", "0"]) == 2
+        assert "--series-interval" in capsys.readouterr().err
+        assert main(["farm", "--serve", "--replay", "t.jsonl"]) == 2
+        assert "--serve" in capsys.readouterr().err
+        assert main(["farm", "--serve", "--max-epochs", "0"]) == 2
+        assert "--max-epochs" in capsys.readouterr().err

@@ -120,11 +120,17 @@ class TestSloMonitor:
         monitor = SloMonitor(
             SloTarget(p99_ms=5.0, secure_mbps=10.0),
             registry=registry, scheduler="preferential")
-        monitor.observe_all([
+        windows = monitor.observe_all([
             {"p99_ms": 1.0, "secure_mbps": 20.0},
             {"p99_ms": 9.0, "secure_mbps": 20.0},
             {"p99_ms": 9.0, "secure_mbps": 1.0},
         ])
+        # observe_all returns the per-window verdicts, each stamped
+        # with the cumulative attainment through that window.
+        assert [w.met for w in windows] == [True, False, False]
+        assert [w.attainment for w in windows] == \
+            pytest.approx([1.0, 0.5, 1 / 3])
+        monitor.finish()
         tag = dict(scheduler="preferential")
         assert registry.counter("farm.slo_windows", **tag).value == 3
         assert registry.counter("farm.slo_violations", **tag).value == 3
@@ -137,8 +143,9 @@ class TestSloMonitor:
 
     def test_no_registry_is_fine(self):
         monitor = SloMonitor(SloTarget(p99_ms=5.0))
-        report = monitor.observe_all([{"p99_ms": 9.0}])
-        assert report.windows_violated == 1
+        windows = monitor.observe_all([{"p99_ms": 9.0}])
+        assert len(windows) == 1 and not windows[0].met
+        assert monitor.finish().windows_violated == 1
 
     def test_window_as_dict(self):
         window = SloWindow(index=0, start_s=0.0, end_s=1.0,
@@ -147,6 +154,9 @@ class TestSloMonitor:
         payload = window.as_dict()
         assert payload["met"] is False
         assert payload["violations"] == ["p99_ms"]
+        # Hand-built windows carry no cumulative attainment; the
+        # monitor stamps it when it appends the window to its report.
+        assert payload["attainment"] is None
 
 
 class TestWindowMetrics:
@@ -177,9 +187,11 @@ class TestWindowMetrics:
     def test_samples_feed_the_monitor(self):
         result = self._result()
         samples = window_metrics(result, 1.0)
-        report = SloMonitor(
-            SloTarget(utilization=0.0),
-            window_seconds=1.0).observe_all(samples)
+        monitor = SloMonitor(SloTarget(utilization=0.0),
+                             window_seconds=1.0)
+        windows = monitor.observe_all(samples)
+        report = monitor.finish()
+        assert len(windows) == len(samples)
         assert len(report.windows) == len(samples)
         assert all("utilization" in w.sample for w in report.windows)
         assert all(0.0 <= w.sample["utilization"] <= 1.0
@@ -189,3 +201,46 @@ class TestWindowMetrics:
         result = self._result(n_requests=10)
         with pytest.raises(ValueError):
             window_metrics(result, 0.0)
+
+    def test_window_longer_than_run(self):
+        # One window swallows the whole run: every completion lands in
+        # it and nothing is invented past the makespan.
+        result = self._result(n_requests=20)
+        samples = window_metrics(result, 1000.0)
+        assert len(samples) == 1
+        assert samples[0]["completed"] == float(len(result.completions))
+        assert 0.0 <= samples[0]["utilization"] <= 1.0
+
+    def test_zero_request_windows_are_explicit(self):
+        # Narrow windows leave gaps with no finishes; those samples
+        # report zero throughput and zero completions rather than
+        # omitting the window (an unmeasured window would hide an
+        # outage), and never invent a latency figure.
+        result = self._result(n_requests=40, rate=20.0)
+        samples = window_metrics(result, 0.01)
+        empty = [s for s in samples if s["completed"] == 0.0]
+        assert empty, "expected at least one idle window"
+        for sample in empty:
+            assert sample["secure_mbps"] == 0.0
+            assert "p99_ms" not in sample
+            assert "cache_hit_rate" not in sample
+
+    def test_completions_conserved_across_windows(self):
+        # Conservation: windowing neither drops nor double-counts, for
+        # any window size -- including windows that straddle fault
+        # transitions of a chaos-injected run.
+        from repro.farm import FaultEvent, FaultPlan
+        clock = self._result(n_requests=10).clock_hz
+        plan = FaultPlan(events=(
+            FaultEvent(cycle=0.5 * clock, kind="core_down", core=1),
+            FaultEvent(cycle=1.5 * clock, kind="core_up", core=1),
+        ), degraded_costs=BASE_COSTS)
+        config = FarmConfig(
+            specs=tuple(build_farm(4, BASE_COSTS, OPT_COSTS, 0.5)),
+            profile=TrafficProfile(arrival_rate=60.0),
+            n_requests=200, seed=1, faults=plan)
+        result = run_farm(config).result
+        total = float(len(result.completions))
+        for window_seconds in (0.25, 0.5, 0.7, 1.0, 3.0):
+            samples = window_metrics(result, window_seconds)
+            assert sum(s["completed"] for s in samples) == total
