@@ -964,7 +964,9 @@ def _cmd_bench(args) -> int:
     if args.check:
         reports, ok = bench.check_scenarios(args.dir, names)
         payload = {"ok": ok,
-                   "scenarios": [r.as_dict() for r in reports]}
+                   "scenarios": [r.as_dict() for r in reports],
+                   "extras": {name: bench.scenario_extras(name)
+                              for name in names}}
         if args.report:
             with open(args.report, "w") as fh:
                 json.dump(payload, fh, indent=2, sort_keys=True)
@@ -983,9 +985,13 @@ def _cmd_bench(args) -> int:
     for name in names:
         metrics = bench.run_scenario(name)
         path = bench.write_baseline(args.dir, name, metrics)
-        results[name] = {"path": path, "metrics": metrics}
+        extras = bench.scenario_extras(name)
+        results[name] = {"path": path, "metrics": metrics,
+                         "extras": extras}
         if not args.json:
-            print(f"recorded {name}: {len(metrics)} metrics -> {path}")
+            wall = extras.get("wall_seconds", 0.0)
+            print(f"recorded {name}: {len(metrics)} metrics -> {path} "
+                  f"({wall:.2f}s)")
     if args.json:
         return _print_json(args, results)
     return 0

@@ -43,7 +43,9 @@ class Instruction:
         return f"<{self.op} {self.args}>"
 
 
-@dataclass
+# eq=False: identity semantics, so programs are hashable and can key the
+# weak per-program cache of threaded code in repro.isa.compile.
+@dataclass(eq=False)
 class Program:
     """An assembled program: decoded instructions plus the symbol table."""
 

@@ -1,0 +1,859 @@
+"""Threaded-code compiler for the XT32 instruction-set simulator.
+
+The interpreter in :mod:`repro.isa.machine` re-decodes every
+instruction on every execution: one trip through a ~35-way if/elif
+chain, tuple indexing for operands, an immediate re-mask, a dcache
+presence test, and dict updates per step.  This module removes all of
+that by *predecoding*.  :func:`compile_program` translates an
+assembled :class:`~repro.isa.assembler.Program` once into two layers:
+
+1. **Threaded code** -- a parallel table of per-instruction Python
+   closures, each with its operand indices, masked immediates, cycle
+   cost, branch targets, extension semantics, and zero-register
+   handling baked into captured variables, so executing one
+   instruction is a single indirect call returning the next pc.
+2. **Fused basic blocks (superinstructions)** -- straight-line runs
+   between branch targets and control transfers are additionally
+   emitted as one generated Python function per block, amortizing the
+   dispatch loop, the instruction-budget check, and per-instruction
+   counting over the whole block.  Executed-instruction histograms are
+   recovered from one counter per block via a precomputed per-block
+   opcode histogram; a jump into the middle of a block (a computed
+   ``jr``) simply falls back to the per-instruction closures until the
+   next block leader.
+
+The compiled backend is **bit-identical** to the interpreter --
+``cycles``, ``instret``, ``opcode_counts``, the :class:`Profile`
+(local/inclusive cycles, call edges/counts) and final memory/registers
+all match exactly, on success *and* on fault paths; the differential
+tests and the ``iss_compiled`` bench scenario gate that equivalence at
+a hard zero.  Three mechanisms preserve exactness while batching work:
+
+- Profile attribution is deferred: code only bumps ``machine.cycles``
+  and the frame-local totals are flushed at call/return/exit
+  boundaries (integer addition is associative, so the flushed totals
+  equal the interpreter's per-step accumulation).
+- Static cycle costs inside a block are summed at compile time and
+  charged in batches, but always flushed *before* any instruction
+  that can fault (memory ops, custom instructions), so a trapped run
+  has charged exactly the cycles of the instructions that completed.
+- A block that faults reports ``(start, length, sub-index)`` through
+  ``machine._block_fault`` so the driver can repair the pre-charged
+  instruction count and attribute per-pc counts for the partial run,
+  matching the interpreter's state at the raise point.
+
+Compilation is cached per ``(Program, ExtensionSet)`` identity in a
+weak registry, so fleets and kernel runners that spawn a fresh
+:class:`~repro.isa.machine.Machine` per run pay for predecoding once.
+"""
+
+import weakref
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.isa.assembler import Instruction, Program
+from repro.isa.extensions import ExtensionSet
+from repro.isa.instructions import (BRANCH_TAKEN_PENALTY, LINK_REG,
+                                    WORD_MASK, ZERO_REG)
+
+#: One compiled instruction (or fused block): machine -> next pc.
+Step = Callable[[object], int]
+
+_SIGN_BIT = 0x80000000
+_TAKEN_COST = 1 + BRANCH_TAKEN_PENALTY
+
+_TERMINATORS = frozenset(
+    ("beq", "bne", "blt", "bge", "bltu", "bgeu", "j", "jal", "jr", "halt"))
+
+_BASE_OPS = frozenset(
+    ("add", "addi", "sub", "subi", "li", "mov", "and", "andi", "or", "ori",
+     "xor", "xori", "sll", "slli", "srl", "srli", "sra", "srai",
+     "sltu", "sltui", "slt", "mul", "mulhu",
+     "lw", "lb", "sw", "sb")) | _TERMINATORS
+
+
+class CompiledProgram:
+    """The threaded-code form of one program + extension configuration."""
+
+    __slots__ = ("steps", "op_names", "sentinel", "extensions",
+                 "blocks", "block_hists")
+
+    def __init__(self, steps: List[Step], op_names: List[str],
+                 sentinel: int, extensions: Optional[ExtensionSet],
+                 blocks: List[Optional[Tuple[Step, int, int]]],
+                 block_hists: List[Tuple[Tuple[str, int], ...]]):
+        self.steps = steps
+        self.op_names = op_names
+        self.sentinel = sentinel
+        #: ``blocks[pc]`` is ``(fn, length, block_id)`` at block leaders.
+        self.blocks = blocks
+        #: per block id: ((opcode, multiplicity), ...) for count merging
+        self.block_hists = block_hists
+        # Held strongly so the id()-keyed cache slot cannot be reused
+        # by a different ExtensionSet while this entry is alive.
+        self.extensions = extensions
+
+
+def _machine_error(message: str):
+    from repro.isa.machine import MachineError
+    return MachineError(message)
+
+
+# -- per-instruction closure emitters ----------------------------------------
+#
+# Every emitter returns a Step closure.  Registers written by the base
+# ISA are re-forced to zero by the interpreter after every instruction;
+# here that is resolved at compile time: a pure ALU op targeting r0 is
+# compiled to a cost-only step (the write is unobservable), and memory
+# reads targeting r0 keep their side effects (bounds check, dcache
+# access) but discard the loaded value.
+
+def _cost_only(cost: int, nxt: int) -> Step:
+    def step(m):
+        m.cycles += cost
+        return nxt
+    return step
+
+
+def _emit_binary(op: str, a, nxt: int) -> Optional[Step]:
+    d, s1, s2 = a[0], a[1], a[2]
+    if d == ZERO_REG:
+        return _cost_only(2 if op in ("mul", "mulhu") else 1, nxt)
+    if op == "add":
+        def step(m):
+            r = m.regs
+            r[d] = (r[s1] + r[s2]) & WORD_MASK
+            m.cycles += 1
+            return nxt
+    elif op == "sub":
+        def step(m):
+            r = m.regs
+            r[d] = (r[s1] - r[s2]) & WORD_MASK
+            m.cycles += 1
+            return nxt
+    elif op == "and":
+        def step(m):
+            r = m.regs
+            r[d] = r[s1] & r[s2]
+            m.cycles += 1
+            return nxt
+    elif op == "or":
+        def step(m):
+            r = m.regs
+            r[d] = r[s1] | r[s2]
+            m.cycles += 1
+            return nxt
+    elif op == "xor":
+        def step(m):
+            r = m.regs
+            r[d] = r[s1] ^ r[s2]
+            m.cycles += 1
+            return nxt
+    elif op == "sll":
+        def step(m):
+            r = m.regs
+            r[d] = (r[s1] << (r[s2] & 31)) & WORD_MASK
+            m.cycles += 1
+            return nxt
+    elif op == "srl":
+        def step(m):
+            r = m.regs
+            r[d] = r[s1] >> (r[s2] & 31)
+            m.cycles += 1
+            return nxt
+    elif op == "sra":
+        def step(m):
+            r = m.regs
+            r[d] = ((((r[s1] ^ _SIGN_BIT) - _SIGN_BIT) >> (r[s2] & 31))
+                    & WORD_MASK)
+            m.cycles += 1
+            return nxt
+    elif op == "sltu":
+        def step(m):
+            r = m.regs
+            r[d] = 1 if r[s1] < r[s2] else 0
+            m.cycles += 1
+            return nxt
+    elif op == "slt":
+        def step(m):
+            r = m.regs
+            r[d] = 1 if (r[s1] ^ _SIGN_BIT) < (r[s2] ^ _SIGN_BIT) else 0
+            m.cycles += 1
+            return nxt
+    elif op == "mul":
+        def step(m):
+            r = m.regs
+            r[d] = (r[s1] * r[s2]) & WORD_MASK
+            m.cycles += 2
+            return nxt
+    elif op == "mulhu":
+        def step(m):
+            r = m.regs
+            r[d] = (r[s1] * r[s2]) >> 32
+            m.cycles += 2
+            return nxt
+    else:
+        return None
+    return step
+
+
+def _emit_immediate(op: str, a, nxt: int) -> Optional[Step]:
+    d, s1 = a[0], a[1]
+    if op == "li":
+        value = a[1] & WORD_MASK
+        if d == ZERO_REG:
+            return _cost_only(1, nxt)
+
+        def step(m):
+            m.regs[d] = value
+            m.cycles += 1
+            return nxt
+        return step
+    if op == "mov":
+        if d == ZERO_REG:
+            return _cost_only(1, nxt)
+
+        def step(m):
+            r = m.regs
+            r[d] = r[s1]
+            m.cycles += 1
+            return nxt
+        return step
+    imm = a[2]
+    if d == ZERO_REG:
+        return _cost_only(1, nxt)
+    if op == "addi":
+        def step(m):
+            r = m.regs
+            r[d] = (r[s1] + imm) & WORD_MASK
+            m.cycles += 1
+            return nxt
+    elif op == "subi":
+        def step(m):
+            r = m.regs
+            r[d] = (r[s1] - imm) & WORD_MASK
+            m.cycles += 1
+            return nxt
+    elif op == "andi":
+        masked = imm & WORD_MASK
+
+        def step(m):
+            r = m.regs
+            r[d] = r[s1] & masked
+            m.cycles += 1
+            return nxt
+    elif op == "ori":
+        masked = imm & WORD_MASK
+
+        def step(m):
+            r = m.regs
+            r[d] = r[s1] | masked
+            m.cycles += 1
+            return nxt
+    elif op == "xori":
+        masked = imm & WORD_MASK
+
+        def step(m):
+            r = m.regs
+            r[d] = r[s1] ^ masked
+            m.cycles += 1
+            return nxt
+    elif op == "slli":
+        shift = imm & 31
+
+        def step(m):
+            r = m.regs
+            r[d] = (r[s1] << shift) & WORD_MASK
+            m.cycles += 1
+            return nxt
+    elif op == "srli":
+        shift = imm & 31
+
+        def step(m):
+            r = m.regs
+            r[d] = r[s1] >> shift
+            m.cycles += 1
+            return nxt
+    elif op == "srai":
+        shift = imm & 31
+
+        def step(m):
+            r = m.regs
+            r[d] = (((r[s1] ^ _SIGN_BIT) - _SIGN_BIT) >> shift) & WORD_MASK
+            m.cycles += 1
+            return nxt
+    elif op == "sltui":
+        masked = imm & WORD_MASK
+
+        def step(m):
+            r = m.regs
+            r[d] = 1 if r[s1] < masked else 0
+            m.cycles += 1
+            return nxt
+    else:
+        return None
+    return step
+
+
+def _emit_load(op: str, a, nxt: int) -> Step:
+    d = a[0]
+    off, base = a[1]
+    if op == "lw":
+        if d == ZERO_REG:
+            def step(m):
+                addr = m.regs[base] + off
+                mem = m.mem
+                if addr < 0 or addr + 4 > len(mem):
+                    raise _machine_error(
+                        f"memory access out of range: {addr:#x}+4")
+                dc = m.dcache
+                m.cycles += 2 if dc is None else 2 + dc.access(addr)
+                return nxt
+        else:
+            def step(m):
+                addr = m.regs[base] + off
+                mem = m.mem
+                if addr < 0 or addr + 4 > len(mem):
+                    raise _machine_error(
+                        f"memory access out of range: {addr:#x}+4")
+                m.regs[d] = int.from_bytes(mem[addr: addr + 4], "little")
+                dc = m.dcache
+                m.cycles += 2 if dc is None else 2 + dc.access(addr)
+                return nxt
+    else:  # lb
+        if d == ZERO_REG:
+            def step(m):
+                addr = m.regs[base] + off
+                mem = m.mem
+                if addr < 0 or addr + 1 > len(mem):
+                    raise _machine_error(
+                        f"memory access out of range: {addr:#x}+1")
+                dc = m.dcache
+                m.cycles += 2 if dc is None else 2 + dc.access(addr)
+                return nxt
+        else:
+            def step(m):
+                addr = m.regs[base] + off
+                mem = m.mem
+                if addr < 0 or addr + 1 > len(mem):
+                    raise _machine_error(
+                        f"memory access out of range: {addr:#x}+1")
+                m.regs[d] = mem[addr]
+                dc = m.dcache
+                m.cycles += 2 if dc is None else 2 + dc.access(addr)
+                return nxt
+    return step
+
+
+def _emit_store(op: str, a, nxt: int) -> Step:
+    s = a[0]
+    off, base = a[1]
+    if op == "sw":
+        def step(m):
+            addr = m.regs[base] + off
+            mem = m.mem
+            if addr < 0 or addr + 4 > len(mem):
+                raise _machine_error(
+                    f"memory access out of range: {addr:#x}+4")
+            mem[addr: addr + 4] = (m.regs[s] & WORD_MASK).to_bytes(4, "little")
+            dc = m.dcache
+            m.cycles += 1 if dc is None else 1 + dc.access(addr)
+            return nxt
+    else:  # sb
+        def step(m):
+            addr = m.regs[base] + off
+            mem = m.mem
+            if addr < 0 or addr + 1 > len(mem):
+                raise _machine_error(
+                    f"memory access out of range: {addr:#x}+1")
+            mem[addr] = m.regs[s] & 0xFF
+            dc = m.dcache
+            m.cycles += 1 if dc is None else 1 + dc.access(addr)
+            return nxt
+    return step
+
+
+def _emit_branch(op: str, a, nxt: int) -> Step:
+    s1, s2, target = a[0], a[1], a[2]
+    if op == "beq":
+        def step(m):
+            r = m.regs
+            if r[s1] == r[s2]:
+                m.cycles += _TAKEN_COST
+                return target
+            m.cycles += 1
+            return nxt
+    elif op == "bne":
+        def step(m):
+            r = m.regs
+            if r[s1] != r[s2]:
+                m.cycles += _TAKEN_COST
+                return target
+            m.cycles += 1
+            return nxt
+    elif op == "bltu":
+        def step(m):
+            r = m.regs
+            if r[s1] < r[s2]:
+                m.cycles += _TAKEN_COST
+                return target
+            m.cycles += 1
+            return nxt
+    elif op == "bgeu":
+        def step(m):
+            r = m.regs
+            if r[s1] >= r[s2]:
+                m.cycles += _TAKEN_COST
+                return target
+            m.cycles += 1
+            return nxt
+    elif op == "blt":
+        def step(m):
+            r = m.regs
+            if (r[s1] ^ _SIGN_BIT) < (r[s2] ^ _SIGN_BIT):
+                m.cycles += _TAKEN_COST
+                return target
+            m.cycles += 1
+            return nxt
+    else:  # bge
+        def step(m):
+            r = m.regs
+            if (r[s1] ^ _SIGN_BIT) >= (r[s2] ^ _SIGN_BIT):
+                m.cycles += _TAKEN_COST
+                return target
+            m.cycles += 1
+            return nxt
+    return step
+
+
+def _emit_j(a) -> Step:
+    target = a[0]
+    return _cost_only(3, target)
+
+
+def _emit_jal(a, pc: int, func_at: Dict[int, str]) -> Step:
+    target = a[0]
+    link = pc + 1
+    callee = func_at.get(target, f"func@{target}")
+
+    def step(m):
+        m.regs[LINK_REG] = link
+        m.cycles += 3
+        m._compiled_call(callee)
+        return target
+    return step
+
+
+def _emit_jr(a) -> Step:
+    src = a[0]
+
+    def step(m):
+        m.cycles += 3
+        m._compiled_ret()
+        return m.regs[src]
+    return step
+
+
+def _emit_halt(pc: int, sentinel: int) -> Step:
+    def step(m):
+        m.cycles += 1
+        m._halted = True
+        m._halt_pc = pc
+        return sentinel
+    return step
+
+
+def _emit_custom(op: str, a, pc: int, nxt: int,
+                 extensions: Optional[ExtensionSet]) -> Step:
+    custom = extensions.get(op) if extensions is not None else None
+    if custom is None:
+        message = f"unknown opcode {op!r} at pc={pc}"
+
+        def step(m):
+            raise _machine_error(message)
+        return step
+    semantics = custom.semantics
+    latency = custom.latency
+    if callable(latency):
+        def step(m):
+            semantics(m, a)
+            cost = latency(m, a)
+            m.regs[ZERO_REG] = 0
+            m.cycles += cost
+            return nxt
+    else:
+        cost = latency
+
+        def step(m):
+            semantics(m, a)
+            m.regs[ZERO_REG] = 0
+            m.cycles += cost
+            return nxt
+    return step
+
+
+def _compile_instruction(instr: Instruction, pc: int, sentinel: int,
+                         func_at: Dict[int, str],
+                         extensions: Optional[ExtensionSet]) -> Step:
+    op = instr.op
+    a = instr.args
+    nxt = pc + 1
+    if op in ("add", "sub", "and", "or", "xor", "sll", "srl", "sra",
+              "sltu", "slt", "mul", "mulhu"):
+        return _emit_binary(op, a, nxt)
+    if op in ("addi", "subi", "li", "mov", "andi", "ori", "xori",
+              "slli", "srli", "srai", "sltui"):
+        return _emit_immediate(op, a, nxt)
+    if op in ("lw", "lb"):
+        return _emit_load(op, a, nxt)
+    if op in ("sw", "sb"):
+        return _emit_store(op, a, nxt)
+    if op in ("beq", "bne", "blt", "bge", "bltu", "bgeu"):
+        return _emit_branch(op, a, nxt)
+    if op == "j":
+        return _emit_j(a)
+    if op == "jal":
+        return _emit_jal(a, pc, func_at)
+    if op == "jr":
+        return _emit_jr(a)
+    if op == "halt":
+        return _emit_halt(pc, sentinel)
+    return _emit_custom(op, a, pc, nxt, extensions)
+
+
+# -- basic-block fusion (superinstructions) ----------------------------------
+#
+# Straight-line runs are re-emitted as one generated Python function
+# per block: registers hoisted to a local, immediates and addresses
+# inlined as literals, static cycle costs pre-summed.  Only memory and
+# custom instructions can fault; blocks containing them get a
+# try/except wrapper and a sub-instruction progress marker so the
+# driver can repair counts exactly (see the module docstring).
+
+def _alu_source(op: str, a) -> Optional[str]:
+    """The statement for one non-faulting ALU op, or None when the
+    destination is r0 (the write is unobservable)."""
+    d = a[0]
+    if d == ZERO_REG:
+        return None
+    if op == "add":
+        return f"r[{d}] = (r[{a[1]}] + r[{a[2]}]) & {WORD_MASK}"
+    if op == "addi":
+        return f"r[{d}] = (r[{a[1]}] + {a[2]!r}) & {WORD_MASK}"
+    if op == "sub":
+        return f"r[{d}] = (r[{a[1]}] - r[{a[2]}]) & {WORD_MASK}"
+    if op == "subi":
+        return f"r[{d}] = (r[{a[1]}] - {a[2]!r}) & {WORD_MASK}"
+    if op == "li":
+        return f"r[{d}] = {a[1] & WORD_MASK}"
+    if op == "mov":
+        return f"r[{d}] = r[{a[1]}]"
+    if op == "and":
+        return f"r[{d}] = r[{a[1]}] & r[{a[2]}]"
+    if op == "andi":
+        return f"r[{d}] = r[{a[1]}] & {a[2] & WORD_MASK}"
+    if op == "or":
+        return f"r[{d}] = r[{a[1]}] | r[{a[2]}]"
+    if op == "ori":
+        return f"r[{d}] = r[{a[1]}] | {a[2] & WORD_MASK}"
+    if op == "xor":
+        return f"r[{d}] = r[{a[1]}] ^ r[{a[2]}]"
+    if op == "xori":
+        return f"r[{d}] = r[{a[1]}] ^ {a[2] & WORD_MASK}"
+    if op == "sll":
+        return f"r[{d}] = (r[{a[1]}] << (r[{a[2]}] & 31)) & {WORD_MASK}"
+    if op == "slli":
+        return f"r[{d}] = (r[{a[1]}] << {a[2] & 31}) & {WORD_MASK}"
+    if op == "srl":
+        return f"r[{d}] = r[{a[1]}] >> (r[{a[2]}] & 31)"
+    if op == "srli":
+        return f"r[{d}] = r[{a[1]}] >> {a[2] & 31}"
+    if op == "sra":
+        return (f"r[{d}] = (((r[{a[1]}] ^ {_SIGN_BIT}) - {_SIGN_BIT})"
+                f" >> (r[{a[2]}] & 31)) & {WORD_MASK}")
+    if op == "srai":
+        return (f"r[{d}] = (((r[{a[1]}] ^ {_SIGN_BIT}) - {_SIGN_BIT})"
+                f" >> {a[2] & 31}) & {WORD_MASK}")
+    if op == "sltu":
+        return f"r[{d}] = 1 if r[{a[1]}] < r[{a[2]}] else 0"
+    if op == "sltui":
+        return f"r[{d}] = 1 if r[{a[1]}] < {a[2] & WORD_MASK} else 0"
+    if op == "slt":
+        return (f"r[{d}] = 1 if (r[{a[1]}] ^ {_SIGN_BIT})"
+                f" < (r[{a[2]}] ^ {_SIGN_BIT}) else 0")
+    if op == "mul":
+        return f"r[{d}] = (r[{a[1]}] * r[{a[2]}]) & {WORD_MASK}"
+    if op == "mulhu":
+        return f"r[{d}] = (r[{a[1]}] * r[{a[2]}]) >> 32"
+    return None
+
+
+def _branch_cond(op: str, a) -> str:
+    if op == "beq":
+        return f"r[{a[0]}] == r[{a[1]}]"
+    if op == "bne":
+        return f"r[{a[0]}] != r[{a[1]}]"
+    if op == "bltu":
+        return f"r[{a[0]}] < r[{a[1]}]"
+    if op == "bgeu":
+        return f"r[{a[0]}] >= r[{a[1]}]"
+    if op == "blt":
+        return f"(r[{a[0]}] ^ {_SIGN_BIT}) < (r[{a[1]}] ^ {_SIGN_BIT})"
+    # bge
+    return f"(r[{a[0]}] ^ {_SIGN_BIT}) >= (r[{a[1]}] ^ {_SIGN_BIT})"
+
+
+class _BlockGen:
+    """Accumulates the generated source of one fused block."""
+
+    def __init__(self, start: int, glob: Dict[str, object]):
+        self.start = start
+        self.glob = glob
+        self.lines: List[str] = []
+        self.pending = 0        # static cycles not yet charged
+        self.faulting = False   # needs the try/except + progress marker
+        self.uses_mem = False
+        self.uses_load = False
+
+    def flush(self) -> None:
+        if self.pending:
+            self.lines.append(f"m.cycles += {self.pending}")
+            self.pending = 0
+
+    def emit_alu(self, op: str, a) -> None:
+        stmt = _alu_source(op, a)
+        if stmt is not None:
+            self.lines.append(stmt)
+        self.pending += 2 if op in ("mul", "mulhu") else 1
+
+    def emit_mem(self, op: str, a, sub: int) -> None:
+        self.uses_mem = True
+        size = 4 if op in ("lw", "sw") else 1
+        off, base = a[1]
+        # Charge everything up to here before the op can fault, so a
+        # trapped run's cycle count matches the interpreter's exactly.
+        self.flush()
+        self.faulting = True
+        self.lines.append(f"f_ = {sub}")
+        self.lines.append(f"a_ = r[{base}] + {off!r}")
+        self.lines.append(f"if a_ < 0 or a_ + {size} > len(mem):")
+        self.lines.append(
+            '    raise MachineError('
+            f'"memory access out of range: %#x+{size}" % a_)')
+        d = a[0]
+        if op == "lw":
+            self.uses_load = True
+            if d != ZERO_REG:
+                self.lines.append(f'r[{d}] = fb(mem[a_:a_ + 4], "little")')
+            self.pending += 2
+        elif op == "lb":
+            if d != ZERO_REG:
+                self.lines.append(f"r[{d}] = mem[a_]")
+            self.pending += 2
+        elif op == "sw":
+            self.lines.append(
+                f'mem[a_:a_ + 4] = (r[{d}] & {WORD_MASK}).to_bytes'
+                f'(4, "little")')
+            self.pending += 1
+        else:  # sb
+            self.lines.append(f"mem[a_] = r[{d}] & 0xFF")
+            self.pending += 1
+        # Dynamic dcache penalties go straight to m.cycles in program
+        # order (the access sequence drives the cache model's state).
+        self.lines.append("if dc is not None:")
+        self.lines.append("    m.cycles += dc.access(a_)")
+
+    def emit_custom(self, custom, a, pc: int, sub: int) -> None:
+        self.flush()
+        self.faulting = True
+        self.lines.append(f"f_ = {sub}")
+        self.glob[f"S{pc}"] = custom.semantics
+        self.glob[f"A{pc}"] = a
+        self.lines.append(f"S{pc}(m, A{pc})")
+        self.lines.append("r[0] = 0")
+        latency = custom.latency
+        if callable(latency):
+            self.glob[f"L{pc}"] = latency
+            self.lines.append(f"m.cycles += L{pc}(m, A{pc})")
+        else:
+            self.pending += latency
+
+    def emit_terminator(self, op: str, a, pc: int, sentinel: int,
+                        func_at: Dict[int, str]) -> None:
+        if op in ("beq", "bne", "blt", "bge", "bltu", "bgeu"):
+            self.lines.append(f"if {_branch_cond(op, a)}:")
+            self.lines.append(f"    m.cycles += {self.pending + _TAKEN_COST}")
+            self.lines.append(f"    return {a[2]}")
+            self.lines.append(f"m.cycles += {self.pending + 1}")
+            self.lines.append(f"return {pc + 1}")
+        elif op == "j":
+            self.lines.append(f"m.cycles += {self.pending + 3}")
+            self.lines.append(f"return {a[0]}")
+        elif op == "jal":
+            target = a[0]
+            self.lines.append(f"r[{LINK_REG}] = {pc + 1}")
+            self.lines.append(f"m.cycles += {self.pending + 3}")
+            self.glob[f"cn{pc}"] = func_at.get(target, f"func@{target}")
+            self.lines.append(f"m._compiled_call(cn{pc})")
+            self.lines.append(f"return {target}")
+        elif op == "jr":
+            self.lines.append(f"m.cycles += {self.pending + 3}")
+            self.lines.append("m._compiled_ret()")
+            self.lines.append(f"return r[{a[0]}]")
+        else:  # halt
+            self.lines.append(f"m.cycles += {self.pending + 1}")
+            self.lines.append("m._halted = True")
+            self.lines.append(f"m._halt_pc = {pc}")
+            self.lines.append(f"return {sentinel}")
+        self.pending = 0
+
+    def emit_fallthrough(self, next_pc: int) -> None:
+        self.flush()
+        self.lines.append(f"return {next_pc}")
+
+    def render(self, length: int) -> str:
+        name = f"_b{self.start}"
+        head = [f"def {name}(m):", "    r = m.regs"]
+        if self.uses_mem:
+            head.append("    mem = m.mem")
+            head.append("    dc = m.dcache")
+        if self.uses_load:
+            head.append("    fb = _fb")
+        if self.faulting:
+            head.append("    f_ = 0")
+            head.append("    try:")
+            body = [f"        {line}" for line in self.lines]
+            tail = ["    except BaseException:",
+                    f"        m._block_fault = ({self.start}, {length}, f_)",
+                    "        raise"]
+            return "\n".join(head + body + tail)
+        body = [f"    {line}" for line in self.lines]
+        return "\n".join(head + body)
+
+
+def _find_leaders(code: Sequence[Instruction], labels: Dict[str, int],
+                  sentinel: int) -> List[int]:
+    """Every pc a block may legally start at: labels (function entries,
+    ``jal``/``j``/branch targets and return addresses), plus the
+    instruction after each control transfer."""
+    leaders = {index for index in labels.values() if index < sentinel}
+    if code:
+        leaders.add(0)
+    for pc, instr in enumerate(code):
+        op = instr.op
+        if op in ("beq", "bne", "blt", "bge", "bltu", "bgeu"):
+            if instr.args[2] < sentinel:
+                leaders.add(instr.args[2])
+        elif op in ("j", "jal"):
+            if instr.args[0] < sentinel:
+                leaders.add(instr.args[0])
+        if op in _TERMINATORS and pc + 1 < sentinel:
+            leaders.add(pc + 1)
+    return sorted(leaders)
+
+
+def _build_blocks(program: Program, extensions: Optional[ExtensionSet],
+                  sentinel: int, func_at: Dict[int, str]
+                  ) -> Tuple[List[Optional[Tuple[Step, int, int]]],
+                             List[Tuple[Tuple[str, int], ...]]]:
+    from repro.isa.machine import MachineError
+    code = program.instructions
+    leaders = _find_leaders(code, program.labels, sentinel)
+    leader_set = set(leaders)
+    blocks: List[Optional[Tuple[Step, int, int]]] = [None] * sentinel
+    hists: List[Tuple[Tuple[str, int], ...]] = []
+    glob: Dict[str, object] = {"_fb": int.from_bytes,
+                               "MachineError": MachineError}
+    sources: List[str] = []
+    placed: List[Tuple[int, int]] = []  # (start, length) awaiting exec
+
+    for start in leaders:
+        gen = _BlockGen(start, glob)
+        hist: Dict[str, int] = {}
+        pc = start
+        terminated = False
+        while True:
+            instr = code[pc]
+            op = instr.op
+            if op not in _BASE_OPS and (extensions is None
+                                        or extensions.get(op) is None):
+                # Unknown opcode: end the block before it; the
+                # per-instruction closure raises with exact state.
+                break
+            hist[op] = hist.get(op, 0) + 1
+            if op in _TERMINATORS:
+                gen.emit_terminator(op, instr.args, pc, sentinel, func_at)
+                terminated = True
+                pc += 1
+                break
+            if op in ("lw", "lb", "sw", "sb"):
+                gen.emit_mem(op, instr.args, pc - start)
+            elif op in _BASE_OPS:
+                gen.emit_alu(op, instr.args)
+            else:
+                gen.emit_custom(extensions.get(op), instr.args, pc,
+                                pc - start)
+            pc += 1
+            if pc == sentinel or pc in leader_set:
+                break
+        length = pc - start
+        if length == 0:
+            continue  # first instruction unknown; no fused block here
+        if not terminated:
+            gen.emit_fallthrough(pc)
+        sources.append(gen.render(length))
+        placed.append((start, length))
+        hists.append(tuple(sorted(hist.items())))
+
+    if sources:
+        exec(compile("\n".join(sources), "<repro.isa.compile>", "exec"), glob)
+        for bid, (start, length) in enumerate(placed):
+            blocks[start] = (glob[f"_b{start}"], length, bid)
+    return blocks, hists
+
+
+def compile_program(program: Program,
+                    extensions: Optional[ExtensionSet] = None
+                    ) -> CompiledProgram:
+    """Predecode ``program`` into its threaded-code form (uncached)."""
+    code = program.instructions
+    sentinel = len(code)
+    # Same first-label-wins mapping the Machine builds for profiling.
+    func_at: Dict[int, str] = {}
+    for label, index in program.labels.items():
+        func_at.setdefault(index, label)
+    steps: List[Step] = []
+    op_names: List[str] = []
+    for pc, instr in enumerate(code):
+        steps.append(_compile_instruction(instr, pc, sentinel, func_at,
+                                          extensions))
+        op_names.append(instr.op)
+    blocks, hists = _build_blocks(program, extensions, sentinel, func_at)
+    return CompiledProgram(steps, op_names, sentinel, extensions,
+                           blocks, hists)
+
+
+# -- compilation cache -------------------------------------------------------
+#
+# Keyed weakly on the Program (so a dropped program frees its closures)
+# and, within a program, on the identity of the extension set.  All
+# machines with no custom instructions share one entry: a fresh empty
+# ExtensionSet is indistinguishable from another.
+
+_cache: "weakref.WeakKeyDictionary[Program, Dict[object, CompiledProgram]]" \
+    = weakref.WeakKeyDictionary()
+
+
+def compiled_for(program: Program,
+                 extensions: Optional[ExtensionSet] = None
+                 ) -> CompiledProgram:
+    """The (cached) threaded-code form of ``program`` + ``extensions``."""
+    per_ext = _cache.get(program)
+    if per_ext is None:
+        per_ext = _cache[program] = {}
+    key = None if (extensions is None or len(extensions) == 0) \
+        else id(extensions)
+    compiled = per_ext.get(key)
+    if compiled is None or (key is not None
+                            and compiled.extensions is not extensions):
+        compiled = per_ext[key] = compile_program(program, extensions)
+    return compiled

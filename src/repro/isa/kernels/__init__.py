@@ -9,7 +9,24 @@ characterization phase fits macro-models to their cycle counts.
 """
 
 from repro.isa.assembler import assemble
-from repro.isa.machine import Machine
+from repro.isa.machine import Machine, MachineFleet
+
+# Base-ISA sources assemble to the same Program every time, so memoize
+# them: reconstructing a kernel object (as the characterization jobs
+# do per stimulus family) then shares one Program object, which is what
+# lets the compiled backend's weak per-Program cache hit instead of
+# re-predecoding.  Extended kernels pass an ExtensionSet whose contents
+# callers may still grow, so those assemble fresh.
+_BASE_PROGRAMS = {}
+
+
+def _assemble_memo(source: str, extensions):
+    if extensions is not None and len(extensions):
+        return assemble(source, extensions)
+    program = _BASE_PROGRAMS.get(source)
+    if program is None:
+        program = _BASE_PROGRAMS[source] = assemble(source, None)
+    return program
 
 
 class KernelRunner:
@@ -19,7 +36,16 @@ class KernelRunner:
         self.source = source
         self.extensions = extensions
         self.mem_size = mem_size
-        self.program = assemble(source, extensions)
+        self.program = _assemble_memo(source, extensions)
+        self._fleet = None
 
     def machine(self) -> Machine:
         return Machine(self.program, self.extensions, self.mem_size)
+
+    def fleet(self) -> MachineFleet:
+        """A cached :class:`MachineFleet` for batched runs: machines are
+        reused (reset, not reconstructed) across stimulus repetitions."""
+        if self._fleet is None:
+            self._fleet = MachineFleet(self.program, self.extensions,
+                                       self.mem_size)
+        return self._fleet

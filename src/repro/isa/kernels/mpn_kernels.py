@@ -379,11 +379,12 @@ class MpnKernels:
 
     # -- generic vector-op runner -------------------------------------------
 
-    def _run_binary(self, entry: str, up: List[int], vp: List[int]
-                    ) -> Tuple[List[int], int, int]:
+    def _run_binary(self, entry: str, up: List[int], vp: List[int],
+                    machine=None) -> Tuple[List[int], int, int]:
         if len(up) != len(vp):
             raise ValueError("equal-length operands required")
-        machine = self.runner.machine()
+        if machine is None:
+            machine = self.runner.machine()
         n = len(up)
         rp = machine.alloc(4 * n)
         ua = machine.alloc(4 * n)
@@ -394,8 +395,9 @@ class MpnKernels:
         return machine.read_words(rp, n), flag, machine.cycles
 
     def _run_scalar(self, entry: str, rp_init: List[int], up: List[int],
-                    v: int) -> Tuple[List[int], int, int]:
-        machine = self.runner.machine()
+                    v: int, machine=None) -> Tuple[List[int], int, int]:
+        if machine is None:
+            machine = self.runner.machine()
         n = len(up)
         rp = machine.alloc(4 * n)
         ua = machine.alloc(4 * n)
@@ -405,26 +407,32 @@ class MpnKernels:
         return machine.read_words(rp, n), flag, machine.cycles
 
     # -- public runners (mirror the repro.mp.mpn API) -------------------------
+    #
+    # ``machine=None`` spawns a fresh machine (the historical behavior);
+    # batched callers pass a reset fleet machine, which is bit-identical
+    # in results and cycles but skips per-run construction/decoding.
 
-    def add_n(self, up, vp):
-        return self._run_binary("mpn_add_n", up, vp)
+    def add_n(self, up, vp, machine=None):
+        return self._run_binary("mpn_add_n", up, vp, machine=machine)
 
-    def sub_n(self, up, vp):
-        return self._run_binary("mpn_sub_n", up, vp)
+    def sub_n(self, up, vp, machine=None):
+        return self._run_binary("mpn_sub_n", up, vp, machine=machine)
 
-    def mul_1(self, up, v):
-        return self._run_scalar("mpn_mul_1", [0] * len(up), up, v)
+    def mul_1(self, up, v, machine=None):
+        return self._run_scalar("mpn_mul_1", [0] * len(up), up, v,
+                                machine=machine)
 
-    def addmul_1(self, rp, up, v):
-        return self._run_scalar("mpn_addmul_1", rp, up, v)
+    def addmul_1(self, rp, up, v, machine=None):
+        return self._run_scalar("mpn_addmul_1", rp, up, v, machine=machine)
 
-    def submul_1(self, rp, up, v):
-        return self._run_scalar("mpn_submul_1", rp, up, v)
+    def submul_1(self, rp, up, v, machine=None):
+        return self._run_scalar("mpn_submul_1", rp, up, v, machine=machine)
 
-    def lshift(self, up, count):
+    def lshift(self, up, count, machine=None):
         if self.extended:
             raise NotImplementedError("lshift has no extended variant")
-        machine = self.runner.machine()
+        if machine is None:
+            machine = self.runner.machine()
         n = len(up)
         rp = machine.alloc(4 * n)
         ua = machine.alloc(4 * n)
@@ -432,9 +440,34 @@ class MpnKernels:
         out = machine.run("mpn_lshift", [rp, ua, count, n])
         return machine.read_words(rp, n), out, machine.cycles
 
-    def divrem_qest(self, u2, u1, vtop):
+    def divrem_qest(self, u2, u1, vtop, machine=None):
         if self.extended:
             raise NotImplementedError("divrem_qest has no extended variant")
-        machine = self.runner.machine()
+        if machine is None:
+            machine = self.runner.machine()
         qhat = machine.run("divrem_qest", [u2, u1, vtop])
         return qhat, machine.cycles
+
+    # -- batched execution ----------------------------------------------------
+
+    def batch(self, requests, executor=None):
+        """Run many kernel calls against reused (reset) machines.
+
+        ``requests`` is a sequence of ``(method_name, *args)`` tuples,
+        e.g. ``("addmul_1", rp, up, v)``; the return value is the list
+        of each method's normal return value, in request order.  With
+        ``executor`` (serial or thread executors from
+        :mod:`repro.parallel`) the batch fans out while each worker
+        thread keeps its own machine; process executors are not
+        supported here -- characterization parallelizes at the
+        stimulus-job level instead.
+        """
+        fleet = self.runner.fleet()
+
+        def run_one(request):
+            return getattr(self, request[0])(*request[1:],
+                                             machine=fleet.machine())
+
+        if executor is None:
+            return [run_one(request) for request in requests]
+        return executor.map(run_one, list(requests), label="mpn.batch")

@@ -7,6 +7,19 @@ latencies).  A lightweight profiler attributes cycles to functions
 Figure 4 and the per-routine cycle counts that characterization fits
 macro-models to.
 
+Two execution backends share one architectural contract:
+
+- ``interp`` (default): the readable reference loop -- one if/elif
+  dispatch chain, the semantic spec for the ISA.
+- ``compiled``: threaded-code dispatch via :mod:`repro.isa.compile` --
+  the program is predecoded once into per-instruction closures and
+  each step is a single indirect call.
+
+Both are bit-identical in ``cycles``, ``instret``, ``opcode_counts``,
+the :class:`Profile`, and final memory/registers; select with the
+``backend=`` constructor argument, :func:`backend_scope`, or the
+``REPRO_ISS_BACKEND`` environment variable.
+
 Calling convention (used by all kernels in :mod:`repro.isa.kernels`):
 
 - arguments in ``r1``..``r6``, results in ``r1`` (and ``r2``),
@@ -15,8 +28,11 @@ Calling convention (used by all kernels in :mod:`repro.isa.kernels`):
 - callee may clobber ``r1``..``r12``.
 """
 
+import os
+import threading
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.isa.assembler import Program
 from repro.isa.extensions import ExtensionSet
@@ -26,6 +42,41 @@ from repro.isa.instructions import (BRANCH_TAKEN_PENALTY, LINK_REG,
 
 class MachineError(RuntimeError):
     """Raised on simulator faults (bad memory access, runaway programs)."""
+
+
+#: Environment variable selecting the default execution backend.
+ISS_BACKEND_ENV = "REPRO_ISS_BACKEND"
+
+_BACKENDS = ("interp", "compiled")
+
+_backend_override: Optional[str] = None
+
+
+def resolve_backend(name: Optional[str] = None) -> str:
+    """Resolve a backend name: explicit argument, then any active
+    :func:`backend_scope`, then ``$REPRO_ISS_BACKEND``, then ``interp``."""
+    if name is None:
+        name = _backend_override
+    if name is None:
+        name = os.environ.get(ISS_BACKEND_ENV, "") or "interp"
+    if name not in _BACKENDS:
+        raise MachineError(
+            f"unknown ISS backend {name!r} (expected one of "
+            f"{', '.join(_BACKENDS)})")
+    return name
+
+
+@contextmanager
+def backend_scope(name: Optional[str]) -> Iterator[str]:
+    """Temporarily make ``name`` the default backend for new machines."""
+    global _backend_override
+    resolved = resolve_backend(name)
+    previous = _backend_override
+    _backend_override = resolved
+    try:
+        yield resolved
+    finally:
+        _backend_override = previous
 
 
 @dataclass
@@ -57,13 +108,20 @@ class Machine:
     def __init__(self, program: Program,
                  extensions: Optional[ExtensionSet] = None,
                  mem_size: int = 1 << 20,
-                 dcache=None):
+                 dcache=None,
+                 backend: Optional[str] = None):
         """``dcache``: an optional :class:`repro.isa.cache.CacheConfig`;
         when set, scalar loads/stores pay miss penalties.  Custom
-        instructions model dedicated wide memory ports and bypass it."""
+        instructions model dedicated wide memory ports and bypass it.
+
+        ``backend``: ``"interp"`` or ``"compiled"``; ``None`` resolves
+        through :func:`backend_scope` / ``$REPRO_ISS_BACKEND``.
+        """
         self.program = program
         self.extensions = extensions or ExtensionSet()
+        self.backend = resolve_backend(backend)
         self.mem = bytearray(mem_size)
+        self._dcache_cfg = dcache
         if dcache is not None:
             from repro.isa.cache import DataCache
             self.dcache = DataCache(dcache)
@@ -83,6 +141,32 @@ class Machine:
             self._func_at.setdefault(index, label)
         self.profile = Profile()
         self._frames: List[Tuple[str, int]] = []  # (func, cycles at entry)
+        self._cmark = 0      # cycles already attributed to the top frame
+        self._halted = False
+        self._halt_pc = 0
+        self._block_fault = None
+
+    def reset(self) -> None:
+        """Return the machine to its just-constructed architectural state
+        (same program, extensions, memory size, and backend) so it can be
+        reused across independent runs without re-decoding the program."""
+        self.mem = bytearray(len(self.mem))
+        if self._dcache_cfg is not None:
+            from repro.isa.cache import DataCache
+            self.dcache = DataCache(self._dcache_cfg)
+        self.opcode_counts = {}
+        self.regs = [0] * 16
+        self.user_regs = {}
+        self.pc = 0
+        self.cycles = 0
+        self.instret = 0
+        self._alloc_ptr = 0x1000
+        self.profile = Profile()
+        self._frames = []
+        self._cmark = 0
+        self._halted = False
+        self._halt_pc = 0
+        self._block_fault = None
 
     # -- memory helpers ---------------------------------------------------
 
@@ -116,11 +200,27 @@ class Machine:
         self.mem[addr] = value & 0xFF
 
     def write_words(self, addr: int, words: Sequence[int]) -> None:
-        for i, w in enumerate(words):
-            self.write_word(addr + 4 * i, w)
+        """Store a little-endian word vector with one bounds check and
+        one bytes conversion (not one per word)."""
+        count = len(words)
+        if count <= 0:
+            return
+        self._check(addr, 4 * count)
+        value = 0
+        shift = 0
+        for w in words:
+            value |= (w & WORD_MASK) << shift
+            shift += 32
+        self.mem[addr: addr + 4 * count] = value.to_bytes(4 * count, "little")
 
     def read_words(self, addr: int, count: int) -> List[int]:
-        return [self.read_word(addr + 4 * i) for i in range(count)]
+        """Load a word vector with one bounds check and one bytes
+        conversion (not one per word)."""
+        if count <= 0:
+            return []
+        self._check(addr, 4 * count)
+        value = int.from_bytes(self.mem[addr: addr + 4 * count], "little")
+        return [(value >> (32 * i)) & WORD_MASK for i in range(count)]
 
     def write_bytes(self, addr: int, data: bytes) -> None:
         self._check(addr, len(data))
@@ -139,14 +239,30 @@ class Machine:
             prof = self.profile
             prof.local_cycles[func] = prof.local_cycles.get(func, 0) + cost
 
-    def _enter(self, target_pc: int) -> None:
-        callee = self._func_at.get(target_pc, f"func@{target_pc}")
+    def _flush_frame_cycles(self) -> None:
+        """Attribute cycles accumulated since the last flush point to the
+        current top frame.  Both backends batch per-instruction charges
+        this way: the sums flushed at call/return/exit boundaries equal
+        per-step attribution because the top frame is constant between
+        boundaries."""
+        cycles = self.cycles
+        delta = cycles - self._cmark
+        if delta and self._frames:
+            func = self._frames[-1][0]
+            prof = self.profile
+            prof.local_cycles[func] = prof.local_cycles.get(func, 0) + delta
+        self._cmark = cycles
+
+    def _push_frame(self, callee: str) -> None:
         caller = self._frames[-1][0] if self._frames else self.ENTRY_FUNC
         prof = self.profile
         prof.call_edges[(caller, callee)] = \
             prof.call_edges.get((caller, callee), 0) + 1
         prof.call_counts[callee] = prof.call_counts.get(callee, 0) + 1
         self._frames.append((callee, self.cycles))
+
+    def _enter(self, target_pc: int) -> None:
+        self._push_frame(self._func_at.get(target_pc, f"func@{target_pc}"))
 
     def _leave(self) -> None:
         if len(self._frames) <= 1:
@@ -155,6 +271,16 @@ class Machine:
         prof = self.profile
         prof.inclusive_cycles[func] = \
             prof.inclusive_cycles.get(func, 0) + (self.cycles - entry_cycles)
+
+    def _compiled_call(self, callee: str) -> None:
+        """jal hook for the compiled backend (cycles already charged)."""
+        self._flush_frame_cycles()
+        self._push_frame(callee)
+
+    def _compiled_ret(self) -> None:
+        """jr hook for the compiled backend (cycles already charged)."""
+        self._flush_frame_cycles()
+        self._leave()
 
     # -- observability -----------------------------------------------------
 
@@ -190,16 +316,11 @@ class Machine:
 
     # -- execution ---------------------------------------------------------
 
-    def run(self, entry: str, args: Sequence[int] = (),
-            max_instructions: int = 200_000_000) -> int:
-        """Call ``entry`` with ``args`` in r1..; returns r1 at exit.
-
-        Execution stops at ``halt`` or when the entry function returns
-        (jr to the sentinel return address).
-        """
+    def _prepare_run(self, entry: str, args: Sequence[int]) -> Tuple[int, int]:
+        """Shared run prologue: argument registers, stack/link setup,
+        the entry profile frame.  Returns ``(entry_pc, sentinel)``."""
         program = self.program
-        code = program.instructions
-        sentinel = len(code)  # "return to exit"
+        sentinel = len(program.instructions)  # "return to exit"
         self.pc = program.entry(entry)
         if len(args) > 6:
             raise MachineError("at most 6 register arguments supported")
@@ -210,179 +331,393 @@ class Machine:
         self.regs[LINK_REG] = sentinel
         self._frames = [(self.ENTRY_FUNC, self.cycles)]
         self._enter(self.pc)
+        return self.pc, sentinel
 
-        regs = self.regs
-        ext = self.extensions
-        penalty = BRANCH_TAKEN_PENALTY
-        executed = 0
-        opcounts = self.opcode_counts
+    def _merge_counts(self, counts: List[int], op_names: Sequence[str]) -> None:
+        oc = self.opcode_counts
+        for i, c in enumerate(counts):
+            if c:
+                op = op_names[i]
+                oc[op] = oc.get(op, 0) + c
 
-        while self.pc != sentinel:
-            if self.pc < 0 or self.pc > sentinel:
-                raise MachineError(f"pc out of range: {self.pc}")
-            instr = code[self.pc]
-            op = instr.op
-            a = instr.args
-            opcounts[op] = opcounts.get(op, 0) + 1
-            executed += 1
-            if executed > max_instructions:
-                raise MachineError("instruction budget exceeded (runaway program?)")
-            next_pc = self.pc + 1
-
-            if op == "add":
-                regs[a[0]] = (regs[a[1]] + regs[a[2]]) & WORD_MASK
-                cost = 1
-            elif op == "addi":
-                regs[a[0]] = (regs[a[1]] + a[2]) & WORD_MASK
-                cost = 1
-            elif op == "sub":
-                regs[a[0]] = (regs[a[1]] - regs[a[2]]) & WORD_MASK
-                cost = 1
-            elif op == "subi":
-                regs[a[0]] = (regs[a[1]] - a[2]) & WORD_MASK
-                cost = 1
-            elif op == "li":
-                regs[a[0]] = a[1] & WORD_MASK
-                cost = 1
-            elif op == "mov":
-                regs[a[0]] = regs[a[1]]
-                cost = 1
-            elif op == "and":
-                regs[a[0]] = regs[a[1]] & regs[a[2]]
-                cost = 1
-            elif op == "andi":
-                regs[a[0]] = regs[a[1]] & (a[2] & WORD_MASK)
-                cost = 1
-            elif op == "or":
-                regs[a[0]] = regs[a[1]] | regs[a[2]]
-                cost = 1
-            elif op == "ori":
-                regs[a[0]] = regs[a[1]] | (a[2] & WORD_MASK)
-                cost = 1
-            elif op == "xor":
-                regs[a[0]] = regs[a[1]] ^ regs[a[2]]
-                cost = 1
-            elif op == "xori":
-                regs[a[0]] = regs[a[1]] ^ (a[2] & WORD_MASK)
-                cost = 1
-            elif op == "sll":
-                regs[a[0]] = (regs[a[1]] << (regs[a[2]] & 31)) & WORD_MASK
-                cost = 1
-            elif op == "slli":
-                regs[a[0]] = (regs[a[1]] << (a[2] & 31)) & WORD_MASK
-                cost = 1
-            elif op == "srl":
-                regs[a[0]] = regs[a[1]] >> (regs[a[2]] & 31)
-                cost = 1
-            elif op == "srli":
-                regs[a[0]] = regs[a[1]] >> (a[2] & 31)
-                cost = 1
-            elif op == "sra":
-                regs[a[0]] = (to_signed(regs[a[1]]) >> (regs[a[2]] & 31)) & WORD_MASK
-                cost = 1
-            elif op == "srai":
-                regs[a[0]] = (to_signed(regs[a[1]]) >> (a[2] & 31)) & WORD_MASK
-                cost = 1
-            elif op == "sltu":
-                regs[a[0]] = 1 if regs[a[1]] < regs[a[2]] else 0
-                cost = 1
-            elif op == "sltui":
-                regs[a[0]] = 1 if regs[a[1]] < (a[2] & WORD_MASK) else 0
-                cost = 1
-            elif op == "slt":
-                regs[a[0]] = 1 if to_signed(regs[a[1]]) < to_signed(regs[a[2]]) else 0
-                cost = 1
-            elif op == "mul":
-                regs[a[0]] = (regs[a[1]] * regs[a[2]]) & WORD_MASK
-                cost = 2
-            elif op == "mulhu":
-                regs[a[0]] = (regs[a[1]] * regs[a[2]]) >> 32
-                cost = 2
-            elif op == "lw":
-                off, base = a[1]
-                addr = regs[base] + off
-                regs[a[0]] = self.read_word(addr)
-                cost = 2
-                if self.dcache is not None:
-                    cost += self.dcache.access(addr)
-            elif op == "lb":
-                off, base = a[1]
-                addr = regs[base] + off
-                regs[a[0]] = self.read_byte(addr)
-                cost = 2
-                if self.dcache is not None:
-                    cost += self.dcache.access(addr)
-            elif op == "sw":
-                off, base = a[1]
-                addr = regs[base] + off
-                self.write_word(addr, regs[a[0]])
-                cost = 1
-                if self.dcache is not None:
-                    cost += self.dcache.access(addr)
-            elif op == "sb":
-                off, base = a[1]
-                addr = regs[base] + off
-                self.write_byte(addr, regs[a[0]])
-                cost = 1
-                if self.dcache is not None:
-                    cost += self.dcache.access(addr)
-            elif op in ("beq", "bne", "blt", "bge", "bltu", "bgeu"):
-                lhs, rhs = regs[a[0]], regs[a[1]]
-                if op == "beq":
-                    taken = lhs == rhs
-                elif op == "bne":
-                    taken = lhs != rhs
-                elif op == "bltu":
-                    taken = lhs < rhs
-                elif op == "bgeu":
-                    taken = lhs >= rhs
-                elif op == "blt":
-                    taken = to_signed(lhs) < to_signed(rhs)
-                else:  # bge
-                    taken = to_signed(lhs) >= to_signed(rhs)
-                cost = 1 + (penalty if taken else 0)
-                if taken:
-                    next_pc = a[2]
-            elif op == "j":
-                next_pc = a[0]
-                cost = 3
-            elif op == "jal":
-                regs[LINK_REG] = self.pc + 1
-                next_pc = a[0]
-                cost = 3
-                self._charge(cost)
-                self._enter(next_pc)
-                regs[ZERO_REG] = 0
-                self.pc = next_pc
-                self.instret = executed
-                continue
-            elif op == "jr":
-                next_pc = regs[a[0]]
-                cost = 3
-                self._charge(cost)
-                self._leave()
-                regs[ZERO_REG] = 0
-                self.pc = next_pc
-                self.instret = executed
-                continue
-            elif op == "halt":
-                self._charge(1)
-                break
-            else:
-                custom = ext.get(op)
-                if custom is None:
-                    raise MachineError(f"unknown opcode {op!r} at pc={self.pc}")
-                custom.semantics(self, a)
-                cost = custom.cycle_cost(self, a)
-
-            regs[ZERO_REG] = 0  # r0 stays hardwired to zero
-            self._charge(cost)
-            self.pc = next_pc
-            self.instret = executed
-
-        # Unwind remaining frames so inclusive cycles are complete.
+    def _finish_run(self, executed: int) -> int:
+        """Shared run epilogue on the success path (halt or return)."""
         while len(self._frames) > 1:
             self._leave()
         self.profile.total_cycles = self.cycles
         self.profile.instructions = executed
-        return regs[1]
+        return self.regs[1]
+
+    def run(self, entry: str, args: Sequence[int] = (),
+            max_instructions: int = 200_000_000) -> int:
+        """Call ``entry`` with ``args`` in r1..; returns r1 at exit.
+
+        Execution stops at ``halt`` or when the entry function returns
+        (jr to the sentinel return address).  Dispatches to the
+        interpreter or the threaded-code backend per ``self.backend``;
+        both produce bit-identical architectural and profile state.
+        """
+        if self.backend == "compiled":
+            return self._run_compiled(entry, args, max_instructions)
+        return self._run_interp(entry, args, max_instructions)
+
+    def _run_compiled(self, entry: str, args: Sequence[int],
+                      max_instructions: int) -> int:
+        from repro.isa.compile import compiled_for
+        ext = self.extensions
+        compiled = compiled_for(self.program,
+                                ext if len(ext) else None)
+        steps = compiled.steps
+        blocks = compiled.blocks
+        sentinel = compiled.sentinel
+        pc, _ = self._prepare_run(entry, args)
+        self._cmark = self.cycles
+        self._halted = False
+        self._block_fault = None
+        counts = [0] * sentinel
+        bcounts = [0] * len(compiled.block_hists)
+        executed = 0
+        completed = False
+        top_fault = False
+        try:
+            while pc != sentinel:
+                blk = blocks[pc]
+                if blk is not None:
+                    fn, length, bid = blk
+                    after = executed + length
+                    # Near the instruction budget, fall through to the
+                    # per-instruction path so the budget trap fires at
+                    # exactly the same instruction as the interpreter.
+                    if after <= max_instructions:
+                        executed = after
+                        pc = fn(self)
+                        bcounts[bid] += 1
+                        continue
+                counts[pc] += 1
+                executed += 1
+                if executed > max_instructions:
+                    raise MachineError(
+                        "instruction budget exceeded (runaway program?)")
+                pc = steps[pc](self)
+            completed = not self._halted
+        except IndexError:
+            if 0 <= pc < sentinel:
+                raise  # raised from inside a step, not by the dispatch
+            top_fault = True
+            raise MachineError(f"pc out of range: {pc}") from None
+        finally:
+            fault = self._block_fault
+            if fault is not None:
+                # A fused block trapped at sub-instruction `sub`: undo
+                # the pre-charged instruction count for the unexecuted
+                # tail and attribute per-pc counts for the partial run.
+                start, length, sub = fault
+                executed -= length - (sub + 1)
+                for i in range(sub + 1):
+                    counts[start + i] += 1
+                pc = start + sub     # the faulting instruction
+                self._block_fault = None
+            self._flush_frame_cycles()
+            self._merge_counts(counts, compiled.op_names)
+            oc = self.opcode_counts
+            hists = compiled.block_hists
+            for bid, c in enumerate(bcounts):
+                if c:
+                    for op, mult in hists[bid]:
+                        oc[op] = oc.get(op, 0) + c * mult
+            self.pc = self._halt_pc if self._halted else pc
+            if completed or top_fault:
+                self.instret = executed
+            elif executed > 1:
+                self.instret = executed - 1
+            # else: no instruction completed this run; instret unchanged
+        return self._finish_run(executed)
+
+    def _run_interp(self, entry: str, args: Sequence[int],
+                    max_instructions: int) -> int:
+        program = self.program
+        code = program.instructions
+        pc, sentinel = self._prepare_run(entry, args)
+        self._cmark = self.cycles
+
+        regs = self.regs
+        ext = self.extensions
+        dcache = self.dcache
+        penalty = BRANCH_TAKEN_PENALTY
+        executed = 0
+        cycles = self.cycles
+        #: per-pc execution counts, merged into opcode_counts at exit --
+        #: one list index per step instead of two dict operations
+        counts = [0] * sentinel
+        completed = False
+        halted = False
+        top_fault = False
+
+        try:
+            while pc != sentinel:
+                if pc < 0 or pc > sentinel:
+                    top_fault = True
+                    raise MachineError(f"pc out of range: {pc}")
+                instr = code[pc]
+                op = instr.op
+                a = instr.args
+                counts[pc] += 1
+                executed += 1
+                if executed > max_instructions:
+                    raise MachineError(
+                        "instruction budget exceeded (runaway program?)")
+                next_pc = pc + 1
+
+                if op == "add":
+                    regs[a[0]] = (regs[a[1]] + regs[a[2]]) & WORD_MASK
+                    cost = 1
+                elif op == "addi":
+                    regs[a[0]] = (regs[a[1]] + a[2]) & WORD_MASK
+                    cost = 1
+                elif op == "sub":
+                    regs[a[0]] = (regs[a[1]] - regs[a[2]]) & WORD_MASK
+                    cost = 1
+                elif op == "subi":
+                    regs[a[0]] = (regs[a[1]] - a[2]) & WORD_MASK
+                    cost = 1
+                elif op == "li":
+                    regs[a[0]] = a[1] & WORD_MASK
+                    cost = 1
+                elif op == "mov":
+                    regs[a[0]] = regs[a[1]]
+                    cost = 1
+                elif op == "and":
+                    regs[a[0]] = regs[a[1]] & regs[a[2]]
+                    cost = 1
+                elif op == "andi":
+                    regs[a[0]] = regs[a[1]] & (a[2] & WORD_MASK)
+                    cost = 1
+                elif op == "or":
+                    regs[a[0]] = regs[a[1]] | regs[a[2]]
+                    cost = 1
+                elif op == "ori":
+                    regs[a[0]] = regs[a[1]] | (a[2] & WORD_MASK)
+                    cost = 1
+                elif op == "xor":
+                    regs[a[0]] = regs[a[1]] ^ regs[a[2]]
+                    cost = 1
+                elif op == "xori":
+                    regs[a[0]] = regs[a[1]] ^ (a[2] & WORD_MASK)
+                    cost = 1
+                elif op == "sll":
+                    regs[a[0]] = (regs[a[1]] << (regs[a[2]] & 31)) & WORD_MASK
+                    cost = 1
+                elif op == "slli":
+                    regs[a[0]] = (regs[a[1]] << (a[2] & 31)) & WORD_MASK
+                    cost = 1
+                elif op == "srl":
+                    regs[a[0]] = regs[a[1]] >> (regs[a[2]] & 31)
+                    cost = 1
+                elif op == "srli":
+                    regs[a[0]] = regs[a[1]] >> (a[2] & 31)
+                    cost = 1
+                elif op == "sra":
+                    regs[a[0]] = (to_signed(regs[a[1]])
+                                  >> (regs[a[2]] & 31)) & WORD_MASK
+                    cost = 1
+                elif op == "srai":
+                    regs[a[0]] = (to_signed(regs[a[1]])
+                                  >> (a[2] & 31)) & WORD_MASK
+                    cost = 1
+                elif op == "sltu":
+                    regs[a[0]] = 1 if regs[a[1]] < regs[a[2]] else 0
+                    cost = 1
+                elif op == "sltui":
+                    regs[a[0]] = 1 if regs[a[1]] < (a[2] & WORD_MASK) else 0
+                    cost = 1
+                elif op == "slt":
+                    regs[a[0]] = (1 if to_signed(regs[a[1]])
+                                  < to_signed(regs[a[2]]) else 0)
+                    cost = 1
+                elif op == "mul":
+                    regs[a[0]] = (regs[a[1]] * regs[a[2]]) & WORD_MASK
+                    cost = 2
+                elif op == "mulhu":
+                    regs[a[0]] = (regs[a[1]] * regs[a[2]]) >> 32
+                    cost = 2
+                elif op == "lw":
+                    off, base = a[1]
+                    addr = regs[base] + off
+                    regs[a[0]] = self.read_word(addr)
+                    cost = 2
+                    if dcache is not None:
+                        cost += dcache.access(addr)
+                elif op == "lb":
+                    off, base = a[1]
+                    addr = regs[base] + off
+                    regs[a[0]] = self.read_byte(addr)
+                    cost = 2
+                    if dcache is not None:
+                        cost += dcache.access(addr)
+                elif op == "sw":
+                    off, base = a[1]
+                    addr = regs[base] + off
+                    self.write_word(addr, regs[a[0]])
+                    cost = 1
+                    if dcache is not None:
+                        cost += dcache.access(addr)
+                elif op == "sb":
+                    off, base = a[1]
+                    addr = regs[base] + off
+                    self.write_byte(addr, regs[a[0]])
+                    cost = 1
+                    if dcache is not None:
+                        cost += dcache.access(addr)
+                elif op in ("beq", "bne", "blt", "bge", "bltu", "bgeu"):
+                    lhs, rhs = regs[a[0]], regs[a[1]]
+                    if op == "beq":
+                        taken = lhs == rhs
+                    elif op == "bne":
+                        taken = lhs != rhs
+                    elif op == "bltu":
+                        taken = lhs < rhs
+                    elif op == "bgeu":
+                        taken = lhs >= rhs
+                    elif op == "blt":
+                        taken = to_signed(lhs) < to_signed(rhs)
+                    else:  # bge
+                        taken = to_signed(lhs) >= to_signed(rhs)
+                    cost = 1 + (penalty if taken else 0)
+                    if taken:
+                        next_pc = a[2]
+                elif op == "j":
+                    next_pc = a[0]
+                    cost = 3
+                elif op == "jal":
+                    regs[LINK_REG] = pc + 1
+                    next_pc = a[0]
+                    cycles += 3
+                    self.cycles = cycles
+                    self._flush_frame_cycles()
+                    self._enter(next_pc)
+                    regs[ZERO_REG] = 0
+                    pc = next_pc
+                    continue
+                elif op == "jr":
+                    next_pc = regs[a[0]]
+                    cycles += 3
+                    self.cycles = cycles
+                    self._flush_frame_cycles()
+                    self._leave()
+                    regs[ZERO_REG] = 0
+                    pc = next_pc
+                    continue
+                elif op == "halt":
+                    cycles += 1
+                    halted = True
+                    break
+                else:
+                    custom = ext.get(op)
+                    if custom is None:
+                        raise MachineError(
+                            f"unknown opcode {op!r} at pc={pc}")
+                    self.cycles = cycles
+                    custom.semantics(self, a)
+                    cost = custom.cycle_cost(self, a)
+                    cycles = self.cycles
+
+                regs[ZERO_REG] = 0  # r0 stays hardwired to zero
+                cycles += cost
+                pc = next_pc
+            completed = not halted
+        finally:
+            self.cycles = cycles
+            self._flush_frame_cycles()
+            self._merge_counts(counts, [instr.op for instr in code])
+            self.pc = pc
+            if completed or top_fault:
+                self.instret = executed
+            elif executed > 1:
+                self.instret = executed - 1
+            # else: no instruction completed this run; instret unchanged
+        return self._finish_run(executed)
+
+    # -- batched execution -------------------------------------------------
+
+    def run_batch(self, requests: Sequence[Tuple[str, Sequence[int]]],
+                  max_instructions: int = 200_000_000
+                  ) -> List[Tuple[int, int]]:
+        """Run many independent ``(entry, args)`` calls on this machine,
+        resetting architectural state between runs (the decoded program
+        and, on the compiled backend, its threaded code are reused).
+        Returns ``[(result, cycles), ...]`` in request order."""
+        out = []
+        for entry, args in requests:
+            self.reset()
+            result = self.run(entry, args, max_instructions)
+            out.append((result, self.cycles))
+        return out
+
+
+class MachineFleet:
+    """A pool of reusable machines for one program + extension
+    configuration, one machine per thread.
+
+    Repeated stimulus runs (characterization's ``reps``, bench loops)
+    previously paid machine construction -- and with the compiled
+    backend would pay predecoding -- per run.  A fleet keeps one
+    machine per worker thread and :meth:`Machine.reset`\\ s it between
+    runs, so the decode/setup cost is paid once per thread.  Works with
+    the serial and thread executors from :mod:`repro.parallel`; for
+    process executors the fleet pickles its configuration (not its
+    machines) and each worker re-populates its own pool.
+    """
+
+    def __init__(self, program: Program,
+                 extensions: Optional[ExtensionSet] = None,
+                 mem_size: int = 1 << 20,
+                 dcache=None,
+                 backend: Optional[str] = None):
+        self.program = program
+        self.extensions = extensions
+        self.mem_size = mem_size
+        self.dcache = dcache
+        #: explicit backend pin, or None to track backend_scope()/env
+        self.backend = backend
+        self._local = threading.local()
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_local"] = None
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._local = threading.local()
+
+    def machine(self) -> Machine:
+        """This thread's machine, reset to pristine architectural state.
+
+        The backend is re-resolved per call (unless pinned at fleet
+        construction), so a long-lived cached fleet honors an enclosing
+        :func:`backend_scope` instead of the scope active when the
+        fleet was first used."""
+        backend = resolve_backend(self.backend)
+        m = getattr(self._local, "machine", None)
+        if m is None or m.backend != backend:
+            m = Machine(self.program, self.extensions, self.mem_size,
+                        dcache=self.dcache, backend=backend)
+            self._local.machine = m
+        else:
+            m.reset()
+        return m
+
+    def run_batch(self, requests: Sequence[Tuple[str, Sequence[int]]],
+                  executor=None) -> List[Tuple[int, int]]:
+        """Run ``(entry, args)`` requests across the fleet, optionally
+        fanned over a :mod:`repro.parallel` executor (order-preserving).
+        Returns ``[(result, cycles), ...]`` in request order."""
+        if executor is None:
+            return self.machine().run_batch(requests)
+        return executor.map(self._run_one, list(requests), label="iss.batch")
+
+    def _run_one(self, request: Tuple[str, Sequence[int]]) -> Tuple[int, int]:
+        entry, args = request
+        m = self.machine()
+        result = m.run(entry, args)
+        return result, m.cycles
